@@ -1,0 +1,39 @@
+GO ?= go
+
+.PHONY: all build vet test test-short cover fuzz bench experiments clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+cover:
+	$(GO) test ./... -coverprofile=cover.out
+	$(GO) tool cover -func=cover.out | tail -1
+
+fuzz:
+	$(GO) test -fuzz FuzzFromJSON -fuzztime 30s ./internal/jsontype/
+	$(GO) test -fuzz FuzzDecodeAll -fuzztime 30s ./internal/jsontype/
+	$(GO) test -fuzz FuzzUnmarshal -fuzztime 30s ./internal/schema/
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerates every table and figure of the paper's evaluation into
+# results/jxbench_full.txt (about a minute at scale 0.5).
+experiments:
+	mkdir -p results
+	$(GO) run ./cmd/jxbench -all -scale 0.5 -trials 3 > results/jxbench_full.txt
+	@echo "wrote results/jxbench_full.txt"
+
+clean:
+	rm -f cover.out

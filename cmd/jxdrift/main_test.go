@@ -1,0 +1,91 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"jxplain/internal/jsontype"
+	"jxplain/internal/merge"
+	"jxplain/internal/schema"
+)
+
+func writeBaseline(t *testing.T, srcs ...string) string {
+	t.Helper()
+	bag := &jsontype.Bag{}
+	for _, s := range srcs {
+		ty, err := jsontype.FromJSON([]byte(s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		bag.Add(ty)
+	}
+	data, err := schema.Marshal(merge.K(bag))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "schema.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCleanStream(t *testing.T) {
+	path := writeBaseline(t, `{"a":1}`)
+	var out strings.Builder
+	code, err := run([]string{"-schema", path, "-window", "3"},
+		strings.NewReader(`{"a":1}`+"\n"+`{"a":2}`+"\n"+`{"a":3}`+"\n"+`{"a":4}`), &out)
+	if err != nil || code != 0 {
+		t.Fatalf("code=%d err=%v out=%s", code, err, out.String())
+	}
+	if !strings.Contains(out.String(), "alerts: 0") {
+		t.Errorf("out = %q", out.String())
+	}
+}
+
+func TestDriftingStreamAlerts(t *testing.T) {
+	path := writeBaseline(t, `{"a":1}`)
+	stream := strings.Repeat(`{"a":1}`+"\n", 5) + strings.Repeat(`{"a":1,"new":true}`+"\n", 5)
+	var out strings.Builder
+	code, err := run([]string{"-schema", path, "-window", "10", "-threshold", "0.1"},
+		strings.NewReader(stream), &out)
+	if err != nil || code != 1 {
+		t.Fatalf("code=%d err=%v", code, err)
+	}
+	if !strings.Contains(out.String(), "add-optional") || !strings.Contains(out.String(), "new") {
+		t.Errorf("alert should name the drift: %q", out.String())
+	}
+}
+
+func TestFlushPartialWindow(t *testing.T) {
+	path := writeBaseline(t, `{"a":1}`)
+	var out strings.Builder
+	code, _ := run([]string{"-schema", path, "-window", "1000", "-threshold", "0"},
+		strings.NewReader(`{"zzz":1}`), &out)
+	if code != 1 {
+		t.Errorf("partial window with rejects should alert: %q", out.String())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := run(nil, strings.NewReader(""), &strings.Builder{}); err == nil {
+		t.Error("missing -schema should fail")
+	}
+	if _, err := run([]string{"-schema", "/nope"}, strings.NewReader(""), &strings.Builder{}); err == nil {
+		t.Error("missing file should fail")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	os.WriteFile(bad, []byte(`{"node":"bogus"}`), 0o644)
+	if _, err := run([]string{"-schema", bad}, strings.NewReader(""), &strings.Builder{}); err == nil {
+		t.Error("bad schema should fail")
+	}
+	good := writeBaseline(t, `{"a":1}`)
+	if _, err := run([]string{"-schema", good}, strings.NewReader(`{broken`), &strings.Builder{}); err == nil {
+		t.Error("malformed stream should fail")
+	}
+	if _, err := run([]string{"-schema", good, "/no/file"}, strings.NewReader(""), &strings.Builder{}); err == nil {
+		t.Error("missing data file should fail")
+	}
+}

@@ -1,0 +1,70 @@
+// Command jxgen emits one of the synthetic evaluation datasets as JSONL.
+//
+// Usage:
+//
+//	jxgen -dataset pharma -n 1000 -seed 7 > pharma.jsonl
+//	jxgen -list
+//
+// With -labels, each line is wrapped as {"entity": ..., "record": ...} so
+// downstream tools can use the ground-truth entity labels.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"jxplain/internal/dataset"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "jxgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("jxgen", flag.ContinueOnError)
+	name := fs.String("dataset", "", "dataset name (see -list)")
+	n := fs.Int("n", 0, "record count (0 = the dataset's default)")
+	seed := fs.Int64("seed", 1, "generation seed")
+	labels := fs.Bool("labels", false, "wrap records with ground-truth entity labels")
+	list := fs.Bool("list", false, "list available datasets")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, g := range dataset.Registry() {
+			fmt.Fprintf(stdout, "%-14s n=%-6d entities=%-2d %s\n",
+				g.Name, g.DefaultN, len(g.Entities), g.Description)
+		}
+		return nil
+	}
+	g, ok := dataset.ByName(*name)
+	if !ok {
+		return fmt.Errorf("unknown dataset %q (try -list)", *name)
+	}
+	count := *n
+	if count <= 0 {
+		count = g.DefaultN
+	}
+
+	w := bufio.NewWriter(stdout)
+	defer w.Flush()
+	enc := json.NewEncoder(w)
+	for _, rec := range g.Generate(count, *seed) {
+		var v any = rec.Value
+		if *labels {
+			v = map[string]any{"entity": rec.Entity, "record": rec.Value}
+		}
+		if err := enc.Encode(v); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestList(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"github", "pharma", "yelp-merged"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("list missing %s", want)
+		}
+	}
+}
+
+func TestGenerateJSONL(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-dataset", "yelp-photos", "-n", "25", "-seed", "9"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(strings.NewReader(out.String()))
+	lines := 0
+	for sc.Scan() {
+		lines++
+		var v map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &v); err != nil {
+			t.Fatalf("line %d is not JSON: %v", lines, err)
+		}
+		if _, ok := v["photo_id"]; !ok {
+			t.Fatal("photo record missing photo_id")
+		}
+	}
+	if lines != 25 {
+		t.Errorf("got %d lines", lines)
+	}
+}
+
+func TestGenerateWithLabels(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-dataset", "twitter", "-n", "30", "-labels"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(strings.NewReader(out.String()))
+	for sc.Scan() {
+		var v struct {
+			Entity string          `json:"entity"`
+			Record json.RawMessage `json:"record"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &v); err != nil {
+			t.Fatal(err)
+		}
+		if v.Entity == "" || len(v.Record) == 0 {
+			t.Fatal("labeled record incomplete")
+		}
+	}
+}
+
+func TestGenerateDefaultN(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-dataset", "yelp-tip"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(out.String(), "\n"); lines != 4000 {
+		t.Errorf("default n: got %d lines", lines)
+	}
+}
+
+func TestUnknownDataset(t *testing.T) {
+	if err := run([]string{"-dataset", "bogus"}, &strings.Builder{}); err == nil {
+		t.Error("unknown dataset should fail")
+	}
+}

@@ -1,0 +1,154 @@
+// Command jxplain discovers a collection-level schema from a stream of
+// JSON records (JSONL or concatenated JSON) and prints it.
+//
+// Usage:
+//
+//	jxplain [flags] [file]        # reads stdin when no file is given
+//
+// Flags select the algorithm (jxplain, bimax-naive, k-reduce, l-reduce),
+// the entropy threshold, and the output format: the paper's compact
+// notation (default), a json-schema.org document (-format jsonschema), or
+// the native round-trip encoding (-format native) consumable by
+// jxvalidate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"jxplain/internal/core"
+	"jxplain/internal/jsontype"
+	"jxplain/internal/merge"
+	"jxplain/internal/metrics"
+	"jxplain/internal/schema"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "jxplain:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("jxplain", flag.ContinueOnError)
+	algorithm := fs.String("algorithm", "jxplain",
+		"extractor: jxplain, bimax-naive, k-reduce, or l-reduce")
+	format := fs.String("format", "pretty",
+		"output: pretty (paper notation), jsonschema, or native")
+	threshold := fs.Float64("threshold", 1.0,
+		"key-space entropy threshold for collection detection (natural log)")
+	noArrayTuples := fs.Bool("no-array-tuples", false,
+		"treat every array as a collection (disable §5.4 detection)")
+	noObjectColls := fs.Bool("no-object-collections", false,
+		"treat every object as a tuple (disable §5.1 detection)")
+	iterative := fs.Float64("iterative", 0,
+		"run the §4.2 sampling loop with this seed fraction (0 = train on everything)")
+	jsonl := fs.Bool("jsonl", false,
+		"treat input as strict JSONL and decode lines in parallel")
+	seed := fs.Int64("seed", 1, "seed for sampling and k-means")
+	stats := fs.Bool("stats", false, "print schema statistics to stderr")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	input := stdin
+	if fs.NArg() > 0 {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		input = f
+	}
+	var types []*jsontype.Type
+	var err error
+	if *jsonl {
+		types, err = jsontype.DecodeLines(input, 0)
+	} else {
+		types, err = jsontype.DecodeAll(input)
+	}
+	if err != nil {
+		return fmt.Errorf("decoding records: %w", err)
+	}
+	if len(types) == 0 {
+		return fmt.Errorf("no records in input")
+	}
+
+	var s schema.Schema
+	if *iterative > 0 && *iterative < 1 {
+		if *algorithm != "jxplain" && *algorithm != "bimax-naive" {
+			return fmt.Errorf("-iterative requires a JXPLAIN algorithm")
+		}
+		cfg := configFor(*algorithm, *threshold, !*noArrayTuples, !*noObjectColls)
+		var report core.IterativeReport
+		s, report = core.IterativeDiscover(types, cfg, *iterative, 10, *seed)
+		if *stats {
+			fmt.Fprintf(os.Stderr, "iterative: rounds=%d converged=%v final sample=%d of %d\n",
+				report.Rounds, report.Converged,
+				report.SampleSizes[len(report.SampleSizes)-1], len(types))
+		}
+	} else {
+		var err error
+		s, err = discover(*algorithm, types, *threshold, !*noArrayTuples, !*noObjectColls)
+		if err != nil {
+			return err
+		}
+	}
+	s = schema.Simplify(s)
+
+	if *stats {
+		fmt.Fprintf(os.Stderr, "records: %d\nschema nodes: %d\nentities: %d\nschema entropy (log2 types): %.2f\n",
+			len(types), schema.Size(s), schema.Entities(s), metrics.SchemaEntropy(s))
+	}
+
+	switch *format {
+	case "pretty":
+		fmt.Fprintln(stdout, s.String())
+	case "jsonschema":
+		data, err := schema.MarshalJSONSchema(s)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, string(data))
+	case "native":
+		data, err := schema.Marshal(s)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, string(data))
+	default:
+		return fmt.Errorf("unknown format %q", *format)
+	}
+	return nil
+}
+
+func configFor(algorithm string, threshold float64, arrayTuples, objectColls bool) core.Config {
+	cfg := core.Default()
+	cfg.Detection.Threshold = threshold
+	cfg.DetectArrayTuples = arrayTuples
+	cfg.DetectObjectCollections = objectColls
+	if algorithm == "bimax-naive" {
+		cfg.Partition = core.BimaxNaive
+	}
+	return cfg
+}
+
+func discover(algorithm string, types []*jsontype.Type, threshold float64, arrayTuples, objectColls bool) (schema.Schema, error) {
+	cfg := configFor(algorithm, threshold, arrayTuples, objectColls)
+	switch algorithm {
+	case "jxplain", "bimax-naive":
+		return core.PipelineTypes(types, cfg), nil
+	case "k-reduce":
+		return merge.FoldK(types, 0), nil
+	case "l-reduce":
+		bag := &jsontype.Bag{}
+		for _, t := range types {
+			bag.Add(t)
+		}
+		return merge.Naive(bag), nil
+	}
+	return nil, fmt.Errorf("unknown algorithm %q", algorithm)
+}

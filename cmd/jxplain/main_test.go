@@ -1,0 +1,146 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `
+{"ts":7,"event":"login","user":{"name":"bob","geo":[1.1,2.2]}}
+{"ts":8,"event":"serve","files":["a.txt","b.txt"]}
+`
+
+func TestRunPretty(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, strings.NewReader(sample), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "ts: ℝ") {
+		t.Errorf("output = %q", out.String())
+	}
+}
+
+func TestRunJSONSchema(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-format", "jsonschema"}, strings.NewReader(sample), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "json-schema.org") {
+		t.Error("missing $schema header")
+	}
+}
+
+func TestRunNative(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-format", "native"}, strings.NewReader(sample), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `"node"`) {
+		t.Error("missing native encoding")
+	}
+}
+
+func TestRunAlgorithms(t *testing.T) {
+	for _, alg := range []string{"jxplain", "bimax-naive", "k-reduce", "l-reduce"} {
+		var out strings.Builder
+		if err := run([]string{"-algorithm", alg}, strings.NewReader(sample), &out); err != nil {
+			t.Errorf("%s: %v", alg, err)
+		}
+		if out.Len() == 0 {
+			t.Errorf("%s: empty output", alg)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-algorithm", "bogus"},
+		{"-format", "bogus"},
+	}
+	for _, args := range cases {
+		if err := run(args, strings.NewReader(sample), &strings.Builder{}); err == nil {
+			t.Errorf("args %v should fail", args)
+		}
+	}
+	if err := run(nil, strings.NewReader(""), &strings.Builder{}); err == nil {
+		t.Error("empty input should fail")
+	}
+	if err := run(nil, strings.NewReader(`{"a":`), &strings.Builder{}); err == nil {
+		t.Error("malformed input should fail")
+	}
+	if err := run([]string{"/does/not/exist.jsonl"}, strings.NewReader(""), &strings.Builder{}); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+func TestRunFromFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "data.jsonl")
+	if err := os.WriteFile(path, []byte(sample), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{path}, strings.NewReader(""), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() == 0 {
+		t.Error("empty output")
+	}
+}
+
+func TestJSONLFlag(t *testing.T) {
+	var serial, parallel strings.Builder
+	if err := run(nil, strings.NewReader(sample), &serial); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-jsonl"}, strings.NewReader(sample), &parallel); err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != parallel.String() {
+		t.Errorf("jsonl decode changed the schema:\n%s\n%s", serial.String(), parallel.String())
+	}
+	// Line errors carry line numbers.
+	err := run([]string{"-jsonl"}, strings.NewReader("{\"a\":1}\n{bad\n"), &strings.Builder{})
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestIterativeFlag(t *testing.T) {
+	var data strings.Builder
+	for i := 0; i < 300; i++ {
+		data.WriteString(`{"a":1,"b":"x"}` + "\n")
+	}
+	data.WriteString(`{"a":1,"b":"x","rare":true}` + "\n")
+	var out strings.Builder
+	if err := run([]string{"-iterative", "0.02"}, strings.NewReader(data.String()), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "rare") {
+		t.Errorf("iterative schema should cover the rare field: %q", out.String())
+	}
+	// Iterative only makes sense for the JXPLAIN algorithms.
+	if err := run([]string{"-iterative", "0.02", "-algorithm", "k-reduce"},
+		strings.NewReader(`{"a":1}`), &strings.Builder{}); err == nil {
+		t.Error("-iterative with k-reduce should fail")
+	}
+}
+
+func TestDetectionFlags(t *testing.T) {
+	// Disabling array-tuple detection turns geo into a collection.
+	var with, without strings.Builder
+	geoSample := strings.Repeat(`{"geo":[1.5,2.5]}`+"\n", 10)
+	if err := run(nil, strings.NewReader(geoSample), &with); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-no-array-tuples"}, strings.NewReader(geoSample), &without); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(with.String(), "[ℝ, ℝ]") {
+		t.Errorf("expected geo tuple: %s", with.String())
+	}
+	if !strings.Contains(without.String(), "[ℝ]*") {
+		t.Errorf("expected geo collection: %s", without.String())
+	}
+}

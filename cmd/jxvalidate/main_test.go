@@ -1,0 +1,96 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"jxplain/internal/jsontype"
+	"jxplain/internal/merge"
+	"jxplain/internal/schema"
+)
+
+func writeSchema(t *testing.T, srcs ...string) string {
+	t.Helper()
+	bag := &jsontype.Bag{}
+	for _, s := range srcs {
+		ty, err := jsontype.FromJSON([]byte(s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		bag.Add(ty)
+	}
+	data, err := schema.Marshal(merge.K(bag))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "schema.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestValidateAllAccepted(t *testing.T) {
+	path := writeSchema(t, `{"a":1}`, `{"a":2,"b":"x"}`)
+	var out strings.Builder
+	code, err := run([]string{"-schema", path}, strings.NewReader(`{"a":3}`), &out)
+	if err != nil || code != 0 {
+		t.Fatalf("code=%d err=%v", code, err)
+	}
+	if !strings.Contains(out.String(), "recall: 1.00000") {
+		t.Errorf("output = %q", out.String())
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	path := writeSchema(t, `{"a":1}`)
+	var out strings.Builder
+	code, err := run([]string{"-schema", path, "-v", "-edits"},
+		strings.NewReader(`{"a":1}`+"\n"+`{"a":1,"zzz":true}`), &out)
+	if err != nil || code != 1 {
+		t.Fatalf("code=%d err=%v", code, err)
+	}
+	if !strings.Contains(out.String(), "rejected: 1") {
+		t.Errorf("output = %q", out.String())
+	}
+	if !strings.Contains(out.String(), "record 1 rejected") {
+		t.Error("verbose output missing")
+	}
+	if !strings.Contains(out.String(), "add-optional") {
+		t.Error("edit bound output missing")
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	if _, err := run(nil, strings.NewReader(""), &strings.Builder{}); err == nil {
+		t.Error("missing -schema should fail")
+	}
+	if _, err := run([]string{"-schema", "/nope"}, strings.NewReader(""), &strings.Builder{}); err == nil {
+		t.Error("missing schema file should fail")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	os.WriteFile(bad, []byte(`{"node":"bogus"}`), 0o644)
+	if _, err := run([]string{"-schema", bad}, strings.NewReader(""), &strings.Builder{}); err == nil {
+		t.Error("bad schema should fail")
+	}
+	good := writeSchema(t, `{"a":1}`)
+	if _, err := run([]string{"-schema", good}, strings.NewReader(`{"broken`), &strings.Builder{}); err == nil {
+		t.Error("malformed records should fail")
+	}
+	if _, err := run([]string{"-schema", good, "/no/such/file"}, strings.NewReader(""), &strings.Builder{}); err == nil {
+		t.Error("missing data file should fail")
+	}
+}
+
+func TestValidateFromFile(t *testing.T) {
+	schemaPath := writeSchema(t, `{"a":1}`)
+	dataPath := filepath.Join(t.TempDir(), "data.jsonl")
+	os.WriteFile(dataPath, []byte(`{"a":9}`), 0o644)
+	var out strings.Builder
+	code, err := run([]string{"-schema", schemaPath, dataPath}, strings.NewReader(""), &out)
+	if err != nil || code != 0 {
+		t.Fatalf("code=%d err=%v", code, err)
+	}
+}

@@ -1,0 +1,56 @@
+package jxplain_test
+
+import (
+	"fmt"
+	"strings"
+
+	"jxplain"
+)
+
+// The paper's Figure 1: a login event and a serve event.
+const figure1Records = `{"ts":7,"event":"login","user":{"name":"bob","geo":[1.1,2.2]}}
+{"ts":8,"event":"serve","files":["a.txt","b.txt"]}`
+
+func ExampleDiscoverJSON() {
+	s, err := jxplain.DiscoverJSON(strings.NewReader(figure1Records), jxplain.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(s)
+	// Output:
+	// ({event: 𝕊, ts: ℝ, user: {geo: [ℝ, ℝ], name: 𝕊}} | {event: 𝕊, files: [𝕊, 𝕊], ts: ℝ})
+}
+
+func ExampleValidate() {
+	s, _ := jxplain.DiscoverJSON(strings.NewReader(figure1Records), jxplain.DefaultConfig())
+	// A record mixing login and serve fields — Example 1's false positive
+	// under data-independent discovery — is rejected by JXPLAIN.
+	ok, _ := jxplain.Validate(s, []byte(`{"ts":9,"event":"huh","user":{"name":"x","geo":[0,0]},"files":["f"]}`))
+	fmt.Println(ok)
+	// Output:
+	// false
+}
+
+func ExampleSchemaEntropy() {
+	jx, _ := jxplain.DiscoverJSON(strings.NewReader(figure1Records), jxplain.DefaultConfig())
+	kr, _ := jxplain.DiscoverJSON(strings.NewReader(figure1Records), jxplain.KReduceConfig())
+	// JXPLAIN's two entities admit exactly the 2 observed types; K-reduce's
+	// single entity admits 16: user and files are independently optional,
+	// and each collapses to a length-unbounded collection admitting three
+	// observed lengths.
+	fmt.Printf("jxplain: 2^%.0f types, k-reduce: 2^%.0f types\n",
+		jxplain.SchemaEntropy(jx), jxplain.SchemaEntropy(kr))
+	// Output:
+	// jxplain: 2^1 types, k-reduce: 2^4 types
+}
+
+func ExampleFuseSchemas() {
+	old, _ := jxplain.DiscoverJSON(strings.NewReader(`{"a":1}`), jxplain.DefaultConfig())
+	delta, _ := jxplain.DiscoverJSON(strings.NewReader(`{"a":2,"b":"x"}`), jxplain.DefaultConfig())
+	fused := jxplain.FuseSchemas(old, delta)
+	ok1, _ := jxplain.Validate(fused, []byte(`{"a":9}`))
+	ok2, _ := jxplain.Validate(fused, []byte(`{"a":9,"b":"y"}`))
+	fmt.Println(ok1, ok2)
+	// Output:
+	// true true
+}

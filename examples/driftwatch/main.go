@@ -1,0 +1,113 @@
+// Driftwatch: the paper's §1 monitoring scenario. A schema is learned
+// from a week of "normal" event logs; the monitor then validates the live
+// stream in windows. When the application starts emitting a new event
+// revision (a renamed field plus a new payload field), the precise JXPLAIN
+// schema flags the drift immediately and names the changed paths; the
+// schema is re-learned and monitoring continues clean.
+//
+//	go run ./examples/driftwatch
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"jxplain"
+)
+
+func main() {
+	r := rand.New(rand.NewSource(4))
+
+	// Week 1: learn the baseline from normal logs.
+	var history []*jxplain.Type
+	for i := 0; i < 2000; i++ {
+		history = append(history, v1Event(r))
+	}
+	baseline := jxplain.Discover(history, jxplain.DefaultConfig())
+	fmt.Println("baseline schema:", baseline)
+
+	monitor := jxplain.NewDriftMonitor(baseline, jxplain.DriftConfig{
+		Window:          200,
+		RejectThreshold: 0.02,
+	})
+
+	// Live stream: 3 clean windows, then a deploy switches 40% of traffic
+	// to the v2 event format.
+	var firstAlert *jxplain.DriftAlert
+	var retained []*jxplain.Type
+	for i := 0; i < 1200 && firstAlert == nil; i++ {
+		var rec *jxplain.Type
+		if i >= 600 && r.Float64() < 0.4 {
+			rec = v2Event(r)
+		} else {
+			rec = v1Event(r)
+		}
+		retained = append(retained, rec)
+		if alert := monitor.Observe(rec); alert != nil {
+			firstAlert = alert
+		}
+	}
+	if firstAlert == nil {
+		log.Fatal("expected a drift alert")
+	}
+	fmt.Println()
+	fmt.Println(firstAlert)
+
+	// Re-learn over the retained stream and diff the schemas.
+	relearned := jxplain.Discover(retained, jxplain.DefaultConfig())
+	fmt.Println("\nschema diff after re-learning:")
+	for _, change := range jxplain.DiffSchemas(baseline, relearned) {
+		fmt.Println(" ", change)
+	}
+
+	monitor.SetBaseline(relearned)
+	clean := 0
+	for i := 0; i < 600; i++ {
+		rec := v1Event(r)
+		if r.Float64() < 0.4 {
+			rec = v2Event(r)
+		}
+		if alert := monitor.Observe(rec); alert == nil {
+			clean++
+		}
+	}
+	seen, rejected, alerts := monitor.Totals()
+	fmt.Printf("\nafter re-learning: %d records observed, %d rejected, %d alerts total\n",
+		seen, rejected, alerts)
+}
+
+func v1Event(r *rand.Rand) *jxplain.Type {
+	rec := map[string]any{
+		"ts":      float64(r.Intn(1_000_000)),
+		"level":   []string{"info", "warn", "error"}[r.Intn(3)],
+		"service": "api",
+		"msg":     "handled request",
+	}
+	if r.Float64() < 0.3 {
+		rec["request_id"] = "r-123"
+	}
+	t, err := jxplain.TypeOfValue(rec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return t
+}
+
+func v2Event(r *rand.Rand) *jxplain.Type {
+	rec := map[string]any{
+		"ts":       float64(r.Intn(1_000_000)),
+		"severity": []string{"info", "warn", "error"}[r.Intn(3)], // renamed
+		"service":  "api",
+		"msg":      "handled request",
+		"trace": map[string]any{ // new structured field
+			"span_id":   "s-1",
+			"parent_id": "s-0",
+		},
+	}
+	t, err := jxplain.TypeOfValue(rec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return t
+}

@@ -1,0 +1,52 @@
+// Eventlog: multi-entity discovery on a GitHub-style event stream — the
+// paper's Section 6 scenario. A single K-reduction entity admits
+// nonsensical field mixtures; JXPLAIN's Bimax-Merge recovers the event
+// types as separate entities and rejects the mixtures.
+//
+//	go run ./examples/eventlog
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"jxplain"
+	"jxplain/internal/dataset"
+)
+
+func main() {
+	gen, _ := dataset.ByName("github")
+	records := gen.Generate(2000, 42)
+	types := make([]*jxplain.Type, len(records))
+	for i := range records {
+		types[i] = records[i].Type
+	}
+
+	jx := jxplain.Discover(types, jxplain.DefaultConfig())
+	kr := jxplain.Discover(types, jxplain.KReduceConfig())
+
+	fmt.Printf("records: %d (event types: %d)\n", len(records), len(gen.Entities))
+	fmt.Printf("JXPLAIN   schema entropy: 2^%.1f admitted types\n", jxplain.SchemaEntropy(jx))
+	fmt.Printf("K-reduce  schema entropy: 2^%.1f admitted types\n\n", jxplain.SchemaEntropy(kr))
+
+	// A record mixing an IssuesEvent payload with PushEvent fields.
+	mixed := []byte(`{
+	  "id":"evt_x","type":"IssuesEvent","public":true,"created_at":"2020-01-01T00:00:00Z",
+	  "actor":{"id":1,"login":"u","url":"https://api.github.example/users/u","avatar_url":"a"},
+	  "repo":{"id":2,"name":"o/r","url":"https://api.github.example/repos/r"},
+	  "payload":{"action":"opened","ref":"main","head":"sha","before":"sha",
+	             "push_id":9,"size":1,"distinct_size":1,"commits":[]}
+	}`)
+	jxOK, err := jxplain.Validate(jx, mixed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	krOK, _ := jxplain.Validate(kr, mixed)
+	fmt.Println("record mixing IssuesEvent and PushEvent payload fields:")
+	fmt.Printf("  JXPLAIN:  accepted=%v   (entity partitioning rejects the mixture)\n", jxOK)
+	fmt.Printf("  K-reduce: accepted=%v   (optional-field union admits it)\n\n", krOK)
+
+	// Both validate the real stream equally well.
+	fmt.Printf("recall on 2000 real events: JXPLAIN %.4f, K-reduce %.4f\n",
+		jxplain.Recall(jx, types), jxplain.Recall(kr, types))
+}

@@ -1,0 +1,48 @@
+// Geopoints: tuple-like arrays (§3.1 / §5.4). GeoJSON encodes coordinates
+// as 2-element [longitude, latitude] arrays. Data-independent extractors
+// read them as unbounded numeric collections ([ℝ]*), admitting 1- and
+// 17-element "coordinates"; JXPLAIN's length-entropy heuristic recovers
+// the [ℝ, ℝ] tuple.
+//
+//	go run ./examples/geopoints
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"strings"
+
+	"jxplain"
+)
+
+func main() {
+	r := rand.New(rand.NewSource(7))
+	var b strings.Builder
+	for i := 0; i < 500; i++ {
+		fmt.Fprintf(&b, `{"type":"Feature","geometry":{"type":"Point","coordinates":[%.5f,%.5f]},`+
+			`"properties":{"name":"poi-%d","score":%d}}`+"\n",
+			r.Float64()*360-180, r.Float64()*180-90, i, r.Intn(100))
+	}
+
+	jx, err := jxplain.DiscoverJSON(strings.NewReader(b.String()), jxplain.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	kr, _ := jxplain.DiscoverJSON(strings.NewReader(b.String()), jxplain.KReduceConfig())
+
+	fmt.Println("JXPLAIN :", jx)
+	fmt.Println("K-reduce:", kr)
+	fmt.Println()
+
+	bad := []byte(`{"type":"Feature","geometry":{"type":"Point","coordinates":[1.0,2.0,3.0]},` +
+		`"properties":{"name":"broken","score":1}}`)
+	good := []byte(`{"type":"Feature","geometry":{"type":"Point","coordinates":[9.9,-8.8]},` +
+		`"properties":{"name":"ok","score":5}}`)
+
+	jxBad, _ := jxplain.Validate(jx, bad)
+	krBad, _ := jxplain.Validate(kr, bad)
+	jxGood, _ := jxplain.Validate(jx, good)
+	fmt.Printf("3-element coordinates: JXPLAIN accepted=%v, K-reduce accepted=%v\n", jxBad, krBad)
+	fmt.Printf("valid 2-element point: JXPLAIN accepted=%v\n", jxGood)
+}

@@ -1,0 +1,58 @@
+// Quickstart: discover a schema from the paper's Figure 1 records, print
+// it in the paper's notation and as a json-schema.org document, and
+// validate new records against it.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"jxplain"
+)
+
+const records = `
+{"ts":7,"event":"login","user":{"name":"bob","geo":[1.1,2.2]}}
+{"ts":8,"event":"serve","files":["a.txt","b.txt"]}
+{"ts":9,"event":"login","user":{"name":"eve","geo":[3.0,4.5]}}
+{"ts":11,"event":"serve","files":["index.html"]}
+`
+
+func main() {
+	s, err := jxplain.DiscoverJSON(strings.NewReader(records), jxplain.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Discovered schema (paper notation):")
+	fmt.Println(" ", s)
+	fmt.Printf("\nSchema entropy: 2^%.2f admitted types\n\n", jxplain.SchemaEntropy(s))
+
+	tests := []string{
+		`{"ts":12,"event":"login","user":{"name":"mallory","geo":[0.0,0.0]}}`,
+		`{"ts":13,"event":"serve","files":["app.css","app.js"]}`,
+		`{"ts":14,"event":"huh","user":{"name":"x","geo":[1,2]},"files":["f"]}`,
+		`{"ts":15,"event":"wat"}`,
+	}
+	fmt.Println("Validation:")
+	for _, rec := range tests {
+		ok, err := jxplain.Validate(s, []byte(rec))
+		if err != nil {
+			log.Fatal(err)
+		}
+		verdict := "REJECT"
+		if ok {
+			verdict = "ACCEPT"
+		}
+		fmt.Printf("  %s  %s\n", verdict, rec)
+	}
+
+	doc, err := jxplain.ToJSONSchema(s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\njson-schema.org export:")
+	fmt.Println(string(doc))
+}

@@ -1,0 +1,3 @@
+module jxplain
+
+go 1.22

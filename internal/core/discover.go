@@ -1,0 +1,323 @@
+package core
+
+import (
+	"strconv"
+	"strings"
+
+	"jxplain/internal/entity"
+	"jxplain/internal/entropy"
+	"jxplain/internal/jsontype"
+	"jxplain/internal/merge"
+	"jxplain/internal/schema"
+)
+
+// Discover runs JXPLAIN's merge (Algorithm 4) over a bag of record types
+// and returns the discovered schema. This is the recursive ("naive
+// implementation", §4.1) strategy: every nested bag is inspected with full
+// visibility of the collection, so the global heuristics apply exactly.
+func Discover(bag *jsontype.Bag, cfg Config) schema.Schema {
+	s := &synthesizer{dec: &localDecider{cfg: cfg}}
+	return s.merge(RootPath, bag)
+}
+
+// DiscoverTypes is Discover over a slice of record types.
+func DiscoverTypes(types []*jsontype.Type, cfg Config) schema.Schema {
+	return Discover(bagOf(types), cfg)
+}
+
+func bagOf(types []*jsontype.Type) *jsontype.Bag {
+	bag := &jsontype.Bag{}
+	for _, t := range types {
+		bag.Add(t)
+	}
+	return bag
+}
+
+// RootPath is the path string of the root collection.
+const RootPath = "$"
+
+// Path-string construction. Paths identify where a bag of values sits in
+// the record structure: object keys append ".key", collection elements
+// append "[*]" (arrays) or ".{*}" (objects), and tuple-array positions
+// append "[i]". Pass ① of the pipeline keys its decisions by these paths,
+// so keys containing path-structural characters are escaped — without
+// this, the records {"a.b": x} and {"a": {"b": x}} would alias one path.
+
+func childKeyPath(path, key string) string { return path + "." + escapePathKey(key) }
+func arrayElemPath(path string) string     { return path + "[*]" }
+func objectValuePath(path string) string   { return path + ".{*}" }
+func arrayIndexPath(path string, i int) string {
+	return path + "[" + strconv.Itoa(i) + "]"
+}
+
+func escapePathKey(key string) string {
+	if !strings.ContainsAny(key, `.[\{`) {
+		return key
+	}
+	var b strings.Builder
+	for i := 0; i < len(key); i++ {
+		switch c := key[i]; c {
+		case '.', '[', '\\', '{':
+			b.WriteByte('\\')
+			b.WriteByte(c)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+// decider answers Algorithm 4's two questions — collection or tuple? and
+// how do tuples partition into entities? — for the bag of values observed
+// at one path. The recursive strategy computes answers on the spot; the
+// staged pipeline precomputes them in passes ① and ②.
+type decider interface {
+	arrayDecision(path string, arrays *jsontype.Bag) entropy.Decision
+	objectDecision(path string, objects *jsontype.Bag) entropy.Decision
+	partitionObjects(path string, objects *jsontype.Bag) []*jsontype.Bag
+	partitionArrays(path string, arrays *jsontype.Bag) []*jsontype.Bag
+}
+
+// synthesizer is the shared schema-construction engine (pass ③): it walks
+// bags top-down, consults the decider, and assembles the schema grammar.
+type synthesizer struct {
+	dec decider
+}
+
+func (s *synthesizer) merge(path string, bag *jsontype.Bag) schema.Schema {
+	prims, arrays, objects := bag.SplitKinds()
+	alts := merge.Primitives(prims)
+
+	if arrays.Len() > 0 {
+		if s.dec.arrayDecision(path, arrays) == entropy.Collection {
+			alts = append(alts, s.mergeArrayColl(path, arrays))
+		} else {
+			for _, part := range s.dec.partitionArrays(path, arrays) {
+				alts = append(alts, s.mergeArrayTuple(path, part))
+			}
+		}
+	}
+	if objects.Len() > 0 {
+		if s.dec.objectDecision(path, objects) == entropy.Collection {
+			alts = append(alts, s.mergeObjectColl(path, objects))
+		} else {
+			for _, part := range s.dec.partitionObjects(path, objects) {
+				alts = append(alts, s.mergeObjectTuple(path, part))
+			}
+		}
+	}
+	return schema.NewUnion(alts...)
+}
+
+// mergeArrayColl is Algorithm 2 with path threading.
+func (s *synthesizer) mergeArrayColl(path string, bag *jsontype.Bag) schema.Schema {
+	maxLen := 0
+	for _, t := range bag.Types() {
+		if t.Len() > maxLen {
+			maxLen = t.Len()
+		}
+	}
+	elem := schema.Empty()
+	if elems := bag.Elements(); elems.Len() > 0 {
+		elem = s.merge(arrayElemPath(path), elems)
+	}
+	return &schema.ArrayCollection{Elem: elem, MaxLen: maxLen}
+}
+
+// mergeObjectColl is the object analog of Algorithm 2 with path threading.
+func (s *synthesizer) mergeObjectColl(path string, bag *jsontype.Bag) schema.Schema {
+	domain := map[string]bool{}
+	for _, t := range bag.Types() {
+		for _, f := range t.Fields() {
+			domain[f.Key] = true
+		}
+	}
+	value := schema.Empty()
+	if values := bag.FieldValues(); values.Len() > 0 {
+		value = s.merge(objectValuePath(path), values)
+	}
+	return &schema.ObjectCollection{Value: value, Domain: len(domain)}
+}
+
+// mergeObjectTuple is Algorithm 3 with path threading.
+func (s *synthesizer) mergeObjectTuple(path string, bag *jsontype.Bag) schema.Schema {
+	keys, groups, present := bag.GroupByKey()
+	total := bag.Len()
+	var required, optional []schema.FieldSchema
+	for i, key := range keys {
+		f := schema.FieldSchema{Key: key, Schema: s.merge(childKeyPath(path, key), groups[i])}
+		if present[i] == total {
+			required = append(required, f)
+		} else {
+			optional = append(optional, f)
+		}
+	}
+	return schema.NewObjectTuple(required, optional)
+}
+
+// mergeArrayTuple is the array analog of Algorithm 3 with path threading.
+func (s *synthesizer) mergeArrayTuple(path string, bag *jsontype.Bag) schema.Schema {
+	groups, _ := bag.GroupByIndex()
+	minLen := -1
+	for _, t := range bag.Types() {
+		if minLen < 0 || t.Len() < minLen {
+			minLen = t.Len()
+		}
+	}
+	if minLen < 0 {
+		minLen = 0
+	}
+	elems := make([]schema.Schema, len(groups))
+	for i, g := range groups {
+		elems[i] = s.merge(arrayIndexPath(path, i), g)
+	}
+	return &schema.ArrayTuple{Elems: elems, MinLen: minLen}
+}
+
+// localDecider answers on the spot from the bag at hand — the recursive
+// strategy of §4.1.
+type localDecider struct {
+	cfg Config
+}
+
+func (d *localDecider) arrayDecision(_ string, arrays *jsontype.Bag) entropy.Decision {
+	if !d.cfg.DetectArrayTuples {
+		return entropy.Collection
+	}
+	decision, _ := entropy.DetectArrays(arrays, d.cfg.Detection)
+	return decision
+}
+
+func (d *localDecider) objectDecision(_ string, objects *jsontype.Bag) entropy.Decision {
+	if !d.cfg.DetectObjectCollections {
+		return entropy.Tuple
+	}
+	decision, _ := entropy.DetectObjects(objects, d.cfg.Detection)
+	return decision
+}
+
+func (d *localDecider) partitionObjects(_ string, objects *jsontype.Bag) []*jsontype.Bag {
+	return partitionBag(objects, d.featureKeySet(objects), d.cfg)
+}
+
+func (d *localDecider) partitionArrays(_ string, arrays *jsontype.Bag) []*jsontype.Bag {
+	return partitionBag(arrays, d.featureKeySet(arrays), d.cfg)
+}
+
+// featureKeySet builds the §6.4 feature extractor for a partition point:
+// record key sets are the deep path sets of each type, truncated at nested
+// collection boundaries. The recursive strategy determines those
+// boundaries with an extra detection walk over the bag — the "full second
+// pass" overhead the paper attributes to JXPLAIN.
+func (d *localDecider) featureKeySet(bag *jsontype.Bag) func(*jsontype.Type) []string {
+	decide := decisionLookup(subtreeDecisions(bag, d.cfg))
+	return func(t *jsontype.Type) []string { return featurePaths(t, decide, true) }
+}
+
+// partitionBag splits a bag of tuple-like types into entity bags according
+// to the configured strategy. Partitioning operates on the distinct key
+// sets appearing in the bag (Section 6); all types sharing a key set land
+// in the same entity.
+func partitionBag(bag *jsontype.Bag, keySetOf func(*jsontype.Type) []string, cfg Config) []*jsontype.Bag {
+	switch cfg.Partition {
+	case SingleEntity:
+		return []*jsontype.Bag{bag}
+	case PerKeySet:
+		return partitionPerKeySet(bag, keySetOf)
+	}
+
+	sets, dict, typesBySet := collectKeySets(bag, keySetOf)
+	assignment := assignClusters(sets, dict, cfg)
+	return groupByAssignment(bag, typesBySet, assignment)
+}
+
+// collectKeySets builds the distinct key sets of a bag plus, for each set,
+// the indices of the distinct types carrying it.
+func collectKeySets(bag *jsontype.Bag, keySetOf func(*jsontype.Type) []string) ([]entity.KeySet, *entity.Dict, [][]int) {
+	dict := entity.NewDict()
+	var sets []entity.KeySet
+	setIndex := map[string]int{}
+	var typesBySet [][]int
+	for ti, t := range bag.Types() {
+		ks := entity.KeySetOf(dict, keySetOf(t)...)
+		c := ks.Canon()
+		si, ok := setIndex[c]
+		if !ok {
+			si = len(sets)
+			setIndex[c] = si
+			sets = append(sets, ks)
+			typesBySet = append(typesBySet, nil)
+		}
+		typesBySet[si] = append(typesBySet[si], ti)
+	}
+	return sets, dict, typesBySet
+}
+
+// assignClusters maps each distinct key set to a cluster id under the
+// configured strategy.
+func assignClusters(sets []entity.KeySet, dict *entity.Dict, cfg Config) []int {
+	assignment := make([]int, len(sets))
+	switch cfg.Partition {
+	case BimaxNaive, BimaxMerge:
+		clusters := entity.BimaxNaive(sets)
+		if cfg.Partition == BimaxMerge {
+			clusters = entity.GreedyMerge(clusters)
+		}
+		for ci, c := range clusters {
+			for _, m := range c.Members {
+				assignment[m] = ci
+			}
+		}
+	case KMeansStrategy:
+		k := cfg.KMeansK
+		if k <= 0 {
+			k = 1
+		}
+		assignment = entity.KMeans(sets, dict.Len(), k, cfg.Seed, 100)
+	}
+	return assignment
+}
+
+// groupByAssignment materializes entity bags from a cluster assignment
+// over distinct key sets.
+func groupByAssignment(bag *jsontype.Bag, typesBySet [][]int, assignment []int) []*jsontype.Bag {
+	nClusters := 0
+	for _, c := range assignment {
+		if c+1 > nClusters {
+			nClusters = c + 1
+		}
+	}
+	parts := make([]*jsontype.Bag, nClusters)
+	for si, cluster := range assignment {
+		if parts[cluster] == nil {
+			parts[cluster] = &jsontype.Bag{}
+		}
+		for _, ti := range typesBySet[si] {
+			parts[cluster].AddN(bag.Types()[ti], bag.Count(ti))
+		}
+	}
+	out := parts[:0]
+	for _, p := range parts {
+		if p != nil && p.Len() > 0 {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func partitionPerKeySet(bag *jsontype.Bag, keySetOf func(*jsontype.Type) []string) []*jsontype.Bag {
+	dict := entity.NewDict()
+	index := map[string]*jsontype.Bag{}
+	var order []*jsontype.Bag
+	for ti, t := range bag.Types() {
+		c := entity.KeySetOf(dict, keySetOf(t)...).Canon()
+		part := index[c]
+		if part == nil {
+			part = &jsontype.Bag{}
+			index[c] = part
+			order = append(order, part)
+		}
+		part.AddN(t, bag.Count(ti))
+	}
+	return order
+}

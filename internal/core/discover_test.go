@@ -1,0 +1,296 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"jxplain/internal/jsontype"
+	"jxplain/internal/merge"
+	"jxplain/internal/schema"
+)
+
+func ty(t *testing.T, src string) *jsontype.Type {
+	t.Helper()
+	typ, err := jsontype.FromJSON([]byte(src))
+	if err != nil {
+		t.Fatalf("FromJSON(%q): %v", src, err)
+	}
+	return typ
+}
+
+func bagFrom(t *testing.T, srcs ...string) *jsontype.Bag {
+	t.Helper()
+	b := &jsontype.Bag{}
+	for _, s := range srcs {
+		b.Add(ty(t, s))
+	}
+	return b
+}
+
+func TestPartitionStrategyString(t *testing.T) {
+	want := map[PartitionStrategy]string{
+		SingleEntity: "single", PerKeySet: "per-keyset", BimaxNaive: "bimax-naive",
+		BimaxMerge: "bimax-merge", KMeansStrategy: "k-means",
+	}
+	for p, s := range want {
+		if p.String() != s {
+			t.Errorf("%d.String() = %q", p, p.String())
+		}
+	}
+	if PartitionStrategy(99).String() != "invalid" {
+		t.Error("invalid strategy string")
+	}
+}
+
+func TestDiscoverFigure1PartitionsEntities(t *testing.T) {
+	bag := bagFrom(t,
+		`{"ts":7,"event":"login","user":{"name":"bob","geo":[1.1,2.2]}}`,
+		`{"ts":8,"event":"serve","files":["a.txt","b.txt"]}`,
+	)
+	s := Discover(bag, Default())
+
+	// Training records accepted.
+	bag.Each(func(typ *jsontype.Type, _ int) {
+		if !s.Accepts(typ) {
+			t.Errorf("must accept training record %v", typ)
+		}
+	})
+	// The invalid mixtures of Example 1 are rejected — the headline claim.
+	both := ty(t, `{"ts":9,"event":"huh","user":{"name":"x","geo":[0,0]},"files":["f"]}`)
+	neither := ty(t, `{"ts":10,"event":"wat"}`)
+	if s.Accepts(both) {
+		t.Error("JXPLAIN should reject records mixing login and serve fields")
+	}
+	if s.Accepts(neither) {
+		t.Error("JXPLAIN should reject records missing both entity fields")
+	}
+	// Two entities in the schema.
+	if got := schema.Entities(s); got < 2 {
+		t.Errorf("expected ≥2 entities, got %d in %s", got, s)
+	}
+}
+
+func TestDiscoverGeoTuple(t *testing.T) {
+	// Many records with a constant-length numeric geo array: JXPLAIN
+	// detects a tuple [ℝ, ℝ]; K-reduce would use [ℝ]*.
+	bag := &jsontype.Bag{}
+	for i := 0; i < 50; i++ {
+		bag.Add(ty(t, `{"id":1,"geo":[1.5,-2.5]}`))
+	}
+	s := Discover(bag, Default())
+	if s.Accepts(ty(t, `{"id":2,"geo":[1,2,3]}`)) {
+		t.Errorf("geo tuple should bound length: %s", s)
+	}
+	if !s.Accepts(ty(t, `{"id":2,"geo":[8.8,9.9]}`)) {
+		t.Error("2-element geo must be accepted")
+	}
+	k := Discover(bag, KReduceConfig())
+	if !k.Accepts(ty(t, `{"id":2,"geo":[1,2,3]}`)) {
+		t.Error("K-reduce treats geo as a collection")
+	}
+}
+
+func TestDiscoverCollectionObjectGeneralizes(t *testing.T) {
+	// Pharma-style prescription counts: JXPLAIN generalizes to unseen drug
+	// keys; K-reduce makes every drug an optional field and rejects new ones.
+	bag := &jsontype.Bag{}
+	for i := 0; i < 60; i++ {
+		src := fmt.Sprintf(`{"npi":1,"counts":{"DRUG_%d":%d,"DRUG_%d":%d}}`,
+			i%37, i, (i+11)%37, i+1)
+		bag.Add(ty(t, src))
+	}
+	s := Discover(bag, Default())
+	unseen := ty(t, `{"npi":2,"counts":{"BRAND_NEW_DRUG":5}}`)
+	if !s.Accepts(unseen) {
+		t.Errorf("collection detection should generalize to new keys: %s", s)
+	}
+	k := Discover(bag, KReduceConfig())
+	if k.Accepts(unseen) {
+		t.Error("K-reduce cannot generalize to unseen keys")
+	}
+	// JXPLAIN's schema is also far smaller.
+	if schema.Size(s) >= schema.Size(k) {
+		t.Errorf("collection schema (%d nodes) should be smaller than tuple schema (%d)",
+			schema.Size(s), schema.Size(k))
+	}
+}
+
+func TestDiscoverTwoLevelNestedCollection(t *testing.T) {
+	// Synapse signatures: {url: {key: sig}}.
+	bag := &jsontype.Bag{}
+	for i := 0; i < 40; i++ {
+		src := fmt.Sprintf(`{"sig":{"server%d.org":{"ed25519:%d":"abc"},"host%d.net":{"k%d":"xyz"}}}`,
+			i%23, i%17, (i*3)%23, (i*5)%17)
+		bag.Add(ty(t, src))
+	}
+	s := Discover(bag, Default())
+	if !s.Accepts(ty(t, `{"sig":{"brand-new.example":{"new-key":"sig"}}}`)) {
+		t.Errorf("two-level collection should generalize: %s", s)
+	}
+	// Both levels detected as collections.
+	colls := schema.CountNodes(s, func(n schema.Schema) bool {
+		return n.Node() == schema.NodeObjectCollection
+	})
+	if colls != 2 {
+		t.Errorf("expected 2 nested object collections, got %d in %s", colls, s)
+	}
+}
+
+func TestDiscoverKReduceConfigMatchesMergeK(t *testing.T) {
+	bag := bagFrom(t,
+		`{"a":1,"b":[1,2],"c":{"x":"s"}}`,
+		`{"a":2,"c":{"x":"t","y":true}}`,
+		`{"a":3,"b":[],"d":null}`,
+		`[{"k":1},{"k":2}]`,
+		`"top-level-string"`,
+	)
+	viaCore := schema.Simplify(Discover(bag, KReduceConfig()))
+	viaMerge := schema.Simplify(merge.K(bag))
+	if !schema.Equal(viaCore, viaMerge) {
+		t.Errorf("KReduceConfig output diverges from merge.K:\n%s\n%s", viaCore, viaMerge)
+	}
+}
+
+func TestDiscoverEmptyBag(t *testing.T) {
+	if !schema.IsEmpty(Discover(&jsontype.Bag{}, Default())) {
+		t.Error("empty bag should give the empty schema")
+	}
+	if !schema.IsEmpty(DiscoverTypes(nil, Default())) {
+		t.Error("DiscoverTypes(nil) should give the empty schema")
+	}
+}
+
+func TestDiscoverPrimitivesOnly(t *testing.T) {
+	s := Discover(bagFrom(t, `1`, `"x"`, `null`), Default())
+	for _, good := range []string{`2.5`, `"y"`, `null`} {
+		if !s.Accepts(ty(t, good)) {
+			t.Errorf("should accept %s", good)
+		}
+	}
+	if s.Accepts(ty(t, `true`)) {
+		t.Error("bool never seen")
+	}
+}
+
+func TestDiscoverPerKeySetStrategy(t *testing.T) {
+	cfg := Default()
+	cfg.Partition = PerKeySet
+	bag := bagFrom(t, `{"a":1}`, `{"a":2,"b":3}`, `{"c":"x"}`, `{"a":5}`)
+	s := Discover(bag, cfg)
+	if got := schema.Entities(s); got != 3 {
+		t.Errorf("PerKeySet should give 3 entities, got %d: %s", got, s)
+	}
+	// Optional-field mixtures rejected: {"a":1,"c":"x"} was never seen.
+	if s.Accepts(ty(t, `{"a":1,"c":"x"}`)) {
+		t.Error("per-keyset partitioning admits only seen key sets")
+	}
+}
+
+func TestDiscoverKMeansStrategy(t *testing.T) {
+	cfg := Default()
+	cfg.Partition = KMeansStrategy
+	cfg.KMeansK = 2
+	cfg.Seed = 7
+	bag := &jsontype.Bag{}
+	for i := 0; i < 20; i++ {
+		bag.Add(ty(t, `{"a1":1,"a2":2,"a3":3}`))
+		bag.Add(ty(t, `{"b1":"x","b2":"y","b3":"z","b4":"w"}`))
+	}
+	s := Discover(bag, cfg)
+	if got := schema.Entities(s); got != 2 {
+		t.Errorf("k-means with k=2 on clean clusters: got %d entities: %s", got, s)
+	}
+	// KMeansK defaulting path (k <= 0 behaves like one cluster).
+	cfg.KMeansK = 0
+	s2 := Discover(bag, cfg)
+	if got := schema.Entities(s2); got != 1 {
+		t.Errorf("k<=0 collapses to one entity, got %d", got)
+	}
+}
+
+func TestDiscoverBimaxMergeCoalescesOptionalFields(t *testing.T) {
+	// One true entity with independently-optional fields: Bimax-Naive
+	// fragments; GreedyMerge reassembles.
+	bag := bagFrom(t,
+		`{"id":1,"a":1,"b":1}`,
+		`{"id":1,"b":1,"c":1}`,
+		`{"id":1,"a":1,"c":1}`,
+		`{"id":1,"a":1}`,
+		`{"id":1,"c":1}`,
+	)
+	naiveCfg := BimaxNaiveConfig()
+	mergeCfg := Default()
+	nNaive := schema.Entities(Discover(bag, naiveCfg))
+	nMerge := schema.Entities(Discover(bag, mergeCfg))
+	if nMerge != 1 {
+		t.Errorf("Bimax-Merge should find 1 entity, got %d", nMerge)
+	}
+	if nNaive <= nMerge {
+		t.Errorf("Bimax-Naive should fragment more (naive=%d merge=%d)", nNaive, nMerge)
+	}
+	// The merged entity accepts unseen optional-field combinations.
+	s := Discover(bag, mergeCfg)
+	if !s.Accepts(ty(t, `{"id":2,"a":3,"b":4,"c":5}`)) {
+		t.Error("merged entity should accept the full field set")
+	}
+}
+
+func TestDiscoverNestedEntityPartition(t *testing.T) {
+	// GitHub-style: the envelope is uniform; entities live under payload.
+	bag := &jsontype.Bag{}
+	for i := 0; i < 30; i++ {
+		var payload string
+		if i%2 == 0 {
+			payload = `{"action":"opened","issue_id":5,"labels":["x"]}`
+		} else {
+			payload = `{"ref":"main","commits":3,"forced":true}`
+		}
+		bag.Add(ty(t, fmt.Sprintf(`{"type":"e","actor":"u","payload":%s}`, payload)))
+	}
+	s := Discover(bag, Default())
+	// Mixing payload fields across entities must be rejected.
+	mixed := ty(t, `{"type":"e","actor":"u","payload":{"action":"opened","ref":"main"}}`)
+	if s.Accepts(mixed) {
+		t.Errorf("nested entities should partition: %s", s)
+	}
+	k := Discover(bag, KReduceConfig())
+	if !k.Accepts(mixed) {
+		t.Error("K-reduce admits the mixed payload")
+	}
+}
+
+func TestDiscoverRecallOnOptionalFields(t *testing.T) {
+	// Records of one entity with optional fields: an unseen combination of
+	// seen optional fields must still be accepted (high recall).
+	bag := bagFrom(t,
+		`{"id":1,"name":"a"}`,
+		`{"id":2,"name":"b","opt1":1}`,
+		`{"id":3,"name":"c","opt2":"x"}`,
+		`{"id":4,"name":"d","opt1":2,"opt2":"y"}`,
+		`{"id":5,"name":"e"}`,
+	)
+	s := Discover(bag, Default())
+	for _, good := range []string{
+		`{"id":9,"name":"z"}`,
+		`{"id":9,"name":"z","opt1":7}`,
+		`{"id":9,"name":"z","opt2":"q"}`,
+		`{"id":9,"name":"z","opt1":7,"opt2":"q"}`,
+	} {
+		if !s.Accepts(ty(t, good)) {
+			t.Errorf("should accept %s under %s", good, s)
+		}
+	}
+}
+
+func TestDiscoverDeterministic(t *testing.T) {
+	bag := bagFrom(t,
+		`{"a":1,"b":[1,2],"c":{"x":"s"}}`,
+		`{"a":2,"c":{"x":"t","y":true}}`,
+		`{"d":[{"k":1},{"k":2,"j":"x"}]}`,
+	)
+	a := Discover(bag, Default())
+	b := Discover(bag, Default())
+	if !schema.Equal(a, b) {
+		t.Error("Discover must be deterministic")
+	}
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"math/rand"
+
+	"jxplain/internal/dist"
+	"jxplain/internal/jsontype"
+	"jxplain/internal/schema"
+)
+
+// IterativeReport describes one IterativeDiscover run.
+type IterativeReport struct {
+	// Rounds is the number of discovery rounds executed (≥ 1).
+	Rounds int
+	// SampleSizes records the training-sample size at each round.
+	SampleSizes []int
+	// FailuresPerRound records how many held-back records failed
+	// validation after each round (the last entry is 0 on convergence).
+	FailuresPerRound []int
+	// Converged reports whether the final schema validated every record.
+	Converged bool
+}
+
+// IterativeDiscover implements the sampling mitigation of §4.2: derive a
+// schema from a small seed sample, validate the remaining records, fold
+// the failures into the sample, and repeat until everything validates or
+// maxRounds is exhausted. This makes the multi-pass JXPLAIN affordable on
+// large collections while still capturing rare fields.
+//
+// initialFraction is the seed-sample fraction (clamped to (0, 1]); the
+// sample is chosen uniformly with the given seed. Validation runs in
+// parallel.
+func IterativeDiscover(types []*jsontype.Type, cfg Config, initialFraction float64, maxRounds int, seed int64) (schema.Schema, IterativeReport) {
+	var report IterativeReport
+	if len(types) == 0 {
+		report.Rounds = 1
+		report.SampleSizes = []int{0}
+		report.FailuresPerRound = []int{0}
+		report.Converged = true
+		return schema.Empty(), report
+	}
+	if initialFraction <= 0 || initialFraction > 1 {
+		initialFraction = 0.01
+	}
+	if maxRounds < 1 {
+		maxRounds = 1
+	}
+
+	r := rand.New(rand.NewSource(seed))
+	perm := r.Perm(len(types))
+	sampleSize := int(float64(len(types)) * initialFraction)
+	if sampleSize < 1 {
+		sampleSize = 1
+	}
+
+	inSample := make([]bool, len(types))
+	sample := make([]*jsontype.Type, 0, sampleSize)
+	for _, idx := range perm[:sampleSize] {
+		inSample[idx] = true
+		sample = append(sample, types[idx])
+	}
+
+	var discovered schema.Schema
+	for round := 0; round < maxRounds; round++ {
+		report.Rounds = round + 1
+		report.SampleSizes = append(report.SampleSizes, len(sample))
+		discovered = DiscoverTypes(sample, cfg)
+
+		failures := validateRest(types, inSample, discovered)
+		report.FailuresPerRound = append(report.FailuresPerRound, len(failures))
+		if len(failures) == 0 {
+			report.Converged = true
+			return discovered, report
+		}
+		for _, idx := range failures {
+			inSample[idx] = true
+			sample = append(sample, types[idx])
+		}
+	}
+	// Final convergence check after the last augmentation round.
+	discovered = DiscoverTypes(sample, cfg)
+	report.Converged = len(validateRest(types, inSample, discovered)) == 0
+	return discovered, report
+}
+
+// validateRest returns the indices of records outside the sample that the
+// schema rejects.
+func validateRest(types []*jsontype.Type, inSample []bool, s schema.Schema) []int {
+	rejected := dist.Map(types, 0, func(t *jsontype.Type) bool {
+		return !s.Accepts(t)
+	})
+	var out []int
+	for i, r := range rejected {
+		if r && !inSample[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}

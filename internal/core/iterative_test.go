@@ -1,0 +1,75 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"jxplain/internal/jsontype"
+	"jxplain/internal/schema"
+)
+
+func TestIterativeDiscoverConverges(t *testing.T) {
+	// 500 records of one entity; a rare optional field appears in ~2% of
+	// them, so a 1% seed sample will likely miss it and need refinement.
+	var types []*jsontype.Type
+	for i := 0; i < 500; i++ {
+		src := fmt.Sprintf(`{"id":%d,"name":"u"}`, i)
+		if i%47 == 0 {
+			src = fmt.Sprintf(`{"id":%d,"name":"u","rare":true}`, i)
+		}
+		types = append(types, ty(t, src))
+	}
+	s, report := IterativeDiscover(types, Default(), 0.01, 10, 1)
+	if !report.Converged {
+		t.Fatalf("should converge: %+v", report)
+	}
+	for _, typ := range types {
+		if !s.Accepts(typ) {
+			t.Fatalf("converged schema rejects %v", typ)
+		}
+	}
+	if report.Rounds < 1 || len(report.SampleSizes) != report.Rounds {
+		t.Errorf("report bookkeeping wrong: %+v", report)
+	}
+	if report.FailuresPerRound[len(report.FailuresPerRound)-1] != 0 {
+		t.Errorf("final round should have zero failures: %+v", report)
+	}
+}
+
+func TestIterativeDiscoverEmptyInput(t *testing.T) {
+	s, report := IterativeDiscover(nil, Default(), 0.01, 5, 1)
+	if !schema.IsEmpty(s) || !report.Converged {
+		t.Error("empty input should converge to the empty schema")
+	}
+}
+
+func TestIterativeDiscoverBadFractionDefaults(t *testing.T) {
+	types := []*jsontype.Type{ty(t, `{"a":1}`), ty(t, `{"a":2}`)}
+	s, report := IterativeDiscover(types, Default(), -5, 0, 1)
+	if !report.Converged {
+		t.Errorf("tiny input should converge: %+v", report)
+	}
+	if !s.Accepts(types[0]) {
+		t.Error("schema must cover the input")
+	}
+}
+
+func TestIterativeDiscoverSampleGrowsOnFailures(t *testing.T) {
+	// Two disjoint entities, one rare: the seed sample catches only the
+	// common one and must grow.
+	var types []*jsontype.Type
+	for i := 0; i < 300; i++ {
+		types = append(types, ty(t, fmt.Sprintf(`{"common":%d}`, i)))
+	}
+	types = append(types, ty(t, `{"rare_entity":"x","other":"y"}`))
+	s, report := IterativeDiscover(types, Default(), 0.02, 10, 3)
+	if !report.Converged {
+		t.Fatalf("should converge: %+v", report)
+	}
+	if report.Rounds < 2 {
+		t.Logf("note: seed sample caught the rare entity by chance (rounds=%d)", report.Rounds)
+	}
+	if !s.Accepts(types[len(types)-1]) {
+		t.Error("rare entity must be covered after refinement")
+	}
+}

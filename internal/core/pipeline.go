@@ -1,0 +1,257 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+
+	"jxplain/internal/entropy"
+	"jxplain/internal/jsontype"
+	"jxplain/internal/schema"
+)
+
+// Pipeline runs JXPLAIN as the staged three-pass computation of Figure 3:
+//
+//	pass ① — CollectPathStats walks the data once and fixes, per path,
+//	         whether complex values are tuples or collections;
+//	pass ② — a second walk precomputes, per tuple path, a deterministic
+//	         strategy assigning each observed key set to an entity;
+//	pass ③ — the shared synthesizer replays the walk and assembles the
+//	         schema, consulting only the precomputed decisions.
+//
+// The paper decomposes JXPLAIN this way because the heuristics need global
+// visibility, breaking the associative-fold structure that lets K-reduction
+// distribute; each individual pass, by contrast, is embarrassingly
+// parallel.
+//
+// Pipeline is the reference JXPLAIN of the experiments. It differs from
+// the recursive Discover in one semantic detail: pass ① fixes decisions
+// per *path*, so values of one path reached through different entities
+// share a decision, while Discover re-evaluates the heuristic per
+// entity-restricted bag. On single-root-entity data the two are
+// structurally identical (pinned by integration tests); under multi-entity
+// roots, borderline nested decisions (e.g. short object arrays whose
+// length entropy straddles the threshold within one entity) can flip,
+// changing the schema's shape but not its validation of the training data.
+func Pipeline(bag *jsontype.Bag, cfg Config) schema.Schema {
+	statsBag := bag
+	if cfg.DetectionSample > 0 && cfg.DetectionSample < 1 {
+		statsBag = SampleBag(bag, cfg.DetectionSample, cfg.Seed)
+	}
+	var stats []PathStat // pass ①
+	if cfg.StatsWorkers > 1 {
+		stats = ParallelCollectPathStatsBag(statsBag, cfg.StatsWorkers, cfg)
+	} else {
+		stats = CollectPathStats(statsBag, cfg)
+	}
+	decisions := decisionMap(stats)
+	dec := &pipelineDecider{
+		cfg:       cfg,
+		decisions: decisions,
+		plans:     map[string]*partitionPlan{},
+	}
+	dec.collectPlans(RootPath, bag) // pass ②
+	s := &synthesizer{dec: dec}
+	return s.merge(RootPath, bag) // pass ③
+}
+
+// PipelineTypes is Pipeline over a slice of record types.
+func PipelineTypes(types []*jsontype.Type, cfg Config) schema.Schema {
+	return Pipeline(bagOf(types), cfg)
+}
+
+// SampleBag draws a uniform sample of the bag's occurrences: each distinct
+// type keeps a binomial share of its multiplicity, with at least the
+// guarantee that a non-empty bag stays non-empty. It is the sampler behind
+// Config.DetectionSample.
+func SampleBag(bag *jsontype.Bag, fraction float64, seed int64) *jsontype.Bag {
+	r := rand.New(rand.NewSource(seed))
+	out := &jsontype.Bag{}
+	bag.Each(func(t *jsontype.Type, n int) {
+		kept := 0
+		for i := 0; i < n; i++ {
+			if r.Float64() < fraction {
+				kept++
+			}
+		}
+		if kept > 0 {
+			out.AddN(t, kept)
+		}
+	})
+	if out.Len() == 0 && bag.Len() > 0 {
+		out.Add(bag.Types()[0])
+	}
+	return out
+}
+
+// pathDecision stores the pass-① outcome for one path, separately for the
+// array-kinded and object-kinded values observed there.
+type pathDecision struct {
+	arr, obj       entropy.Decision
+	hasArr, hasObj bool
+}
+
+func decisionMap(stats []PathStat) map[string]pathDecision {
+	out := map[string]pathDecision{}
+	for _, st := range stats {
+		d := out[st.Path]
+		if st.Kind == jsontype.KindArray {
+			d.arr, d.hasArr = st.Decision, true
+		} else {
+			d.obj, d.hasObj = st.Decision, true
+		}
+		out[st.Path] = d
+	}
+	return out
+}
+
+// partitionPlan is the pass-② output for one tuple path: a deterministic
+// assignment of key sets to entity ids. Key sets are identified by a
+// dictionary-independent canonical string so the plan survives across
+// passes.
+type partitionPlan struct {
+	assign map[string]int
+	n      int
+}
+
+// keySetCanon renders a key-name set canonically (names are already sorted
+// for objects via Type.Keys; array index sets are sorted numerically by
+// construction order, which is stable).
+func keySetCanon(names []string) string {
+	sorted := append([]string(nil), names...)
+	sort.Strings(sorted)
+	return strings.Join(sorted, "\x00")
+}
+
+type pipelineDecider struct {
+	cfg       Config
+	decisions map[string]pathDecision
+	plans     map[string]*partitionPlan
+}
+
+func (d *pipelineDecider) arrayDecision(path string, arrays *jsontype.Bag) entropy.Decision {
+	if dec, ok := d.decisions[path]; ok && dec.hasArr {
+		return dec.arr
+	}
+	// Unreached in normal operation: fall back to the local heuristic.
+	return (&localDecider{cfg: d.cfg}).arrayDecision(path, arrays)
+}
+
+func (d *pipelineDecider) objectDecision(path string, objects *jsontype.Bag) entropy.Decision {
+	if dec, ok := d.decisions[path]; ok && dec.hasObj {
+		return dec.obj
+	}
+	return (&localDecider{cfg: d.cfg}).objectDecision(path, objects)
+}
+
+func (d *pipelineDecider) partitionObjects(path string, objects *jsontype.Bag) []*jsontype.Bag {
+	return d.partitionWithPlan("O:"+path, objects, d.featureKeySet(path))
+}
+
+func (d *pipelineDecider) partitionArrays(path string, arrays *jsontype.Bag) []*jsontype.Bag {
+	return d.partitionWithPlan("A:"+path, arrays, d.featureKeySet(path))
+}
+
+// featureKeySet builds the §6.4 deep-path feature extractor for a
+// partition point, answering nested tuple/collection questions from the
+// pass-① decision map (paths below the partition point are absolute paths
+// prefixed by it).
+func (d *pipelineDecider) featureKeySet(base string) func(*jsontype.Type) []string {
+	decide := func(rel string, kind jsontype.Kind) entropy.Decision {
+		dec, ok := d.decisions[base+rel]
+		if !ok {
+			return entropy.Tuple
+		}
+		if kind == jsontype.KindArray {
+			if dec.hasArr {
+				return dec.arr
+			}
+			return entropy.Tuple
+		}
+		if dec.hasObj {
+			return dec.obj
+		}
+		return entropy.Tuple
+	}
+	return func(t *jsontype.Type) []string { return featurePaths(t, decide, true) }
+}
+
+func (d *pipelineDecider) partitionWithPlan(planKey string, bag *jsontype.Bag, keySetOf func(*jsontype.Type) []string) []*jsontype.Bag {
+	if d.cfg.Partition == SingleEntity || d.cfg.Partition == PerKeySet {
+		return partitionBag(bag, keySetOf, d.cfg)
+	}
+	plan := d.plans[planKey]
+	if plan == nil {
+		// Unreached in normal operation.
+		return partitionBag(bag, keySetOf, d.cfg)
+	}
+	next := plan.n
+	assignment := make([]int, bag.Distinct())
+	for ti, t := range bag.Types() {
+		c := keySetCanon(keySetOf(t))
+		cluster, ok := plan.assign[c]
+		if !ok {
+			// A key set unseen in pass ② (possible only if the data changed
+			// between passes): isolate it as a fresh entity.
+			cluster = next
+			plan.assign[c] = cluster
+			next++
+		}
+		assignment[ti] = cluster
+	}
+	typesBySet := make([][]int, bag.Distinct())
+	for i := range typesBySet {
+		typesBySet[i] = []int{i}
+	}
+	return groupByAssignment(bag, typesBySet, assignment)
+}
+
+// collectPlans is pass ②: walk the data along the pass-① decisions and,
+// at every tuple path, precompute the key-set → entity assignment.
+func (d *pipelineDecider) collectPlans(path string, bag *jsontype.Bag) {
+	_, arrays, objects := bag.SplitKinds()
+
+	if arrays.Len() > 0 {
+		if d.arrayDecision(path, arrays) == entropy.Collection {
+			if elems := arrays.Elements(); elems.Len() > 0 {
+				d.collectPlans(arrayElemPath(path), elems)
+			}
+		} else {
+			d.buildPlan("A:"+path, arrays, d.featureKeySet(path))
+			groups, _ := arrays.GroupByIndex()
+			for i, g := range groups {
+				d.collectPlans(arrayIndexPath(path, i), g)
+			}
+		}
+	}
+	if objects.Len() > 0 {
+		if d.objectDecision(path, objects) == entropy.Collection {
+			if values := objects.FieldValues(); values.Len() > 0 {
+				d.collectPlans(objectValuePath(path), values)
+			}
+		} else {
+			d.buildPlan("O:"+path, objects, d.featureKeySet(path))
+			keys, groups, _ := objects.GroupByKey()
+			for i, key := range keys {
+				d.collectPlans(childKeyPath(path, key), groups[i])
+			}
+		}
+	}
+}
+
+func (d *pipelineDecider) buildPlan(planKey string, bag *jsontype.Bag, keySetOf func(*jsontype.Type) []string) {
+	if d.cfg.Partition == SingleEntity || d.cfg.Partition == PerKeySet {
+		return // no plan needed
+	}
+	sets, dict, typesBySet := collectKeySets(bag, keySetOf)
+	assignment := assignClusters(sets, dict, d.cfg)
+	plan := &partitionPlan{assign: map[string]int{}}
+	for si, cluster := range assignment {
+		ti := typesBySet[si][0]
+		plan.assign[keySetCanon(keySetOf(bag.Types()[ti]))] = cluster
+		if cluster+1 > plan.n {
+			plan.n = cluster + 1
+		}
+	}
+	d.plans[planKey] = plan
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"jxplain/internal/jsontype"
+	"jxplain/internal/metrics"
+	"jxplain/internal/schema"
+)
+
+func TestSampleBag(t *testing.T) {
+	bag := &jsontype.Bag{}
+	bag.AddN(jsontype.Number, 1000)
+	bag.AddN(jsontype.String, 1000)
+	s := SampleBag(bag, 0.1, 7)
+	if s.Len() < 120 || s.Len() > 280 {
+		t.Errorf("10%% of 2000 should be ≈200, got %d", s.Len())
+	}
+	if s.CountOf(jsontype.Number) == 0 || s.CountOf(jsontype.String) == 0 {
+		t.Error("both common types should survive sampling")
+	}
+	// Determinism.
+	s2 := SampleBag(bag, 0.1, 7)
+	if s.Len() != s2.Len() {
+		t.Error("sampling must be deterministic per seed")
+	}
+}
+
+func TestSampleBagNeverEmpty(t *testing.T) {
+	bag := jsontype.NewBag(jsontype.Bool)
+	s := SampleBag(bag, 0.0001, 1)
+	if s.Len() == 0 {
+		t.Error("non-empty bag must stay non-empty")
+	}
+	if SampleBag(&jsontype.Bag{}, 0.5, 1).Len() != 0 {
+		t.Error("empty bag stays empty")
+	}
+}
+
+func TestPipelineWithDetectionSample(t *testing.T) {
+	// A pharma-like collection: even a small detection sample should find
+	// the collection and keep recall at 1 on seen data.
+	var types []*jsontype.Type
+	for i := 0; i < 800; i++ {
+		src := fmt.Sprintf(`{"counts":{"D%d":1,"D%d":2,"D%d":3}}`, i%97, (i+13)%97, (i+31)%97)
+		types = append(types, ty(t, src))
+	}
+	cfg := Default()
+	cfg.DetectionSample = 0.05
+	cfg.Seed = 3
+	s := PipelineTypes(types, cfg)
+	colls := schema.CountNodes(s, func(n schema.Schema) bool {
+		return n.Node() == schema.NodeObjectCollection
+	})
+	if colls == 0 {
+		t.Errorf("sampled detection should still find the collection: %s", s)
+	}
+	if r := metrics.Recall(s, types); r != 1 {
+		t.Errorf("recall on training data = %v", r)
+	}
+	// Exact mode (sample = 0 and >= 1) is unchanged.
+	cfg.DetectionSample = 0
+	exact0 := PipelineTypes(types, cfg)
+	cfg.DetectionSample = 1
+	exact1 := PipelineTypes(types, cfg)
+	if !schema.Equal(exact0, exact1) {
+		t.Error("DetectionSample 0 and 1 must both be exact")
+	}
+}

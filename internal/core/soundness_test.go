@@ -1,0 +1,108 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"jxplain/internal/jsontype"
+)
+
+// Discovery soundness: whatever the configuration, a discovered schema
+// must admit every record it was trained on. This is the invariant the
+// whole system hangs on — recall loss is only allowed on *unseen* data.
+
+func soundnessConfigs() []Config {
+	kmeans := Default()
+	kmeans.Partition = KMeansStrategy
+	kmeans.KMeansK = 3
+	perKey := Default()
+	perKey.Partition = PerKeySet
+	lowThreshold := Default()
+	lowThreshold.Detection.Threshold = 0.25
+	highThreshold := Default()
+	highThreshold.Detection.Threshold = 2.5
+	sampled := Default()
+	sampled.DetectionSample = 0.3
+	return []Config{
+		Default(), BimaxNaiveConfig(), KReduceConfig(),
+		kmeans, perKey, lowThreshold, highThreshold, sampled,
+	}
+}
+
+// randomSoundnessType builds adversarial records: deep nesting, mixed
+// kinds at shared paths, collection-like maps, varying-length arrays,
+// nulls everywhere.
+func randomSoundnessType(r *rand.Rand, depth int) *jsontype.Type {
+	if depth <= 0 || r.Intn(4) == 0 {
+		return jsontype.NewPrimitive(jsontype.Kind(r.Intn(4)))
+	}
+	switch r.Intn(3) {
+	case 0:
+		n := r.Intn(5)
+		elems := make([]*jsontype.Type, n)
+		for i := range elems {
+			elems[i] = randomSoundnessType(r, depth-1)
+		}
+		return jsontype.NewArray(elems)
+	case 1:
+		// Collection-like: many keys, one value shape.
+		var fields []jsontype.Field
+		seen := map[string]bool{}
+		for i := 0; i < r.Intn(6); i++ {
+			k := fmt.Sprintf("k%02d", r.Intn(50))
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			fields = append(fields, jsontype.Field{Key: k, Type: jsontype.Number})
+		}
+		return jsontype.NewObject(fields)
+	default:
+		var fields []jsontype.Field
+		keys := []string{"a", "b", "c", "d", "e", "f"}
+		seen := map[string]bool{}
+		for i := 0; i < r.Intn(5); i++ {
+			k := keys[r.Intn(len(keys))]
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			fields = append(fields, jsontype.Field{Key: k, Type: randomSoundnessType(r, depth-1)})
+		}
+		return jsontype.NewObject(fields)
+	}
+}
+
+func TestDiscoverySoundnessProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	configs := soundnessConfigs()
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + r.Intn(50)
+		types := make([]*jsontype.Type, n)
+		for i := range types {
+			types[i] = randomSoundnessType(r, 3)
+		}
+		for ci, cfg := range configs {
+			cfg.Seed = int64(trial)
+			for _, discover := range []func([]*jsontype.Type, Config) interface {
+				Accepts(*jsontype.Type) bool
+			}{
+				func(ts []*jsontype.Type, c Config) interface{ Accepts(*jsontype.Type) bool } {
+					return DiscoverTypes(ts, c)
+				},
+				func(ts []*jsontype.Type, c Config) interface{ Accepts(*jsontype.Type) bool } {
+					return PipelineTypes(ts, c)
+				},
+			} {
+				s := discover(types, cfg)
+				for i, ty := range types {
+					if !s.Accepts(ty) {
+						t.Fatalf("trial %d cfg %d: schema rejects its own training record %d: %v",
+							trial, ci, i, ty)
+					}
+				}
+			}
+		}
+	}
+}

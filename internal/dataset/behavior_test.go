@@ -1,0 +1,265 @@
+package dataset
+
+import (
+	"testing"
+
+	"jxplain/internal/core"
+	"jxplain/internal/entropy"
+	"jxplain/internal/jsontype"
+	"jxplain/internal/schema"
+)
+
+// Behavioral integration tests: the generators must trigger the paper's
+// phenomena when run through JXPLAIN.
+
+func discover(t *testing.T, name string, n int, cfg core.Config) (schema.Schema, []Record) {
+	t.Helper()
+	g, ok := ByName(name)
+	if !ok {
+		t.Fatalf("unknown dataset %s", name)
+	}
+	recs := g.Generate(n, 1)
+	return core.DiscoverTypes(Types(recs), cfg), recs
+}
+
+func TestPharmaCollectionDetected(t *testing.T) {
+	s, _ := discover(t, "pharma", 300, core.Default())
+	colls := schema.CountNodes(s, func(n schema.Schema) bool {
+		return n.Node() == schema.NodeObjectCollection
+	})
+	if colls == 0 {
+		t.Fatalf("pharma counts must be detected as a collection: %s", s)
+	}
+	// Generalizes to unseen drugs.
+	unseen := jsontype.MustFromValue(map[string]any{
+		"npi": 1.0,
+		"provider_variables": map[string]any{
+			"brand_name_rx_count": 1.0, "generic_rx_count": 2.0, "gender": "F",
+			"region": "South", "settlement_type": "urban", "specialty": "Cardiology",
+			"years_practicing": 9.0,
+		},
+		"cms_prescription_counts": map[string]any{"TOTALLY_NEW_DRUG": 7.0},
+	})
+	if !s.Accepts(unseen) {
+		t.Error("pharma schema must generalize to unseen drug keys")
+	}
+	k, _ := discover(t, "pharma", 300, core.KReduceConfig())
+	if k.Accepts(unseen) {
+		t.Error("K-reduce must fail to generalize to unseen drug keys")
+	}
+}
+
+func TestSynapseSignaturesCollection(t *testing.T) {
+	s, _ := discover(t, "synapse", 500, core.Default())
+	// The two-level signatures nested collection must appear.
+	nested := schema.CountNodes(s, func(n schema.Schema) bool {
+		oc, ok := n.(*schema.ObjectCollection)
+		if !ok {
+			return false
+		}
+		_, inner := oc.Value.(*schema.ObjectCollection)
+		return inner
+	})
+	if nested == 0 {
+		t.Errorf("signatures {server: {key: sig}} must be a two-level collection")
+	}
+}
+
+func TestTwitterGeoTupleDetected(t *testing.T) {
+	s, _ := discover(t, "twitter", 800, core.Default())
+	// Some ArrayTuple of exactly two numbers must exist (the geo pair).
+	geoTuples := schema.CountNodes(s, func(n schema.Schema) bool {
+		at, ok := n.(*schema.ArrayTuple)
+		if !ok || len(at.Elems) != 2 || at.MinLen != 2 {
+			return false
+		}
+		for _, e := range at.Elems {
+			p, ok := e.(*schema.Primitive)
+			if !ok || p.K != jsontype.KindNumber {
+				return false
+			}
+		}
+		return true
+	})
+	if geoTuples == 0 {
+		t.Error("geo coordinates must be detected as [ℝ, ℝ] tuples")
+	}
+}
+
+func TestYelpCheckinPivotCollections(t *testing.T) {
+	s, _ := discover(t, "yelp-checkin", 500, core.Default())
+	nested := schema.CountNodes(s, func(n schema.Schema) bool {
+		oc, ok := n.(*schema.ObjectCollection)
+		if !ok {
+			return false
+		}
+		_, inner := oc.Value.(*schema.ObjectCollection)
+		return inner
+	})
+	if nested == 0 {
+		t.Errorf("day×hour pivot must be a two-level collection: %s", s)
+	}
+}
+
+func TestWikidataCollectionsDetected(t *testing.T) {
+	s, _ := discover(t, "wikidata", 200, core.Default())
+	// labels/descriptions/claims/sitelinks are language-/property-/site-
+	// keyed collections; several object collections must appear.
+	colls := schema.CountNodes(s, func(n schema.Schema) bool {
+		return n.Node() == schema.NodeObjectCollection
+	})
+	if colls < 3 {
+		t.Errorf("wikidata should expose ≥3 object collections, got %d", colls)
+	}
+	// Unseen language keys must validate (the generalization win of Table 1).
+	unseen := jsontype.MustFromValue(map[string]any{
+		"type": "item", "id": "Q1", "lastrevid": 1.0, "modified": "2024-01-01T00:00:00Z",
+		"labels":       map[string]any{"lang_9999": map[string]any{"language": "lang_9999", "value": "x"}},
+		"descriptions": map[string]any{"lang_9999": map[string]any{"language": "lang_9999", "value": "y"}},
+		"aliases":      map[string]any{},
+		"claims":       map[string]any{},
+		"sitelinks":    map[string]any{},
+	})
+	if !s.Accepts(unseen) {
+		t.Error("wikidata schema should generalize to unseen languages")
+	}
+}
+
+func TestTwitterIndicesTuples(t *testing.T) {
+	s, _ := discover(t, "twitter", 800, core.Default())
+	// hashtag/url/mention indices are always [start, end] numeric pairs —
+	// at least some must surface as 2-element tuples, not collections.
+	pairs := schema.CountNodes(s, func(n schema.Schema) bool {
+		at, ok := n.(*schema.ArrayTuple)
+		return ok && len(at.Elems) == 2 && at.MinLen == 2
+	})
+	if pairs == 0 {
+		t.Error("indices pairs should be detected as tuples")
+	}
+}
+
+func TestYelpMergedEntityCount(t *testing.T) {
+	g, _ := ByName("yelp-merged")
+	recs := g.Generate(3000, 1)
+	s := core.DiscoverTypes(Types(recs), core.Default())
+	// Root-level entities: count top-level ObjectTuple alternatives.
+	n := rootEntities(s)
+	if n < 5 || n > 9 {
+		t.Errorf("yelp-merged should partition into ≈6 root entities, got %d", n)
+	}
+	// All training records accepted.
+	for i, rec := range recs[:500] {
+		if !s.Accepts(rec.Type) {
+			t.Fatalf("record %d (%s) rejected by its own training schema", i, rec.Entity)
+		}
+	}
+}
+
+// rootEntities counts tuple alternatives at the schema root.
+func rootEntities(s schema.Schema) int {
+	switch n := s.(type) {
+	case *schema.Union:
+		total := 0
+		for _, a := range n.Alts {
+			total += rootEntities(a)
+		}
+		return total
+	case *schema.ObjectTuple, *schema.ArrayTuple:
+		return 1
+	}
+	return 0
+}
+
+func TestGitHubEntitiesDiscovered(t *testing.T) {
+	g, _ := ByName("github")
+	recs := g.Generate(3000, 1)
+	s := core.DiscoverTypes(Types(recs), core.Default())
+	n := rootEntities(s)
+	// 10 event types; subset-payload events (WatchEvent ⊂ IssuesEvent ⊂
+	// IssueCommentEvent, DeleteEvent ⊂ CreateEvent) may absorb, as the
+	// paper's Table 3 GitHub errors show.
+	if n < 6 || n > 12 {
+		t.Errorf("github root entities = %d, want ≈10 (6..12)", n)
+	}
+	// A mixed payload must be rejected while real ones validate.
+	for _, rec := range recs[:200] {
+		if !s.Accepts(rec.Type) {
+			t.Fatalf("github training record rejected")
+		}
+	}
+}
+
+func TestKReduceSingleEntityOnMerged(t *testing.T) {
+	g, _ := ByName("yelp-merged")
+	recs := g.Generate(1500, 1)
+	s := core.DiscoverTypes(Types(recs), core.KReduceConfig())
+	if n := rootEntities(s); n != 1 {
+		t.Errorf("K-reduce must produce a single root entity, got %d", n)
+	}
+}
+
+func TestPipelineMatchesDiscoverOnAllDatasets(t *testing.T) {
+	// The staged pipeline fixes tuple/collection decisions per *path*
+	// (pass ①), while the recursive §4.1 implementation re-evaluates the
+	// heuristic per entity-restricted bag. On datasets whose root is a
+	// single entity the two walks see identical bags everywhere, so the
+	// schemas must be structurally identical. On multi-entity datasets
+	// (github, twitter, synapse, yelp-merged, yelp-business) nested bags
+	// shrink per entity and borderline decisions can flip; there we assert
+	// behavioral agreement: both must validate all training records.
+	exact := map[string]bool{
+		"nyt": true, "pharma": true, "wikidata": true, "yelp-checkin": true,
+		"yelp-photos": true, "yelp-review": true, "yelp-tip": true, "yelp-user": true,
+	}
+	for _, g := range Registry() {
+		n := 400
+		if g.Name == "wikidata" {
+			n = 150
+		}
+		types := Types(g.Generate(n, 5))
+		rec := schema.Simplify(core.DiscoverTypes(types, core.Default()))
+		pipe := schema.Simplify(core.PipelineTypes(types, core.Default()))
+		if exact[g.Name] {
+			if !schema.Equal(rec, pipe) {
+				t.Errorf("%s: pipeline and recursive discovery diverge structurally", g.Name)
+			}
+			continue
+		}
+		for i, ty := range types {
+			if !rec.Accepts(ty) {
+				t.Errorf("%s: recursive schema rejects training record %d", g.Name, i)
+				break
+			}
+			if !pipe.Accepts(ty) {
+				t.Errorf("%s: pipeline schema rejects training record %d", g.Name, i)
+				break
+			}
+		}
+	}
+}
+
+func TestEntropyEvidenceBimodalOnYelp(t *testing.T) {
+	// Figure 4's premise: complex-kinded self-similar paths have either
+	// near-zero or clearly-high key-space entropy, so the threshold is not
+	// sensitive. Verify on the merged Yelp data.
+	g, _ := ByName("yelp-merged")
+	types := Types(g.Generate(1500, 3))
+	bag := &jsontype.Bag{}
+	for _, t2 := range types {
+		bag.Add(t2)
+	}
+	stats := core.CollectPathStats(bag, core.Default())
+	gray := 0
+	for _, st := range stats {
+		if !st.Evidence.Similar || st.Evidence.Records < 20 {
+			continue
+		}
+		if st.Evidence.KeyEntropy > 0.6 && st.Evidence.KeyEntropy < 1.1 {
+			gray++
+		}
+	}
+	if gray > 3 {
+		t.Errorf("too many paths in the threshold gray zone: %d", gray)
+	}
+	_ = entropy.Collection
+}

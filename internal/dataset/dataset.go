@@ -1,0 +1,193 @@
+// Package dataset provides seeded synthetic generators for the thirteen
+// datasets of the paper's evaluation (Section 7). The real corpora
+// (GitHub archive, Kaggle prescriptions, Twitter decahose, a Matrix
+// Synapse dump, the NYT archive, a Wikidata dump, and the Yelp Open
+// Dataset) are not redistributable, so each generator reproduces the
+// *structural* phenomena the paper documents for its dataset — entity
+// mixes, collection-like objects and their key-domain sizes, geo tuple
+// arrays, nested-collection pivots, optional-field patterns, and soft
+// functional dependencies. Schema discovery consumes only structure
+// (kinds and key sets), never concrete values, so matching the structure
+// statistics preserves the evaluated behavior.
+//
+// All generators are deterministic for a given seed.
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"jxplain/internal/jsontype"
+)
+
+// Record is one generated JSON record.
+type Record struct {
+	// Value is the decoded JSON value (map[string]any / []any / primitives).
+	Value any
+	// Type is the structural type of Value.
+	Type *jsontype.Type
+	// Entity is the ground-truth entity label, or "" when the dataset has a
+	// single entity.
+	Entity string
+}
+
+// Generator describes one synthetic dataset.
+type Generator struct {
+	// Name is the registry key (e.g. "github", "yelp-business").
+	Name string
+	// Description summarizes the structural phenomena modeled.
+	Description string
+	// Entities lists the ground-truth entity labels (len 1 for
+	// single-entity datasets).
+	Entities []string
+	// DefaultN is the record count used by the experiment harness.
+	DefaultN int
+	// Generate produces n records deterministically from seed.
+	Generate func(n int, seed int64) []Record
+}
+
+// Types extracts the structural types of a record slice.
+func Types(records []Record) []*jsontype.Type {
+	out := make([]*jsontype.Type, len(records))
+	for i := range records {
+		out[i] = records[i].Type
+	}
+	return out
+}
+
+// Registry returns all generators in display order (the order of the
+// paper's tables).
+func Registry() []*Generator {
+	return []*Generator{
+		NYT(), Synapse(), Twitter(), GitHub(), Pharma(), Wikidata(),
+		YelpBusiness(), YelpCheckin(), YelpPhotos(), YelpReview(), YelpTip(), YelpUser(),
+		YelpMerged(),
+	}
+}
+
+// ByName looks a generator up by its registry name.
+func ByName(name string) (*Generator, bool) {
+	for _, g := range Registry() {
+		if g.Name == name {
+			return g, true
+		}
+	}
+	return nil, false
+}
+
+// Names returns the registry names in order.
+func Names() []string {
+	gens := Registry()
+	out := make([]string, len(gens))
+	for i, g := range gens {
+		out[i] = g.Name
+	}
+	return out
+}
+
+// ---- generation helpers ----
+
+// gen wraps a seeded source with the sampling utilities the generators
+// share.
+type gen struct {
+	r *rand.Rand
+}
+
+func newGen(seed int64) *gen { return &gen{r: rand.New(rand.NewSource(seed))} }
+
+// record finalizes a value into a Record.
+func record(v any, entity string) Record {
+	return Record{Value: v, Type: jsontype.MustFromValue(v), Entity: entity}
+}
+
+// pick returns one of the choices uniformly.
+func (g *gen) pick(choices ...string) string { return choices[g.r.Intn(len(choices))] }
+
+// chance reports true with probability p.
+func (g *gen) chance(p float64) bool { return g.r.Float64() < p }
+
+// intn returns a uniform int in [lo, hi].
+func (g *gen) intn(lo, hi int) int { return lo + g.r.Intn(hi-lo+1) }
+
+// num returns a float in [0, scale).
+func (g *gen) num(scale float64) float64 { return g.r.Float64() * scale }
+
+// id returns a synthetic identifier string with the given prefix.
+func (g *gen) id(prefix string) string {
+	return fmt.Sprintf("%s_%08x", prefix, g.r.Uint32())
+}
+
+// word returns a short pseudo-word.
+func (g *gen) word() string {
+	syllables := []string{"ta", "ri", "no", "ke", "lu", "ma", "se", "vi", "po", "da"}
+	n := g.intn(2, 4)
+	out := ""
+	for i := 0; i < n; i++ {
+		out += syllables[g.r.Intn(len(syllables))]
+	}
+	return out
+}
+
+// sentence returns a few pseudo-words joined by spaces.
+func (g *gen) sentence(words int) string {
+	out := ""
+	for i := 0; i < words; i++ {
+		if i > 0 {
+			out += " "
+		}
+		out += g.word()
+	}
+	return out
+}
+
+// date returns a timestamp-like string.
+func (g *gen) date() string {
+	return fmt.Sprintf("20%02d-%02d-%02dT%02d:%02d:%02dZ",
+		g.intn(10, 23), g.intn(1, 12), g.intn(1, 28),
+		g.intn(0, 23), g.intn(0, 59), g.intn(0, 59))
+}
+
+// weighted picks an index according to the weights (which need not sum to
+// 1); weights must be non-empty and non-negative with positive sum.
+func (g *gen) weighted(weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	x := g.r.Float64() * total
+	for i, w := range weights {
+		x -= w
+		if x <= 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// subsetKeys samples a collection-object key subset: count keys drawn
+// zipf-ishly from a domain rendered as prefix_%04d, deduplicated.
+func (g *gen) subsetKeys(prefix string, domain, count int) []string {
+	seen := map[int]bool{}
+	out := make([]string, 0, count)
+	for len(out) < count {
+		// Squaring a uniform variate skews toward low indices (popular
+		// drugs / frequent languages), like real usage distributions.
+		u := g.r.Float64()
+		idx := int(u * u * float64(domain))
+		if idx >= domain {
+			idx = domain - 1
+		}
+		if seen[idx] {
+			// Fall back to a uniform probe so small domains terminate.
+			idx = g.r.Intn(domain)
+			if seen[idx] {
+				continue
+			}
+		}
+		seen[idx] = true
+		out = append(out, fmt.Sprintf("%s_%04d", prefix, idx))
+	}
+	sort.Strings(out)
+	return out
+}

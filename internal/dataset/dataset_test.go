@@ -1,0 +1,329 @@
+package dataset
+
+import (
+	"reflect"
+	"testing"
+
+	"jxplain/internal/jsontype"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	names := Names()
+	want := []string{
+		"nyt", "synapse", "twitter", "github", "pharma", "wikidata",
+		"yelp-business", "yelp-checkin", "yelp-photos", "yelp-review",
+		"yelp-tip", "yelp-user", "yelp-merged",
+	}
+	if !reflect.DeepEqual(names, want) {
+		t.Errorf("registry = %v", names)
+	}
+	for _, g := range Registry() {
+		if g.DefaultN <= 0 || g.Description == "" || len(g.Entities) == 0 {
+			t.Errorf("%s: incomplete metadata", g.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if g, ok := ByName("pharma"); !ok || g.Name != "pharma" {
+		t.Error("ByName(pharma) failed")
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("ByName(nope) should fail")
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	for _, g := range Registry() {
+		a := g.Generate(50, 42)
+		b := g.Generate(50, 42)
+		if len(a) != 50 || len(b) != 50 {
+			t.Fatalf("%s: wrong record count", g.Name)
+		}
+		for i := range a {
+			if !jsontype.Equal(a[i].Type, b[i].Type) {
+				t.Fatalf("%s: record %d types differ across runs", g.Name, i)
+			}
+			if a[i].Entity != b[i].Entity {
+				t.Fatalf("%s: record %d entity labels differ", g.Name, i)
+			}
+		}
+		c := g.Generate(50, 43)
+		same := true
+		for i := range a {
+			if !jsontype.Equal(a[i].Type, c[i].Type) {
+				same = false
+				break
+			}
+		}
+		if same && g.Name != "yelp-photos" && g.Name != "yelp-review" && g.Name != "yelp-tip" {
+			t.Errorf("%s: different seeds should usually change structure", g.Name)
+		}
+	}
+}
+
+func TestGeneratorEntitiesAreLabeled(t *testing.T) {
+	for _, g := range Registry() {
+		valid := map[string]bool{}
+		for _, e := range g.Entities {
+			valid[e] = true
+		}
+		for i, rec := range g.Generate(200, 7) {
+			if !valid[rec.Entity] {
+				t.Fatalf("%s: record %d has unknown entity %q", g.Name, i, rec.Entity)
+			}
+			if rec.Type == nil || rec.Value == nil {
+				t.Fatalf("%s: record %d missing type/value", g.Name, i)
+			}
+			if rec.Type.Kind() != jsontype.KindObject {
+				t.Fatalf("%s: record %d is not an object", g.Name, i)
+			}
+		}
+	}
+}
+
+func TestMultiEntityDatasetsCoverAllEntities(t *testing.T) {
+	for _, name := range []string{"github", "twitter", "synapse", "yelp-merged"} {
+		g, _ := ByName(name)
+		seen := map[string]bool{}
+		for _, rec := range g.Generate(2000, 3) {
+			seen[rec.Entity] = true
+		}
+		for _, e := range g.Entities {
+			if !seen[e] {
+				t.Errorf("%s: entity %q never generated in 2000 records", name, e)
+			}
+		}
+	}
+}
+
+func TestTypesHelper(t *testing.T) {
+	g, _ := ByName("yelp-photos")
+	recs := g.Generate(10, 1)
+	types := Types(recs)
+	if len(types) != 10 {
+		t.Fatal("Types length mismatch")
+	}
+	for i := range types {
+		if types[i] != recs[i].Type {
+			t.Fatal("Types should extract record types")
+		}
+	}
+}
+
+func TestPharmaStructure(t *testing.T) {
+	g, _ := ByName("pharma")
+	recs := g.Generate(100, 5)
+	distinct := map[string]bool{}
+	for _, rec := range recs {
+		distinct[rec.Type.Canon()] = true
+		counts := rec.Type.Field("cms_prescription_counts")
+		if counts == nil || counts.Kind() != jsontype.KindObject || counts.Len() < 8 {
+			t.Fatal("pharma record missing prescription counts")
+		}
+		for _, f := range counts.Fields() {
+			if f.Type.Kind() != jsontype.KindNumber {
+				t.Fatal("prescription counts must be numbers")
+			}
+		}
+	}
+	// Nearly every record has a unique type (the paper's observation).
+	if len(distinct) < 95 {
+		t.Errorf("expected ~unique types, got %d distinct of 100", len(distinct))
+	}
+}
+
+func TestTwitterStructure(t *testing.T) {
+	g, _ := ByName("twitter")
+	recs := g.Generate(1000, 5)
+	var deletes, geos, retweets int
+	for _, rec := range recs {
+		if rec.Entity == "delete" {
+			deletes++
+			if rec.Type.Field("delete") == nil {
+				t.Fatal("delete event missing delete field")
+			}
+			continue
+		}
+		if geo := rec.Type.Field("geo"); geo != nil && geo.Kind() == jsontype.KindObject {
+			geos++
+			coords := geo.Field("coordinates")
+			if coords == nil || coords.Kind() != jsontype.KindArray || coords.Len() != 2 {
+				t.Fatal("geo coordinates must be a 2-element array")
+			}
+		}
+		if rec.Type.Field("retweeted_status") != nil {
+			retweets++
+			// Bounded recursion: the nested tweet must not itself nest.
+			if rec.Type.Field("retweeted_status").Field("retweeted_status") != nil {
+				t.Fatal("retweet recursion must be bounded")
+			}
+		}
+	}
+	if deletes == 0 || geos == 0 || retweets == 0 {
+		t.Errorf("expected all phenomena: deletes=%d geos=%d retweets=%d", deletes, geos, retweets)
+	}
+}
+
+func TestSynapseSignaturesShape(t *testing.T) {
+	g, _ := ByName("synapse")
+	for _, rec := range g.Generate(50, 9) {
+		sig := rec.Type.Field("signatures")
+		if sig == nil || sig.Kind() != jsontype.KindObject || sig.Len() == 0 {
+			t.Fatal("synapse record missing signatures")
+		}
+		for _, srv := range sig.Fields() {
+			if srv.Type.Kind() != jsontype.KindObject || srv.Type.Len() == 0 {
+				t.Fatal("signatures must nest key→sig objects")
+			}
+			for _, k := range srv.Type.Fields() {
+				if k.Type.Kind() != jsontype.KindString {
+					t.Fatal("signature leaves must be strings")
+				}
+			}
+		}
+	}
+}
+
+func TestYelpCheckinPivotShape(t *testing.T) {
+	g, _ := ByName("yelp-checkin")
+	days := map[string]bool{"Mon": true, "Tue": true, "Wed": true, "Thu": true,
+		"Fri": true, "Sat": true, "Sun": true}
+	for _, rec := range g.Generate(50, 2) {
+		tm := rec.Type.Field("time")
+		if tm == nil || tm.Kind() != jsontype.KindObject || tm.Len() == 0 {
+			t.Fatal("checkin record missing time pivot")
+		}
+		for _, day := range tm.Fields() {
+			if !days[day.Key] {
+				t.Fatalf("unexpected day key %q", day.Key)
+			}
+			for _, hour := range day.Type.Fields() {
+				if hour.Type.Kind() != jsontype.KindNumber {
+					t.Fatal("checkin counts must be numbers")
+				}
+			}
+		}
+	}
+}
+
+func TestYelpBusinessSoftFD(t *testing.T) {
+	g, _ := ByName("yelp-business")
+	recs := g.Generate(4000, 11)
+	var salons, salonsWithAppt, others, othersWithAppt int
+	for _, rec := range recs {
+		attrs := rec.Type.Field("attributes")
+		cats := rec.Type.Field("categories")
+		isSalon := false
+		if cats != nil {
+			// Categories is a string; we detect salons via the attribute
+			// pattern instead: salons carry AcceptsInsurance/HairSpecializesIn.
+			_ = cats
+		}
+		if attrs == nil {
+			continue
+		}
+		if attrs.HasField("AcceptsInsurance") || attrs.HasField("HairSpecializesIn") {
+			isSalon = true
+		}
+		if isSalon {
+			salons++
+			if attrs.HasField("ByAppointmentOnly") {
+				salonsWithAppt++
+			}
+		} else {
+			others++
+			if attrs.HasField("ByAppointmentOnly") {
+				othersWithAppt++
+			}
+		}
+	}
+	if salons == 0 {
+		t.Fatal("no salons generated")
+	}
+	if float64(salonsWithAppt)/float64(salons) < 0.9 {
+		t.Errorf("salons should nearly always have ByAppointmentOnly: %d/%d", salonsWithAppt, salons)
+	}
+	if float64(othersWithAppt)/float64(others) > 0.05 {
+		t.Errorf("non-salons should rarely have ByAppointmentOnly: %d/%d", othersWithAppt, others)
+	}
+}
+
+func TestYelpUserTypeExplosion(t *testing.T) {
+	g, _ := ByName("yelp-user")
+	distinct := map[string]bool{}
+	keysets := map[string]bool{}
+	for _, rec := range g.Generate(500, 3) {
+		distinct[rec.Type.Canon()] = true
+		ks := ""
+		for _, k := range rec.Type.Keys() {
+			ks += k + ","
+		}
+		keysets[ks] = true
+	}
+	if len(distinct) < 50 {
+		t.Errorf("friends/elite arrays should explode distinct types: %d", len(distinct))
+	}
+	if len(keysets) != 1 {
+		t.Errorf("user keys must be stable: %d key sets", len(keysets))
+	}
+}
+
+func TestYelpMergedMix(t *testing.T) {
+	g, _ := ByName("yelp-merged")
+	counts := map[string]int{}
+	for _, rec := range g.Generate(3000, 13) {
+		counts[rec.Entity]++
+	}
+	if len(counts) != 6 {
+		t.Fatalf("expected 6 entities, got %v", counts)
+	}
+	if counts["review"] < counts["checkin"] {
+		t.Error("reviews should dominate the mix")
+	}
+}
+
+func TestGitHubSkewedEntitySizes(t *testing.T) {
+	g, _ := ByName("github")
+	counts := map[string]int{}
+	for _, rec := range g.Generate(4000, 17) {
+		counts[rec.Entity]++
+	}
+	if counts["PushEvent"] < 5*counts["ReleaseEvent"] {
+		t.Errorf("entity sizes should be wildly skewed: %v", counts)
+	}
+}
+
+func TestWikidataDepth(t *testing.T) {
+	g, _ := ByName("wikidata")
+	maxDepth := 0
+	for _, rec := range g.Generate(30, 21) {
+		if d := rec.Type.Depth(); d > maxDepth {
+			maxDepth = d
+		}
+	}
+	if maxDepth < 5 {
+		t.Errorf("wikidata should nest deeply, got depth %d", maxDepth)
+	}
+}
+
+func TestNYTMultimediaMixesLayouts(t *testing.T) {
+	g, _ := ByName("nyt")
+	layouts := map[string]bool{}
+	for _, rec := range g.Generate(300, 23) {
+		mm := rec.Type.Field("multimedia")
+		if mm == nil {
+			t.Fatal("missing multimedia")
+		}
+		for _, e := range mm.Elems() {
+			key := ""
+			for _, k := range e.Keys() {
+				key += k + ","
+			}
+			layouts[key] = true
+		}
+	}
+	if len(layouts) < 3 {
+		t.Errorf("multimedia should mix ≥3 layouts, got %d", len(layouts))
+	}
+}

@@ -1,0 +1,150 @@
+package dataset
+
+// NYT models the New York Times article archive [31]: article records
+// whose multimedia array is a multi-entity nested collection (§3.3 —
+// several distinct summary-metadata layouts appear in one array), plus
+// headline/byline tuples and keyword object arrays.
+func NYT() *Generator {
+	return &Generator{
+		Name: "nyt",
+		Description: "article archive: multi-entity multimedia arrays, headline/byline " +
+			"tuples, keyword object arrays",
+		Entities: []string{"article"},
+		DefaultN: 3000,
+		Generate: func(n int, seed int64) []Record {
+			g := newGen(seed)
+			out := make([]Record, 0, n)
+			for i := 0; i < n; i++ {
+				rec := map[string]any{
+					"_id":              g.id("nyt"),
+					"web_url":          "https://www.nytimes.example/" + g.word(),
+					"snippet":          g.sentence(10),
+					"abstract":         g.sentence(12),
+					"source":           "The New York Times",
+					"pub_date":         g.date(),
+					"document_type":    g.pick("article", "multimedia"),
+					"type_of_material": g.pick("News", "Op-Ed", "Review", "Obituary"),
+					"word_count":       float64(g.intn(50, 3000)),
+					"headline":         g.nytHeadline(),
+					"byline":           g.nytByline(),
+					"keywords":         g.nytKeywords(),
+					"multimedia":       g.nytMultimedia(),
+				}
+				if g.chance(0.8) {
+					rec["lead_paragraph"] = g.sentence(20)
+				}
+				if g.chance(0.6) {
+					rec["print_page"] = float64(g.intn(1, 40))
+				}
+				if g.chance(0.7) {
+					rec["news_desk"] = g.pick("Foreign", "Metro", "Culture", "Business", "Sports")
+				}
+				if g.chance(0.7) {
+					rec["section_name"] = g.pick("World", "U.S.", "Arts", "Business Day", "Sports")
+				}
+				out = append(out, record(rec, "article"))
+			}
+			return out
+		},
+	}
+}
+
+func (g *gen) nytHeadline() map[string]any {
+	h := map[string]any{
+		"main": g.sentence(6),
+	}
+	if g.chance(0.3) {
+		h["kicker"] = g.sentence(2)
+	}
+	if g.chance(0.2) {
+		h["content_kicker"] = g.sentence(2)
+	}
+	if g.chance(0.5) {
+		h["print_headline"] = g.sentence(5)
+	}
+	return h
+}
+
+func (g *gen) nytByline() map[string]any {
+	nPeople := g.intn(0, 3)
+	people := make([]any, nPeople)
+	for i := range people {
+		p := map[string]any{
+			"firstname":    g.word(),
+			"lastname":     g.word(),
+			"role":         "reported",
+			"organization": "",
+			"rank":         float64(i + 1),
+		}
+		if g.chance(0.2) {
+			p["middlename"] = g.word()
+		}
+		if g.chance(0.1) {
+			p["qualifier"] = g.word()
+		}
+		people[i] = p
+	}
+	b := map[string]any{"person": people}
+	if g.chance(0.9) {
+		b["original"] = "By " + g.word()
+	}
+	if g.chance(0.1) {
+		b["organization"] = g.word()
+	}
+	return b
+}
+
+func (g *gen) nytKeywords() []any {
+	n := g.intn(0, 8)
+	out := make([]any, n)
+	for i := range out {
+		out[i] = map[string]any{
+			"name":  g.pick("subject", "glocations", "persons", "organizations"),
+			"value": g.sentence(2),
+			"rank":  float64(i + 1),
+			"major": g.pick("N", "Y"),
+		}
+	}
+	return out
+}
+
+// nytMultimedia builds the §3.3 multi-entity nested collection: three
+// distinct metadata layouts mixed in one array.
+func (g *gen) nytMultimedia() []any {
+	n := g.intn(0, 6)
+	out := make([]any, n)
+	for i := range out {
+		switch g.r.Intn(3) {
+		case 0: // image rendition
+			out[i] = map[string]any{
+				"rank":    float64(i),
+				"subtype": g.pick("xlarge", "thumbnail", "wide"),
+				"type":    "image",
+				"url":     "images/" + g.word() + ".jpg",
+				"height":  float64(g.intn(50, 2000)),
+				"width":   float64(g.intn(50, 3000)),
+				"legacy": map[string]any{
+					"xlarge":      "images/" + g.word() + ".jpg",
+					"xlargewidth": float64(g.intn(50, 3000)),
+				},
+			}
+		case 1: // video summary
+			out[i] = map[string]any{
+				"rank":     float64(i),
+				"type":     "video",
+				"url":      "video/" + g.word() + ".mp4",
+				"duration": float64(g.intn(10, 600)),
+				"caption":  g.sentence(6),
+				"credit":   g.word(),
+			}
+		default: // slideshow pointer
+			out[i] = map[string]any{
+				"rank":        float64(i),
+				"type":        "slideshow",
+				"url":         "slideshow/" + g.word(),
+				"slide_count": float64(g.intn(2, 30)),
+			}
+		}
+	}
+	return out
+}

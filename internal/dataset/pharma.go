@@ -1,0 +1,44 @@
+package dataset
+
+// Pharma models the prescription-based-prediction dataset [25]: one record
+// per provider with a fixed provider_variables tuple and a
+// cms_prescription_counts object mapping drug names (from a 2397-name
+// domain) to counts. The collection-like object means nearly every record
+// has a distinct type — L-reduction degenerates, K-reduction makes every
+// drug an optional field and cannot generalize to unseen drugs, while
+// JXPLAIN detects the collection and generalizes (the paper's Table 1
+// recall outlier).
+func Pharma() *Generator {
+	return &Generator{
+		Name: "pharma",
+		Description: "per-provider prescription counts: collection-like object over a " +
+			"2397-drug domain; nearly every record a unique type",
+		Entities: []string{"provider"},
+		DefaultN: 3000,
+		Generate: func(n int, seed int64) []Record {
+			g := newGen(seed)
+			out := make([]Record, 0, n)
+			for i := 0; i < n; i++ {
+				counts := map[string]any{}
+				for _, drug := range g.subsetKeys("DRUG", 2397, g.intn(8, 40)) {
+					counts[drug] = float64(g.intn(11, 500))
+				}
+				rec := map[string]any{
+					"npi": float64(g.intn(1_000_000_000, 1_999_999_999)),
+					"provider_variables": map[string]any{
+						"brand_name_rx_count": float64(g.intn(0, 900)),
+						"generic_rx_count":    float64(g.intn(0, 4000)),
+						"gender":              g.pick("M", "F"),
+						"region":              g.pick("South", "West", "Northeast", "Midwest"),
+						"settlement_type":     g.pick("urban", "non-urban"),
+						"specialty":           g.pick("Cardiology", "Family", "Internal", "Oncology", "Psychiatry"),
+						"years_practicing":    float64(g.intn(1, 50)),
+					},
+					"cms_prescription_counts": counts,
+				}
+				out = append(out, record(rec, "provider"))
+			}
+			return out
+		},
+	}
+}

@@ -1,0 +1,168 @@
+package dataset
+
+// Twitter models the decahose sample: a composite stream of tweet objects
+// and delete events (multi-entity), geo coordinates as 2-element tuple
+// arrays (the GeoJSON pattern of §3.1), object arrays for hashtags / urls
+// / mentions, and bounded-recursion retweeted_status / quoted_status
+// sub-tweets.
+func Twitter() *Generator {
+	return &Generator{
+		Name: "twitter",
+		Description: "tweets + delete events: multi-entity stream, [ℝ,ℝ] geo tuples, " +
+			"object arrays, recursive retweet/quote nesting",
+		Entities: []string{"tweet", "delete"},
+		DefaultN: 5000,
+		Generate: func(n int, seed int64) []Record {
+			g := newGen(seed)
+			out := make([]Record, 0, n)
+			for i := 0; i < n; i++ {
+				if g.chance(0.10) {
+					out = append(out, record(g.twitterDelete(), "delete"))
+				} else {
+					out = append(out, record(g.tweet(2), "tweet"))
+				}
+			}
+			return out
+		},
+	}
+}
+
+func (g *gen) twitterDelete() map[string]any {
+	return map[string]any{
+		"delete": map[string]any{
+			"status": map[string]any{
+				"id":          float64(g.intn(1, 2_000_000_000)),
+				"id_str":      g.id("t"),
+				"user_id":     float64(g.intn(1, 900_000_000)),
+				"user_id_str": g.id("u"),
+			},
+			"timestamp_ms": g.id("ts"),
+		},
+	}
+}
+
+// tweet generates a tweet object; depth bounds the retweet/quote
+// recursion (real tweets nest at most one level of each).
+func (g *gen) tweet(depth int) map[string]any {
+	t := map[string]any{
+		"created_at":      g.date(),
+		"id":              float64(g.intn(1, 2_000_000_000)),
+		"id_str":          g.id("t"),
+		"text":            g.sentence(8),
+		"source":          g.pick("web", "android", "iphone"),
+		"truncated":       g.chance(0.1),
+		"user":            g.twitterUser(),
+		"geo":             g.maybeGeo(),
+		"coordinates":     g.maybeGeo(),
+		"place":           g.maybePlace(),
+		"entities":        g.tweetEntities(),
+		"retweet_count":   float64(g.intn(0, 50_000)),
+		"favorite_count":  float64(g.intn(0, 100_000)),
+		"favorited":       false,
+		"retweeted":       false,
+		"is_quote_status": g.chance(0.15),
+		"lang":            g.pick("en", "es", "ja", "pt", "und"),
+	}
+	if depth > 0 && g.chance(0.25) {
+		t["retweeted_status"] = g.tweet(0)
+	}
+	if depth > 0 && g.chance(0.08) {
+		t["quoted_status"] = g.tweet(0)
+	}
+	return t
+}
+
+func (g *gen) twitterUser() map[string]any {
+	u := map[string]any{
+		"id":              float64(g.intn(1, 900_000_000)),
+		"id_str":          g.id("u"),
+		"name":            g.word(),
+		"screen_name":     g.word(),
+		"verified":        g.chance(0.02),
+		"followers_count": float64(g.intn(0, 1_000_000)),
+		"friends_count":   float64(g.intn(0, 10_000)),
+		"statuses_count":  float64(g.intn(0, 200_000)),
+		"created_at":      g.date(),
+		"geo_enabled":     g.chance(0.3),
+	}
+	// Profile fields are null when unset (not absent), as in the real API.
+	if g.chance(0.6) {
+		u["location"] = g.word()
+	} else {
+		u["location"] = nil
+	}
+	if g.chance(0.7) {
+		u["description"] = g.sentence(6)
+	} else {
+		u["description"] = nil
+	}
+	return u
+}
+
+// maybeGeo returns null or a GeoJSON-style point whose coordinates are a
+// 2-element tuple array — the §3.1 motivating example.
+func (g *gen) maybeGeo() any {
+	if !g.chance(0.15) {
+		return nil
+	}
+	return map[string]any{
+		"type":        "Point",
+		"coordinates": []any{g.num(180) - 90, g.num(360) - 180},
+	}
+}
+
+func (g *gen) maybePlace() any {
+	if !g.chance(0.12) {
+		return nil
+	}
+	// The bounding box is an array of one ring of four [lon, lat] tuples.
+	ring := make([]any, 4)
+	for i := range ring {
+		ring[i] = []any{g.num(360) - 180, g.num(180) - 90}
+	}
+	return map[string]any{
+		"id":           g.id("pl"),
+		"place_type":   g.pick("city", "admin", "country", "poi"),
+		"name":         g.word(),
+		"full_name":    g.sentence(2),
+		"country_code": g.pick("US", "BR", "JP", "GB"),
+		"country":      g.word(),
+		"bounding_box": map[string]any{
+			"type":        "Polygon",
+			"coordinates": []any{ring},
+		},
+	}
+}
+
+func (g *gen) tweetEntities() map[string]any {
+	hashtags := make([]any, g.intn(0, 4))
+	for i := range hashtags {
+		hashtags[i] = map[string]any{
+			"text":    g.word(),
+			"indices": []any{float64(g.intn(0, 100)), float64(g.intn(0, 140))},
+		}
+	}
+	urls := make([]any, g.intn(0, 2))
+	for i := range urls {
+		urls[i] = map[string]any{
+			"url":          "https://t.example/" + g.word(),
+			"expanded_url": "https://example.com/" + g.word(),
+			"display_url":  g.word() + ".example",
+			"indices":      []any{float64(g.intn(0, 100)), float64(g.intn(0, 140))},
+		}
+	}
+	mentions := make([]any, g.intn(0, 3))
+	for i := range mentions {
+		mentions[i] = map[string]any{
+			"screen_name": g.word(),
+			"name":        g.word(),
+			"id":          float64(g.intn(1, 900_000_000)),
+			"indices":     []any{float64(g.intn(0, 100)), float64(g.intn(0, 140))},
+		}
+	}
+	return map[string]any{
+		"hashtags":      hashtags,
+		"urls":          urls,
+		"user_mentions": mentions,
+	}
+}

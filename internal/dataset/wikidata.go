@@ -1,0 +1,116 @@
+package dataset
+
+// Wikidata models the Wikidata entity dump [36]: deeply nested records
+// with language-keyed labels/descriptions/aliases collection objects,
+// property-keyed claims collection objects holding arrays of statement
+// objects, and site-keyed sitelinks — the dataset whose size and nesting
+// exhausted L-reduce and Bimax-Naive in the paper (Table 4 †).
+func Wikidata() *Generator {
+	return &Generator{
+		Name: "wikidata",
+		Description: "entity dump: language-keyed label collections, property-keyed " +
+			"claim collections of statement arrays, deep nesting",
+		Entities: []string{"item"},
+		DefaultN: 1500,
+		Generate: func(n int, seed int64) []Record {
+			g := newGen(seed)
+			out := make([]Record, 0, n)
+			for i := 0; i < n; i++ {
+				rec := map[string]any{
+					"type":         "item",
+					"id":           g.id("Q"),
+					"labels":       g.wikiLangMap(false),
+					"descriptions": g.wikiLangMap(false),
+					"aliases":      g.wikiLangMap(true),
+					"claims":       g.wikiClaims(),
+					"sitelinks":    g.wikiSitelinks(),
+					"lastrevid":    float64(g.intn(1, 1_500_000_000)),
+					"modified":     g.date(),
+				}
+				out = append(out, record(rec, "item"))
+			}
+			return out
+		},
+	}
+}
+
+// wikiLangMap builds a language-keyed collection object; aliased form maps
+// each language to an array of term objects instead of a single one.
+func (g *gen) wikiLangMap(asArray bool) map[string]any {
+	out := map[string]any{}
+	for _, lang := range g.subsetKeys("lang", 45, g.intn(1, 8)) {
+		term := map[string]any{"language": lang, "value": g.sentence(2)}
+		if asArray {
+			n := g.intn(1, 3)
+			arr := make([]any, n)
+			for i := range arr {
+				arr[i] = map[string]any{"language": lang, "value": g.word()}
+			}
+			out[lang] = arr
+		} else {
+			out[lang] = term
+		}
+	}
+	return out
+}
+
+// wikiClaims builds the property-keyed collection object of statement
+// arrays — the "Linked Data Interface" structure where each attribute is
+// an integer-keyed reference.
+func (g *gen) wikiClaims() map[string]any {
+	out := map[string]any{}
+	for _, prop := range g.subsetKeys("P", 220, g.intn(2, 12)) {
+		n := g.intn(1, 3)
+		statements := make([]any, n)
+		for i := range statements {
+			statements[i] = g.wikiStatement(prop)
+		}
+		out[prop] = statements
+	}
+	return out
+}
+
+func (g *gen) wikiStatement(prop string) map[string]any {
+	snak := map[string]any{
+		"snaktype": g.pick("value", "somevalue", "novalue"),
+		"property": prop,
+		"datatype": g.pick("wikibase-item", "string", "time", "quantity"),
+	}
+	if g.chance(0.85) {
+		snak["datavalue"] = map[string]any{
+			"value": g.word(),
+			"type":  "string",
+		}
+	}
+	st := map[string]any{
+		"mainsnak": snak,
+		"type":     "statement",
+		"id":       g.id("stmt"),
+		"rank":     g.pick("normal", "preferred", "deprecated"),
+	}
+	if g.chance(0.25) {
+		refs := make([]any, 1)
+		refs[0] = map[string]any{
+			"hash":        g.id("h"),
+			"snaks_order": []any{prop},
+		}
+		st["references"] = refs
+	}
+	return st
+}
+
+func (g *gen) wikiSitelinks() map[string]any {
+	out := map[string]any{}
+	for _, site := range g.subsetKeys("wiki", 60, g.intn(1, 6)) {
+		badges := make([]any, g.intn(0, 2))
+		for i := range badges {
+			badges[i] = g.id("Q")
+		}
+		out[site] = map[string]any{
+			"site":   site,
+			"title":  g.sentence(2),
+			"badges": badges,
+		}
+	}
+	return out
+}

@@ -1,0 +1,366 @@
+package dataset
+
+import "fmt"
+
+// The six tables of the Yelp Open Dataset [35] plus the synthetic
+// Yelp-Merged union used for the entity-discovery ground truth (Table 3):
+//
+//   - business: 20ish top-level fields with many optional attributes, a
+//     day-keyed hours object, and the by_appointment ⇔ hair-salon soft
+//     functional dependency the paper calls out;
+//   - checkin: the day × hour pivot-table nested collection;
+//   - photos / review / tip: stable single-entity tuples;
+//   - user: stable keys but high type variety from friends/elite arrays
+//     (the source of L-reduce's thousands of distinct types);
+//   - merged: all six with shared foreign keys (business_id, user_id) and
+//     a colliding "name" field.
+
+// YelpBusiness models the business table.
+func YelpBusiness() *Generator {
+	return &Generator{
+		Name: "yelp-business",
+		Description: "businesses: optional attribute tuple, day-keyed hours, " +
+			"by_appointment/hair-salon soft FD",
+		Entities: []string{"business"},
+		DefaultN: 4000,
+		Generate: func(n int, seed int64) []Record {
+			g := newGen(seed)
+			out := make([]Record, 0, n)
+			for i := 0; i < n; i++ {
+				out = append(out, record(g.yelpBusiness(), "business"))
+			}
+			return out
+		},
+	}
+}
+
+func (g *gen) yelpBusiness() map[string]any {
+	salon := g.chance(0.04)
+	rec := map[string]any{
+		"business_id":  g.id("b"),
+		"name":         g.sentence(2),
+		"address":      g.sentence(3),
+		"city":         g.word(),
+		"state":        g.pick("AZ", "NV", "ON", "PA", "NC"),
+		"latitude":     g.num(180) - 90,
+		"longitude":    g.num(360) - 180,
+		"stars":        float64(g.intn(2, 10)) / 2,
+		"review_count": float64(g.intn(3, 5000)),
+		"is_open":      float64(g.intn(0, 1)),
+	}
+	if g.chance(0.9) {
+		rec["postal_code"] = fmt.Sprintf("%05d", g.intn(10000, 99999))
+	}
+	category := g.pick("Restaurants", "Shopping", "Nightlife", "Automotive", "Home Services")
+	if salon {
+		category = "Hair Salons"
+	}
+	if g.chance(0.95) {
+		rec["categories"] = category + ", " + g.word()
+	}
+	if g.chance(0.85) {
+		rec["attributes"] = g.yelpAttributes(salon)
+	}
+	if g.chance(0.75) {
+		rec["hours"] = g.yelpHours()
+	}
+	return rec
+}
+
+// yelpAttributes builds the attributes object. Attribute values mix kinds
+// (stringified flags, nested-dict strings, numbers), so the similar-types
+// constraint keeps the object tuple-like despite its high key variation.
+// Hair salons carry ByAppointmentOnly plus salon-specific attributes,
+// giving JXPLAIN a second entity inside the business fields.
+func (g *gen) yelpAttributes(salon bool) map[string]any {
+	a := map[string]any{}
+	if salon {
+		// The soft FD: salons nearly always have by-appointment.
+		if g.chance(0.98) {
+			a["ByAppointmentOnly"] = g.pick("True", "False")
+		}
+		if g.chance(0.95) {
+			a["AcceptsInsurance"] = g.pick("True", "False")
+		}
+		if g.chance(0.92) {
+			a["HairSpecializesIn"] = "{'coloring': True, 'perms': " + g.pick("True", "False") + "}"
+		}
+		if g.chance(0.7) {
+			a["RestaurantsPriceRange2"] = float64(g.intn(1, 4))
+		}
+		return a
+	}
+	if g.chance(0.005) {
+		a["ByAppointmentOnly"] = "True" // the rare FD violation (§7.3)
+	}
+	if g.chance(0.7) {
+		a["RestaurantsPriceRange2"] = float64(g.intn(1, 4))
+	}
+	if g.chance(0.6) {
+		a["BusinessAcceptsCreditCards"] = g.pick("True", "False")
+	}
+	if g.chance(0.5) {
+		a["BusinessParking"] = "{'garage': False, 'street': " + g.pick("True", "False") + "}"
+	}
+	if g.chance(0.4) {
+		a["RestaurantsTakeOut"] = g.pick("True", "False")
+	}
+	if g.chance(0.4) {
+		a["RestaurantsDelivery"] = g.pick("True", "False")
+	}
+	if g.chance(0.3) {
+		a["WiFi"] = g.pick("u'free'", "u'no'", "u'paid'")
+	}
+	if g.chance(0.3) {
+		a["Ambience"] = "{'romantic': False, 'casual': " + g.pick("True", "False") + "}"
+	}
+	if g.chance(0.25) {
+		a["GoodForKids"] = g.pick("True", "False")
+	}
+	if g.chance(0.2) {
+		a["NoiseLevel"] = g.pick("u'quiet'", "u'average'", "u'loud'")
+	}
+	return a
+}
+
+// yelpHours builds the day-keyed hours object: all-string values over a
+// 7-key domain with per-day presence, which key-space entropy marks as a
+// small collection.
+func (g *gen) yelpHours() map[string]any {
+	days := []string{"Monday", "Tuesday", "Wednesday", "Thursday", "Friday", "Saturday", "Sunday"}
+	h := map[string]any{}
+	for _, d := range days {
+		if g.chance(0.75) {
+			h[d] = fmt.Sprintf("%d:0-%d:0", g.intn(6, 11), g.intn(15, 23))
+		}
+	}
+	if len(h) == 0 {
+		h[days[g.r.Intn(7)]] = "9:0-17:0"
+	}
+	return h
+}
+
+// YelpCheckin models the checkin table: a two-level day × hour pivot.
+func YelpCheckin() *Generator {
+	return &Generator{
+		Name:        "yelp-checkin",
+		Description: "checkins: day-of-week × hour-of-day pivot nested collection",
+		Entities:    []string{"checkin"},
+		DefaultN:    4000,
+		Generate: func(n int, seed int64) []Record {
+			g := newGen(seed)
+			out := make([]Record, 0, n)
+			for i := 0; i < n; i++ {
+				out = append(out, record(g.yelpCheckin(), "checkin"))
+			}
+			return out
+		},
+	}
+}
+
+func (g *gen) yelpCheckin() map[string]any {
+	days := []string{"Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun"}
+	time := map[string]any{}
+	for _, d := range days {
+		if !g.chance(0.7) {
+			continue
+		}
+		hours := map[string]any{}
+		nHours := g.intn(1, 8)
+		for j := 0; j < nHours; j++ {
+			hours[fmt.Sprintf("%d", g.intn(0, 23))] = float64(g.intn(1, 40))
+		}
+		time[d] = hours
+	}
+	if len(time) == 0 {
+		time["Fri"] = map[string]any{"20": float64(1)}
+	}
+	return map[string]any{
+		"business_id": g.id("b"),
+		"time":        time,
+	}
+}
+
+// YelpPhotos models the photos table: four mandatory fields, no variation.
+func YelpPhotos() *Generator {
+	return &Generator{
+		Name:        "yelp-photos",
+		Description: "photos: 4 mandatory string fields, single stable entity",
+		Entities:    []string{"photo"},
+		DefaultN:    4000,
+		Generate: func(n int, seed int64) []Record {
+			g := newGen(seed)
+			out := make([]Record, 0, n)
+			for i := 0; i < n; i++ {
+				out = append(out, record(g.yelpPhoto(), "photo"))
+			}
+			return out
+		},
+	}
+}
+
+func (g *gen) yelpPhoto() map[string]any {
+	return map[string]any{
+		"photo_id":    g.id("p"),
+		"business_id": g.id("b"),
+		"caption":     g.sentence(4),
+		"label":       g.pick("food", "inside", "outside", "drink", "menu"),
+	}
+}
+
+// YelpReview models the review table.
+func YelpReview() *Generator {
+	return &Generator{
+		Name:        "yelp-review",
+		Description: "reviews: stable single-entity tuples",
+		Entities:    []string{"review"},
+		DefaultN:    4000,
+		Generate: func(n int, seed int64) []Record {
+			g := newGen(seed)
+			out := make([]Record, 0, n)
+			for i := 0; i < n; i++ {
+				out = append(out, record(g.yelpReview(), "review"))
+			}
+			return out
+		},
+	}
+}
+
+func (g *gen) yelpReview() map[string]any {
+	return map[string]any{
+		"review_id":   g.id("r"),
+		"user_id":     g.id("u"),
+		"business_id": g.id("b"),
+		"stars":       float64(g.intn(1, 5)),
+		"useful":      float64(g.intn(0, 50)),
+		"funny":       float64(g.intn(0, 50)),
+		"cool":        float64(g.intn(0, 50)),
+		"text":        g.sentence(30),
+		"date":        g.date(),
+	}
+}
+
+// YelpTip models the tip table.
+func YelpTip() *Generator {
+	return &Generator{
+		Name:        "yelp-tip",
+		Description: "tips: stable single-entity tuples",
+		Entities:    []string{"tip"},
+		DefaultN:    4000,
+		Generate: func(n int, seed int64) []Record {
+			g := newGen(seed)
+			out := make([]Record, 0, n)
+			for i := 0; i < n; i++ {
+				out = append(out, record(g.yelpTip(), "tip"))
+			}
+			return out
+		},
+	}
+}
+
+func (g *gen) yelpTip() map[string]any {
+	return map[string]any{
+		"user_id":          g.id("u"),
+		"business_id":      g.id("b"),
+		"text":             g.sentence(12),
+		"date":             g.date(),
+		"compliment_count": float64(g.intn(0, 10)),
+	}
+}
+
+// YelpUser models the user table: stable keys, but friends/elite arrays of
+// varying length give L-reduction thousands of distinct types.
+func YelpUser() *Generator {
+	return &Generator{
+		Name: "yelp-user",
+		Description: "users: stable keys, variable-length friends/elite arrays " +
+			"(type explosion under L-reduction)",
+		Entities: []string{"user"},
+		DefaultN: 4000,
+		Generate: func(n int, seed int64) []Record {
+			g := newGen(seed)
+			out := make([]Record, 0, n)
+			for i := 0; i < n; i++ {
+				out = append(out, record(g.yelpUser(), "user"))
+			}
+			return out
+		},
+	}
+}
+
+func (g *gen) yelpUser() map[string]any {
+	nFriends := g.intn(0, 60)
+	friends := make([]any, nFriends)
+	for i := range friends {
+		friends[i] = g.id("u")
+	}
+	nElite := 0
+	if g.chance(0.15) {
+		nElite = g.intn(1, 8)
+	}
+	elite := make([]any, nElite)
+	for i := range elite {
+		elite[i] = fmt.Sprintf("%d", g.intn(2008, 2023))
+	}
+	return map[string]any{
+		"user_id":            g.id("u"),
+		"name":               g.word(),
+		"review_count":       float64(g.intn(0, 5000)),
+		"yelping_since":      g.date(),
+		"friends":            friends,
+		"useful":             float64(g.intn(0, 10000)),
+		"funny":              float64(g.intn(0, 10000)),
+		"cool":               float64(g.intn(0, 10000)),
+		"fans":               float64(g.intn(0, 500)),
+		"elite":              elite,
+		"average_stars":      float64(g.intn(10, 50)) / 10,
+		"compliment_hot":     float64(g.intn(0, 200)),
+		"compliment_more":    float64(g.intn(0, 200)),
+		"compliment_profile": float64(g.intn(0, 200)),
+		"compliment_cute":    float64(g.intn(0, 200)),
+		"compliment_list":    float64(g.intn(0, 200)),
+		"compliment_note":    float64(g.intn(0, 200)),
+		"compliment_plain":   float64(g.intn(0, 200)),
+		"compliment_cool":    float64(g.intn(0, 200)),
+		"compliment_funny":   float64(g.intn(0, 200)),
+		"compliment_writer":  float64(g.intn(0, 200)),
+		"compliment_photos":  float64(g.intn(0, 200)),
+	}
+}
+
+// YelpMerged unions the six Yelp tables into one stream with ground-truth
+// entity labels — the synthetic multi-entity benchmark of §7. The tables
+// share foreign keys (business_id across five tables, user_id across
+// three) and collide on "name" (business vs. user), the properties that
+// make naive similarity measures fail (Example 9).
+func YelpMerged() *Generator {
+	return &Generator{
+		Name: "yelp-merged",
+		Description: "union of the six Yelp tables: shared FKs, colliding name field, " +
+			"6-entity ground truth",
+		Entities: []string{"business", "checkin", "photo", "review", "tip", "user"},
+		DefaultN: 6000,
+		Generate: func(n int, seed int64) []Record {
+			g := newGen(seed)
+			weights := []float64{10, 10, 10, 35, 15, 20}
+			out := make([]Record, 0, n)
+			for i := 0; i < n; i++ {
+				switch g.weighted(weights) {
+				case 0:
+					out = append(out, record(g.yelpBusiness(), "business"))
+				case 1:
+					out = append(out, record(g.yelpCheckin(), "checkin"))
+				case 2:
+					out = append(out, record(g.yelpPhoto(), "photo"))
+				case 3:
+					out = append(out, record(g.yelpReview(), "review"))
+				case 4:
+					out = append(out, record(g.yelpTip(), "tip"))
+				default:
+					out = append(out, record(g.yelpUser(), "user"))
+				}
+			}
+			return out
+		},
+	}
+}

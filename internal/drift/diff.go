@@ -1,0 +1,64 @@
+package drift
+
+import (
+	"fmt"
+	"sort"
+
+	"jxplain/internal/schema"
+)
+
+// Schema diffing: a human-readable structural comparison between two
+// discovered schemas (e.g. last week's baseline and a re-learned one),
+// reporting added, removed and kind-changed field paths.
+
+// ChangeKind classifies one structural difference.
+type ChangeKind uint8
+
+// The change kinds.
+const (
+	// PathAdded is a field path present only in the new schema.
+	PathAdded ChangeKind = iota
+	// PathRemoved is a field path present only in the old schema.
+	PathRemoved
+)
+
+func (k ChangeKind) String() string {
+	if k == PathAdded {
+		return "added"
+	}
+	return "removed"
+}
+
+// Change is one structural difference between two schemas.
+type Change struct {
+	Kind ChangeKind
+	Path string
+}
+
+func (c Change) String() string { return fmt.Sprintf("%-7s %s", c.Kind, c.Path) }
+
+// Diff compares two schemas by their field-path sets and returns the
+// sorted changes. An empty result means the schemas describe the same
+// paths (their leaf types may still differ; validate to detect that).
+func Diff(old, new schema.Schema) []Change {
+	oldPaths := schema.FieldPaths(old)
+	newPaths := schema.FieldPaths(new)
+	var out []Change
+	for p := range newPaths {
+		if !oldPaths[p] {
+			out = append(out, Change{Kind: PathAdded, Path: p})
+		}
+	}
+	for p := range oldPaths {
+		if !newPaths[p] {
+			out = append(out, Change{Kind: PathRemoved, Path: p})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Path != out[j].Path {
+			return out[i].Path < out[j].Path
+		}
+		return out[i].Kind < out[j].Kind
+	})
+	return out
+}

@@ -1,0 +1,199 @@
+package entity
+
+import "sort"
+
+// Cluster is one discovered entity: a group of input key sets together
+// with its maximal element (the union of all member key sets — for
+// Bimax-Naive clusters this equals the seed k_max, since all members are
+// subsets of the seed; GreedyMerge synthesizes larger maximal elements).
+type Cluster struct {
+	// Members holds indices into the key-set slice passed to BimaxNaive.
+	Members []int
+	// Max is the cluster's maximal element.
+	Max KeySet
+}
+
+// Bimax implements Algorithm 6: reorder key sets so that similar sets are
+// adjacent. Starting from a size-descending order, the algorithm repeatedly
+// takes the largest unprocessed set k_max and stably partitions the
+// remaining sets into subsets of k_max, overlapping sets, and disjoint
+// sets, then advances past the subsets.
+//
+// The returned slice contains indices into sets, in Bimax order.
+func Bimax(sets []KeySet) []int {
+	order := sizeDescending(sets)
+	bimaxSort(sets, order, nil)
+	return order
+}
+
+// BimaxNaive implements Algorithm 7: run the Bimax loop, emitting each
+// iteration's subset group (the seed k_max and every remaining set
+// contained in it) as one cluster.
+func BimaxNaive(sets []KeySet) []Cluster {
+	order := sizeDescending(sets)
+	var clusters []Cluster
+	bimaxSort(sets, order, &clusters)
+	return clusters
+}
+
+// sizeDescending returns the indices of sets ordered by descending set
+// size; ties preserve input order (stable), keeping results deterministic.
+func sizeDescending(sets []KeySet) []int {
+	order := make([]int, len(sets))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return len(sets[order[a]]) > len(sets[order[b]])
+	})
+	return order
+}
+
+// bimaxSort runs the shared loop of Algorithms 6 and 7 over order in
+// place. When clusters is non-nil, each iteration's subset group is
+// appended to it as a Cluster.
+func bimaxSort(sets []KeySet, order []int, clusters *[]Cluster) {
+	for i := 0; i < len(order); {
+		kmax := sets[order[i]]
+		var sub, overlap, disjoint []int
+		for _, idx := range order[i:] {
+			k := sets[idx]
+			switch {
+			case k.SubsetOf(kmax):
+				sub = append(sub, idx)
+			case !k.Intersects(kmax):
+				disjoint = append(disjoint, idx)
+			default:
+				overlap = append(overlap, idx)
+			}
+		}
+		// Rearrange as sub < overlap < disjoint, preserving relative order.
+		pos := i
+		pos += copy(order[pos:], sub)
+		pos += copy(order[pos:], overlap)
+		copy(order[pos:], disjoint)
+		if clusters != nil {
+			*clusters = append(*clusters, Cluster{
+				Members: append([]int(nil), sub...),
+				Max:     kmax,
+			})
+		}
+		i += len(sub)
+	}
+}
+
+// Transpose flips a record × feature incidence matrix: the result has one
+// key set per feature id in [0, dim), holding the indices of the records
+// containing it. Bimax "sorts field order analogously" to record order
+// (§6.2) — running Bimax over the transposed sets yields that column
+// ordering.
+func Transpose(sets []KeySet, dim int) []KeySet {
+	cols := make([][]int, dim)
+	for ri, ks := range sets {
+		for _, id := range ks {
+			if id < dim {
+				cols[id] = append(cols[id], ri)
+			}
+		}
+	}
+	out := make([]KeySet, dim)
+	for i, rows := range cols {
+		out[i] = KeySet(rows) // already sorted: record indices ascend
+	}
+	return out
+}
+
+// BimaxColumns returns the feature ids in Bimax order: features whose
+// record sets are subsets of the densest feature's cluster first, then
+// overlapping, then disjoint — placing co-occurring fields adjacently,
+// which is how the paper renders Figure-style co-occurrence blocks.
+func BimaxColumns(sets []KeySet, dim int) []int {
+	return Bimax(Transpose(sets, dim))
+}
+
+// GreedyMerge implements Algorithm 8: coalesce Bimax-Naive clusters whose
+// maximal elements can be covered by unions of other clusters' maximal
+// elements. Clusters are processed in reverse insertion order
+// (smallest-seeded first); when a candidate's maximal element is fully
+// covered by a set of other active clusters, those clusters are absorbed
+// into the candidate and the search repeats with the enlarged maximal
+// element. Emitted clusters are final and cannot be absorbed later.
+//
+// The "minimal" cover of the paper is NP-hard; this uses the standard
+// greedy approximation, preferring clusters that cover more uncovered keys
+// and breaking ties toward earlier Bimax positions (more similar entities).
+func GreedyMerge(naive []Cluster) []Cluster {
+	active := make([]bool, len(naive))
+	for i := range active {
+		active[i] = true
+	}
+	// Work on copies: Members and Max grow as clusters absorb others.
+	work := make([]Cluster, len(naive))
+	for i, c := range naive {
+		work[i] = Cluster{Members: append([]int(nil), c.Members...), Max: c.Max}
+	}
+
+	var merged []Cluster
+	for cand := len(work) - 1; cand >= 0; cand-- {
+		if !active[cand] {
+			continue
+		}
+		active[cand] = false // candidate is being finalized
+		for {
+			cover := findCover(work, active, work[cand].Max)
+			if cover == nil {
+				break
+			}
+			for _, ci := range cover {
+				active[ci] = false
+				work[cand].Members = append(work[cand].Members, work[ci].Members...)
+				work[cand].Max = work[cand].Max.Union(work[ci].Max)
+			}
+		}
+		merged = append(merged, work[cand])
+	}
+	// Restore insertion order of surviving clusters (merged was built in
+	// reverse) so output remains aligned with Bimax similarity order.
+	for l, r := 0, len(merged)-1; l < r; l, r = l+1, r-1 {
+		merged[l], merged[r] = merged[r], merged[l]
+	}
+	return merged
+}
+
+// findCover greedily searches for a set cover of target among the maximal
+// elements of active clusters. It returns nil when no cover exists (some
+// key of target appears in no active cluster). Ties between equally
+// covering clusters break toward the latest insertion position: the Bimax
+// order places similar entities together, so the nearest preceding cluster
+// is the most similar one — the property Example 11 relies on.
+func findCover(work []Cluster, active []bool, target KeySet) []int {
+	uncovered := append(KeySet(nil), target...)
+	var cover []int
+	for len(uncovered) > 0 {
+		best, bestGain := -1, 0
+		for i := range work {
+			if !active[i] || contains(cover, i) {
+				continue
+			}
+			gain := work[i].Max.IntersectCount(uncovered)
+			if gain > bestGain || (gain == bestGain && gain > 0 && i > best) {
+				best, bestGain = i, gain
+			}
+		}
+		if best < 0 {
+			return nil // some key cannot be covered
+		}
+		cover = append(cover, best)
+		uncovered = uncovered.Minus(work[best].Max)
+	}
+	return cover
+}
+
+func contains(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

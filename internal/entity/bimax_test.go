@@ -1,0 +1,288 @@
+package entity
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBimaxIsPermutation(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		sets := make([]KeySet, r.Intn(30))
+		for i := range sets {
+			sets[i] = randomKeySet(r, 12)
+		}
+		order := Bimax(sets)
+		if len(order) != len(sets) {
+			return false
+		}
+		seen := make([]bool, len(sets))
+		for _, idx := range order {
+			if idx < 0 || idx >= len(sets) || seen[idx] {
+				return false
+			}
+			seen[idx] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBimaxGroupsSubsetsFirst(t *testing.T) {
+	d := NewDict()
+	big := KeySetOf(d, "a", "b", "c", "d")
+	sub := KeySetOf(d, "a", "b")
+	overlap := KeySetOf(d, "c", "x", "y")
+	disjoint := KeySetOf(d, "p", "q")
+	sets := []KeySet{disjoint, overlap, sub, big}
+	order := Bimax(sets)
+	// big (largest) first, then its subset, then overlap, then disjoint.
+	if sets[order[0]].Canon() != big.Canon() {
+		t.Errorf("first should be the largest set, got %v", sets[order[0]])
+	}
+	if sets[order[1]].Canon() != sub.Canon() {
+		t.Errorf("second should be the subset, got %v", sets[order[1]])
+	}
+	if sets[order[2]].Canon() != overlap.Canon() || sets[order[3]].Canon() != disjoint.Canon() {
+		t.Errorf("tail order wrong: %v, %v", sets[order[2]], sets[order[3]])
+	}
+}
+
+func TestBimaxNaiveClustersBySubset(t *testing.T) {
+	d := NewDict()
+	sets := []KeySet{
+		KeySetOf(d, "a", "b", "c"),
+		KeySetOf(d, "a", "b"),
+		KeySetOf(d, "a"),
+		KeySetOf(d, "x", "y"),
+		KeySetOf(d, "x"),
+	}
+	clusters := BimaxNaive(sets)
+	if len(clusters) != 2 {
+		t.Fatalf("got %d clusters: %+v", len(clusters), clusters)
+	}
+	if len(clusters[0].Members) != 3 || !clusters[0].Max.Equal(sets[0]) {
+		t.Errorf("cluster 0 = %+v", clusters[0])
+	}
+	if len(clusters[1].Members) != 2 || !clusters[1].Max.Equal(sets[3]) {
+		t.Errorf("cluster 1 = %+v", clusters[1])
+	}
+}
+
+func TestBimaxNaiveEveryInputInExactlyOneCluster(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		sets := make([]KeySet, 1+r.Intn(40))
+		for i := range sets {
+			sets[i] = randomKeySet(r, 10)
+		}
+		clusters := BimaxNaive(sets)
+		seen := make([]bool, len(sets))
+		for _, c := range clusters {
+			for _, m := range c.Members {
+				if seen[m] {
+					return false
+				}
+				seen[m] = true
+				// Every member must be a subset of the cluster max.
+				if !sets[m].SubsetOf(c.Max) {
+					return false
+				}
+			}
+		}
+		for _, s := range seen {
+			if !s {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGreedyMergeExample11(t *testing.T) {
+	// Paper Example 11: entities over keys A..E with maximal elements
+	// E1:{A,B,E}, E2:{B,C,E}, E3:{C,D,E}, E4:{B,D}. GreedyMerge starts with
+	// E4, covers it with E2 ∪ E3, and emits two entities: E1 and {E2,E3,E4}.
+	d := NewDict()
+	a, b, c, dd, e := d.ID("A"), d.ID("B"), d.ID("C"), d.ID("D"), d.ID("E")
+	naive := []Cluster{
+		{Members: []int{0}, Max: ks(a, b, e)},
+		{Members: []int{1}, Max: ks(b, c, e)},
+		{Members: []int{2}, Max: ks(c, dd, e)},
+		{Members: []int{3}, Max: ks(b, dd)},
+	}
+	merged := GreedyMerge(naive)
+	if len(merged) != 2 {
+		t.Fatalf("got %d entities: %+v", len(merged), merged)
+	}
+	// One entity must be E1 alone; the other must union E2,E3,E4.
+	var e1, joint *Cluster
+	for i := range merged {
+		if len(merged[i].Members) == 1 {
+			e1 = &merged[i]
+		} else {
+			joint = &merged[i]
+		}
+	}
+	if e1 == nil || joint == nil {
+		t.Fatalf("expected one singleton and one merged entity: %+v", merged)
+	}
+	if !e1.Max.Equal(ks(a, b, e)) {
+		t.Errorf("E1 max = %v", e1.Max)
+	}
+	if !joint.Max.Equal(ks(b, c, dd, e)) {
+		t.Errorf("joint max = %v, want {B,C,D,E}", joint.Max)
+	}
+	if len(joint.Members) != 3 {
+		t.Errorf("joint members = %v", joint.Members)
+	}
+}
+
+func TestGreedyMergeNoSharedKeysNoMerge(t *testing.T) {
+	naive := []Cluster{
+		{Members: []int{0}, Max: ks(1, 2)},
+		{Members: []int{1}, Max: ks(3, 4)},
+		{Members: []int{2}, Max: ks(5)},
+	}
+	merged := GreedyMerge(naive)
+	if len(merged) != 3 {
+		t.Errorf("disjoint entities must not merge: %+v", merged)
+	}
+}
+
+func TestGreedyMergeOptionalFieldScenario(t *testing.T) {
+	// An entity with keys {id, a, b, c} where a, b, c are optional and no
+	// record has all three: Bimax-Naive fragments it; GreedyMerge should
+	// reassemble a single entity.
+	d := NewDict()
+	sets := []KeySet{
+		KeySetOf(d, "id", "a", "b"),
+		KeySetOf(d, "id", "b", "c"),
+		KeySetOf(d, "id", "a", "c"),
+		KeySetOf(d, "id", "a"),
+		KeySetOf(d, "id", "b"),
+		KeySetOf(d, "id", "c"),
+		KeySetOf(d, "id"),
+	}
+	naive := BimaxNaive(sets)
+	if len(naive) < 2 {
+		t.Fatalf("expected fragmentation, got %d clusters", len(naive))
+	}
+	merged := GreedyMerge(naive)
+	if len(merged) != 1 {
+		t.Errorf("GreedyMerge should coalesce into 1 entity, got %d: %+v", len(merged), merged)
+	}
+	want := KeySetOf(d, "id", "a", "b", "c")
+	if !merged[0].Max.Equal(want) {
+		t.Errorf("merged max = %v", merged[0].Max)
+	}
+}
+
+func TestGreedyMergePreservesMembership(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		sets := make([]KeySet, 1+r.Intn(40))
+		for i := range sets {
+			sets[i] = randomKeySet(r, 8)
+		}
+		naive := BimaxNaive(sets)
+		merged := GreedyMerge(naive)
+		if len(merged) > len(naive) {
+			return false
+		}
+		seen := make([]bool, len(sets))
+		for _, c := range merged {
+			for _, m := range c.Members {
+				if seen[m] {
+					return false
+				}
+				seen[m] = true
+				if !sets[m].SubsetOf(c.Max) {
+					return false
+				}
+			}
+		}
+		for _, s := range seen {
+			if !s {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGreedyMergeEmpty(t *testing.T) {
+	if got := GreedyMerge(nil); len(got) != 0 {
+		t.Error("empty input should give empty output")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	d := NewDict()
+	a, b, c := d.ID("a"), d.ID("b"), d.ID("c")
+	sets := []KeySet{ks(a, b), ks(b), ks(b, c)}
+	cols := Transpose(sets, d.Len())
+	if !cols[a].Equal(ks(0)) || !cols[b].Equal(ks(0, 1, 2)) || !cols[c].Equal(ks(2)) {
+		t.Errorf("transpose = %v", cols)
+	}
+}
+
+func TestTransposeRoundTripProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		dim := 1 + r.Intn(10)
+		sets := make([]KeySet, 1+r.Intn(20))
+		for i := range sets {
+			sets[i] = randomKeySet(r, dim)
+		}
+		back := Transpose(Transpose(sets, dim), len(sets))
+		for i := range sets {
+			if !sets[i].Equal(back[i]) {
+				t.Fatalf("transpose not involutive: %v vs %v", sets[i], back[i])
+			}
+		}
+	}
+}
+
+func TestBimaxColumnsGroupsCooccurringFields(t *testing.T) {
+	d := NewDict()
+	// Fields a1,a2 co-occur in entity A's records; b1,b2 in entity B's.
+	var sets []KeySet
+	for i := 0; i < 10; i++ {
+		sets = append(sets, KeySetOf(d, "a1", "a2"))
+		sets = append(sets, KeySetOf(d, "b1", "b2"))
+	}
+	order := BimaxColumns(sets, d.Len())
+	if len(order) != 4 {
+		t.Fatalf("order = %v", order)
+	}
+	name := func(i int) byte { return d.Name(order[i])[0] }
+	// The two fields of each entity must be adjacent.
+	if name(0) != name(1) || name(2) != name(3) || name(1) == name(2) {
+		t.Errorf("co-occurring fields not adjacent: %v", order)
+	}
+}
+
+func TestBimaxDeterministic(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	sets := make([]KeySet, 50)
+	for i := range sets {
+		sets[i] = randomKeySet(r, 15)
+	}
+	a := Bimax(sets)
+	b := Bimax(sets)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Bimax must be deterministic")
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package entity
+
+import "sort"
+
+// Feature-vector encodings (§6.4). A feature vector records which paths
+// appear in one record (or one unnested collection element). JXPLAIN
+// defaults to a sparse encoding; a dense bitset encoding is faster and
+// smaller when most fields are mandatory. FeatureSet deduplicates vectors
+// — entity discovery only needs the distinct key sets with multiplicities —
+// and accounts for memory so the Figure 5 experiment can compare encodings
+// and the nested-collection pruning optimization.
+
+// Encoding selects the feature-vector storage strategy.
+type Encoding uint8
+
+// The two feature-vector encodings.
+const (
+	Sparse Encoding = iota
+	Dense
+)
+
+func (e Encoding) String() string {
+	if e == Dense {
+		return "dense"
+	}
+	return "sparse"
+}
+
+// FeatureSet is a deduplicated multiset of feature vectors over a shared
+// dictionary.
+type FeatureSet struct {
+	Dict     *Dict
+	Encoding Encoding
+
+	sets   []KeySet
+	counts []int
+	index  map[string]int
+}
+
+// NewFeatureSet returns an empty feature set using the given encoding for
+// memory accounting (the logical content is encoding-independent).
+func NewFeatureSet(enc Encoding) *FeatureSet {
+	return &FeatureSet{Dict: NewDict(), Encoding: enc, index: map[string]int{}}
+}
+
+// AddNames inserts the feature vector for a record's path names.
+func (f *FeatureSet) AddNames(names []string) {
+	f.Add(KeySetOf(f.Dict, names...))
+}
+
+// Add inserts one occurrence of the key set.
+func (f *FeatureSet) Add(s KeySet) {
+	c := s.Canon()
+	if i, ok := f.index[c]; ok {
+		f.counts[i]++
+		return
+	}
+	f.index[c] = len(f.sets)
+	f.sets = append(f.sets, s)
+	f.counts = append(f.counts, 1)
+}
+
+// Distinct returns the number of distinct feature vectors.
+func (f *FeatureSet) Distinct() int { return len(f.sets) }
+
+// Total returns the number of records folded in.
+func (f *FeatureSet) Total() int {
+	n := 0
+	for _, c := range f.counts {
+		n += c
+	}
+	return n
+}
+
+// Sets returns the distinct key sets in insertion order.
+func (f *FeatureSet) Sets() []KeySet { return f.sets }
+
+// Count returns the multiplicity of the i-th distinct vector.
+func (f *FeatureSet) Count(i int) int { return f.counts[i] }
+
+// IndexOf returns the position of the distinct vector equal to s, or -1.
+func (f *FeatureSet) IndexOf(s KeySet) int {
+	if i, ok := f.index[s.Canon()]; ok {
+		return i
+	}
+	return -1
+}
+
+// MemoryBytes estimates the storage footprint of the distinct vectors
+// under the configured encoding: sparse vectors cost one machine word per
+// present feature; dense vectors cost one bit per dictionary feature,
+// rounded up to words. Dictionary overhead is excluded (it is shared).
+func (f *FeatureSet) MemoryBytes() int {
+	const word = 8
+	switch f.Encoding {
+	case Dense:
+		wordsPerVec := (f.Dict.Len() + 63) / 64
+		return len(f.sets) * wordsPerVec * word
+	default:
+		total := 0
+		for _, s := range f.sets {
+			total += len(s) * word
+		}
+		return total
+	}
+}
+
+// SortBySizeDesc returns indices of the distinct vectors sorted by
+// descending size (stable), the starting order of Bimax.
+func (f *FeatureSet) SortBySizeDesc() []int {
+	order := make([]int, len(f.sets))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return len(f.sets[order[a]]) > len(f.sets[order[b]])
+	})
+	return order
+}

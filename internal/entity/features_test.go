@@ -1,0 +1,101 @@
+package entity
+
+import "testing"
+
+func TestFeatureSetDedup(t *testing.T) {
+	f := NewFeatureSet(Sparse)
+	f.AddNames([]string{"a", "b"})
+	f.AddNames([]string{"b", "a"})
+	f.AddNames([]string{"a"})
+	if f.Distinct() != 2 || f.Total() != 3 {
+		t.Errorf("distinct=%d total=%d", f.Distinct(), f.Total())
+	}
+	if f.Count(0) != 2 || f.Count(1) != 1 {
+		t.Errorf("counts wrong")
+	}
+	ab := KeySetOf(f.Dict, "a", "b")
+	if f.IndexOf(ab) != 0 {
+		t.Error("IndexOf broken")
+	}
+	if f.IndexOf(KeySetOf(f.Dict, "zzz")) != -1 {
+		t.Error("IndexOf of unknown set should be -1")
+	}
+}
+
+func TestEncodingString(t *testing.T) {
+	if Sparse.String() != "sparse" || Dense.String() != "dense" {
+		t.Error("Encoding.String broken")
+	}
+}
+
+func TestMemoryBytesSparseVsDense(t *testing.T) {
+	// Few present features over a large dictionary: sparse wins.
+	sparse := NewFeatureSet(Sparse)
+	dense := NewFeatureSet(Dense)
+	for i := 0; i < 500; i++ {
+		sparse.Dict.ID(word(i))
+		dense.Dict.ID(word(i))
+	}
+	for i := 0; i < 100; i++ {
+		names := []string{word(i % 500), word((i + 7) % 500)}
+		sparse.AddNames(names)
+		dense.AddNames(names)
+	}
+	if sparse.MemoryBytes() >= dense.MemoryBytes() {
+		t.Errorf("sparse (%d) should beat dense (%d) on a wide sparse domain",
+			sparse.MemoryBytes(), dense.MemoryBytes())
+	}
+
+	// Most fields mandatory over a small dictionary: dense wins.
+	sp2 := NewFeatureSet(Sparse)
+	de2 := NewFeatureSet(Dense)
+	names := make([]string, 30)
+	for i := range names {
+		names[i] = word(i)
+	}
+	for i := 0; i < 40; i++ {
+		sp2.AddNames(append([]string{word(100 + i)}, names...))
+		de2.AddNames(append([]string{word(100 + i)}, names...))
+	}
+	if de2.MemoryBytes() >= sp2.MemoryBytes() {
+		t.Errorf("dense (%d) should beat sparse (%d) when fields are mandatory",
+			de2.MemoryBytes(), sp2.MemoryBytes())
+	}
+}
+
+func word(i int) string {
+	const letters = "abcdefghijklmnopqrstuvwxyz"
+	out := []byte{}
+	for {
+		out = append(out, letters[i%26])
+		i /= 26
+		if i == 0 {
+			break
+		}
+	}
+	return string(out)
+}
+
+func TestSortBySizeDesc(t *testing.T) {
+	f := NewFeatureSet(Sparse)
+	f.AddNames([]string{"a"})
+	f.AddNames([]string{"a", "b", "c"})
+	f.AddNames([]string{"a", "b"})
+	order := f.SortBySizeDesc()
+	sizes := []int{len(f.Sets()[order[0]]), len(f.Sets()[order[1]]), len(f.Sets()[order[2]])}
+	if sizes[0] != 3 || sizes[1] != 2 || sizes[2] != 1 {
+		t.Errorf("sizes = %v", sizes)
+	}
+}
+
+func TestFeatureSetEmptyVector(t *testing.T) {
+	f := NewFeatureSet(Sparse)
+	f.AddNames(nil)
+	f.AddNames(nil)
+	if f.Distinct() != 1 || f.Total() != 2 {
+		t.Error("empty vectors should dedup")
+	}
+	if f.MemoryBytes() != 0 {
+		t.Error("empty sparse vector costs nothing")
+	}
+}

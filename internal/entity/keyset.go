@@ -1,0 +1,218 @@
+// Package entity implements JXPLAIN's multi-entity discovery (Section 6):
+// the Bimax bi-clustering order (Algorithm 6), the naive Bimax clustering
+// (Algorithm 7), the GreedyMerge coalescing step (Algorithm 8), a k-means
+// baseline used in the Table 3 comparison, and the sparse/dense feature-
+// vector encodings of §6.4.
+//
+// Entity discovery operates on key sets: the set of field names (or array
+// indices) present in each tuple-like record at one path. Keys are
+// interned into integer ids through a Dict so set operations are cheap.
+package entity
+
+import "sort"
+
+// Dict interns key names to dense integer ids.
+type Dict struct {
+	ids   map[string]int
+	names []string
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict { return &Dict{ids: map[string]int{}} }
+
+// ID returns the id for name, assigning the next id on first use.
+func (d *Dict) ID(name string) int {
+	if id, ok := d.ids[name]; ok {
+		return id
+	}
+	id := len(d.names)
+	d.ids[name] = id
+	d.names = append(d.names, name)
+	return id
+}
+
+// Lookup returns the id for name without assigning, with ok=false if absent.
+func (d *Dict) Lookup(name string) (int, bool) {
+	id, ok := d.ids[name]
+	return id, ok
+}
+
+// Name returns the name for id.
+func (d *Dict) Name(id int) string { return d.names[id] }
+
+// Len returns the number of interned names.
+func (d *Dict) Len() int { return len(d.names) }
+
+// KeySet is a sorted set of interned key ids.
+type KeySet []int
+
+// NewKeySet returns a KeySet from arbitrary ids (sorted, deduplicated).
+func NewKeySet(ids ...int) KeySet {
+	if len(ids) == 0 {
+		return KeySet{}
+	}
+	cp := append([]int(nil), ids...)
+	sort.Ints(cp)
+	out := cp[:1]
+	for _, id := range cp[1:] {
+		if id != out[len(out)-1] {
+			out = append(out, id)
+		}
+	}
+	return KeySet(out)
+}
+
+// KeySetOf interns names into d and returns their KeySet.
+func KeySetOf(d *Dict, names ...string) KeySet {
+	ids := make([]int, len(names))
+	for i, n := range names {
+		ids[i] = d.ID(n)
+	}
+	return NewKeySet(ids...)
+}
+
+// Names maps the set back to sorted key names via d.
+func (s KeySet) Names(d *Dict) []string {
+	out := make([]string, len(s))
+	for i, id := range s {
+		out[i] = d.Name(id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Contains reports whether id is in the set.
+func (s KeySet) Contains(id int) bool {
+	i := sort.SearchInts(s, id)
+	return i < len(s) && s[i] == id
+}
+
+// SubsetOf reports whether s ⊆ t.
+func (s KeySet) SubsetOf(t KeySet) bool {
+	if len(s) > len(t) {
+		return false
+	}
+	i, j := 0, 0
+	for i < len(s) && j < len(t) {
+		switch {
+		case s[i] == t[j]:
+			i++
+			j++
+		case s[i] > t[j]:
+			j++
+		default:
+			return false
+		}
+	}
+	return i == len(s)
+}
+
+// Intersects reports whether s ∩ t ≠ ∅.
+func (s KeySet) Intersects(t KeySet) bool {
+	i, j := 0, 0
+	for i < len(s) && j < len(t) {
+		switch {
+		case s[i] == t[j]:
+			return true
+		case s[i] < t[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return false
+}
+
+// Union returns s ∪ t as a new set.
+func (s KeySet) Union(t KeySet) KeySet {
+	out := make(KeySet, 0, len(s)+len(t))
+	i, j := 0, 0
+	for i < len(s) || j < len(t) {
+		switch {
+		case j >= len(t) || (i < len(s) && s[i] < t[j]):
+			out = append(out, s[i])
+			i++
+		case i >= len(s) || s[i] > t[j]:
+			out = append(out, t[j])
+			j++
+		default:
+			out = append(out, s[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// Minus returns s − t as a new set.
+func (s KeySet) Minus(t KeySet) KeySet {
+	out := make(KeySet, 0, len(s))
+	i, j := 0, 0
+	for i < len(s) {
+		switch {
+		case j >= len(t) || s[i] < t[j]:
+			out = append(out, s[i])
+			i++
+		case s[i] > t[j]:
+			j++
+		default:
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// IntersectCount returns |s ∩ t|.
+func (s KeySet) IntersectCount(t KeySet) int {
+	n, i, j := 0, 0, 0
+	for i < len(s) && j < len(t) {
+		switch {
+		case s[i] == t[j]:
+			n++
+			i++
+			j++
+		case s[i] < t[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return n
+}
+
+// Equal reports set equality.
+func (s KeySet) Equal(t KeySet) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for i := range s {
+		if s[i] != t[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Canon returns a canonical string key for map usage.
+func (s KeySet) Canon() string {
+	buf := make([]byte, 0, len(s)*3)
+	for _, id := range s {
+		for id >= 128 {
+			buf = append(buf, byte(id&0x7f)|0x80)
+			id >>= 7
+		}
+		buf = append(buf, byte(id))
+	}
+	return string(buf)
+}
+
+// Jaccard returns the Jaccard index |s∩t| / |s∪t| (1 for two empty sets).
+func (s KeySet) Jaccard(t KeySet) float64 {
+	inter := s.IntersectCount(t)
+	union := len(s) + len(t) - inter
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}

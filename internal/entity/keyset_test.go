@@ -1,0 +1,154 @@
+package entity
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func ks(ids ...int) KeySet { return NewKeySet(ids...) }
+
+func TestDict(t *testing.T) {
+	d := NewDict()
+	a := d.ID("alpha")
+	b := d.ID("beta")
+	if a == b {
+		t.Error("distinct names must get distinct ids")
+	}
+	if d.ID("alpha") != a {
+		t.Error("repeated name must get the same id")
+	}
+	if d.Name(a) != "alpha" || d.Name(b) != "beta" {
+		t.Error("Name lookup broken")
+	}
+	if d.Len() != 2 {
+		t.Errorf("Len = %d", d.Len())
+	}
+	if id, ok := d.Lookup("alpha"); !ok || id != a {
+		t.Error("Lookup broken")
+	}
+	if _, ok := d.Lookup("gamma"); ok {
+		t.Error("Lookup of unknown name should fail")
+	}
+}
+
+func TestNewKeySetSortsAndDedups(t *testing.T) {
+	s := ks(5, 1, 3, 1, 5)
+	if !s.Equal(ks(1, 3, 5)) {
+		t.Errorf("got %v", s)
+	}
+	if len(ks()) != 0 {
+		t.Error("empty set")
+	}
+}
+
+func TestKeySetOfAndNames(t *testing.T) {
+	d := NewDict()
+	s := KeySetOf(d, "z", "a", "m", "a")
+	if len(s) != 3 {
+		t.Fatalf("got %v", s)
+	}
+	names := s.Names(d)
+	if names[0] != "a" || names[1] != "m" || names[2] != "z" {
+		t.Errorf("Names = %v", names)
+	}
+}
+
+func TestSetOps(t *testing.T) {
+	a := ks(1, 2, 3)
+	b := ks(2, 3, 4)
+	c := ks(5, 6)
+	if !ks(2, 3).SubsetOf(a) || a.SubsetOf(ks(2, 3)) {
+		t.Error("SubsetOf broken")
+	}
+	if !a.SubsetOf(a) {
+		t.Error("a ⊆ a")
+	}
+	if !ks().SubsetOf(a) {
+		t.Error("∅ ⊆ a")
+	}
+	if !a.Intersects(b) || a.Intersects(c) {
+		t.Error("Intersects broken")
+	}
+	if !a.Union(b).Equal(ks(1, 2, 3, 4)) {
+		t.Errorf("Union = %v", a.Union(b))
+	}
+	if !a.Minus(b).Equal(ks(1)) {
+		t.Errorf("Minus = %v", a.Minus(b))
+	}
+	if a.IntersectCount(b) != 2 || a.IntersectCount(c) != 0 {
+		t.Error("IntersectCount broken")
+	}
+	if !a.Contains(2) || a.Contains(9) {
+		t.Error("Contains broken")
+	}
+}
+
+func TestJaccard(t *testing.T) {
+	if got := ks(1, 2).Jaccard(ks(2, 3)); got != 1.0/3 {
+		t.Errorf("Jaccard = %v", got)
+	}
+	if ks().Jaccard(ks()) != 1 {
+		t.Error("two empty sets have Jaccard 1")
+	}
+	if ks(1).Jaccard(ks()) != 0 {
+		t.Error("disjoint Jaccard 0")
+	}
+}
+
+func TestCanonDistinguishesSets(t *testing.T) {
+	// Exercise the varint encoding across the 1-byte boundary.
+	pairs := [][2]KeySet{
+		{ks(1, 2), ks(12)},
+		{ks(127), ks(128)},
+		{ks(128, 1), ks(129)},
+		{ks(), ks(0)},
+		{ks(1000), ks(1, 1000)},
+	}
+	for _, p := range pairs {
+		if p[0].Canon() == p[1].Canon() {
+			t.Errorf("canon collision: %v vs %v", p[0], p[1])
+		}
+	}
+	if ks(3, 900).Canon() != ks(900, 3).Canon() {
+		t.Error("canon must be order-insensitive (sets are sorted)")
+	}
+}
+
+func randomKeySet(r *rand.Rand, maxID int) KeySet {
+	n := r.Intn(8)
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = r.Intn(maxID)
+	}
+	return NewKeySet(ids...)
+}
+
+func TestSetOpsProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomKeySet(r, 20)
+		b := randomKeySet(r, 20)
+		u := a.Union(b)
+		// a, b ⊆ a∪b; (a−b) ∩ b = ∅; |a∩b| + |a−b| = |a|.
+		if !a.SubsetOf(u) || !b.SubsetOf(u) {
+			return false
+		}
+		if a.Minus(b).Intersects(b) {
+			return false
+		}
+		if a.IntersectCount(b)+len(a.Minus(b)) != len(a) {
+			return false
+		}
+		// Subset ⇒ union is the superset.
+		if a.SubsetOf(b) && !a.Union(b).Equal(b) {
+			return false
+		}
+		// Canon round-trip: equal canon ⇔ equal sets.
+		c := randomKeySet(r, 20)
+		return (a.Canon() == c.Canon()) == a.Equal(c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

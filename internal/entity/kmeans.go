@@ -1,0 +1,139 @@
+package entity
+
+import "math/rand"
+
+// KMeans clusters key sets into k groups using Lloyd's algorithm over
+// binary presence vectors with Euclidean distance — the baseline of the
+// Table 3 comparison. The paper notes this baseline needs the true k
+// (unavailable in practice) and still starves small entities; it exists to
+// reproduce that observation.
+//
+// dim is the feature-space dimensionality (Dict.Len()). The return value
+// assigns each input set a cluster id in [0, k). Clustering is
+// deterministic for a given seed.
+func KMeans(sets []KeySet, dim, k int, seed int64, maxIter int) []int {
+	if k <= 0 {
+		panic("entity: KMeans with k <= 0")
+	}
+	assign := make([]int, len(sets))
+	if len(sets) == 0 {
+		return assign
+	}
+	if k > len(sets) {
+		k = len(sets)
+	}
+	r := rand.New(rand.NewSource(seed))
+
+	// k-means++ seeding over the binary vectors.
+	centroids := make([][]float64, 0, k)
+	first := r.Intn(len(sets))
+	centroids = append(centroids, toVector(sets[first], dim))
+	dists := make([]float64, len(sets))
+	for len(centroids) < k {
+		total := 0.0
+		for i, s := range sets {
+			d := distToNearest(s, centroids)
+			dists[i] = d
+			total += d
+		}
+		if total == 0 {
+			// All points coincide with centroids; pick arbitrarily.
+			centroids = append(centroids, toVector(sets[r.Intn(len(sets))], dim))
+			continue
+		}
+		pick := r.Float64() * total
+		idx := 0
+		for i, d := range dists {
+			pick -= d
+			if pick <= 0 {
+				idx = i
+				break
+			}
+		}
+		centroids = append(centroids, toVector(sets[idx], dim))
+	}
+
+	for iter := 0; iter < maxIter; iter++ {
+		changed := false
+		// Assignment step.
+		for i, s := range sets {
+			best, bestD := 0, sqDist(s, centroids[0])
+			for c := 1; c < len(centroids); c++ {
+				if d := sqDist(s, centroids[c]); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		// Update step.
+		counts := make([]int, len(centroids))
+		for c := range centroids {
+			for j := range centroids[c] {
+				centroids[c][j] = 0
+			}
+		}
+		for i, s := range sets {
+			c := assign[i]
+			counts[c]++
+			for _, id := range s {
+				centroids[c][id]++
+			}
+		}
+		for c := range centroids {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster at a random point.
+				centroids[c] = toVector(sets[r.Intn(len(sets))], dim)
+				continue
+			}
+			for j := range centroids[c] {
+				centroids[c][j] /= float64(counts[c])
+			}
+		}
+	}
+	return assign
+}
+
+func toVector(s KeySet, dim int) []float64 {
+	v := make([]float64, dim)
+	for _, id := range s {
+		if id < dim {
+			v[id] = 1
+		}
+	}
+	return v
+}
+
+// sqDist computes the squared Euclidean distance between a binary key-set
+// vector and a dense centroid without materializing the binary vector:
+// Σ_j (x_j − c_j)² = Σ_{j∈s} (1 − c_j)² − c_j² + Σ_j c_j².
+func sqDist(s KeySet, centroid []float64) float64 {
+	d := 0.0
+	for _, c := range centroid {
+		d += c * c
+	}
+	for _, id := range s {
+		if id < len(centroid) {
+			c := centroid[id]
+			d += (1-c)*(1-c) - c*c
+		} else {
+			d += 1
+		}
+	}
+	return d
+}
+
+func distToNearest(s KeySet, centroids [][]float64) float64 {
+	best := sqDist(s, centroids[0])
+	for _, c := range centroids[1:] {
+		if d := sqDist(s, c); d < best {
+			best = d
+		}
+	}
+	return best
+}

@@ -1,0 +1,286 @@
+package entropy
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"jxplain/internal/jsontype"
+)
+
+func ty(t *testing.T, src string) *jsontype.Type {
+	t.Helper()
+	typ, err := jsontype.FromJSON([]byte(src))
+	if err != nil {
+		t.Fatalf("FromJSON(%q): %v", src, err)
+	}
+	return typ
+}
+
+func bagOf(t *testing.T, srcs ...string) *jsontype.Bag {
+	t.Helper()
+	b := &jsontype.Bag{}
+	for _, s := range srcs {
+		b.Add(ty(t, s))
+	}
+	return b
+}
+
+func TestDecisionString(t *testing.T) {
+	if Tuple.String() != "tuple" || Collection.String() != "collection" {
+		t.Error("Decision.String broken")
+	}
+}
+
+func TestExample7KeySpaceEntropy(t *testing.T) {
+	// Paper Example 7: records of Figure 1 have E_K = 0.70
+	// (= 2·0 + 2·(−½ ln ½)).
+	bag := bagOf(t,
+		`{"ts":7,"event":"login","user":{"name":"b","geo":[1,2]}}`,
+		`{"ts":8,"event":"serve","files":["a","b"]}`,
+	)
+	_, ev := DetectObjects(bag, DefaultConfig())
+	want := 2 * 0.5 * math.Log(2)
+	if math.Abs(ev.KeyEntropy-want) > 1e-9 {
+		t.Errorf("E_K = %.4f, want %.4f", ev.KeyEntropy, want)
+	}
+	if ev.DistinctKeys != 4 || ev.Records != 2 {
+		t.Errorf("evidence = %+v", ev)
+	}
+}
+
+func TestStableKeysAreTuples(t *testing.T) {
+	bag := bagOf(t,
+		`{"a":1,"b":"x"}`,
+		`{"a":2,"b":"y"}`,
+		`{"a":3,"b":"z"}`,
+	)
+	d, ev := DetectObjects(bag, DefaultConfig())
+	if d != Tuple {
+		t.Errorf("stable keys should be Tuple, got %v (E_K=%v)", d, ev.KeyEntropy)
+	}
+	if ev.KeyEntropy != 0 {
+		t.Errorf("mandatory keys have zero entropy, got %v", ev.KeyEntropy)
+	}
+}
+
+func TestCollectionLikeObjectDetected(t *testing.T) {
+	// Pharma-style: each record maps a different subset of a large drug
+	// domain to numbers.
+	bag := &jsontype.Bag{}
+	for i := 0; i < 50; i++ {
+		fields := make([]jsontype.Field, 0, 4)
+		for j := 0; j < 4; j++ {
+			key := fmt.Sprintf("DRUG_%d", (i*7+j*13)%60)
+			if hasKey(fields, key) {
+				continue
+			}
+			fields = append(fields, jsontype.Field{Key: key, Type: jsontype.Number})
+		}
+		bag.Add(jsontype.NewObject(fields))
+	}
+	d, ev := DetectObjects(bag, DefaultConfig())
+	if d != Collection {
+		t.Errorf("drug map should be Collection (E_K=%.3f, similar=%v)", ev.KeyEntropy, ev.Similar)
+	}
+	if !ev.Similar {
+		t.Error("all values are numbers: similar must hold")
+	}
+	if ev.KeyEntropy <= 1 {
+		t.Errorf("expected high entropy, got %v", ev.KeyEntropy)
+	}
+}
+
+func hasKey(fields []jsontype.Field, key string) bool {
+	for _, f := range fields {
+		if f.Key == key {
+			return true
+		}
+	}
+	return false
+}
+
+func TestDissimilarValuesForceTuple(t *testing.T) {
+	// High key variation but values of mixed primitive types: the
+	// similar-types constraint forces Tuple.
+	bag := &jsontype.Bag{}
+	for i := 0; i < 40; i++ {
+		valTy := jsontype.Number
+		if i%2 == 1 {
+			valTy = jsontype.String
+		}
+		bag.Add(jsontype.NewObject([]jsontype.Field{
+			{Key: fmt.Sprintf("k%d", i), Type: valTy},
+		}))
+	}
+	d, ev := DetectObjects(bag, DefaultConfig())
+	if ev.Similar {
+		t.Error("mixed ℝ/𝕊 values must be dissimilar")
+	}
+	if d != Tuple {
+		t.Errorf("dissimilar values should force Tuple, got %v", d)
+	}
+}
+
+func TestNullValuesDoNotBreakSimilarity(t *testing.T) {
+	bag := &jsontype.Bag{}
+	for i := 0; i < 30; i++ {
+		valTy := jsontype.Number
+		if i%5 == 0 {
+			valTy = jsontype.Null
+		}
+		bag.Add(jsontype.NewObject([]jsontype.Field{
+			{Key: fmt.Sprintf("u%d", i), Type: valTy},
+		}))
+	}
+	d, ev := DetectObjects(bag, DefaultConfig())
+	if !ev.Similar {
+		t.Error("null is a similarity wildcard")
+	}
+	if d != Collection {
+		t.Errorf("got %v", d)
+	}
+}
+
+func TestMinRecordsGuard(t *testing.T) {
+	bag := bagOf(t, `{"a":1,"b":2,"c":3}`)
+	d, _ := DetectObjects(bag, DefaultConfig())
+	if d != Tuple {
+		t.Error("a single record has no variation signal: Tuple")
+	}
+	cfg := DefaultConfig()
+	cfg.MinRecords = 0
+	d2, _ := DetectObjects(bag, cfg)
+	if d2 != Tuple { // entropy is still 0
+		t.Error("single record entropy is zero: Tuple")
+	}
+}
+
+func TestThresholdBoundary(t *testing.T) {
+	// Two disjoint singleton keys over 2 records: E_K = 2·(−½ln½) = ln 2 ≈ 0.693.
+	bag := bagOf(t, `{"p":1}`, `{"q":2}`)
+	d, ev := DetectObjects(bag, Config{Threshold: 1.0, MinRecords: 2})
+	if d != Tuple {
+		t.Errorf("0.693 ≤ 1 → Tuple, got %v (E_K=%v)", d, ev.KeyEntropy)
+	}
+	d2, _ := DetectObjects(bag, Config{Threshold: 0.5, MinRecords: 2})
+	if d2 != Collection {
+		t.Error("0.693 > 0.5 → Collection")
+	}
+	// Exactly at the threshold: ≤ means Tuple.
+	d3, _ := DetectObjects(bag, Config{Threshold: ev.KeyEntropy, MinRecords: 2})
+	if d3 != Tuple {
+		t.Error("E_K == threshold → Tuple")
+	}
+}
+
+func TestDetectObjectsPanicsOnArrays(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("should panic on array input")
+		}
+	}()
+	DetectObjects(bagOf(t, `[1]`), DefaultConfig())
+}
+
+func TestGeoArraysAreTuples(t *testing.T) {
+	// GeoJSON coordinates: constant length 2, all numbers.
+	bag := &jsontype.Bag{}
+	for i := 0; i < 100; i++ {
+		bag.Add(ty(t, `[1.5,-2.5]`))
+	}
+	d, ev := DetectArrays(bag, DefaultConfig())
+	if d != Tuple {
+		t.Errorf("geo arrays should be Tuple, got %v (%+v)", d, ev)
+	}
+	if ev.KeyEntropy != 0 || ev.DistinctKeys != 1 {
+		t.Errorf("constant length: %+v", ev)
+	}
+}
+
+func TestVaryingLengthArraysAreCollections(t *testing.T) {
+	bag := &jsontype.Bag{}
+	for l := 0; l < 12; l++ {
+		elems := make([]*jsontype.Type, l)
+		for i := range elems {
+			elems[i] = jsontype.String
+		}
+		bag.Add(jsontype.NewArray(elems))
+	}
+	d, ev := DetectArrays(bag, DefaultConfig())
+	if d != Collection {
+		t.Errorf("12 distinct lengths should be Collection (E=%v)", ev.KeyEntropy)
+	}
+	if math.Abs(ev.KeyEntropy-math.Log(12)) > 1e-9 {
+		t.Errorf("uniform lengths: E = %v, want ln 12", ev.KeyEntropy)
+	}
+}
+
+func TestMixedElementArraysAreTuples(t *testing.T) {
+	// CSV-row-style arrays: [𝕊, ℝ, 𝔹] — dissimilar elements force Tuple
+	// even with varying lengths.
+	bag := &jsontype.Bag{}
+	for i := 0; i < 30; i++ {
+		elems := []*jsontype.Type{jsontype.String, jsontype.Number, jsontype.Bool}
+		bag.Add(jsontype.NewArray(elems[:1+i%3]))
+	}
+	d, ev := DetectArrays(bag, DefaultConfig())
+	if ev.Similar {
+		t.Error("mixed element kinds must be dissimilar")
+	}
+	if d != Tuple {
+		t.Errorf("got %v", d)
+	}
+}
+
+func TestDetectArraysPanicsOnObjects(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("should panic on object input")
+		}
+	}()
+	DetectArrays(bagOf(t, `{"a":1}`), DefaultConfig())
+}
+
+func TestDecideMatchesDetect(t *testing.T) {
+	bags := []*jsontype.Bag{
+		bagOf(t, `{"a":1,"b":"x"}`, `{"a":2,"b":"y"}`),
+		bagOf(t, `{"k1":1}`, `{"k2":2}`, `{"k3":3}`, `{"k4":4}`),
+	}
+	cfg := DefaultConfig()
+	for _, bag := range bags {
+		d, ev := DetectObjects(bag, cfg)
+		if Decide(ev, cfg) != d {
+			t.Errorf("Decide diverges from DetectObjects for %v", bag.Types())
+		}
+	}
+	arrBag := bagOf(t, `[1,2]`, `[1,2]`)
+	d, ev := DetectArrays(arrBag, cfg)
+	if Decide(ev, cfg) != d {
+		t.Error("Decide diverges from DetectArrays")
+	}
+}
+
+func TestObjectArrayElementsSimilarAcrossRecords(t *testing.T) {
+	// Arrays of similar objects (optional fields) stay a collection.
+	bag := &jsontype.Bag{}
+	lengths := []int{1, 2, 3, 5, 8, 13, 21, 4, 9, 11, 6, 7}
+	for _, l := range lengths {
+		elems := make([]*jsontype.Type, l)
+		for i := range elems {
+			if i%2 == 0 {
+				elems[i] = jsontype.MustFromValue(map[string]any{"id": 1.0})
+			} else {
+				elems[i] = jsontype.MustFromValue(map[string]any{"id": 1.0, "tag": "x"})
+			}
+		}
+		bag.Add(jsontype.NewArray(elems))
+	}
+	d, ev := DetectArrays(bag, DefaultConfig())
+	if !ev.Similar {
+		t.Error("objects with optional fields are similar")
+	}
+	if d != Collection {
+		t.Errorf("got %v (E=%v, distinct=%d)", d, ev.KeyEntropy, ev.DistinctKeys)
+	}
+}

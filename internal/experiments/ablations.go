@@ -1,0 +1,271 @@
+package experiments
+
+import (
+	"time"
+
+	"jxplain/internal/core"
+	"jxplain/internal/dataset"
+	"jxplain/internal/metrics"
+	"jxplain/internal/stats"
+)
+
+// EditsRow reports the §7.5 measurement for one dataset: the greedy upper
+// bound on manual schema edits needed for the 1%-trained schema to accept
+// every record of the test set.
+type EditsRow struct {
+	Dataset    string
+	KReduce    int
+	BimaxMerge int
+}
+
+// EditsResult is the schema-edits experiment (§7.5).
+type EditsResult struct {
+	Options Options
+	Rows    []EditsRow
+}
+
+// RunEdits measures edits-to-full-recall at 1% training for K-reduce and
+// Bimax-Merge. The paper's finding: both need manual repair on complex
+// data, with Bimax-Merge better on collection-heavy datasets and K-reduce
+// better on rarely-missing shared attributes.
+func RunEdits(o Options) (*EditsResult, error) {
+	o = o.Defaults()
+	gens, err := o.generators()
+	if err != nil {
+		return nil, err
+	}
+	res := &EditsResult{Options: o}
+	for _, g := range gens {
+		records := g.Generate(o.scaledN(g), o.Seed)
+		train, test := split(records, 0.01, o.Seed+1000)
+		trainTypes := dataset.Types(train)
+		testTypes := dataset.Types(test)
+		kN, _ := metrics.EditsToFullRecall(Discover(KReduce, trainTypes), testTypes)
+		mN, _ := metrics.EditsToFullRecall(Discover(BimaxMerge, trainTypes), testTypes)
+		res.Rows = append(res.Rows, EditsRow{Dataset: g.Name, KReduce: kN, BimaxMerge: mN})
+	}
+	return res, nil
+}
+
+func (r *EditsResult) table() *table {
+	t := &table{
+		title:   "§7.5: Greedy upper bound on schema edits to reach 100% recall (1% training)",
+		headers: []string{"dataset", "K-reduce edits", "Bimax-Merge edits"},
+	}
+	for _, row := range r.Rows {
+		t.addRow(row.Dataset, itoa(row.KReduce), itoa(row.BimaxMerge))
+	}
+	return t
+}
+
+// Render draws the ASCII table.
+func (r *EditsResult) Render() string { return r.table().Render() }
+
+// CSV renders comma-separated values.
+func (r *EditsResult) CSV() string { return r.table().CSV() }
+
+// ThresholdRow reports recall and entropy at one entropy-threshold value.
+type ThresholdRow struct {
+	Dataset   string
+	Threshold float64
+	Recall    float64
+	Entropy   float64
+}
+
+// ThresholdResult is the threshold-sensitivity ablation (§5.3's claim that
+// the heuristic is minimally sensitive to the precise threshold).
+type ThresholdResult struct {
+	Options    Options
+	Thresholds []float64
+	Rows       []ThresholdRow
+}
+
+// RunThreshold sweeps the collection-detection entropy threshold and
+// measures JXPLAIN's recall (10% test) and schema entropy at 50% training.
+func RunThreshold(o Options) (*ThresholdResult, error) {
+	o = o.Defaults()
+	gens, err := o.generators()
+	if err != nil {
+		return nil, err
+	}
+	thresholds := []float64{0.25, 0.5, 0.75, 1.0, 1.5, 2.0}
+	res := &ThresholdResult{Options: o, Thresholds: thresholds}
+	for _, g := range gens {
+		records := g.Generate(o.scaledN(g), o.Seed)
+		train, test := split(records, 0.5, o.Seed+1000)
+		trainTypes := dataset.Types(train)
+		testTypes := dataset.Types(test)
+		for _, th := range thresholds {
+			cfg := core.Default()
+			cfg.Detection.Threshold = th
+			s := core.PipelineTypes(trainTypes, cfg)
+			res.Rows = append(res.Rows, ThresholdRow{
+				Dataset:   g.Name,
+				Threshold: th,
+				Recall:    metrics.Recall(s, testTypes),
+				Entropy:   metrics.SchemaEntropy(s),
+			})
+		}
+	}
+	return res, nil
+}
+
+func (r *ThresholdResult) table() *table {
+	t := &table{
+		title:   "Ablation: entropy-threshold sensitivity (50% training)",
+		headers: []string{"dataset", "threshold", "recall", "schema entropy"},
+	}
+	for _, row := range r.Rows {
+		t.addRow(row.Dataset, f2(row.Threshold), f5(row.Recall), f2(row.Entropy))
+	}
+	return t
+}
+
+// Render draws the ASCII table.
+func (r *ThresholdResult) Render() string { return r.table().Render() }
+
+// CSV renders comma-separated values.
+func (r *ThresholdResult) CSV() string { return r.table().CSV() }
+
+// StagedRow compares the recursive §4.1 implementation with the staged
+// Figure-3 pipeline on one dataset.
+type StagedRow struct {
+	Dataset     string
+	RecursiveMs float64
+	PipelineMs  float64
+	SameSchema  bool
+	RecallRecur float64
+	RecallPipe  float64
+}
+
+// StagedResult is the execution-strategy ablation.
+type StagedResult struct {
+	Options Options
+	Rows    []StagedRow
+}
+
+// RunStaged measures both execution strategies at 50% training.
+func RunStaged(o Options) (*StagedResult, error) {
+	o = o.Defaults()
+	gens, err := o.generators()
+	if err != nil {
+		return nil, err
+	}
+	res := &StagedResult{Options: o}
+	for _, g := range gens {
+		records := g.Generate(o.scaledN(g), o.Seed)
+		train, test := split(records, 0.5, o.Seed+1000)
+		trainTypes := dataset.Types(train)
+		testTypes := dataset.Types(test)
+
+		var recMs, pipeMs stats.Summary
+		cfg := core.Default()
+		var recS, pipeS = core.DiscoverTypes(trainTypes, cfg), core.PipelineTypes(trainTypes, cfg)
+		for trial := 0; trial < o.Trials; trial++ {
+			start := time.Now()
+			recS = core.DiscoverTypes(trainTypes, cfg)
+			recMs.Add(float64(time.Since(start).Microseconds()) / 1000)
+			start = time.Now()
+			pipeS = core.PipelineTypes(trainTypes, cfg)
+			pipeMs.Add(float64(time.Since(start).Microseconds()) / 1000)
+		}
+		res.Rows = append(res.Rows, StagedRow{
+			Dataset:     g.Name,
+			RecursiveMs: recMs.Mean(),
+			PipelineMs:  pipeMs.Mean(),
+			SameSchema:  recS.Canon() == pipeS.Canon(),
+			RecallRecur: metrics.Recall(recS, testTypes),
+			RecallPipe:  metrics.Recall(pipeS, testTypes),
+		})
+	}
+	return res, nil
+}
+
+func (r *StagedResult) table() *table {
+	t := &table{
+		title: "Ablation: recursive (§4.1) vs staged pipeline (Fig. 3) at 50% training",
+		headers: []string{"dataset", "recursive ms", "pipeline ms",
+			"identical schema", "recall (rec)", "recall (pipe)"},
+	}
+	for _, row := range r.Rows {
+		same := "no"
+		if row.SameSchema {
+			same = "yes"
+		}
+		t.addRow(row.Dataset, f2(row.RecursiveMs), f2(row.PipelineMs),
+			same, f5(row.RecallRecur), f5(row.RecallPipe))
+	}
+	return t
+}
+
+// Render draws the ASCII table.
+func (r *StagedResult) Render() string { return r.table().Render() }
+
+// CSV renders comma-separated values.
+func (r *StagedResult) CSV() string { return r.table().CSV() }
+
+// IterativeRow reports the §4.2 sampling loop for one dataset.
+type IterativeRow struct {
+	Dataset     string
+	Rounds      int
+	FinalSample int
+	TotalN      int
+	Converged   bool
+	Recall      float64
+}
+
+// IterativeResult is the iterative-sampling experiment (§4.2).
+type IterativeResult struct {
+	Options Options
+	Rows    []IterativeRow
+}
+
+// RunIterative seeds discovery with a 1% sample and applies the
+// validate-and-augment loop, reporting how little data full coverage
+// needs.
+func RunIterative(o Options) (*IterativeResult, error) {
+	o = o.Defaults()
+	gens, err := o.generators()
+	if err != nil {
+		return nil, err
+	}
+	res := &IterativeResult{Options: o}
+	for _, g := range gens {
+		records := g.Generate(o.scaledN(g), o.Seed)
+		train, test := split(records, 0.9, o.Seed+1000)
+		trainTypes := dataset.Types(train)
+		s, report := core.IterativeDiscover(trainTypes, core.Default(), 0.01, 10, o.Seed)
+		res.Rows = append(res.Rows, IterativeRow{
+			Dataset:     g.Name,
+			Rounds:      report.Rounds,
+			FinalSample: report.SampleSizes[len(report.SampleSizes)-1],
+			TotalN:      len(trainTypes),
+			Converged:   report.Converged,
+			Recall:      metrics.Recall(s, dataset.Types(test)),
+		})
+	}
+	return res, nil
+}
+
+func (r *IterativeResult) table() *table {
+	t := &table{
+		title: "§4.2: Iterative sampling — 1% seed + validate-and-augment loop",
+		headers: []string{"dataset", "rounds", "final sample", "of records",
+			"converged", "test recall"},
+	}
+	for _, row := range r.Rows {
+		conv := "no"
+		if row.Converged {
+			conv = "yes"
+		}
+		t.addRow(row.Dataset, itoa(row.Rounds), itoa(row.FinalSample),
+			itoa(row.TotalN), conv, f5(row.Recall))
+	}
+	return t
+}
+
+// Render draws the ASCII table.
+func (r *IterativeResult) Render() string { return r.table().Render() }
+
+// CSV renders comma-separated values.
+func (r *IterativeResult) CSV() string { return r.table().CSV() }

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"jxplain/internal/dataset"
+	"jxplain/internal/schema"
+)
+
+// DescribeRow summarizes one algorithm's schema shape for one dataset.
+type DescribeRow struct {
+	Dataset   string
+	Algorithm Algorithm
+	Stats     schema.Stats
+}
+
+// DescribeResult is the description-size experiment: §2's third quality
+// axis — besides precision and recall, a discovered schema should be a
+// *concise description*. It contrasts the verbose optional-field unions of
+// K-/L-reduction with JXPLAIN's collection and entity structure.
+type DescribeResult struct {
+	Options Options
+	Rows    []DescribeRow
+}
+
+// RunDescribe measures schema statistics at 90% training for all four
+// algorithms.
+func RunDescribe(o Options) (*DescribeResult, error) {
+	o = o.Defaults()
+	gens, err := o.generators()
+	if err != nil {
+		return nil, err
+	}
+	res := &DescribeResult{Options: o}
+	for _, g := range gens {
+		records := g.Generate(o.scaledN(g), o.Seed)
+		train, _ := split(records, 0.9, o.Seed+1000)
+		trainTypes := dataset.Types(train)
+		for _, alg := range Algorithms {
+			s := Discover(alg, trainTypes)
+			res.Rows = append(res.Rows, DescribeRow{
+				Dataset:   g.Name,
+				Algorithm: alg,
+				Stats:     schema.Describe(s),
+			})
+		}
+	}
+	return res, nil
+}
+
+func (r *DescribeResult) table() *table {
+	t := &table{
+		title: "Description size: schema shape at 90% training",
+		headers: []string{"dataset", "algorithm", "nodes", "entities",
+			"collections", "req fields", "opt fields", "depth", "desc bytes"},
+	}
+	for _, row := range r.Rows {
+		st := row.Stats
+		t.addRow(row.Dataset, string(row.Algorithm),
+			itoa(st.Nodes), itoa(st.Entities), itoa(st.Collections),
+			itoa(st.RequiredFields), itoa(st.OptionalFields),
+			itoa(st.Depth), itoa(st.DescriptionLength))
+	}
+	return t
+}
+
+// Render draws the ASCII table.
+func (r *DescribeResult) Render() string { return r.table().Render() }
+
+// CSV renders comma-separated values.
+func (r *DescribeResult) CSV() string { return r.table().CSV() }

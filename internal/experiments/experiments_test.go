@@ -1,0 +1,538 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"jxplain/internal/dataset"
+	"jxplain/internal/jsontype"
+)
+
+// smallOpts keeps experiment tests fast: tiny datasets, two fractions,
+// two trials.
+func smallOpts(datasets ...string) Options {
+	return Options{
+		Datasets:  datasets,
+		Fractions: []float64{0.10, 0.50},
+		Trials:    2,
+		Scale:     0.12,
+		Seed:      1,
+	}
+}
+
+func TestDiscoverAlgorithms(t *testing.T) {
+	g, _ := dataset.ByName("yelp-photos")
+	types := dataset.Types(g.Generate(100, 1))
+	for _, alg := range Algorithms {
+		s := Discover(alg, types)
+		for _, ty := range types {
+			if !s.Accepts(ty) {
+				t.Errorf("%s rejects a training record", alg)
+				break
+			}
+		}
+	}
+}
+
+func TestDiscoverPanicsOnUnknownAlgorithm(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown algorithm should panic")
+		}
+	}()
+	Discover(Algorithm("bogus"), nil)
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.Defaults()
+	if o.Trials != 5 || o.Scale != 1 || len(o.Fractions) != 4 || len(o.Datasets) != 13 {
+		t.Errorf("defaults wrong: %+v", o)
+	}
+	if _, err := (Options{Datasets: []string{"nope"}}).generators(); err == nil {
+		t.Error("unknown dataset should error")
+	}
+}
+
+func TestSplitRespectsFractions(t *testing.T) {
+	g, _ := dataset.ByName("yelp-review")
+	records := g.Generate(1000, 1)
+	train, test := split(records, 0.5, 7)
+	if len(test) != 100 {
+		t.Errorf("test size = %d, want 100", len(test))
+	}
+	if len(train) != 500 {
+		t.Errorf("train size = %d, want 500", len(train))
+	}
+	// Train and test must be disjoint (by position), checked via pointers.
+	seen := map[*jsontype.Type]bool{}
+	for _, r := range test {
+		seen[r.Type] = true
+	}
+	for _, r := range train {
+		if seen[r.Type] {
+			t.Fatal("train/test overlap")
+		}
+	}
+	// Oversized fraction clamps to the non-test remainder.
+	train2, _ := split(records, 5.0, 7)
+	if len(train2) != 900 {
+		t.Errorf("clamped train = %d, want 900", len(train2))
+	}
+}
+
+func TestRunTable1ShapesHold(t *testing.T) {
+	res, err := RunTable1(smallOpts("pharma", "yelp-merged"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ds := range res.Datasets {
+		for _, frac := range res.Fractions {
+			cell := res.Cells[ds][frac]
+			// The paper's headline shapes: JXPLAIN and K-reduce both achieve
+			// high recall; L-reduce is far below.
+			if cell[BimaxMerge].Mean < 0.9 {
+				t.Errorf("%s@%v: Bimax-Merge recall %v too low", ds, frac, cell[BimaxMerge].Mean)
+			}
+			if cell[LReduce].Mean > cell[BimaxMerge].Mean {
+				t.Errorf("%s@%v: L-reduce should not beat Bimax-Merge", ds, frac)
+			}
+		}
+	}
+	// Pharma at low fractions: Bimax-Merge generalizes better than K-reduce.
+	small := res.Cells["pharma"][0.10]
+	if small[BimaxMerge].Mean < small[KReduce].Mean {
+		t.Errorf("pharma: Bimax-Merge (%v) should beat K-reduce (%v) at small samples",
+			small[BimaxMerge].Mean, small[KReduce].Mean)
+	}
+	out := res.Render()
+	if !strings.Contains(out, "pharma") || !strings.Contains(out, "Recall") {
+		t.Error("render missing content")
+	}
+	if !strings.Contains(res.CSV(), "dataset,train") {
+		t.Error("CSV header missing")
+	}
+}
+
+func TestRunTable2PrecisionOrdering(t *testing.T) {
+	res, err := RunTable2(smallOpts("yelp-merged", "github"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ds := range res.Datasets {
+		cell := res.Cells[ds][0.50]
+		// The paper's claim (i): JXPLAIN admits fewer types than K-reduce;
+		// L-reduce is the lower bound.
+		if cell[BimaxMerge].Mean > cell[KReduce].Mean {
+			t.Errorf("%s: Bimax-Merge entropy (%v) should be ≤ K-reduce (%v)",
+				ds, cell[BimaxMerge].Mean, cell[KReduce].Mean)
+		}
+		if cell[LReduce].Mean > cell[BimaxMerge].Mean {
+			t.Errorf("%s: L-reduce entropy (%v) should be ≤ Bimax-Merge (%v)",
+				ds, cell[LReduce].Mean, cell[BimaxMerge].Mean)
+		}
+	}
+	if !strings.Contains(res.Render(), "Schema entropy") {
+		t.Error("render missing title")
+	}
+}
+
+func TestRunTable3BimaxBeatsBaselines(t *testing.T) {
+	o := smallOpts("yelp-merged")
+	o.Scale = 0.4
+	res, err := RunTable3(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6 {
+		t.Fatalf("expected 6 yelp entities, got %d", len(res.Rows))
+	}
+	var bimaxTotal, kReduceTotal int
+	for _, row := range res.Rows {
+		bimaxTotal += row.Bimax
+		kReduceTotal += row.KReduce
+	}
+	if bimaxTotal >= kReduceTotal {
+		t.Errorf("Bimax-Merge total diff (%d) should beat K-reduce (%d)", bimaxTotal, kReduceTotal)
+	}
+	if !strings.Contains(res.Render(), "symmetric difference") {
+		t.Error("render missing title")
+	}
+	if !strings.Contains(res.CSV(), "k-means") {
+		t.Error("CSV missing k-means column")
+	}
+}
+
+func TestRunTable3DefaultsToGroundTruthDatasets(t *testing.T) {
+	o := Options{Fractions: []float64{0.5}, Trials: 1, Scale: 0.05, Seed: 1}
+	res, err := RunTable3(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	datasets := map[string]bool{}
+	for _, row := range res.Rows {
+		datasets[row.Dataset] = true
+	}
+	if !datasets["yelp-merged"] || !datasets["github"] || len(datasets) != 2 {
+		t.Errorf("default table 3 datasets = %v", datasets)
+	}
+}
+
+func TestRunTable4GreedyMergeHelps(t *testing.T) {
+	o := smallOpts("yelp-merged", "yelp-photos", "pharma")
+	o.Scale = 0.25
+	o.Trials = 2
+	res, err := RunTable4(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Table4Row{}
+	for _, row := range res.Rows {
+		byName[row.Dataset] = row
+	}
+	// Claim (iv): merge never increases entity counts, and on the merged
+	// dataset it must actually reduce them.
+	for name, row := range byName {
+		if row.BimaxMergeMean > row.BimaxNaiveMean {
+			t.Errorf("%s: merge (%v) should not exceed naive (%v)",
+				name, row.BimaxMergeMean, row.BimaxNaiveMean)
+		}
+		if row.LReduceMean < row.BimaxNaiveMean {
+			t.Errorf("%s: L-reduce distinct types (%v) should dominate (%v)",
+				name, row.LReduceMean, row.BimaxNaiveMean)
+		}
+	}
+	if byName["yelp-merged"].BimaxMergeMean >= byName["yelp-merged"].BimaxNaiveMean &&
+		byName["yelp-merged"].BimaxNaiveMean > 6 {
+		t.Errorf("yelp-merged: GreedyMerge should coalesce entities: naive=%v merge=%v",
+			byName["yelp-merged"].BimaxNaiveMean, byName["yelp-merged"].BimaxMergeMean)
+	}
+	if byName["yelp-photos"].BimaxMergeMean != 1 {
+		t.Errorf("yelp-photos must be a single entity, got %v", byName["yelp-photos"].BimaxMergeMean)
+	}
+	if !strings.Contains(res.Render(), "Entity predictions") {
+		t.Error("render missing title")
+	}
+}
+
+func TestRunTable5ReportsBothAlgorithms(t *testing.T) {
+	res, err := RunTable5(smallOpts("yelp-tip", "nyt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ds := range res.Datasets {
+		for _, frac := range res.Fractions {
+			cell := res.Cells[ds][frac]
+			if cell[KReduce].Mean <= 0 || cell[BimaxMerge].Mean <= 0 {
+				t.Errorf("%s@%v: non-positive runtime", ds, frac)
+			}
+		}
+	}
+	if !strings.Contains(res.Render(), "Runtime") && !strings.Contains(res.Render(), "runtime") {
+		t.Error("render missing title")
+	}
+}
+
+func TestRunFigure4Bimodal(t *testing.T) {
+	o := Options{Trials: 1, Scale: 0.2, Seed: 1}
+	res, err := RunFigure4(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) == 0 {
+		t.Fatal("no entropy points collected")
+	}
+	// Bimodality: the gray zone around the threshold holds few points.
+	if float64(res.GrayZone) > 0.2*float64(len(res.Points)) {
+		t.Errorf("distribution not bimodal: %d of %d points near threshold",
+			res.GrayZone, len(res.Points))
+	}
+	if !strings.Contains(res.Render(), "Key-space entropy") {
+		t.Error("render missing title")
+	}
+	if !strings.Contains(res.CSV(), "entropy") {
+		t.Error("CSV missing header")
+	}
+}
+
+func TestRunFigure5PruningSavesMemory(t *testing.T) {
+	o := Options{Trials: 1, Scale: 0.15, Seed: 1}
+	res, err := RunFigure5(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type key struct {
+		ds    string
+		prune bool
+	}
+	sparseBytes := map[key]int{}
+	for _, row := range res.Rows {
+		if row.Encoding.String() == "sparse" {
+			sparseBytes[key{row.Dataset, row.PruneNested}] = row.Bytes
+		}
+	}
+	for _, ds := range []string{"yelp-merged", "pharma"} {
+		if sparseBytes[key{ds, true}] >= sparseBytes[key{ds, false}] {
+			t.Errorf("%s: pruning should reduce memory (%d vs %d)",
+				ds, sparseBytes[key{ds, true}], sparseBytes[key{ds, false}])
+		}
+	}
+	// Pharma: pruning removes nearly all structure (paper: "to nearly nothing").
+	if p := sparseBytes[key{"pharma", true}]; p*10 > sparseBytes[key{"pharma", false}] {
+		t.Errorf("pharma pruned memory (%d) should be ≪ unpruned (%d)",
+			p, sparseBytes[key{"pharma", false}])
+	}
+	if !strings.Contains(res.Render(), "Feature-vector memory") {
+		t.Error("render missing title")
+	}
+}
+
+func TestRunEdits(t *testing.T) {
+	o := smallOpts("yelp-business", "pharma")
+	o.Scale = 0.3
+	res, err := RunEdits(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]EditsRow{}
+	for _, row := range res.Rows {
+		byName[row.Dataset] = row
+	}
+	// Pharma: K-reduce needs an edit per unseen drug; Bimax-Merge's
+	// collection generalizes (§7.5: "Bimax-Merge does better on datasets
+	// with collection-like objects").
+	if byName["pharma"].BimaxMerge >= byName["pharma"].KReduce {
+		t.Errorf("pharma edits: Bimax-Merge (%d) should be ≪ K-reduce (%d)",
+			byName["pharma"].BimaxMerge, byName["pharma"].KReduce)
+	}
+	if !strings.Contains(res.Render(), "edits") {
+		t.Error("render missing title")
+	}
+}
+
+func TestRunThresholdStability(t *testing.T) {
+	o := smallOpts("yelp-checkin")
+	o.Scale = 0.2
+	res, err := RunThreshold(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(res.Thresholds) {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// §5.3: recall is stable across thresholds on bimodal data.
+	for _, row := range res.Rows {
+		if row.Recall < 0.95 {
+			t.Errorf("threshold %v: recall dropped to %v", row.Threshold, row.Recall)
+		}
+	}
+}
+
+func TestRunStaged(t *testing.T) {
+	o := smallOpts("yelp-review", "nyt")
+	o.Trials = 1
+	res, err := RunStaged(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		if !row.SameSchema {
+			t.Errorf("%s: single-entity dataset should give identical schemas", row.Dataset)
+		}
+		if row.RecallRecur != row.RecallPipe {
+			t.Errorf("%s: recalls diverge", row.Dataset)
+		}
+	}
+}
+
+func TestRunIterative(t *testing.T) {
+	o := smallOpts("yelp-photos", "pharma")
+	o.Scale = 0.2
+	res, err := RunIterative(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		if !row.Converged {
+			t.Errorf("%s: iterative discovery should converge", row.Dataset)
+		}
+		if row.Recall < 0.9 {
+			t.Errorf("%s: iterative recall %v too low", row.Dataset, row.Recall)
+		}
+		if row.FinalSample > row.TotalN {
+			t.Errorf("%s: sample exceeded data", row.Dataset)
+		}
+	}
+}
+
+func TestRunSampledDetection(t *testing.T) {
+	o := smallOpts("pharma", "yelp-checkin")
+	o.Scale = 0.3
+	res, err := RunSampledDetection(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 8 { // 2 datasets × 4 fractions
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Sample == 1 && row.DecisionAgreement != 1 {
+			t.Errorf("%s: exact mode must agree with itself", row.Dataset)
+		}
+		// §4.2: even small samples are almost perfect on collection-heavy data.
+		if row.Sample >= 0.10 && row.DecisionAgreement < 0.9 {
+			t.Errorf("%s@%v: agreement %v too low", row.Dataset, row.Sample, row.DecisionAgreement)
+		}
+		if row.Sample >= 0.10 && row.Recall < 0.95 {
+			t.Errorf("%s@%v: recall %v too low", row.Dataset, row.Sample, row.Recall)
+		}
+	}
+	if !strings.Contains(res.Render(), "entropy approximation") {
+		t.Error("render missing title")
+	}
+}
+
+func TestRunFD(t *testing.T) {
+	o := Options{Trials: 1, Scale: 1, Seed: 11, Datasets: []string{"yelp-business"}}
+	res, err := RunFD(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundSalon := false
+	for _, row := range res.Rows {
+		if row.Path == "$.attributes" && row.Rule.Consequent == "ByAppointmentOnly" {
+			foundSalon = true
+		}
+	}
+	if !foundSalon {
+		t.Errorf("salon FD not found in %d rules", len(res.Rows))
+	}
+	foundGroup := false
+	for _, grp := range res.Groups {
+		if grp.Path == "$.attributes" && len(grp.Fields) >= 2 {
+			foundGroup = true
+		}
+	}
+	if !foundGroup {
+		t.Error("expected a salon attribute co-occurrence group")
+	}
+	if !strings.Contains(res.Render(), "FD") {
+		t.Error("render missing title")
+	}
+}
+
+func TestRunDescribe(t *testing.T) {
+	o := smallOpts("yelp-merged")
+	o.Scale = 0.25
+	res, err := RunDescribe(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	byAlg := map[Algorithm]DescribeRow{}
+	for _, row := range res.Rows {
+		byAlg[row.Algorithm] = row
+	}
+	// L-reduce enumerates every distinct type: by far the longest
+	// description. JXPLAIN's entity/collection structure stays compact.
+	if byAlg[LReduce].Stats.DescriptionLength <= byAlg[BimaxMerge].Stats.DescriptionLength {
+		t.Errorf("L-reduce (%d bytes) should dwarf Bimax-Merge (%d bytes)",
+			byAlg[LReduce].Stats.DescriptionLength, byAlg[BimaxMerge].Stats.DescriptionLength)
+	}
+	if byAlg[BimaxMerge].Stats.Nodes >= byAlg[BimaxNaive].Stats.Nodes {
+		t.Errorf("GreedyMerge should shrink the schema: %d vs %d nodes",
+			byAlg[BimaxMerge].Stats.Nodes, byAlg[BimaxNaive].Stats.Nodes)
+	}
+	// K-reduce's single blended entity has (almost) no required fields at
+	// the root — everything is optional; JXPLAIN keeps required structure.
+	if byAlg[BimaxMerge].Stats.RequiredFields <= byAlg[KReduce].Stats.RequiredFields {
+		t.Errorf("Bimax-Merge should retain required fields (%d vs %d)",
+			byAlg[BimaxMerge].Stats.RequiredFields, byAlg[KReduce].Stats.RequiredFields)
+	}
+	if !strings.Contains(res.Render(), "Description size") {
+		t.Error("render missing title")
+	}
+	if !strings.Contains(res.CSV(), "desc bytes") {
+		t.Error("CSV missing header")
+	}
+}
+
+func TestAllResultsRenderAndCSV(t *testing.T) {
+	// Every result type must produce non-empty ASCII and CSV output with a
+	// header row; exercised uniformly here so renderers cannot rot.
+	o := smallOpts("yelp-photos")
+	o.Scale = 0.05
+	o.Trials = 1
+	type renderable interface {
+		Render() string
+		CSV() string
+	}
+	runners := map[string]func() (renderable, error){
+		"table1":    func() (renderable, error) { return RunTable1(o) },
+		"table2":    func() (renderable, error) { return RunTable2(o) },
+		"table4":    func() (renderable, error) { return RunTable4(o) },
+		"table5":    func() (renderable, error) { return RunTable5(o) },
+		"edits":     func() (renderable, error) { return RunEdits(o) },
+		"threshold": func() (renderable, error) { return RunThreshold(o) },
+		"staged":    func() (renderable, error) { return RunStaged(o) },
+		"iterative": func() (renderable, error) { return RunIterative(o) },
+		"sampled":   func() (renderable, error) { return RunSampledDetection(o) },
+		"describe":  func() (renderable, error) { return RunDescribe(o) },
+		"fd":        func() (renderable, error) { return RunFD(o) },
+		"figure5":   func() (renderable, error) { return RunFigure5(o) },
+	}
+	for name, fn := range runners {
+		res, err := fn()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(res.Render()) == 0 {
+			t.Errorf("%s: empty render", name)
+		}
+		csv := res.CSV()
+		if len(csv) == 0 || !strings.Contains(csv, ",") {
+			t.Errorf("%s: bad CSV %q", name, csv)
+		}
+	}
+}
+
+func TestRunnersRejectUnknownDatasets(t *testing.T) {
+	bad := Options{Datasets: []string{"bogus"}}
+	if _, err := RunTable1(bad); err == nil {
+		t.Error("RunTable1 should reject unknown dataset")
+	}
+	if _, err := RunTable2(bad); err == nil {
+		t.Error("RunTable2 should reject unknown dataset")
+	}
+	if _, err := RunTable3(bad); err == nil {
+		t.Error("RunTable3 should reject unknown dataset")
+	}
+	if _, err := RunTable4(bad); err == nil {
+		t.Error("RunTable4 should reject unknown dataset")
+	}
+	if _, err := RunTable5(bad); err == nil {
+		t.Error("RunTable5 should reject unknown dataset")
+	}
+	if _, err := RunFigure4(bad); err == nil {
+		t.Error("RunFigure4 should reject unknown dataset")
+	}
+	if _, err := RunFigure5(bad); err == nil {
+		t.Error("RunFigure5 should reject unknown dataset")
+	}
+	if _, err := RunEdits(bad); err == nil {
+		t.Error("RunEdits should reject unknown dataset")
+	}
+	if _, err := RunThreshold(bad); err == nil {
+		t.Error("RunThreshold should reject unknown dataset")
+	}
+	if _, err := RunStaged(bad); err == nil {
+		t.Error("RunStaged should reject unknown dataset")
+	}
+	if _, err := RunIterative(bad); err == nil {
+		t.Error("RunIterative should reject unknown dataset")
+	}
+	if _, err := RunSampledDetection(bad); err == nil {
+		t.Error("RunSampledDetection should reject unknown dataset")
+	}
+}

@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"jxplain/internal/core"
+	"jxplain/internal/dataset"
+	"jxplain/internal/entity"
+	"jxplain/internal/jsontype"
+	"jxplain/internal/stats"
+)
+
+// Figure4Result is the key-space entropy distribution (paper Figure 4):
+// one point per complex-kinded path with self-similar nested elements,
+// across the Yelp datasets. The paper's observation — and the reason the
+// threshold choice is uncritical — is that the distribution is strongly
+// bimodal: nearly every path has near-zero or clearly-high entropy.
+type Figure4Result struct {
+	Options   Options
+	Histogram *stats.Histogram
+	// Points lists (path, entropy) pairs for inspection.
+	Points []Figure4Point
+	// GrayZone counts points within ±0.4 nats of the threshold 1.
+	GrayZone int
+}
+
+// Figure4Point is one complex-kinded self-similar path.
+type Figure4Point struct {
+	Dataset string
+	Path    string
+	Entropy float64
+	Records int
+}
+
+// RunFigure4 collects key-space entropy for every complex-kinded
+// self-similar path of the configured datasets (default: the Yelp family,
+// as in the paper).
+func RunFigure4(o Options) (*Figure4Result, error) {
+	o = o.Defaults()
+	if len(o.Datasets) == len(dataset.Names()) {
+		o.Datasets = []string{
+			"yelp-business", "yelp-checkin", "yelp-photos",
+			"yelp-review", "yelp-tip", "yelp-user", "yelp-merged",
+		}
+	}
+	gens, err := o.generators()
+	if err != nil {
+		return nil, err
+	}
+	res := &Figure4Result{
+		Options:   o,
+		Histogram: stats.NewHistogram(0, 8, 32),
+	}
+	for _, g := range gens {
+		records := g.Generate(o.scaledN(g), o.Seed)
+		bag := &jsontype.Bag{}
+		for _, rec := range records {
+			bag.Add(rec.Type)
+		}
+		for _, st := range core.CollectPathStats(bag, core.Default()) {
+			if !st.Evidence.Similar || st.Evidence.Records < 2 {
+				continue
+			}
+			e := st.Evidence.KeyEntropy
+			res.Histogram.Add(e)
+			res.Points = append(res.Points, Figure4Point{
+				Dataset: g.Name, Path: st.Path, Entropy: e, Records: st.Evidence.Records,
+			})
+			if e > 0.6 && e < 1.4 {
+				res.GrayZone++
+			}
+		}
+	}
+	return res, nil
+}
+
+// Render draws the histogram plus a summary line.
+func (r *Figure4Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 4: Key-space entropy across complex-kinded self-similar paths (nats)\n")
+	b.WriteString(r.Histogram.Render(50))
+	fmt.Fprintf(&b, "points: %d, within gray zone (0.6..1.4) of threshold 1: %d\n",
+		len(r.Points), r.GrayZone)
+	return b.String()
+}
+
+// CSV renders the raw points.
+func (r *Figure4Result) CSV() string {
+	t := &table{headers: []string{"dataset", "path", "entropy", "records"}}
+	for _, p := range r.Points {
+		t.addRow(p.Dataset, p.Path, f5(p.Entropy), itoa(p.Records))
+	}
+	return t.CSV()
+}
+
+// Figure5Row is the feature-vector storage cost for one configuration.
+type Figure5Row struct {
+	Dataset     string
+	Encoding    entity.Encoding
+	PruneNested bool
+	Distinct    int
+	Bytes       int
+}
+
+// Figure5Result is the feature-vector memory experiment (paper Figure 5):
+// the §6.4 preprocessing cost with and without nested-collection feature
+// pruning, under sparse and dense encodings. On Yelp the pruning removes
+// the checkin pivot's day/hour keys; on Pharma it removes nearly all
+// structure (the paper: "reduces memory requirements to nearly nothing").
+type Figure5Result struct {
+	Options Options
+	Rows    []Figure5Row
+}
+
+// RunFigure5 measures feature-vector memory for the configured datasets
+// (default: yelp-merged and pharma, the paper's two exemplars).
+func RunFigure5(o Options) (*Figure5Result, error) {
+	o = o.Defaults()
+	if len(o.Datasets) == len(dataset.Names()) {
+		o.Datasets = []string{"yelp-merged", "pharma"}
+	}
+	gens, err := o.generators()
+	if err != nil {
+		return nil, err
+	}
+	res := &Figure5Result{Options: o}
+	for _, g := range gens {
+		records := g.Generate(o.scaledN(g), o.Seed)
+		bag := &jsontype.Bag{}
+		for _, rec := range records {
+			bag.Add(rec.Type)
+		}
+		for _, enc := range []entity.Encoding{entity.Sparse, entity.Dense} {
+			for _, prune := range []bool{false, true} {
+				fs := core.BuildFeatureSet(bag, core.Default(), prune, enc)
+				res.Rows = append(res.Rows, Figure5Row{
+					Dataset:     g.Name,
+					Encoding:    enc,
+					PruneNested: prune,
+					Distinct:    fs.Distinct(),
+					Bytes:       fs.MemoryBytes(),
+				})
+			}
+		}
+	}
+	return res, nil
+}
+
+func (r *Figure5Result) table() *table {
+	t := &table{
+		title:   "Figure 5: Feature-vector memory by encoding and nested-collection pruning",
+		headers: []string{"dataset", "encoding", "prune-nested", "distinct vectors", "bytes"},
+	}
+	for _, row := range r.Rows {
+		t.addRow(row.Dataset, row.Encoding.String(),
+			fmt.Sprintf("%v", row.PruneNested), itoa(row.Distinct), itoa(row.Bytes))
+	}
+	return t
+}
+
+// Render draws the ASCII table.
+func (r *Figure5Result) Render() string { return r.table().Render() }
+
+// CSV renders comma-separated values.
+func (r *Figure5Result) CSV() string { return r.table().CSV() }

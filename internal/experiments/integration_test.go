@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"testing"
+
+	"jxplain/internal/dataset"
+)
+
+// TestFullRegistrySmoke runs the core table experiments over every dataset
+// at tiny scale, catching generator/extractor regressions on datasets the
+// focused tests skip. Guarded by -short.
+func TestFullRegistrySmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-registry smoke skipped in -short mode")
+	}
+	o := Options{
+		Fractions: []float64{0.10},
+		Trials:    1,
+		Scale:     0.05,
+		Seed:      2,
+	}
+	t1, err := RunTable1(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t1.Datasets) != len(dataset.Names()) {
+		t.Fatalf("table 1 covered %d datasets", len(t1.Datasets))
+	}
+	for _, ds := range t1.Datasets {
+		cell := t1.Cells[ds][0.10]
+		for _, alg := range []Algorithm{KReduce, BimaxMerge, BimaxNaive} {
+			if cell[alg].Mean < 0 || cell[alg].Mean > 1 {
+				t.Errorf("%s/%s: recall %v out of range", ds, alg, cell[alg].Mean)
+			}
+		}
+	}
+
+	t2, err := RunTable2(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ds := range t2.Datasets {
+		cell := t2.Cells[ds][0.10]
+		for _, alg := range Algorithms {
+			if cell[alg].Mean < 0 {
+				t.Errorf("%s/%s: negative entropy %v", ds, alg, cell[alg].Mean)
+			}
+		}
+	}
+
+	t4, err := RunTable4(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t4.Rows) != len(dataset.Names()) {
+		t.Fatalf("table 4 covered %d datasets", len(t4.Rows))
+	}
+
+	t5, err := RunTable5(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t5.Datasets) != len(dataset.Names()) {
+		t.Fatalf("table 5 covered %d datasets", len(t5.Datasets))
+	}
+}

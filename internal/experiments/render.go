@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// table is a small ASCII/CSV renderer shared by all experiment results.
+type table struct {
+	title   string
+	headers []string
+	rows    [][]string
+}
+
+func (t *table) addRow(cells ...string) { t.rows = append(t.rows, cells) }
+
+// Render draws the table with aligned columns.
+func (t *table) Render() string {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.title != "" {
+		b.WriteString(t.title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	sep := make([]string, len(t.headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (quoted where needed).
+func (t *table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				b.WriteString(`"` + strings.ReplaceAll(c, `"`, `""`) + `"`)
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+func f5(x float64) string  { return fmt.Sprintf("%.5f", x) }
+func f2(x float64) string  { return fmt.Sprintf("%.2f", x) }
+func f1(x float64) string  { return fmt.Sprintf("%.1f", x) }
+func pct(f float64) string { return fmt.Sprintf("%d%%", int(f*100+0.5)) }

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"jxplain/internal/dataset"
+	"jxplain/internal/metrics"
+	"jxplain/internal/stats"
+)
+
+// Table1Cell aggregates recall over trials for one dataset × fraction ×
+// algorithm.
+type Table1Cell struct {
+	Mean, Std, Max float64
+}
+
+// Table1Result is the recall experiment (paper Table 1).
+type Table1Result struct {
+	Options   Options
+	Datasets  []string
+	Fractions []float64
+	// Cells[dataset][fraction][algorithm]
+	Cells map[string]map[float64]map[Algorithm]Table1Cell
+}
+
+// RunTable1 measures, for every dataset, training fraction and algorithm,
+// the fraction of a held-out 10% test set accepted by the discovered
+// schema, over Options.Trials independent train/test splits.
+func RunTable1(o Options) (*Table1Result, error) {
+	o = o.Defaults()
+	gens, err := o.generators()
+	if err != nil {
+		return nil, err
+	}
+	res := &Table1Result{
+		Options:   o,
+		Fractions: o.Fractions,
+		Cells:     map[string]map[float64]map[Algorithm]Table1Cell{},
+	}
+	for _, g := range gens {
+		res.Datasets = append(res.Datasets, g.Name)
+		res.Cells[g.Name] = map[float64]map[Algorithm]Table1Cell{}
+		for _, frac := range o.Fractions {
+			sums := map[Algorithm]*stats.Summary{}
+			for _, alg := range Algorithms {
+				sums[alg] = &stats.Summary{}
+			}
+			for trial := 0; trial < o.Trials; trial++ {
+				records := g.Generate(o.scaledN(g), o.Seed+int64(trial))
+				train, test := split(records, frac, o.Seed+int64(1000+trial))
+				trainTypes := dataset.Types(train)
+				testTypes := dataset.Types(test)
+				for _, alg := range Algorithms {
+					s := Discover(alg, trainTypes)
+					sums[alg].Add(metrics.Recall(s, testTypes))
+				}
+			}
+			cell := map[Algorithm]Table1Cell{}
+			for _, alg := range Algorithms {
+				cell[alg] = Table1Cell{Mean: sums[alg].Mean(), Std: sums[alg].Std(), Max: sums[alg].Max()}
+			}
+			res.Cells[g.Name][frac] = cell
+		}
+	}
+	return res, nil
+}
+
+func (r *Table1Result) table() *table {
+	t := &table{
+		title: "Table 1: Recall — fraction of the 10% test set accepted by the generated schema",
+		headers: []string{"dataset", "train",
+			"K-red mean", "K-red std", "K-red max",
+			"BxM mean", "BxM std", "BxM max",
+			"BxN mean", "BxN std", "BxN max",
+			"L-red mean", "L-red std", "L-red max"},
+	}
+	for _, ds := range r.Datasets {
+		for _, frac := range r.Fractions {
+			cell := r.Cells[ds][frac]
+			row := []string{ds, pct(frac)}
+			for _, alg := range Algorithms {
+				c := cell[alg]
+				row = append(row, f5(c.Mean), f5(c.Std), f5(c.Max))
+			}
+			t.addRow(row...)
+		}
+	}
+	return t
+}
+
+// Render draws the ASCII table.
+func (r *Table1Result) Render() string { return r.table().Render() }
+
+// CSV renders comma-separated values.
+func (r *Table1Result) CSV() string { return r.table().CSV() }

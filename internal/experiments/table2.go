@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"math"
+
+	"jxplain/internal/dataset"
+	"jxplain/internal/metrics"
+	"jxplain/internal/stats"
+)
+
+// Table2Cell aggregates schema entropy over trials.
+type Table2Cell struct {
+	Mean, Std float64
+}
+
+// Table2Result is the schema-entropy experiment (paper Table 2): the log2
+// number of types admitted by each generated schema — given equal recall,
+// fewer admitted types means a more precise schema.
+type Table2Result struct {
+	Options   Options
+	Datasets  []string
+	Fractions []float64
+	Cells     map[string]map[float64]map[Algorithm]Table2Cell
+}
+
+// RunTable2 measures schema entropy for every dataset, training fraction
+// and algorithm.
+func RunTable2(o Options) (*Table2Result, error) {
+	o = o.Defaults()
+	gens, err := o.generators()
+	if err != nil {
+		return nil, err
+	}
+	res := &Table2Result{
+		Options:   o,
+		Fractions: o.Fractions,
+		Cells:     map[string]map[float64]map[Algorithm]Table2Cell{},
+	}
+	for _, g := range gens {
+		res.Datasets = append(res.Datasets, g.Name)
+		res.Cells[g.Name] = map[float64]map[Algorithm]Table2Cell{}
+		for _, frac := range o.Fractions {
+			sums := map[Algorithm]*stats.Summary{}
+			for _, alg := range Algorithms {
+				sums[alg] = &stats.Summary{}
+			}
+			for trial := 0; trial < o.Trials; trial++ {
+				records := g.Generate(o.scaledN(g), o.Seed+int64(trial))
+				train, _ := split(records, frac, o.Seed+int64(1000+trial))
+				trainTypes := dataset.Types(train)
+				for _, alg := range Algorithms {
+					s := Discover(alg, trainTypes)
+					e := metrics.SchemaEntropy(s)
+					if math.IsInf(e, -1) {
+						e = 0 // empty schema: zero admitted types
+					}
+					sums[alg].Add(e)
+				}
+			}
+			cell := map[Algorithm]Table2Cell{}
+			for _, alg := range Algorithms {
+				cell[alg] = Table2Cell{Mean: sums[alg].Mean(), Std: sums[alg].Std()}
+			}
+			res.Cells[g.Name][frac] = cell
+		}
+	}
+	return res, nil
+}
+
+func (r *Table2Result) table() *table {
+	t := &table{
+		title: "Table 2: Schema entropy — log2 number of types admitted by the generated schema",
+		headers: []string{"dataset", "train",
+			"K-red mean", "K-red std", "BxM mean", "BxM std",
+			"BxN mean", "BxN std", "L-red mean", "L-red std"},
+	}
+	for _, ds := range r.Datasets {
+		for _, frac := range r.Fractions {
+			cell := r.Cells[ds][frac]
+			row := []string{ds, pct(frac)}
+			for _, alg := range Algorithms {
+				c := cell[alg]
+				row = append(row, f2(c.Mean), f2(c.Std))
+			}
+			t.addRow(row...)
+		}
+	}
+	return t
+}
+
+// Render draws the ASCII table.
+func (r *Table2Result) Render() string { return r.table().Render() }
+
+// CSV renders comma-separated values.
+func (r *Table2Result) CSV() string { return r.table().CSV() }

@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"jxplain/internal/core"
+	"jxplain/internal/dataset"
+	"jxplain/internal/jsontype"
+	"jxplain/internal/metrics"
+	"jxplain/internal/schema"
+)
+
+// Table3Row is the entity-detection accuracy for one ground-truth entity:
+// the symmetric difference between the entity's schema and the most
+// similar discovered cluster, per clustering approach (lower is better).
+type Table3Row struct {
+	Dataset string
+	Entity  string
+	KReduce int
+	Bimax   int
+	KMeans  int
+}
+
+// Table3Result is the clustering-accuracy experiment (paper Table 3) over
+// the two datasets with (inferable) ground truth: Yelp-Merged and GitHub.
+type Table3Result struct {
+	Options Options
+	Rows    []Table3Row
+}
+
+// RunTable3 compares K-reduce (one cluster), Bimax-Merge, and k-means
+// (with the ground-truth k, unavailable in practice) against ground-truth
+// entity schemas derived from the labeled records.
+func RunTable3(o Options) (*Table3Result, error) {
+	o = o.Defaults()
+	if len(o.Datasets) == len(dataset.Names()) {
+		o.Datasets = []string{"yelp-merged", "github"}
+	}
+	gens, err := o.generators()
+	if err != nil {
+		return nil, err
+	}
+	res := &Table3Result{Options: o}
+	for _, g := range gens {
+		records := g.Generate(o.scaledN(g), o.Seed)
+		train, _ := split(records, 0.9, o.Seed+1000)
+		trainTypes := dataset.Types(train)
+
+		// Ground-truth schemas: single-entity discovery per labeled group.
+		byEntity := map[string][]*jsontype.Type{}
+		for _, rec := range train {
+			byEntity[rec.Entity] = append(byEntity[rec.Entity], rec.Type)
+		}
+		singleCfg := core.Default()
+		singleCfg.Partition = core.SingleEntity
+
+		// The three compared clusterings.
+		kReduceClusters := rootEntitiesOf(Discover(KReduce, trainTypes))
+		bimaxClusters := rootEntitiesOf(Discover(BimaxMerge, trainTypes))
+		kmeansCfg := core.Default()
+		kmeansCfg.Partition = core.KMeansStrategy
+		kmeansCfg.KMeansK = len(byEntity)
+		kmeansCfg.Seed = o.Seed
+		kmeansClusters := rootEntitiesOf(schema.Simplify(core.PipelineTypes(trainTypes, kmeansCfg)))
+
+		for _, entityName := range g.Entities {
+			types := byEntity[entityName]
+			if len(types) == 0 {
+				continue
+			}
+			truth := schema.Simplify(core.DiscoverTypes(types, singleCfg))
+			res.Rows = append(res.Rows, Table3Row{
+				Dataset: g.Name,
+				Entity:  entityName,
+				KReduce: metrics.MinSymmetricDiff(kReduceClusters, truth),
+				Bimax:   metrics.MinSymmetricDiff(bimaxClusters, truth),
+				KMeans:  metrics.MinSymmetricDiff(kmeansClusters, truth),
+			})
+		}
+	}
+	return res, nil
+}
+
+func rootEntitiesOf(s schema.Schema) []schema.Schema {
+	entities, _ := metrics.RootEntitySchemas(s)
+	return entities
+}
+
+func (r *Table3Result) table() *table {
+	t := &table{
+		title:   "Table 3: Minimum symmetric difference from ground-truth entity schema (lower is better)",
+		headers: []string{"dataset", "entity", "K-reduce", "Bimax-Merge", "k-means"},
+	}
+	for _, row := range r.Rows {
+		t.addRow(row.Dataset, row.Entity,
+			itoa(row.KReduce), itoa(row.Bimax), itoa(row.KMeans))
+	}
+	return t
+}
+
+// Render draws the ASCII table.
+func (r *Table3Result) Render() string { return r.table().Render() }
+
+// CSV renders comma-separated values.
+func (r *Table3Result) CSV() string { return r.table().CSV() }

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"time"
+
+	"jxplain/internal/dataset"
+	"jxplain/internal/stats"
+)
+
+// Table5Cell is the mean wall-clock extraction time in milliseconds.
+type Table5Cell struct {
+	Mean, Std float64
+}
+
+// Table5Result is the runtime experiment (paper Table 5): K-reduce (as a
+// parallel fold) vs. Bimax-Merge (the multi-pass pipeline) across training
+// fractions. The paper expects JXPLAIN to be a small factor slower — the
+// price of the extra global passes — with the worst ratios on deeply
+// nested data.
+type Table5Result struct {
+	Options   Options
+	Datasets  []string
+	Fractions []float64
+	// Cells[dataset][fraction][algorithm]; only KReduce and BimaxMerge.
+	Cells map[string]map[float64]map[Algorithm]Table5Cell
+}
+
+// RunTable5 measures extraction wall-clock time.
+func RunTable5(o Options) (*Table5Result, error) {
+	o = o.Defaults()
+	gens, err := o.generators()
+	if err != nil {
+		return nil, err
+	}
+	algs := []Algorithm{KReduce, BimaxMerge}
+	res := &Table5Result{
+		Options:   o,
+		Fractions: o.Fractions,
+		Cells:     map[string]map[float64]map[Algorithm]Table5Cell{},
+	}
+	for _, g := range gens {
+		res.Datasets = append(res.Datasets, g.Name)
+		res.Cells[g.Name] = map[float64]map[Algorithm]Table5Cell{}
+		records := g.Generate(o.scaledN(g), o.Seed)
+		for _, frac := range o.Fractions {
+			sums := map[Algorithm]*stats.Summary{}
+			for _, alg := range algs {
+				sums[alg] = &stats.Summary{}
+			}
+			for trial := 0; trial < o.Trials; trial++ {
+				train, _ := split(records, frac, o.Seed+int64(1000+trial))
+				trainTypes := dataset.Types(train)
+				for _, alg := range algs {
+					start := time.Now()
+					_ = Discover(alg, trainTypes)
+					sums[alg].Add(float64(time.Since(start).Microseconds()) / 1000.0)
+				}
+			}
+			cell := map[Algorithm]Table5Cell{}
+			for _, alg := range algs {
+				cell[alg] = Table5Cell{Mean: sums[alg].Mean(), Std: sums[alg].Std()}
+			}
+			res.Cells[g.Name][frac] = cell
+		}
+	}
+	return res, nil
+}
+
+func (r *Table5Result) table() *table {
+	t := &table{
+		title: "Table 5: Extraction runtime (ms) by algorithm and training fraction",
+		headers: []string{"dataset", "train",
+			"K-reduce ms", "Bimax-Merge ms", "slowdown"},
+	}
+	for _, ds := range r.Datasets {
+		for _, frac := range r.Fractions {
+			cell := r.Cells[ds][frac]
+			k := cell[KReduce].Mean
+			m := cell[BimaxMerge].Mean
+			slow := 0.0
+			if k > 0 {
+				slow = m / k
+			}
+			t.addRow(ds, pct(frac), f2(k), f2(m), f2(slow)+"x")
+		}
+	}
+	return t
+}
+
+// Render draws the ASCII table.
+func (r *Table5Result) Render() string { return r.table().Render() }
+
+// CSV renders comma-separated values.
+func (r *Table5Result) CSV() string { return r.table().CSV() }

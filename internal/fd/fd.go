@@ -1,0 +1,184 @@
+// Package fd mines soft structural functional dependencies between field
+// *presence* indicators — the signal behind the paper's §7.3 observation
+// that Yelp's hair salons "nearly always have, and are nearly always
+// indicated by, the presence of a by_appointment field", and a step toward
+// the §9 future-work item of integrating FD-based entity structure into
+// JXPLAIN.
+//
+// A rule A ⇒ B states: records containing field A (almost) always contain
+// field B. Rules are mined from the same key sets entity discovery uses,
+// with classical support/confidence thresholds; a bidirectional pair
+// A ⇒ B and B ⇒ A marks the co-occurring field group of a latent
+// sub-entity (the salon attributes).
+package fd
+
+import (
+	"fmt"
+	"sort"
+
+	"jxplain/internal/entity"
+)
+
+// Rule is one mined presence dependency A ⇒ B.
+type Rule struct {
+	// Antecedent and Consequent are field names.
+	Antecedent, Consequent string
+	// Support is the number of records containing the antecedent.
+	Support int
+	// Confidence is the fraction of those records also containing the
+	// consequent.
+	Confidence float64
+}
+
+func (r Rule) String() string {
+	return fmt.Sprintf("%s ⇒ %s (conf %.3f, support %d)", r.Antecedent, r.Consequent, r.Confidence, r.Support)
+}
+
+// Config bounds the mining.
+type Config struct {
+	// MinSupport is the minimum antecedent occurrence count (default 10).
+	MinSupport int
+	// MinConfidence is the minimum rule confidence (default 0.95).
+	MinConfidence float64
+	// SkipUniversal drops rules whose consequent appears in (almost) every
+	// record — mandatory fields imply nothing interesting. A consequent
+	// present in more than this fraction of all records is skipped
+	// (default 0.9).
+	SkipUniversal float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MinSupport <= 0 {
+		c.MinSupport = 10
+	}
+	if c.MinConfidence <= 0 {
+		c.MinConfidence = 0.95
+	}
+	if c.SkipUniversal <= 0 {
+		c.SkipUniversal = 0.9
+	}
+	return c
+}
+
+// Mine extracts presence rules from key sets with multiplicities. keySets
+// and counts must be parallel; dict names the features.
+func Mine(dict *entity.Dict, keySets []entity.KeySet, counts []int, cfg Config) []Rule {
+	cfg = cfg.withDefaults()
+	total := 0
+	present := make([]int, dict.Len()) // records containing feature i
+	pair := map[[2]int]int{}           // records containing both i and j (i < j by id order kept both ways)
+	for si, ks := range keySets {
+		n := counts[si]
+		total += n
+		for _, id := range ks {
+			if id < len(present) {
+				present[id] += n
+			}
+		}
+		for ai := 0; ai < len(ks); ai++ {
+			for bi := 0; bi < len(ks); bi++ {
+				if ai == bi {
+					continue
+				}
+				pair[[2]int{ks[ai], ks[bi]}] += n
+			}
+		}
+	}
+
+	var rules []Rule
+	for key, both := range pair {
+		a, b := key[0], key[1]
+		supp := present[a]
+		if supp < cfg.MinSupport {
+			continue
+		}
+		if total > 0 && float64(present[b])/float64(total) > cfg.SkipUniversal {
+			continue
+		}
+		conf := float64(both) / float64(supp)
+		if conf < cfg.MinConfidence {
+			continue
+		}
+		rules = append(rules, Rule{
+			Antecedent: dict.Name(a),
+			Consequent: dict.Name(b),
+			Support:    supp,
+			Confidence: conf,
+		})
+	}
+	sort.Slice(rules, func(i, j int) bool {
+		if rules[i].Confidence != rules[j].Confidence {
+			return rules[i].Confidence > rules[j].Confidence
+		}
+		if rules[i].Antecedent != rules[j].Antecedent {
+			return rules[i].Antecedent < rules[j].Antecedent
+		}
+		return rules[i].Consequent < rules[j].Consequent
+	})
+	return rules
+}
+
+// MineNames is Mine over raw key-name sets (one per record), interning
+// through a fresh dictionary.
+func MineNames(records [][]string, cfg Config) []Rule {
+	dict := entity.NewDict()
+	index := map[string]int{}
+	var sets []entity.KeySet
+	var counts []int
+	for _, names := range records {
+		ks := entity.KeySetOf(dict, names...)
+		c := ks.Canon()
+		if i, ok := index[c]; ok {
+			counts[i]++
+			continue
+		}
+		index[c] = len(sets)
+		sets = append(sets, ks)
+		counts = append(counts, 1)
+	}
+	return Mine(dict, sets, counts, cfg)
+}
+
+// Groups collapses bidirectional rules into co-occurrence groups: fields
+// that (almost) always appear together — the latent sub-entity signature.
+// Groups of size < 2 are omitted; fields are sorted within each group and
+// groups sorted by their first field.
+func Groups(rules []Rule) [][]string {
+	// Union-find over fields linked by rules in both directions.
+	forward := map[[2]string]bool{}
+	for _, r := range rules {
+		forward[[2]string{r.Antecedent, r.Consequent}] = true
+	}
+	parent := map[string]string{}
+	var find func(string) string
+	find = func(x string) string {
+		if parent[x] == "" || parent[x] == x {
+			parent[x] = x
+			return x
+		}
+		root := find(parent[x])
+		parent[x] = root
+		return root
+	}
+	union := func(a, b string) { parent[find(a)] = find(b) }
+	for pairKey := range forward {
+		a, b := pairKey[0], pairKey[1]
+		if forward[[2]string{b, a}] {
+			union(a, b)
+		}
+	}
+	byRoot := map[string][]string{}
+	for x := range parent {
+		byRoot[find(x)] = append(byRoot[find(x)], x)
+	}
+	var out [][]string
+	for _, group := range byRoot {
+		if len(group) < 2 {
+			continue
+		}
+		sort.Strings(group)
+		out = append(out, group)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}

@@ -1,0 +1,139 @@
+package fd
+
+import (
+	"strings"
+	"testing"
+
+	"jxplain/internal/dataset"
+	"jxplain/internal/jsontype"
+)
+
+func TestMineNamesBasicRule(t *testing.T) {
+	var records [][]string
+	// A implies B (always); B appears alone half the time.
+	for i := 0; i < 50; i++ {
+		records = append(records, []string{"id", "A", "B"})
+		records = append(records, []string{"id", "B"})
+		records = append(records, []string{"id", "C"})
+	}
+	rules := MineNames(records, Config{MinSupport: 10, MinConfidence: 0.95, SkipUniversal: 0.99})
+	var found bool
+	for _, r := range rules {
+		if r.Antecedent == "A" && r.Consequent == "B" {
+			found = true
+			if r.Confidence != 1 || r.Support != 50 {
+				t.Errorf("rule = %+v", r)
+			}
+		}
+		if r.Antecedent == "B" && r.Consequent == "A" {
+			t.Error("B ⇒ A has confidence 0.5 and must not be mined")
+		}
+		if r.Consequent == "id" {
+			t.Error("universal consequents must be skipped")
+		}
+	}
+	if !found {
+		t.Errorf("A ⇒ B not mined: %v", rules)
+	}
+}
+
+func TestMineSupportThreshold(t *testing.T) {
+	var records [][]string
+	for i := 0; i < 5; i++ {
+		records = append(records, []string{"rare", "friend"})
+	}
+	for i := 0; i < 100; i++ {
+		records = append(records, []string{"common"})
+	}
+	rules := MineNames(records, Config{MinSupport: 10})
+	for _, r := range rules {
+		if r.Antecedent == "rare" {
+			t.Errorf("support 5 < 10 must be filtered: %v", r)
+		}
+	}
+}
+
+func TestMineConfidenceThreshold(t *testing.T) {
+	var records [][]string
+	for i := 0; i < 90; i++ {
+		records = append(records, []string{"x", "y"})
+	}
+	for i := 0; i < 20; i++ {
+		records = append(records, []string{"x"})
+	}
+	strict := MineNames(records, Config{MinSupport: 5, MinConfidence: 0.95})
+	for _, r := range strict {
+		if r.Antecedent == "x" && r.Consequent == "y" {
+			t.Error("confidence ≈0.82 must not pass 0.95")
+		}
+	}
+	loose := MineNames(records, Config{MinSupport: 5, MinConfidence: 0.75})
+	found := false
+	for _, r := range loose {
+		if r.Antecedent == "x" && r.Consequent == "y" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("confidence ≈0.82 should pass 0.75")
+	}
+}
+
+func TestGroups(t *testing.T) {
+	rules := []Rule{
+		{Antecedent: "a", Consequent: "b", Confidence: 1},
+		{Antecedent: "b", Consequent: "a", Confidence: 0.98},
+		{Antecedent: "b", Consequent: "c", Confidence: 1},
+		{Antecedent: "c", Consequent: "b", Confidence: 1},
+		{Antecedent: "x", Consequent: "a", Confidence: 1}, // one-directional: not grouped
+	}
+	groups := Groups(rules)
+	if len(groups) != 1 {
+		t.Fatalf("groups = %v", groups)
+	}
+	if strings.Join(groups[0], ",") != "a,b,c" {
+		t.Errorf("group = %v", groups[0])
+	}
+	if len(Groups(nil)) != 0 {
+		t.Error("no rules → no groups")
+	}
+}
+
+func TestSalonFDOnYelpBusiness(t *testing.T) {
+	// The §7.3 scenario: within Yelp business attributes, the salon fields
+	// co-occur, and they imply ByAppointmentOnly.
+	g, _ := dataset.ByName("yelp-business")
+	records := g.Generate(4000, 11)
+	var attrKeySets [][]string
+	for _, rec := range records {
+		attrs := rec.Type.Field("attributes")
+		if attrs == nil || attrs.Kind() != jsontype.KindObject {
+			continue
+		}
+		attrKeySets = append(attrKeySets, attrs.Keys())
+	}
+	rules := MineNames(attrKeySets, Config{MinSupport: 20, MinConfidence: 0.9})
+	foundSalonFD := false
+	for _, r := range rules {
+		if r.Antecedent == "AcceptsInsurance" && r.Consequent == "ByAppointmentOnly" {
+			foundSalonFD = true
+		}
+	}
+	if !foundSalonFD {
+		t.Errorf("salon FD not mined; rules = %v", rules)
+	}
+}
+
+func TestRuleString(t *testing.T) {
+	r := Rule{Antecedent: "a", Consequent: "b", Support: 10, Confidence: 0.975}
+	if !strings.Contains(r.String(), "a ⇒ b") || !strings.Contains(r.String(), "0.975") {
+		t.Errorf("String = %q", r.String())
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.MinSupport != 10 || c.MinConfidence != 0.95 || c.SkipUniversal != 0.9 {
+		t.Errorf("defaults = %+v", c)
+	}
+}

@@ -1,0 +1,182 @@
+package jsontype
+
+import "sort"
+
+// Bag is a multiset of types, the unit of input to every merge operator in
+// the paper (ℛ in Algorithms 1-4). The zero value is an empty bag.
+//
+// Bags deduplicate structurally equal types and track multiplicities, so
+// a million identical records cost one tree plus a counter. Insertion
+// order of distinct types is preserved, which keeps extraction
+// deterministic.
+type Bag struct {
+	types  []*Type
+	counts []int
+	index  map[string]int // canon -> position in types
+	total  int
+}
+
+// NewBag returns a bag containing the given types (each with
+// multiplicity 1 per occurrence).
+func NewBag(types ...*Type) *Bag {
+	b := &Bag{}
+	for _, t := range types {
+		b.Add(t)
+	}
+	return b
+}
+
+// Add inserts one occurrence of t.
+func (b *Bag) Add(t *Type) { b.AddN(t, 1) }
+
+// AddN inserts n occurrences of t. n must be positive.
+func (b *Bag) AddN(t *Type, n int) {
+	if n <= 0 {
+		panic("jsontype: Bag.AddN with non-positive count")
+	}
+	if b.index == nil {
+		b.index = make(map[string]int)
+	}
+	if i, ok := b.index[t.Canon()]; ok {
+		b.counts[i] += n
+	} else {
+		b.index[t.Canon()] = len(b.types)
+		b.types = append(b.types, t)
+		b.counts = append(b.counts, n)
+	}
+	b.total += n
+}
+
+// AddBag inserts every occurrence in other.
+func (b *Bag) AddBag(other *Bag) {
+	for i, t := range other.types {
+		b.AddN(t, other.counts[i])
+	}
+}
+
+// Len returns the total number of occurrences in the bag.
+func (b *Bag) Len() int { return b.total }
+
+// Distinct returns the number of distinct types in the bag.
+func (b *Bag) Distinct() int { return len(b.types) }
+
+// Types returns the distinct types in insertion order. The returned slice
+// must not be mutated.
+func (b *Bag) Types() []*Type { return b.types }
+
+// Count returns the multiplicity of the i-th distinct type.
+func (b *Bag) Count(i int) int { return b.counts[i] }
+
+// CountOf returns the multiplicity of t (0 if absent).
+func (b *Bag) CountOf(t *Type) int {
+	if b.index == nil {
+		return 0
+	}
+	if i, ok := b.index[t.Canon()]; ok {
+		return b.counts[i]
+	}
+	return 0
+}
+
+// Each calls fn for every distinct type with its multiplicity.
+func (b *Bag) Each(fn func(t *Type, n int)) {
+	for i, t := range b.types {
+		fn(t, b.counts[i])
+	}
+}
+
+// SplitKinds partitions the bag into primitives, arrays and objects,
+// the first step of Algorithms 1 and 4.
+func (b *Bag) SplitKinds() (prims, arrays, objects *Bag) {
+	prims, arrays, objects = &Bag{}, &Bag{}, &Bag{}
+	for i, t := range b.types {
+		switch t.Kind() {
+		case KindArray:
+			arrays.AddN(t, b.counts[i])
+		case KindObject:
+			objects.AddN(t, b.counts[i])
+		default:
+			prims.AddN(t, b.counts[i])
+		}
+	}
+	return prims, arrays, objects
+}
+
+// Elements returns a bag of every array element across the bag
+// ({τ.k | k ∈ keys(τ), τ ∈ ℛ} for array-kinded ℛ; Algorithm 2).
+func (b *Bag) Elements() *Bag {
+	out := &Bag{}
+	for i, t := range b.types {
+		for _, e := range t.Elems() {
+			out.AddN(e, b.counts[i])
+		}
+	}
+	return out
+}
+
+// FieldValues returns a bag of every object field value across the bag,
+// regardless of key (used when objects are merged as collections).
+func (b *Bag) FieldValues() *Bag {
+	out := &Bag{}
+	for i, t := range b.types {
+		for _, f := range t.Fields() {
+			out.AddN(f.Type, b.counts[i])
+		}
+	}
+	return out
+}
+
+// GroupByKey returns, for each key appearing in any object of the bag, the
+// bag of types found under that key, plus the number of records containing
+// the key. Keys are returned in sorted order for determinism.
+func (b *Bag) GroupByKey() (keys []string, groups []*Bag, present []int) {
+	byKey := map[string]*Bag{}
+	presentBy := map[string]int{}
+	for i, t := range b.types {
+		for _, f := range t.Fields() {
+			g := byKey[f.Key]
+			if g == nil {
+				g = &Bag{}
+				byKey[f.Key] = g
+			}
+			g.AddN(f.Type, b.counts[i])
+			presentBy[f.Key] += b.counts[i]
+		}
+	}
+	keys = make([]string, 0, len(byKey))
+	for k := range byKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	groups = make([]*Bag, len(keys))
+	present = make([]int, len(keys))
+	for i, k := range keys {
+		groups[i] = byKey[k]
+		present[i] = presentBy[k]
+	}
+	return keys, groups, present
+}
+
+// GroupByIndex returns, for each array position occurring in any array of
+// the bag, the bag of types at that position and the number of arrays long
+// enough to have it. The slices are indexed by position 0..maxLen-1.
+func (b *Bag) GroupByIndex() (groups []*Bag, present []int) {
+	maxLen := 0
+	for _, t := range b.types {
+		if t.Len() > maxLen {
+			maxLen = t.Len()
+		}
+	}
+	groups = make([]*Bag, maxLen)
+	present = make([]int, maxLen)
+	for i := range groups {
+		groups[i] = &Bag{}
+	}
+	for i, t := range b.types {
+		for p, e := range t.Elems() {
+			groups[p].AddN(e, b.counts[i])
+			present[p] += b.counts[i]
+		}
+	}
+	return groups, present
+}

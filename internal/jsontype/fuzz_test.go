@@ -1,0 +1,60 @@
+package jsontype
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzFromJSON exercises the type extractor against arbitrary bytes: it
+// must never panic, and whenever it succeeds the result must be internally
+// consistent (valid canon, stable re-extraction).
+func FuzzFromJSON(f *testing.F) {
+	seeds := []string{
+		`null`, `true`, `3.5`, `"s"`, `[]`, `{}`,
+		`{"ts":7,"event":"login","user":{"name":"bob","geo":[1.1,2.2]}}`,
+		`[[[[1]]]]`, `{"a":{"b":{"c":{"d":null}}}}`,
+		`{"a":1,"a":"x"}`, `[1,"two",true,null,{},[]]`,
+		`{"esc":"esc","k:ey":1,"k,ey":2}`,
+		`{`, `}`, `[1,`, `"unterminated`, `nul`, `1e999`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ty, err := FromJSON(data)
+		if err != nil {
+			return
+		}
+		if ty == nil {
+			t.Fatal("nil type without error")
+		}
+		// Canon must be non-empty and stable.
+		if ty.Canon() == "" {
+			t.Fatal("empty canon")
+		}
+		// Re-parsing the same bytes must give a structurally equal type.
+		ty2, err2 := FromJSON(data)
+		if err2 != nil || !Equal(ty, ty2) {
+			t.Fatalf("re-extraction diverged: %v vs %v (%v)", ty, ty2, err2)
+		}
+		// String rendering must terminate and be non-empty.
+		if ty.String() == "" {
+			t.Fatal("empty String()")
+		}
+	})
+}
+
+// FuzzDecodeAll exercises the multi-document decoder.
+func FuzzDecodeAll(f *testing.F) {
+	f.Add([]byte("{\"a\":1}\n{\"a\":2}"))
+	f.Add([]byte(`1 2 3 [] {} "x"`))
+	f.Add([]byte("\n\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		types, _ := DecodeAll(bytes.NewReader(data))
+		for _, ty := range types {
+			if ty == nil {
+				t.Fatal("nil type in successful prefix")
+			}
+		}
+	})
+}

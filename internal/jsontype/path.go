@@ -1,0 +1,85 @@
+package jsontype
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Step is one component of a Path: an object key, a fixed array index, or
+// a wildcard standing for "any element of a collection at this point".
+type Step struct {
+	// Key is the object key, valid when Index < 0 and !Wildcard.
+	Key string
+	// Index is the array position, valid when >= 0.
+	Index int
+	// Wildcard marks a collection step (any key / any position), written *.
+	Wildcard bool
+}
+
+// KeyStep returns a Step selecting object key k.
+func KeyStep(k string) Step { return Step{Key: k, Index: -1} }
+
+// IndexStep returns a Step selecting array position i.
+func IndexStep(i int) Step { return Step{Index: i} }
+
+// WildcardStep returns the collection-element step.
+func WildcardStep() Step { return Step{Index: -1, Wildcard: true} }
+
+func (s Step) String() string {
+	switch {
+	case s.Wildcard:
+		return "[*]"
+	case s.Index >= 0:
+		return "[" + strconv.Itoa(s.Index) + "]"
+	default:
+		return "." + s.Key
+	}
+}
+
+// Path is a sequence of steps from the root of a record to a nested value,
+// denoted 𝐩 in the paper. The empty path denotes the root. Paths are
+// treated as immutable: Child returns a fresh path.
+type Path []Step
+
+// Root is the empty path.
+var Root = Path{}
+
+// Child returns p extended by step s, without aliasing p's backing array.
+func (p Path) Child(s Step) Path {
+	out := make(Path, len(p)+1)
+	copy(out, p)
+	out[len(p)] = s
+	return out
+}
+
+// Key returns p extended by an object key step.
+func (p Path) Key(k string) Path { return p.Child(KeyStep(k)) }
+
+// Index returns p extended by an array index step.
+func (p Path) Index(i int) Path { return p.Child(IndexStep(i)) }
+
+// Wildcard returns p extended by a collection-element step.
+func (p Path) Wildcard() Path { return p.Child(WildcardStep()) }
+
+// String renders the path in JSONPath-like notation: $.user.geo[0].
+func (p Path) String() string {
+	var b strings.Builder
+	b.WriteByte('$')
+	for _, s := range p {
+		b.WriteString(s.String())
+	}
+	return b.String()
+}
+
+// Equal reports whether two paths are identical.
+func (p Path) Equal(q Path) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if p[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,47 @@
+package jsontype
+
+import "testing"
+
+func TestPathString(t *testing.T) {
+	p := Root.Key("user").Key("geo").Index(0)
+	if got := p.String(); got != "$.user.geo[0]" {
+		t.Errorf("Path.String() = %q", got)
+	}
+	q := Root.Key("files").Wildcard()
+	if got := q.String(); got != "$.files[*]" {
+		t.Errorf("Path.String() = %q", got)
+	}
+	if Root.String() != "$" {
+		t.Errorf("Root.String() = %q", Root.String())
+	}
+}
+
+func TestPathChildDoesNotAlias(t *testing.T) {
+	base := Root.Key("a")
+	p := base.Key("b")
+	q := base.Key("c")
+	if p.String() != "$.a.b" || q.String() != "$.a.c" {
+		t.Errorf("Child aliased backing array: %s, %s", p, q)
+	}
+}
+
+func TestPathEqual(t *testing.T) {
+	a := Root.Key("x").Index(1)
+	b := Root.Key("x").Index(1)
+	c := Root.Key("x").Index(2)
+	d := Root.Key("x").Wildcard()
+	if !a.Equal(b) {
+		t.Error("equal paths should compare equal")
+	}
+	if a.Equal(c) || a.Equal(d) || a.Equal(Root) {
+		t.Error("distinct paths should not compare equal")
+	}
+}
+
+func TestStepString(t *testing.T) {
+	if KeyStep("k").String() != ".k" ||
+		IndexStep(3).String() != "[3]" ||
+		WildcardStep().String() != "[*]" {
+		t.Error("Step.String broken")
+	}
+}

@@ -1,0 +1,235 @@
+package jsontype
+
+// Similar implements the type similarity rule of Section 5.2:
+//
+//	τ₁ ≈ τ₂ ≜  true                      if τ₁ = null or τ₂ = null
+//	           τ₁ = τ₂                   if kind(τ₁) ∈ {𝔹, ℝ, 𝕊}
+//	           ∀i: τ₁.i ≈ τ₂.i           for i ∈ keys(τ₁) ∩ keys(τ₂)
+//
+// Null is similar to anything; primitives are similar only to themselves
+// (and null); like-kinded complex types are similar when nested values at
+// shared keys/positions are similar; differently-kinded complex types (or
+// a complex vs. a non-null primitive) are dissimilar.
+func Similar(a, b *Type) bool {
+	if a.Kind() == KindNull || b.Kind() == KindNull {
+		return true
+	}
+	if a.Kind() != b.Kind() {
+		return false
+	}
+	switch a.Kind() {
+	case KindBool, KindNumber, KindString:
+		return true // same primitive kind ⇒ same type
+	case KindArray:
+		n := min(len(a.elems), len(b.elems))
+		for i := 0; i < n; i++ {
+			if !Similar(a.elems[i], b.elems[i]) {
+				return false
+			}
+		}
+		return true
+	case KindObject:
+		// Walk the two key-sorted field lists in lockstep.
+		i, j := 0, 0
+		for i < len(a.fields) && j < len(b.fields) {
+			switch {
+			case a.fields[i].Key < b.fields[j].Key:
+				i++
+			case a.fields[i].Key > b.fields[j].Key:
+				j++
+			default:
+				if !Similar(a.fields[i].Type, b.fields[j].Type) {
+					return false
+				}
+				i++
+				j++
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// SimilarityAccumulator exploits the subsumption property of ≈ (Section
+// 5.2): a linear scan can maintain a maximal type that unions all fields
+// encountered so far; a new type is pairwise-similar to every previous type
+// iff it is similar to this maximal type. The accumulator therefore decides
+// "are all types in this bag pairwise similar?" in one pass.
+//
+// The zero value is ready to use.
+type SimilarityAccumulator struct {
+	max        *Type
+	dissimilar bool
+}
+
+// Add folds t into the accumulator and reports whether the set observed so
+// far is still pairwise similar. Once dissimilarity is detected the
+// accumulator latches false.
+func (s *SimilarityAccumulator) Add(t *Type) bool {
+	if s.dissimilar {
+		return false
+	}
+	if s.max == nil {
+		s.max = t
+		return true
+	}
+	if !Similar(s.max, t) {
+		s.dissimilar = true
+		return false
+	}
+	// Fast path: most values repeat shapes already folded in; skip the
+	// Union allocation when t adds no structure to the maximal type.
+	if !Subsumes(s.max, t) {
+		s.max = Union(s.max, t)
+	}
+	return true
+}
+
+// Subsumes reports whether b adds no structure to a — i.e. Union(a, b)
+// would equal a — for *similar* a and b. Null is subsumed by anything
+// non-null; a primitive subsumes its own kind; an array subsumes shorter
+// similar prefixes; an object subsumes similar key subsets. Behavior for
+// dissimilar inputs is unspecified.
+func Subsumes(a, b *Type) bool {
+	if b.Kind() == KindNull {
+		return true // Union(a, null) = a
+	}
+	if a.Kind() == KindNull {
+		return false // Union(null, b) = b ≠ null
+	}
+	if a.Kind() != b.Kind() {
+		return false
+	}
+	switch a.Kind() {
+	case KindBool, KindNumber, KindString:
+		return true
+	case KindArray:
+		if len(b.elems) > len(a.elems) {
+			return false
+		}
+		for i, e := range b.elems {
+			if !Subsumes(a.elems[i], e) {
+				return false
+			}
+		}
+		return true
+	case KindObject:
+		i := 0
+		for _, bf := range b.fields {
+			for i < len(a.fields) && a.fields[i].Key < bf.Key {
+				i++
+			}
+			if i >= len(a.fields) || a.fields[i].Key != bf.Key {
+				return false
+			}
+			if !Subsumes(a.fields[i].Type, bf.Type) {
+				return false
+			}
+			i++
+		}
+		return true
+	}
+	return false
+}
+
+// Combine folds another accumulator into s, as if every type added to
+// other had been added to s. Subsumption makes this sound: each side's
+// types are similar to its own maximal type, so the union is pairwise
+// similar iff both sides are internally similar and the two maximal types
+// are similar to each other. Combine makes the accumulator usable as the
+// per-partition state of a parallel fold.
+func (s *SimilarityAccumulator) Combine(other *SimilarityAccumulator) {
+	if other.dissimilar {
+		s.dissimilar = true
+		return
+	}
+	if s.dissimilar || other.max == nil {
+		return
+	}
+	if s.max == nil {
+		s.max = other.max
+		return
+	}
+	if !Similar(s.max, other.max) {
+		s.dissimilar = true
+		return
+	}
+	s.max = Union(s.max, other.max)
+}
+
+// Similar reports whether every type added so far is pairwise similar.
+// An empty accumulator is vacuously similar.
+func (s *SimilarityAccumulator) Similar() bool { return !s.dissimilar }
+
+// Max returns the maximal (unioned) type accumulated so far, or nil if no
+// type has been added or dissimilarity was detected.
+func (s *SimilarityAccumulator) Max() *Type {
+	if s.dissimilar {
+		return nil
+	}
+	return s.max
+}
+
+// Union combines two similar types into their least upper bound: fields and
+// positions present in either side appear in the result; shared keys are
+// unioned recursively; null yields to the other side. For dissimilar inputs
+// the result is unspecified but total (the non-null, first-argument kind
+// wins), so callers should check Similar first when it matters.
+func Union(a, b *Type) *Type {
+	if a.Kind() == KindNull {
+		return b
+	}
+	if b.Kind() == KindNull {
+		return a
+	}
+	if a.Kind() != b.Kind() {
+		return a
+	}
+	switch a.Kind() {
+	case KindBool, KindNumber, KindString:
+		return a
+	case KindArray:
+		long, short := a.elems, b.elems
+		if len(short) > len(long) {
+			long, short = short, long
+		}
+		elems := make([]*Type, len(long))
+		for i := range long {
+			if i < len(short) {
+				elems[i] = Union(long[i], short[i])
+			} else {
+				elems[i] = long[i]
+			}
+		}
+		return NewArray(elems)
+	case KindObject:
+		fields := make([]Field, 0, len(a.fields)+len(b.fields))
+		i, j := 0, 0
+		for i < len(a.fields) || j < len(b.fields) {
+			switch {
+			case j >= len(b.fields) || (i < len(a.fields) && a.fields[i].Key < b.fields[j].Key):
+				fields = append(fields, a.fields[i])
+				i++
+			case i >= len(a.fields) || a.fields[i].Key > b.fields[j].Key:
+				fields = append(fields, b.fields[j])
+				j++
+			default:
+				fields = append(fields, Field{
+					Key:  a.fields[i].Key,
+					Type: Union(a.fields[i].Type, b.fields[j].Type),
+				})
+				i++
+				j++
+			}
+		}
+		return NewObject(fields)
+	}
+	return a
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,344 @@
+package jsontype
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSimilarNullWildcard(t *testing.T) {
+	for _, ty := range []*Type{Bool, Number, String, arr(Number), obj("a", String)} {
+		if !Similar(Null, ty) || !Similar(ty, Null) {
+			t.Errorf("null should be similar to %v", ty)
+		}
+	}
+	if !Similar(Null, Null) {
+		t.Error("null ≈ null")
+	}
+}
+
+func TestSimilarPrimitives(t *testing.T) {
+	if !Similar(Number, Number) || !Similar(String, String) || !Similar(Bool, Bool) {
+		t.Error("primitives should be self-similar")
+	}
+	if Similar(Number, String) || Similar(Bool, Number) {
+		t.Error("distinct primitive kinds are dissimilar")
+	}
+	if Similar(Number, arr(Number)) || Similar(obj("a", Number), String) {
+		t.Error("primitive vs complex are dissimilar")
+	}
+	if Similar(arr(Number), obj("a", Number)) {
+		t.Error("array vs object are dissimilar")
+	}
+}
+
+func TestSimilarObjectsSharedKeys(t *testing.T) {
+	a := obj("x", Number, "y", String)
+	b := obj("y", String, "z", Bool)
+	if !Similar(a, b) {
+		t.Error("objects with compatible shared keys should be similar")
+	}
+	c := obj("y", Number)
+	if Similar(a, c) {
+		t.Error("conflicting shared key should be dissimilar")
+	}
+	// Disjoint key sets are vacuously similar.
+	if !Similar(obj("p", Number), obj("q", arr(String))) {
+		t.Error("disjoint objects are vacuously similar")
+	}
+}
+
+func TestSimilarArraysPrefix(t *testing.T) {
+	if !Similar(arr(Number, Number), arr(Number)) {
+		t.Error("shared positions match ⇒ similar")
+	}
+	if Similar(arr(Number, String), arr(Number, Number)) {
+		t.Error("conflicting position ⇒ dissimilar")
+	}
+	if !Similar(arr(), arr(Number, String)) {
+		t.Error("empty array is vacuously similar")
+	}
+	if !Similar(arr(Null, String), arr(Number)) {
+		t.Error("null element is a wildcard")
+	}
+}
+
+func TestSimilarNested(t *testing.T) {
+	a := obj("u", obj("geo", arr(Number, Number)))
+	b := obj("u", obj("geo", arr(Number), "name", String))
+	if !Similar(a, b) {
+		t.Error("nested compatible objects should be similar")
+	}
+	c := obj("u", obj("geo", arr(String)))
+	if Similar(a, c) {
+		t.Error("nested conflict should be dissimilar")
+	}
+}
+
+func TestSimilarityNotTransitiveButSubsumptive(t *testing.T) {
+	// Paper: two objects with a dissimilar field can each be similar to an
+	// object omitting this field.
+	a := obj("shared", Number, "x", Number)
+	b := obj("shared", Number, "x", String)
+	c := obj("shared", Number)
+	if !Similar(a, c) || !Similar(b, c) {
+		t.Fatal("a≈c and b≈c should hold")
+	}
+	if Similar(a, b) {
+		t.Fatal("a and b are dissimilar")
+	}
+	// The accumulator must catch a,b dissimilarity even with c in between.
+	var acc SimilarityAccumulator
+	acc.Add(a)
+	acc.Add(c)
+	if acc.Add(b) {
+		t.Error("accumulator missed the a/b conflict")
+	}
+	if acc.Similar() {
+		t.Error("accumulator should have latched dissimilar")
+	}
+	if acc.Max() != nil {
+		t.Error("Max should be nil after dissimilarity")
+	}
+}
+
+func TestSimilarityAccumulatorMax(t *testing.T) {
+	var acc SimilarityAccumulator
+	if !acc.Similar() {
+		t.Error("empty accumulator is vacuously similar")
+	}
+	acc.Add(obj("a", Number))
+	acc.Add(obj("b", String))
+	acc.Add(obj("a", Null, "c", Bool))
+	if !acc.Similar() {
+		t.Fatal("all inputs pairwise similar")
+	}
+	want := obj("a", Number, "b", String, "c", Bool)
+	if !Equal(acc.Max(), want) {
+		t.Errorf("Max = %v, want %v", acc.Max(), want)
+	}
+}
+
+func TestSimilarityAccumulatorCombine(t *testing.T) {
+	// Split a similar set across two accumulators: combined stays similar
+	// with the unioned max.
+	var a, b SimilarityAccumulator
+	a.Add(obj("x", Number))
+	a.Add(obj("y", String))
+	b.Add(obj("z", Bool))
+	a.Combine(&b)
+	if !a.Similar() || !Equal(a.Max(), obj("x", Number, "y", String, "z", Bool)) {
+		t.Errorf("combine of similar halves: similar=%v max=%v", a.Similar(), a.Max())
+	}
+
+	// Conflicting halves latch dissimilar.
+	var c, d SimilarityAccumulator
+	c.Add(obj("k", Number))
+	d.Add(obj("k", String))
+	c.Combine(&d)
+	if c.Similar() {
+		t.Error("conflicting maxima must combine to dissimilar")
+	}
+
+	// Combining with an empty accumulator is the identity.
+	var e, empty SimilarityAccumulator
+	e.Add(obj("q", Number))
+	e.Combine(&empty)
+	if !e.Similar() || !Equal(e.Max(), obj("q", Number)) {
+		t.Error("combine with empty should not change state")
+	}
+	var f SimilarityAccumulator
+	f.Combine(&e)
+	if !f.Similar() || !Equal(f.Max(), obj("q", Number)) {
+		t.Error("empty.Combine(x) should take x's state")
+	}
+
+	// A dissimilar side poisons the result regardless of order.
+	var g, h SimilarityAccumulator
+	g.Add(Number)
+	g.Add(String) // dissimilar
+	h.Add(Bool)
+	h.Combine(&g)
+	if h.Similar() {
+		t.Error("dissimilar operand must poison the combination")
+	}
+}
+
+func TestCombineMatchesSequentialProperty(t *testing.T) {
+	// Splitting a stream of adds across accumulators and combining must
+	// agree with adding everything to one accumulator.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(12)
+		types := make([]*Type, n)
+		for i := range types {
+			types[i] = randomType(r, 2)
+		}
+		var whole SimilarityAccumulator
+		for _, ty := range types {
+			whole.Add(ty)
+		}
+		cut := 1 + r.Intn(n-1)
+		var left, right SimilarityAccumulator
+		for _, ty := range types[:cut] {
+			left.Add(ty)
+		}
+		for _, ty := range types[cut:] {
+			right.Add(ty)
+		}
+		left.Combine(&right)
+		return left.Similar() == whole.Similar()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnion(t *testing.T) {
+	cases := []struct{ a, b, want *Type }{
+		{Null, Number, Number},
+		{String, Null, String},
+		{Number, Number, Number},
+		{arr(Number), arr(Number, String), arr(Number, String)},
+		{arr(Null, String), arr(Number), arr(Number, String)},
+		{obj("a", Number), obj("b", String), obj("a", Number, "b", String)},
+		{obj("a", Null), obj("a", Bool), obj("a", Bool)},
+		{
+			obj("u", obj("x", Number)),
+			obj("u", obj("y", String)),
+			obj("u", obj("x", Number, "y", String)),
+		},
+	}
+	for _, c := range cases {
+		if got := Union(c.a, c.b); !Equal(got, c.want) {
+			t.Errorf("Union(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// randomType builds a bounded random type for property tests.
+func randomType(r *rand.Rand, depth int) *Type {
+	if depth <= 0 || r.Intn(3) == 0 {
+		return NewPrimitive(Kind(r.Intn(4)))
+	}
+	if r.Intn(2) == 0 {
+		n := r.Intn(4)
+		elems := make([]*Type, n)
+		for i := range elems {
+			elems[i] = randomType(r, depth-1)
+		}
+		return NewArray(elems)
+	}
+	n := r.Intn(4)
+	fields := make([]Field, 0, n)
+	seen := map[string]bool{}
+	keys := []string{"a", "b", "c", "d", "e"}
+	for i := 0; i < n; i++ {
+		k := keys[r.Intn(len(keys))]
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		fields = append(fields, Field{Key: k, Type: randomType(r, depth-1)})
+	}
+	return NewObject(fields)
+}
+
+func TestSimilarSymmetricProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomType(r, 3), randomType(r, 3)
+		return Similar(a, b) == Similar(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSimilarReflexiveProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomType(r, 3)
+		return Similar(a, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnionSubsumptionProperty(t *testing.T) {
+	// If a ≈ b, then both a and b are similar to Union(a, b), and the union
+	// is idempotent on equal inputs.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomType(r, 3), randomType(r, 3)
+		if !Similar(a, b) {
+			return true
+		}
+		u := Union(a, b)
+		return Similar(a, u) && Similar(b, u)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnionCommutesUnderSimilarityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomType(r, 3), randomType(r, 3)
+		if !Similar(a, b) {
+			return true
+		}
+		return Equal(Union(a, b), Union(b, a))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSubsumesMatchesUnionProperty(t *testing.T) {
+	// For similar a, b: Subsumes(a, b) ⟺ Union(a, b) == a.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomType(r, 3), randomType(r, 3)
+		if !Similar(a, b) {
+			return true
+		}
+		return Subsumes(a, b) == Equal(Union(a, b), a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 800}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSubsumesBasics(t *testing.T) {
+	if !Subsumes(Number, Null) || Subsumes(Null, Number) {
+		t.Error("null subsumption broken")
+	}
+	if !Subsumes(arr(Number, String), arr(Number)) {
+		t.Error("prefix arrays are subsumed")
+	}
+	if Subsumes(arr(Number), arr(Number, String)) {
+		t.Error("longer arrays are not subsumed")
+	}
+	if !Subsumes(obj("a", Number, "b", String), obj("b", String)) {
+		t.Error("key subsets are subsumed")
+	}
+	if Subsumes(obj("a", Number), obj("a", Number, "c", Bool)) {
+		t.Error("extra keys are not subsumed")
+	}
+}
+
+func TestCanonRoundTripProperty(t *testing.T) {
+	// Two independently generated types are Equal iff their canon matches
+	// (canon is injective on structure).
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomType(r, 3), randomType(r, 3)
+		return (a.Canon() == b.Canon()) == Equal(a, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,336 @@
+// Package jsontype implements the structural type system for JSON values
+// described in Section 2 of "Reducing Ambiguity in Json Schema Discovery"
+// (SIGMOD 2021). A Type describes the shape of a single JSON value:
+// primitives are atomic kinds; arrays carry one element type per position;
+// objects carry a key-sorted list of field types.
+//
+// Types are immutable once built. Canonical string forms make structural
+// equality, hashing, and deduplication cheap, which the schema extractors
+// rely on heavily (L-reduction is literally a set of canonical types).
+package jsontype
+
+import (
+	"sort"
+	"strings"
+)
+
+// Kind enumerates the six JSON kinds of Figure 2: the four primitive kinds
+// (null, boolean, number, string) and the two complex kinds (array, object).
+type Kind uint8
+
+// The six JSON kinds.
+const (
+	KindNull Kind = iota
+	KindBool
+	KindNumber
+	KindString
+	KindArray
+	KindObject
+)
+
+// Primitive reports whether the kind is one of null, bool, number, string.
+func (k Kind) Primitive() bool { return k <= KindString }
+
+// Complex reports whether the kind is array or object.
+func (k Kind) Complex() bool { return k >= KindArray }
+
+// String returns the conventional name of the kind. Complex kinds use the
+// paper's calligraphic A / O abbreviations spelled out.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindBool:
+		return "bool"
+	case KindNumber:
+		return "number"
+	case KindString:
+		return "string"
+	case KindArray:
+		return "array"
+	case KindObject:
+		return "object"
+	}
+	return "invalid"
+}
+
+// Field is a single key → type mapping inside an object type.
+type Field struct {
+	Key  string
+	Type *Type
+}
+
+// Type is the structural type of one JSON value (Figure 2):
+//
+//	τ := 𝔹 | ℝ | 𝕊 | null | [τ₁,…,τₙ] | {k₁:τ₁,…,kₙ:τₙ}
+//
+// For objects, Fields is sorted by key and keys are unique. For arrays,
+// Elems holds one type per position. Primitive types carry no children.
+//
+// A Type must be treated as immutable; types are shared across records and
+// schema nodes.
+type Type struct {
+	kind   Kind
+	elems  []*Type // array positions
+	fields []Field // object fields, key-sorted
+	canon  string  // cached canonical form
+}
+
+// Singleton primitive types. Primitives are interned: NewPrimitive always
+// returns one of these four.
+var (
+	Null   = &Type{kind: KindNull, canon: "n"}
+	Bool   = &Type{kind: KindBool, canon: "b"}
+	Number = &Type{kind: KindNumber, canon: "r"}
+	String = &Type{kind: KindString, canon: "s"}
+)
+
+// NewPrimitive returns the interned primitive type for kind k.
+// It panics if k is a complex kind.
+func NewPrimitive(k Kind) *Type {
+	switch k {
+	case KindNull:
+		return Null
+	case KindBool:
+		return Bool
+	case KindNumber:
+		return Number
+	case KindString:
+		return String
+	}
+	panic("jsontype: NewPrimitive called with complex kind " + k.String())
+}
+
+// NewArray returns the array type [elems...]. The slice is retained;
+// callers must not mutate it afterwards.
+func NewArray(elems []*Type) *Type {
+	t := &Type{kind: KindArray, elems: elems}
+	t.canon = t.buildCanon()
+	return t
+}
+
+// NewObject returns the object type with the given fields. The slice is
+// retained and sorted in place by key; callers must not mutate it
+// afterwards. Duplicate keys are not permitted and panic, mirroring the
+// JSON RFC's recommendation that keys be unique.
+func NewObject(fields []Field) *Type {
+	sort.Slice(fields, func(i, j int) bool { return fields[i].Key < fields[j].Key })
+	for i := 1; i < len(fields); i++ {
+		if fields[i].Key == fields[i-1].Key {
+			panic("jsontype: duplicate object key " + fields[i].Key)
+		}
+	}
+	t := &Type{kind: KindObject, fields: fields}
+	t.canon = t.buildCanon()
+	return t
+}
+
+// Kind returns the kind of the type.
+func (t *Type) Kind() Kind { return t.kind }
+
+// Len returns the number of fields (objects) or positions (arrays).
+// It is 0 for primitives.
+func (t *Type) Len() int {
+	if t.kind == KindArray {
+		return len(t.elems)
+	}
+	return len(t.fields)
+}
+
+// Elem returns the element type at array position i.
+func (t *Type) Elem(i int) *Type { return t.elems[i] }
+
+// Elems returns the array's element types. The returned slice must not be
+// mutated.
+func (t *Type) Elems() []*Type { return t.elems }
+
+// Fields returns the object's key-sorted fields. The returned slice must
+// not be mutated.
+func (t *Type) Fields() []Field { return t.fields }
+
+// Field returns the type mapped under key, or nil if the key is absent.
+func (t *Type) Field(key string) *Type {
+	i := sort.Search(len(t.fields), func(i int) bool { return t.fields[i].Key >= key })
+	if i < len(t.fields) && t.fields[i].Key == key {
+		return t.fields[i].Type
+	}
+	return nil
+}
+
+// HasField reports whether the object type maps key.
+func (t *Type) HasField(key string) bool { return t.Field(key) != nil }
+
+// Keys returns the object's keys in sorted order (keys(τ) in the paper).
+// For arrays it returns nil; array "keys" are the indices 0..Len-1.
+func (t *Type) Keys() []string {
+	if t.kind != KindObject {
+		return nil
+	}
+	keys := make([]string, len(t.fields))
+	for i, f := range t.fields {
+		keys[i] = f.Key
+	}
+	return keys
+}
+
+// KeySet returns the object's keys as a set.
+func (t *Type) KeySet() map[string]bool {
+	set := make(map[string]bool, len(t.fields))
+	for _, f := range t.fields {
+		set[f.Key] = true
+	}
+	return set
+}
+
+// Canon returns the canonical string form of the type. Two types are
+// structurally equal iff their canonical forms are equal, so Canon doubles
+// as a hash key for type deduplication.
+func (t *Type) Canon() string { return t.canon }
+
+// Equal reports structural equality.
+func Equal(a, b *Type) bool {
+	if a == b {
+		return true
+	}
+	if a == nil || b == nil {
+		return false
+	}
+	return a.canon == b.canon
+}
+
+func (t *Type) buildCanon() string {
+	var b strings.Builder
+	t.writeCanon(&b)
+	return b.String()
+}
+
+func (t *Type) writeCanon(b *strings.Builder) {
+	switch t.kind {
+	case KindNull:
+		b.WriteByte('n')
+	case KindBool:
+		b.WriteByte('b')
+	case KindNumber:
+		b.WriteByte('r')
+	case KindString:
+		b.WriteByte('s')
+	case KindArray:
+		b.WriteByte('[')
+		for i, e := range t.elems {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(e.canon)
+		}
+		b.WriteByte(']')
+	case KindObject:
+		b.WriteByte('{')
+		for i, f := range t.fields {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			writeCanonKey(b, f.Key)
+			b.WriteByte(':')
+			b.WriteString(f.Type.canon)
+		}
+		b.WriteByte('}')
+	}
+}
+
+// writeCanonKey escapes the characters that are structural in canonical
+// forms so that distinct key sets can never collide.
+func writeCanonKey(b *strings.Builder, key string) {
+	if !strings.ContainsAny(key, `\:,{}[]`) {
+		b.WriteString(key)
+		return
+	}
+	for i := 0; i < len(key); i++ {
+		switch c := key[i]; c {
+		case '\\', ':', ',', '{', '}', '[', ']':
+			b.WriteByte('\\')
+			b.WriteByte(c)
+		default:
+			b.WriteByte(c)
+		}
+	}
+}
+
+// String renders the type in the paper's notation, e.g.
+// {event: 𝕊, geo: [ℝ, ℝ], ts: ℝ}.
+func (t *Type) String() string {
+	var b strings.Builder
+	t.writeString(&b)
+	return b.String()
+}
+
+func (t *Type) writeString(b *strings.Builder) {
+	switch t.kind {
+	case KindNull:
+		b.WriteString("null")
+	case KindBool:
+		b.WriteString("𝔹")
+	case KindNumber:
+		b.WriteString("ℝ")
+	case KindString:
+		b.WriteString("𝕊")
+	case KindArray:
+		b.WriteByte('[')
+		for i, e := range t.elems {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			e.writeString(b)
+		}
+		b.WriteByte(']')
+	case KindObject:
+		b.WriteByte('{')
+		for i, f := range t.fields {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(f.Key)
+			b.WriteString(": ")
+			f.Type.writeString(b)
+		}
+		b.WriteByte('}')
+	}
+}
+
+// Depth returns the nesting depth of the type: 1 for primitives, 1 + max
+// child depth for complex types (an empty array or object has depth 1).
+func (t *Type) Depth() int {
+	max := 0
+	switch t.kind {
+	case KindArray:
+		for _, e := range t.elems {
+			if d := e.Depth(); d > max {
+				max = d
+			}
+		}
+	case KindObject:
+		for _, f := range t.fields {
+			if d := f.Type.Depth(); d > max {
+				max = d
+			}
+		}
+	default:
+		return 1
+	}
+	return 1 + max
+}
+
+// Size returns the total number of type nodes in the tree, counting t.
+func (t *Type) Size() int {
+	n := 1
+	switch t.kind {
+	case KindArray:
+		for _, e := range t.elems {
+			n += e.Size()
+		}
+	case KindObject:
+		for _, f := range t.fields {
+			n += f.Type.Size()
+		}
+	}
+	return n
+}

@@ -1,0 +1,166 @@
+package merge
+
+import (
+	"sort"
+
+	"jxplain/internal/dist"
+	"jxplain/internal/jsontype"
+	"jxplain/internal/schema"
+)
+
+// Accumulator is the distributable form of the K-reduction. The paper's
+// central observation about K-reduction is that it distributes over union:
+//
+//	merge_K(R₁ ∪ R₂) = merge_K(merge_K(R₁) ∪ merge_K(R₂))
+//
+// so extraction can run as a partitioned fold with fan-in aggregation — the
+// Spark execution model. Accumulator is that fold's state: Add folds in one
+// type, Combine merges two accumulators (commutative and associative), and
+// Schema renders the result, which is identical to merge.K on the same bag.
+//
+// The zero value (via NewAccumulator) is an empty accumulator.
+type Accumulator struct {
+	prims [4]bool // presence of null/bool/number/string
+	arr   *arrayAcc
+	obj   *objectAcc
+}
+
+type arrayAcc struct {
+	elem   *Accumulator
+	maxLen int
+}
+
+type objectAcc struct {
+	count  int // number of object-kinded records folded in
+	fields map[string]*fieldAcc
+}
+
+type fieldAcc struct {
+	count int // number of records containing the key
+	acc   *Accumulator
+}
+
+// NewAccumulator returns an empty accumulator.
+func NewAccumulator() *Accumulator { return &Accumulator{} }
+
+// Add folds one type occurrence into the accumulator with multiplicity n.
+func (a *Accumulator) Add(t *jsontype.Type, n int) {
+	switch t.Kind() {
+	case jsontype.KindArray:
+		if a.arr == nil {
+			a.arr = &arrayAcc{elem: NewAccumulator()}
+		}
+		if t.Len() > a.arr.maxLen {
+			a.arr.maxLen = t.Len()
+		}
+		for _, e := range t.Elems() {
+			a.arr.elem.Add(e, n)
+		}
+	case jsontype.KindObject:
+		if a.obj == nil {
+			a.obj = &objectAcc{fields: map[string]*fieldAcc{}}
+		}
+		a.obj.count += n
+		for _, f := range t.Fields() {
+			fa := a.obj.fields[f.Key]
+			if fa == nil {
+				fa = &fieldAcc{acc: NewAccumulator()}
+				a.obj.fields[f.Key] = fa
+			}
+			fa.count += n
+			fa.acc.Add(f.Type, n)
+		}
+	default:
+		a.prims[t.Kind()] = true
+	}
+}
+
+// Combine merges other into a (mutating a) and returns a. Combine is
+// commutative and associative up to the produced schema.
+func (a *Accumulator) Combine(other *Accumulator) *Accumulator {
+	for k, p := range other.prims {
+		if p {
+			a.prims[k] = true
+		}
+	}
+	if other.arr != nil {
+		if a.arr == nil {
+			a.arr = other.arr
+		} else {
+			if other.arr.maxLen > a.arr.maxLen {
+				a.arr.maxLen = other.arr.maxLen
+			}
+			a.arr.elem.Combine(other.arr.elem)
+		}
+	}
+	if other.obj != nil {
+		if a.obj == nil {
+			a.obj = other.obj
+		} else {
+			a.obj.count += other.obj.count
+			for key, ofa := range other.obj.fields {
+				fa := a.obj.fields[key]
+				if fa == nil {
+					a.obj.fields[key] = ofa
+					continue
+				}
+				fa.count += ofa.count
+				fa.acc.Combine(ofa.acc)
+			}
+		}
+	}
+	return a
+}
+
+// Empty reports whether nothing has been folded in.
+func (a *Accumulator) Empty() bool {
+	return a.arr == nil && a.obj == nil && !a.prims[0] && !a.prims[1] && !a.prims[2] && !a.prims[3]
+}
+
+// Schema renders the accumulated K-reduction schema. It is equivalent to
+// merge.K over the bag of all types folded in.
+func (a *Accumulator) Schema() schema.Schema {
+	var alts []schema.Schema
+	for k := jsontype.KindNull; k <= jsontype.KindString; k++ {
+		if a.prims[k] {
+			alts = append(alts, schema.NewPrimitive(k))
+		}
+	}
+	if a.arr != nil {
+		elem := schema.Empty()
+		if !a.arr.elem.Empty() {
+			elem = a.arr.elem.Schema()
+		}
+		alts = append(alts, &schema.ArrayCollection{Elem: elem, MaxLen: a.arr.maxLen})
+	}
+	if a.obj != nil {
+		keys := make([]string, 0, len(a.obj.fields))
+		for k := range a.obj.fields {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var required, optional []schema.FieldSchema
+		for _, key := range keys {
+			fa := a.obj.fields[key]
+			f := schema.FieldSchema{Key: key, Schema: fa.acc.Schema()}
+			if fa.count == a.obj.count {
+				required = append(required, f)
+			} else {
+				optional = append(optional, f)
+			}
+		}
+		alts = append(alts, schema.NewObjectTuple(required, optional))
+	}
+	return schema.NewUnion(alts...)
+}
+
+// FoldK runs the K-reduction as a parallel partitioned fold over types,
+// demonstrating the distributed execution shape. The result equals K over
+// the same bag for any worker count.
+func FoldK(types []*jsontype.Type, workers int) schema.Schema {
+	acc := dist.Fold(types, workers,
+		NewAccumulator,
+		func(a *Accumulator, t *jsontype.Type) *Accumulator { a.Add(t, 1); return a },
+		func(a, b *Accumulator) *Accumulator { return a.Combine(b) })
+	return acc.Schema()
+}

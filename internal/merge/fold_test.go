@@ -1,0 +1,158 @@
+package merge
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"jxplain/internal/jsontype"
+	"jxplain/internal/schema"
+)
+
+// randomFoldType builds bounded random types exercising all kinds.
+func randomFoldType(r *rand.Rand, depth int) *jsontype.Type {
+	if depth <= 0 || r.Intn(3) == 0 {
+		return jsontype.NewPrimitive(jsontype.Kind(r.Intn(4)))
+	}
+	if r.Intn(2) == 0 {
+		n := r.Intn(4)
+		elems := make([]*jsontype.Type, n)
+		for i := range elems {
+			elems[i] = randomFoldType(r, depth-1)
+		}
+		return jsontype.NewArray(elems)
+	}
+	keys := []string{"a", "b", "c", "d", "e"}
+	var fields []jsontype.Field
+	seen := map[string]bool{}
+	for i := 0; i < r.Intn(5); i++ {
+		k := keys[r.Intn(len(keys))]
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		fields = append(fields, jsontype.Field{Key: k, Type: randomFoldType(r, depth-1)})
+	}
+	return jsontype.NewObject(fields)
+}
+
+func TestFoldKEqualsK(t *testing.T) {
+	f := func(seed int64, wRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(40)
+		types := make([]*jsontype.Type, n)
+		bag := &jsontype.Bag{}
+		for i := range types {
+			types[i] = randomFoldType(r, 3)
+			bag.Add(types[i])
+		}
+		workers := int(wRaw%8) + 1
+		direct := schema.Simplify(K(bag))
+		folded := schema.Simplify(FoldK(types, workers))
+		return schema.Equal(direct, folded)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAccumulatorCombineAssociativeProperty(t *testing.T) {
+	// (a ⊕ b) ⊕ c must equal a ⊕ (b ⊕ c) up to the produced schema.
+	f := func(seed int64) bool {
+		// Build the same three groups twice (accumulators mutate on Combine).
+		state := rand.New(rand.NewSource(seed)).Int63()
+		r1 := rand.New(rand.NewSource(state))
+		r2 := rand.New(rand.NewSource(state))
+		mk1 := func() *Accumulator {
+			acc := NewAccumulator()
+			for i := 0; i < 1+r1.Intn(10); i++ {
+				acc.Add(randomFoldType(r1, 2), 1)
+			}
+			return acc
+		}
+		mk2 := func() *Accumulator {
+			acc := NewAccumulator()
+			for i := 0; i < 1+r2.Intn(10); i++ {
+				acc.Add(randomFoldType(r2, 2), 1)
+			}
+			return acc
+		}
+		a1, b1, c1 := mk1(), mk1(), mk1()
+		a2, b2, c2 := mk2(), mk2(), mk2()
+		left := a1.Combine(b1).Combine(c1).Schema()
+		right := a2.Combine(b2.Combine(c2)).Schema()
+		return schema.Equal(left, right)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAccumulatorCommutativeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		state := seed
+		mkPair := func() (*Accumulator, *Accumulator) {
+			r := rand.New(rand.NewSource(state))
+			a, b := NewAccumulator(), NewAccumulator()
+			for i := 0; i < 1+r.Intn(10); i++ {
+				a.Add(randomFoldType(r, 2), 1)
+			}
+			for i := 0; i < 1+r.Intn(10); i++ {
+				b.Add(randomFoldType(r, 2), 1)
+			}
+			return a, b
+		}
+		a1, b1 := mkPair()
+		a2, b2 := mkPair()
+		return schema.Equal(a1.Combine(b1).Schema(), b2.Combine(a2).Schema())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAccumulatorEmpty(t *testing.T) {
+	acc := NewAccumulator()
+	if !acc.Empty() {
+		t.Error("fresh accumulator should be empty")
+	}
+	if !schema.IsEmpty(acc.Schema()) {
+		t.Error("empty accumulator produces the empty schema")
+	}
+	acc.Add(jsontype.Number, 1)
+	if acc.Empty() {
+		t.Error("accumulator with content is not empty")
+	}
+}
+
+func TestAccumulatorMultiplicity(t *testing.T) {
+	// Adding {"a":1} ×3 and {"a":1,"b":2} ×1 must make b optional.
+	acc := NewAccumulator()
+	acc.Add(jsontype.MustFromValue(map[string]any{"a": 1}), 3)
+	acc.Add(jsontype.MustFromValue(map[string]any{"a": 1, "b": 2}), 1)
+	s := acc.Schema().(*schema.ObjectTuple)
+	if _, isReq := s.Field("a"); !isReq {
+		t.Error("a required")
+	}
+	if f, isReq := s.Field("b"); f == nil || isReq {
+		t.Error("b optional")
+	}
+}
+
+func TestFoldKEmptyInput(t *testing.T) {
+	if !schema.IsEmpty(FoldK(nil, 4)) {
+		t.Error("FoldK(nil) should be the empty schema")
+	}
+}
+
+func TestCombineDisjointKinds(t *testing.T) {
+	a := NewAccumulator()
+	a.Add(jsontype.MustFromValue([]any{1.0}), 1)
+	b := NewAccumulator()
+	b.Add(jsontype.MustFromValue(map[string]any{"k": "v"}), 1)
+	s := a.Combine(b).Schema()
+	if !s.Accepts(jsontype.MustFromValue([]any{2.0})) ||
+		!s.Accepts(jsontype.MustFromValue(map[string]any{"k": "w"})) {
+		t.Error("combined accumulator should carry both kinds")
+	}
+}

@@ -1,0 +1,158 @@
+// Package merge implements the schema merge operators of Sections 2 and 4:
+// the L-reduction (Naive), the K-reduction of Baazizi et al. that models
+// production schema discovery (K, Algorithms 1–3), the four helper merges
+// shared with JXPLAIN (collection/tuple merges for arrays and objects), and
+// a distributable fold-based K-reduction (Accumulator) exploiting the
+// operator's commutativity and associativity.
+package merge
+
+import (
+	"jxplain/internal/jsontype"
+	"jxplain/internal/schema"
+)
+
+// Func is a recursive merge heuristic: it folds a bag of types into a
+// schema. Algorithms 2 and 3 are parameterized by such a function.
+type Func func(bag *jsontype.Bag) schema.Schema
+
+// Naive implements the L-reduction (merge_naive): the schema is exactly the
+// set of distinct types in the input. High precision, no generalization.
+func Naive(bag *jsontype.Bag) schema.Schema {
+	alts := make([]schema.Schema, 0, bag.Distinct())
+	for _, t := range bag.Types() {
+		alts = append(alts, ExactSchema(t))
+	}
+	return schema.NewUnion(alts...)
+}
+
+// ExactSchema returns the schema admitting exactly the type t (all object
+// fields required, all array positions fixed).
+func ExactSchema(t *jsontype.Type) schema.Schema {
+	switch t.Kind() {
+	case jsontype.KindArray:
+		elems := make([]schema.Schema, t.Len())
+		for i, e := range t.Elems() {
+			elems[i] = ExactSchema(e)
+		}
+		return schema.NewArrayTuple(elems...)
+	case jsontype.KindObject:
+		fields := make([]schema.FieldSchema, 0, t.Len())
+		for _, f := range t.Fields() {
+			fields = append(fields, schema.FieldSchema{Key: f.Key, Schema: ExactSchema(f.Type)})
+		}
+		return schema.NewObjectTuple(fields, nil)
+	default:
+		return schema.NewPrimitive(t.Kind())
+	}
+}
+
+// K implements the K-reduction (Algorithm 1): primitives merge naively,
+// arrays always merge as single-entity collections, objects always merge as
+// single-entity tuples. This models Spark's JSON data source and Oracle's
+// JSON Data Guide.
+func K(bag *jsontype.Bag) schema.Schema {
+	prims, arrays, objects := bag.SplitKinds()
+	alts := Primitives(prims)
+	if arrays.Len() > 0 {
+		alts = append(alts, ArrayColl(K, arrays))
+	}
+	if objects.Len() > 0 {
+		alts = append(alts, ObjectTuple(K, objects))
+	}
+	return schema.NewUnion(alts...)
+}
+
+// Primitives returns one schema per distinct primitive type in the bag, in
+// kind order (null, bool, number, string) for determinism.
+func Primitives(bag *jsontype.Bag) []schema.Schema {
+	var present [4]bool
+	for _, t := range bag.Types() {
+		if t.Kind().Primitive() {
+			present[t.Kind()] = true
+		}
+	}
+	var out []schema.Schema
+	for k := jsontype.KindNull; k <= jsontype.KindString; k++ {
+		if present[k] {
+			out = append(out, schema.NewPrimitive(k))
+		}
+	}
+	return out
+}
+
+// ArrayColl implements merge_array_coll (Algorithm 2): the bag of
+// array-kinded types becomes a single ArrayCollection whose element schema
+// is the recursive merge of every element of every array. MaxLen records
+// the longest observed array for entropy accounting.
+func ArrayColl(rec Func, bag *jsontype.Bag) schema.Schema {
+	maxLen := 0
+	for _, t := range bag.Types() {
+		if t.Len() > maxLen {
+			maxLen = t.Len()
+		}
+	}
+	elems := bag.Elements()
+	elem := schema.Empty()
+	if elems.Len() > 0 {
+		elem = rec(elems)
+	}
+	return &schema.ArrayCollection{Elem: elem, MaxLen: maxLen}
+}
+
+// ObjectColl is the object analog of Algorithm 2: the bag of object-kinded
+// types becomes an ObjectCollection whose value schema is the recursive
+// merge of every field value regardless of key. Domain records the active
+// key-domain size for entropy accounting.
+func ObjectColl(rec Func, bag *jsontype.Bag) schema.Schema {
+	domain := map[string]bool{}
+	for _, t := range bag.Types() {
+		for _, f := range t.Fields() {
+			domain[f.Key] = true
+		}
+	}
+	values := bag.FieldValues()
+	value := schema.Empty()
+	if values.Len() > 0 {
+		value = rec(values)
+	}
+	return &schema.ObjectCollection{Value: value, Domain: len(domain)}
+}
+
+// ObjectTuple implements merge_object_tuple (Algorithm 3): nested field
+// types are grouped by key and recursively merged; keys present in every
+// record (keys_∀) are required, the rest (keys_∃) are optional.
+func ObjectTuple(rec Func, bag *jsontype.Bag) schema.Schema {
+	keys, groups, present := bag.GroupByKey()
+	total := bag.Len()
+	var required, optional []schema.FieldSchema
+	for i, key := range keys {
+		f := schema.FieldSchema{Key: key, Schema: rec(groups[i])}
+		if present[i] == total {
+			required = append(required, f)
+		} else {
+			optional = append(optional, f)
+		}
+	}
+	return schema.NewObjectTuple(required, optional)
+}
+
+// ArrayTuple is the array analog of Algorithm 3: positions are merged
+// independently; the tuple's mandatory prefix is the shortest observed
+// array, with longer positions forming the optional suffix.
+func ArrayTuple(rec Func, bag *jsontype.Bag) schema.Schema {
+	groups, _ := bag.GroupByIndex()
+	minLen := -1
+	for _, t := range bag.Types() {
+		if minLen < 0 || t.Len() < minLen {
+			minLen = t.Len()
+		}
+	}
+	if minLen < 0 {
+		minLen = 0
+	}
+	elems := make([]schema.Schema, len(groups))
+	for i, g := range groups {
+		elems[i] = rec(g)
+	}
+	return &schema.ArrayTuple{Elems: elems, MinLen: minLen}
+}

@@ -1,0 +1,225 @@
+package merge
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"jxplain/internal/jsontype"
+	"jxplain/internal/schema"
+)
+
+func ty(t *testing.T, src string) *jsontype.Type {
+	t.Helper()
+	typ, err := jsontype.FromJSON([]byte(src))
+	if err != nil {
+		t.Fatalf("FromJSON(%q): %v", src, err)
+	}
+	return typ
+}
+
+func bagOf(t *testing.T, srcs ...string) *jsontype.Bag {
+	t.Helper()
+	b := &jsontype.Bag{}
+	for _, s := range srcs {
+		b.Add(ty(t, s))
+	}
+	return b
+}
+
+func TestExactSchema(t *testing.T) {
+	rec := ty(t, `{"ts":7,"event":"login","user":{"geo":[1,2]}}`)
+	s := ExactSchema(rec)
+	if !s.Accepts(rec) {
+		t.Fatal("exact schema must accept its own type")
+	}
+	// Must reject everything slightly different.
+	for _, bad := range []string{
+		`{"ts":7,"event":"login"}`,
+		`{"ts":7,"event":"login","user":{"geo":[1,2]},"x":1}`,
+		`{"ts":7,"event":"login","user":{"geo":[1,2,3]}}`,
+		`{"ts":"x","event":"login","user":{"geo":[1,2]}}`,
+	} {
+		if s.Accepts(ty(t, bad)) {
+			t.Errorf("exact schema should reject %s", bad)
+		}
+	}
+	if got := s.LogTypeCount(); got != 0 {
+		t.Errorf("exact schema admits one type, got 2^%v", got)
+	}
+}
+
+func TestNaiveIsLReduction(t *testing.T) {
+	bag := bagOf(t,
+		`{"a":1}`, `{"a":1}`, `{"a":1,"b":"x"}`, `[1,2]`, `"s"`,
+	)
+	s := Naive(bag)
+	// Admits exactly the distinct input types.
+	if got := s.LogTypeCount(); !almostEq(got, 2, 1e-12) { // 4 distinct types
+		t.Errorf("L-reduction admits %v bits, want 2", got)
+	}
+	for _, src := range []string{`{"a":1}`, `{"a":1,"b":"x"}`, `[1,2]`, `"s"`} {
+		if !s.Accepts(ty(t, src)) {
+			t.Errorf("L-reduction should accept seen type %s", src)
+		}
+	}
+	for _, src := range []string{`{"a":1,"b":"y","c":1}`, `{"b":"x"}`, `[1]`, `true`} {
+		if s.Accepts(ty(t, src)) {
+			t.Errorf("L-reduction should reject unseen type %s", src)
+		}
+	}
+}
+
+func almostEq(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestKReductionExample1(t *testing.T) {
+	// The paper's Figure 1 / Example 1: K-reduction produces one entity with
+	// optional user and files, admitting the invalid mixed records.
+	bag := bagOf(t,
+		`{"ts":7,"event":"login","user":{"name":"bob","geo":[1.1,2.2]}}`,
+		`{"ts":8,"event":"serve","files":["a.txt","b.txt"]}`,
+	)
+	s := K(bag)
+	// Training records accepted.
+	bag.Each(func(typ *jsontype.Type, _ int) {
+		if !s.Accepts(typ) {
+			t.Errorf("K-reduction must accept training type %v", typ)
+		}
+	})
+	// And the invalid mixtures too (the imprecision the paper targets).
+	both := ty(t, `{"ts":9,"event":"huh","user":{"name":"x","geo":[0,0]},"files":["f"]}`)
+	neither := ty(t, `{"ts":10,"event":"wat"}`)
+	if !s.Accepts(both) || !s.Accepts(neither) {
+		t.Error("K-reduction is expected to admit the mixed records")
+	}
+	// Arrays always become collections under K: [1.1, 2.2] merges to [ℝ]*,
+	// which accepts a 3-element coordinate array.
+	threeGeo := ty(t, `{"ts":9,"event":"x","user":{"name":"y","geo":[1,2,3]}}`)
+	if !s.Accepts(threeGeo) {
+		t.Error("K-reduction treats geo as a collection and accepts length 3")
+	}
+}
+
+func TestKReductionMandatoryVsOptional(t *testing.T) {
+	bag := bagOf(t, `{"a":1,"b":"x"}`, `{"a":2}`, `{"a":3,"c":true}`)
+	s := K(bag).(*schema.ObjectTuple)
+	if _, isReq := s.Field("a"); !isReq {
+		t.Error("a appears everywhere → required")
+	}
+	if f, isReq := s.Field("b"); f == nil || isReq {
+		t.Error("b is optional")
+	}
+	if f, isReq := s.Field("c"); f == nil || isReq {
+		t.Error("c is optional")
+	}
+}
+
+func TestKReductionMixedKinds(t *testing.T) {
+	bag := bagOf(t, `1`, `"s"`, `null`, `true`, `[1]`, `{"a":1}`)
+	s := K(bag)
+	u, ok := s.(*schema.Union)
+	if !ok {
+		t.Fatalf("mixed kinds should union, got %T", s)
+	}
+	// 4 primitives + 1 collection + 1 tuple.
+	if len(u.Alts) != 6 {
+		t.Errorf("got %d alternatives: %v", len(u.Alts), u)
+	}
+	out := s.String()
+	for _, want := range []string{"null", "𝔹", "ℝ", "𝕊", "[ℝ]*", "{a: ℝ}"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %s in %s", want, out)
+		}
+	}
+}
+
+func TestKReductionNestedRecursion(t *testing.T) {
+	bag := bagOf(t,
+		`{"u":{"x":1}}`,
+		`{"u":{"x":2,"y":"s"}}`,
+	)
+	s := K(bag).(*schema.ObjectTuple)
+	u, isReq := s.Field("u")
+	if !isReq {
+		t.Fatal("u is mandatory")
+	}
+	inner := u.(*schema.ObjectTuple)
+	if _, isReq := inner.Field("x"); !isReq {
+		t.Error("u.x is mandatory")
+	}
+	if f, isReq := inner.Field("y"); f == nil || isReq {
+		t.Error("u.y is optional")
+	}
+}
+
+func TestArrayCollMaxLenAndEmpty(t *testing.T) {
+	bag := bagOf(t, `[1,2,3]`, `[]`, `[4]`)
+	s := ArrayColl(K, bag).(*schema.ArrayCollection)
+	if s.MaxLen != 3 {
+		t.Errorf("MaxLen = %d", s.MaxLen)
+	}
+	emptyBag := bagOf(t, `[]`, `[]`)
+	s2 := ArrayColl(K, emptyBag).(*schema.ArrayCollection)
+	if s2.MaxLen != 0 || !schema.IsEmpty(s2.Elem) {
+		t.Error("all-empty arrays should give empty element schema")
+	}
+	if !s2.Accepts(ty(t, `[]`)) {
+		t.Error("empty collection accepts the empty array")
+	}
+	if s2.Accepts(ty(t, `[1]`)) {
+		t.Error("empty element schema accepts no elements")
+	}
+}
+
+func TestObjectCollDomainAndValues(t *testing.T) {
+	bag := bagOf(t,
+		`{"DRUG_A":1,"DRUG_B":2}`,
+		`{"DRUG_B":3,"DRUG_C":4}`,
+	)
+	s := ObjectColl(K, bag).(*schema.ObjectCollection)
+	if s.Domain != 3 {
+		t.Errorf("Domain = %d, want 3", s.Domain)
+	}
+	if !s.Accepts(ty(t, `{"DRUG_NEW":9}`)) {
+		t.Error("collection generalizes to unseen keys")
+	}
+	if s.Accepts(ty(t, `{"DRUG_A":"oops"}`)) {
+		t.Error("value type is enforced")
+	}
+	empty := ObjectColl(K, bagOf(t, `{}`)).(*schema.ObjectCollection)
+	if empty.Domain != 0 || !schema.IsEmpty(empty.Value) {
+		t.Error("empty objects give empty value schema")
+	}
+}
+
+func TestArrayTupleMerging(t *testing.T) {
+	bag := bagOf(t, `[1,2]`, `[3,4,"tag"]`)
+	s := ArrayTuple(K, bag).(*schema.ArrayTuple)
+	if s.MinLen != 2 || len(s.Elems) != 3 {
+		t.Fatalf("MinLen=%d len=%d", s.MinLen, len(s.Elems))
+	}
+	if !s.Accepts(ty(t, `[5,6]`)) || !s.Accepts(ty(t, `[5,6,"x"]`)) {
+		t.Error("tuple with optional suffix should accept both lengths")
+	}
+	if s.Accepts(ty(t, `[5]`)) || s.Accepts(ty(t, `[5,6,7]`)) {
+		t.Error("tuple bounds lengths and position types")
+	}
+	empty := ArrayTuple(K, bagOf(t, `[]`)).(*schema.ArrayTuple)
+	if empty.MinLen != 0 || len(empty.Elems) != 0 {
+		t.Error("empty array tuple")
+	}
+}
+
+func TestPrimitivesDeterministicOrder(t *testing.T) {
+	bag := bagOf(t, `"s"`, `1`, `null`, `true`)
+	out := Primitives(bag)
+	if len(out) != 4 {
+		t.Fatalf("got %d", len(out))
+	}
+	wantKinds := []jsontype.Kind{jsontype.KindNull, jsontype.KindBool, jsontype.KindNumber, jsontype.KindString}
+	for i, s := range out {
+		if s.(*schema.Primitive).K != wantKinds[i] {
+			t.Errorf("position %d: %v", i, s)
+		}
+	}
+}

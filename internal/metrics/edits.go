@@ -1,0 +1,134 @@
+package metrics
+
+import (
+	"sort"
+	"strconv"
+
+	"jxplain/internal/jsontype"
+	"jxplain/internal/schema"
+)
+
+// Schema-edit upper bound (§7.5). Row rejection is diagnosed into a set of
+// canonical *edits* — "make key k optional at path p", "add optional key k
+// at p", "widen the type at p", "extend the tuple length at p" — and the
+// greedy bound is the number of distinct edits accumulated over all
+// rejected records. Each edit would individually repair every record it
+// was emitted for, so applying all of them yields 100% recall; the count
+// is an upper bound on the minimal repair.
+
+// Edit is one canonical schema repair.
+type Edit struct {
+	// Path locates the repair.
+	Path string
+	// Op is the repair kind: "add-optional", "make-optional", "widen",
+	// "resize", "add-alternative".
+	Op string
+	// Detail carries the key or kind involved.
+	Detail string
+}
+
+func (e Edit) key() string { return e.Op + "\x00" + e.Path + "\x00" + e.Detail }
+
+// EditsToFullRecall returns the greedy upper bound on the number of schema
+// edits needed for s to accept every test record, along with the distinct
+// edits themselves (sorted for determinism).
+func EditsToFullRecall(s schema.Schema, test []*jsontype.Type) (int, []Edit) {
+	seen := map[string]Edit{}
+	for _, t := range test {
+		if s.Accepts(t) {
+			continue
+		}
+		for _, e := range violations(s, t, "$") {
+			seen[e.key()] = e
+		}
+	}
+	edits := make([]Edit, 0, len(seen))
+	for _, e := range seen {
+		edits = append(edits, e)
+	}
+	sort.Slice(edits, func(i, j int) bool { return edits[i].key() < edits[j].key() })
+	return len(edits), edits
+}
+
+// violations diagnoses why t is rejected by s into a small set of edits.
+// For unions it follows the alternative with the fewest violations (the
+// greedy choice).
+func violations(s schema.Schema, t *jsontype.Type, path string) []Edit {
+	if s.Accepts(t) {
+		return nil
+	}
+	switch n := s.(type) {
+	case *schema.Primitive:
+		return []Edit{{Path: path, Op: "widen", Detail: t.Kind().String()}}
+	case *schema.Union:
+		if len(n.Alts) == 0 {
+			return []Edit{{Path: path, Op: "add-alternative", Detail: t.Kind().String()}}
+		}
+		var best []Edit
+		for _, a := range n.Alts {
+			v := violations(a, t, path)
+			if len(v) == 0 {
+				return nil // some alternative accepts after all
+			}
+			if best == nil || len(v) < len(best) {
+				best = v
+			}
+		}
+		return best
+	case *schema.ObjectTuple:
+		if t.Kind() != jsontype.KindObject {
+			return []Edit{{Path: path, Op: "add-alternative", Detail: t.Kind().String()}}
+		}
+		var out []Edit
+		present := map[string]bool{}
+		for _, f := range t.Fields() {
+			present[f.Key] = true
+			fs, _ := n.Field(f.Key)
+			if fs == nil {
+				out = append(out, Edit{Path: path, Op: "add-optional", Detail: f.Key})
+				continue
+			}
+			out = append(out, violations(fs, f.Type, path+"."+f.Key)...)
+		}
+		for _, f := range n.Required {
+			if !present[f.Key] {
+				out = append(out, Edit{Path: path, Op: "make-optional", Detail: f.Key})
+			}
+		}
+		return out
+	case *schema.ArrayTuple:
+		if t.Kind() != jsontype.KindArray {
+			return []Edit{{Path: path, Op: "add-alternative", Detail: t.Kind().String()}}
+		}
+		var out []Edit
+		if t.Len() > len(n.Elems) || t.Len() < n.MinLen {
+			out = append(out, Edit{Path: path, Op: "resize", Detail: strconv.Itoa(t.Len())})
+		}
+		for i, e := range t.Elems() {
+			if i >= len(n.Elems) {
+				break
+			}
+			out = append(out, violations(n.Elems[i], e, path+"["+strconv.Itoa(i)+"]")...)
+		}
+		return out
+	case *schema.ArrayCollection:
+		if t.Kind() != jsontype.KindArray {
+			return []Edit{{Path: path, Op: "add-alternative", Detail: t.Kind().String()}}
+		}
+		var out []Edit
+		for _, e := range t.Elems() {
+			out = append(out, violations(n.Elem, e, path+"[*]")...)
+		}
+		return out
+	case *schema.ObjectCollection:
+		if t.Kind() != jsontype.KindObject {
+			return []Edit{{Path: path, Op: "add-alternative", Detail: t.Kind().String()}}
+		}
+		var out []Edit
+		for _, f := range t.Fields() {
+			out = append(out, violations(n.Value, f.Type, path+".{*}")...)
+		}
+		return out
+	}
+	return []Edit{{Path: path, Op: "add-alternative", Detail: t.Kind().String()}}
+}

@@ -1,0 +1,90 @@
+// Package metrics implements the evaluation measures of Section 7:
+// recall (Table 1), schema entropy (Table 2), the symmetric difference
+// between discovered and ground-truth entity schemas (Table 3), and the
+// greedy upper bound on schema edits needed for full recall (§7.5).
+package metrics
+
+import (
+	"jxplain/internal/dist"
+	"jxplain/internal/jsontype"
+	"jxplain/internal/schema"
+)
+
+// Recall returns the fraction of test types admitted by the schema —
+// Table 1's measure. Validation runs in parallel. An empty test set has
+// recall 1.
+func Recall(s schema.Schema, test []*jsontype.Type) float64 {
+	if len(test) == 0 {
+		return 1
+	}
+	accepted := dist.Fold(test, 0,
+		func() int { return 0 },
+		func(acc int, t *jsontype.Type) int {
+			if s.Accepts(t) {
+				acc++
+			}
+			return acc
+		},
+		func(a, b int) int { return a + b })
+	return float64(accepted) / float64(len(test))
+}
+
+// SchemaEntropy returns the log2 number of types admitted by the schema —
+// Table 2's measure (−Inf for the empty schema).
+func SchemaEntropy(s schema.Schema) float64 { return s.LogTypeCount() }
+
+// SymmetricDiff returns |paths(a) − paths(b)| + |paths(b) − paths(a)| over
+// the schemas' field-path sets — the Table 3 distance between a discovered
+// entity schema and a ground-truth entity schema.
+func SymmetricDiff(a, b schema.Schema) int {
+	pa := schema.FieldPaths(a)
+	pb := schema.FieldPaths(b)
+	d := 0
+	for p := range pa {
+		if !pb[p] {
+			d++
+		}
+	}
+	for p := range pb {
+		if !pa[p] {
+			d++
+		}
+	}
+	return d
+}
+
+// MinSymmetricDiff returns, for a ground-truth entity schema, the distance
+// to the most similar discovered cluster (Table 3 reports this per
+// ground-truth entity; smaller is better). With no clusters it returns the
+// size of the truth's path set.
+func MinSymmetricDiff(clusters []schema.Schema, truth schema.Schema) int {
+	if len(clusters) == 0 {
+		return len(schema.FieldPaths(truth))
+	}
+	best := -1
+	for _, c := range clusters {
+		if d := SymmetricDiff(c, truth); best < 0 || d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// RootEntitySchemas splits a discovered schema into its root-level entity
+// alternatives: tuple nodes reachable through top-level unions. Collection
+// and primitive alternatives are returned under the second value.
+func RootEntitySchemas(s schema.Schema) (entities []schema.Schema, other []schema.Schema) {
+	switch n := s.(type) {
+	case *schema.Union:
+		for _, a := range n.Alts {
+			e, o := RootEntitySchemas(a)
+			entities = append(entities, e...)
+			other = append(other, o...)
+		}
+	case *schema.ObjectTuple, *schema.ArrayTuple:
+		entities = append(entities, n)
+	default:
+		other = append(other, n)
+	}
+	return entities, other
+}

@@ -1,0 +1,231 @@
+package metrics
+
+import (
+	"testing"
+
+	"jxplain/internal/jsontype"
+	"jxplain/internal/schema"
+)
+
+func ty(t *testing.T, src string) *jsontype.Type {
+	t.Helper()
+	typ, err := jsontype.FromJSON([]byte(src))
+	if err != nil {
+		t.Fatalf("FromJSON(%q): %v", src, err)
+	}
+	return typ
+}
+
+func fs(key string, s schema.Schema) schema.FieldSchema {
+	return schema.FieldSchema{Key: key, Schema: s}
+}
+
+func TestRecall(t *testing.T) {
+	s := schema.NewObjectTuple(
+		[]schema.FieldSchema{fs("a", schema.Number)},
+		[]schema.FieldSchema{fs("b", schema.String)},
+	)
+	test := []*jsontype.Type{
+		ty(t, `{"a":1}`),
+		ty(t, `{"a":2,"b":"x"}`),
+		ty(t, `{"a":"wrong"}`),
+		ty(t, `{"b":"x"}`),
+	}
+	if got := Recall(s, test); got != 0.5 {
+		t.Errorf("recall = %v, want 0.5", got)
+	}
+	if Recall(s, nil) != 1 {
+		t.Error("empty test set has recall 1")
+	}
+}
+
+func TestRecallParallelMatchesSerial(t *testing.T) {
+	s := schema.NewObjectTuple([]schema.FieldSchema{fs("k", schema.Number)}, nil)
+	var test []*jsontype.Type
+	for i := 0; i < 1000; i++ {
+		if i%3 == 0 {
+			test = append(test, ty(t, `{"k":"s"}`))
+		} else {
+			test = append(test, ty(t, `{"k":1}`))
+		}
+	}
+	serial := 0
+	for _, typ := range test {
+		if s.Accepts(typ) {
+			serial++
+		}
+	}
+	if got := Recall(s, test); got != float64(serial)/float64(len(test)) {
+		t.Errorf("parallel recall %v != serial %v", got, float64(serial)/float64(len(test)))
+	}
+}
+
+func TestSchemaEntropyDelegates(t *testing.T) {
+	s := schema.NewObjectTuple(nil, []schema.FieldSchema{fs("a", schema.Number)})
+	if SchemaEntropy(s) != s.LogTypeCount() {
+		t.Error("SchemaEntropy should delegate to LogTypeCount")
+	}
+}
+
+func TestSymmetricDiff(t *testing.T) {
+	a := schema.NewObjectTuple([]schema.FieldSchema{
+		fs("shared", schema.Number), fs("onlyA", schema.String),
+	}, nil)
+	b := schema.NewObjectTuple([]schema.FieldSchema{
+		fs("shared", schema.Number), fs("onlyB1", schema.String), fs("onlyB2", schema.Bool),
+	}, nil)
+	if got := SymmetricDiff(a, b); got != 3 {
+		t.Errorf("SymmetricDiff = %d, want 3", got)
+	}
+	if SymmetricDiff(a, a) != 0 {
+		t.Error("self-diff must be 0")
+	}
+	// Nested paths count individually.
+	c := schema.NewObjectTuple([]schema.FieldSchema{
+		fs("u", schema.NewObjectTuple([]schema.FieldSchema{fs("x", schema.Number)}, nil)),
+	}, nil)
+	d := schema.NewObjectTuple([]schema.FieldSchema{fs("u", schema.Number)}, nil)
+	if got := SymmetricDiff(c, d); got != 1 { // u matches, u.x only in c
+		t.Errorf("nested diff = %d, want 1", got)
+	}
+}
+
+func TestMinSymmetricDiff(t *testing.T) {
+	truth := schema.NewObjectTuple([]schema.FieldSchema{
+		fs("a", schema.Number), fs("b", schema.Number),
+	}, nil)
+	far := schema.NewObjectTuple([]schema.FieldSchema{
+		fs("x", schema.Number), fs("y", schema.Number), fs("z", schema.Number),
+	}, nil)
+	near := schema.NewObjectTuple([]schema.FieldSchema{
+		fs("a", schema.Number), fs("b", schema.Number), fs("c", schema.Number),
+	}, nil)
+	if got := MinSymmetricDiff([]schema.Schema{far, near}, truth); got != 1 {
+		t.Errorf("MinSymmetricDiff = %d, want 1", got)
+	}
+	if got := MinSymmetricDiff(nil, truth); got != 2 {
+		t.Errorf("no clusters: %d, want |paths|=2", got)
+	}
+}
+
+func TestRootEntitySchemas(t *testing.T) {
+	e1 := schema.NewObjectTuple([]schema.FieldSchema{fs("a", schema.Number)}, nil)
+	e2 := schema.NewObjectTuple([]schema.FieldSchema{fs("b", schema.Number)}, nil)
+	s := schema.NewUnion(e1, schema.NewUnion(e2, schema.Number),
+		&schema.ArrayCollection{Elem: schema.String})
+	entities, other := RootEntitySchemas(s)
+	if len(entities) != 2 || len(other) != 2 {
+		t.Errorf("entities=%d other=%d", len(entities), len(other))
+	}
+}
+
+func TestEditsToFullRecallAccepted(t *testing.T) {
+	s := schema.NewObjectTuple([]schema.FieldSchema{fs("a", schema.Number)}, nil)
+	n, edits := EditsToFullRecall(s, []*jsontype.Type{ty(t, `{"a":1}`)})
+	if n != 0 || len(edits) != 0 {
+		t.Errorf("accepted records need no edits: %d %v", n, edits)
+	}
+}
+
+func TestEditsMissingAttribute(t *testing.T) {
+	s := schema.NewObjectTuple([]schema.FieldSchema{
+		fs("a", schema.Number), fs("b", schema.String),
+	}, nil)
+	// Two records missing b, one with an extra key: 2 distinct edits.
+	test := []*jsontype.Type{
+		ty(t, `{"a":1}`),
+		ty(t, `{"a":2}`),
+		ty(t, `{"a":3,"b":"x","extra":true}`),
+	}
+	n, edits := EditsToFullRecall(s, test)
+	if n != 2 {
+		t.Fatalf("want 2 distinct edits, got %d: %v", n, edits)
+	}
+	ops := map[string]bool{}
+	for _, e := range edits {
+		ops[e.Op+":"+e.Detail] = true
+	}
+	if !ops["make-optional:b"] || !ops["add-optional:extra"] {
+		t.Errorf("edits = %v", edits)
+	}
+}
+
+func TestEditsWidenAndResize(t *testing.T) {
+	s := schema.NewObjectTuple([]schema.FieldSchema{
+		fs("n", schema.Number),
+		fs("geo", schema.NewArrayTuple(schema.Number, schema.Number)),
+	}, nil)
+	test := []*jsontype.Type{
+		ty(t, `{"n":"string-not-number","geo":[1,2]}`),
+		ty(t, `{"n":1,"geo":[1,2,3]}`),
+	}
+	n, edits := EditsToFullRecall(s, test)
+	if n != 2 {
+		t.Fatalf("want 2 edits, got %d: %v", n, edits)
+	}
+	var widen, resize bool
+	for _, e := range edits {
+		if e.Op == "widen" {
+			widen = true
+		}
+		if e.Op == "resize" {
+			resize = true
+		}
+	}
+	if !widen || !resize {
+		t.Errorf("edits = %v", edits)
+	}
+}
+
+func TestEditsUnionPicksCheapestAlternative(t *testing.T) {
+	// One alternative needs 1 edit, the other needs 2: greedy follows the
+	// cheaper diagnosis.
+	close1 := schema.NewObjectTuple([]schema.FieldSchema{
+		fs("a", schema.Number), fs("b", schema.Number),
+	}, nil)
+	far := schema.NewObjectTuple([]schema.FieldSchema{
+		fs("x", schema.Number), fs("y", schema.Number), fs("z", schema.Number),
+	}, nil)
+	s := schema.NewUnion(close1, far)
+	n, _ := EditsToFullRecall(s, []*jsontype.Type{ty(t, `{"a":1}`)})
+	if n != 1 {
+		t.Errorf("greedy union diagnosis should need 1 edit, got %d", n)
+	}
+}
+
+func TestEditsCollectionLeaves(t *testing.T) {
+	s := &schema.ObjectCollection{Value: schema.Number, Domain: 3}
+	n, edits := EditsToFullRecall(s, []*jsontype.Type{ty(t, `{"k":"string"}`)})
+	if n != 1 || edits[0].Op != "widen" {
+		t.Errorf("collection leaf widening: %v", edits)
+	}
+	arr := &schema.ArrayCollection{Elem: schema.Number, MaxLen: 2}
+	n2, edits2 := EditsToFullRecall(arr, []*jsontype.Type{ty(t, `[1,"x"]`)})
+	if n2 != 1 || edits2[0].Op != "widen" {
+		t.Errorf("array collection widening: %v", edits2)
+	}
+}
+
+func TestEditsKindMismatch(t *testing.T) {
+	s := schema.NewObjectTuple([]schema.FieldSchema{fs("a", schema.Number)}, nil)
+	n, edits := EditsToFullRecall(s, []*jsontype.Type{ty(t, `[1,2]`)})
+	if n != 1 || edits[0].Op != "add-alternative" {
+		t.Errorf("kind mismatch should be add-alternative: %v", edits)
+	}
+	n2, _ := EditsToFullRecall(schema.Empty(), []*jsontype.Type{ty(t, `{"a":1}`)})
+	if n2 != 1 {
+		t.Errorf("empty schema needs one alternative, got %d", n2)
+	}
+}
+
+func TestEditsDeduplicateAcrossRecords(t *testing.T) {
+	s := schema.NewObjectTuple([]schema.FieldSchema{fs("a", schema.Number)}, nil)
+	var test []*jsontype.Type
+	for i := 0; i < 50; i++ {
+		test = append(test, ty(t, `{"a":1,"extra":2}`))
+	}
+	n, _ := EditsToFullRecall(s, test)
+	if n != 1 {
+		t.Errorf("identical failures should dedup to 1 edit, got %d", n)
+	}
+}

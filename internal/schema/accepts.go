@@ -1,0 +1,120 @@
+package schema
+
+import "jxplain/internal/jsontype"
+
+// Accepts implements Schema.
+func (p *Primitive) Accepts(t *jsontype.Type) bool { return p.AcceptsWith(t, DefaultOptions) }
+
+// AcceptsWith implements Schema.
+func (p *Primitive) AcceptsWith(t *jsontype.Type, opts Options) bool {
+	if opts.NullIsWildcard && t.Kind() == jsontype.KindNull {
+		return true
+	}
+	return t.Kind() == p.K
+}
+
+// Accepts implements Schema.
+func (a *ArrayTuple) Accepts(t *jsontype.Type) bool { return a.AcceptsWith(t, DefaultOptions) }
+
+// AcceptsWith implements Schema.
+func (a *ArrayTuple) AcceptsWith(t *jsontype.Type, opts Options) bool {
+	if opts.NullIsWildcard && t.Kind() == jsontype.KindNull {
+		return true
+	}
+	if t.Kind() != jsontype.KindArray {
+		return false
+	}
+	n := t.Len()
+	if n < a.MinLen || n > len(a.Elems) {
+		return false
+	}
+	for i := 0; i < n; i++ {
+		if !a.Elems[i].AcceptsWith(t.Elem(i), opts) {
+			return false
+		}
+	}
+	return true
+}
+
+// Accepts implements Schema.
+func (o *ObjectTuple) Accepts(t *jsontype.Type) bool { return o.AcceptsWith(t, DefaultOptions) }
+
+// AcceptsWith implements Schema.
+func (o *ObjectTuple) AcceptsWith(t *jsontype.Type, opts Options) bool {
+	if opts.NullIsWildcard && t.Kind() == jsontype.KindNull {
+		return true
+	}
+	if t.Kind() != jsontype.KindObject {
+		return false
+	}
+	// Every required key must be present with an admitted value; every
+	// present key must be known. Walk the key-sorted field list against the
+	// key-sorted required/optional lists.
+	required := 0
+	for _, f := range t.Fields() {
+		s, isReq := o.Field(f.Key)
+		if s == nil {
+			return false // unknown key
+		}
+		if !s.AcceptsWith(f.Type, opts) {
+			return false
+		}
+		if isReq {
+			required++
+		}
+	}
+	return required == len(o.Required)
+}
+
+// Accepts implements Schema.
+func (a *ArrayCollection) Accepts(t *jsontype.Type) bool { return a.AcceptsWith(t, DefaultOptions) }
+
+// AcceptsWith implements Schema.
+func (a *ArrayCollection) AcceptsWith(t *jsontype.Type, opts Options) bool {
+	if opts.NullIsWildcard && t.Kind() == jsontype.KindNull {
+		return true
+	}
+	if t.Kind() != jsontype.KindArray {
+		return false
+	}
+	for _, e := range t.Elems() {
+		if !a.Elem.AcceptsWith(e, opts) {
+			return false
+		}
+	}
+	return true
+}
+
+// Accepts implements Schema.
+func (o *ObjectCollection) Accepts(t *jsontype.Type) bool { return o.AcceptsWith(t, DefaultOptions) }
+
+// AcceptsWith implements Schema.
+func (o *ObjectCollection) AcceptsWith(t *jsontype.Type, opts Options) bool {
+	if opts.NullIsWildcard && t.Kind() == jsontype.KindNull {
+		return true
+	}
+	if t.Kind() != jsontype.KindObject {
+		return false
+	}
+	for _, f := range t.Fields() {
+		if !o.Value.AcceptsWith(f.Type, opts) {
+			return false
+		}
+	}
+	return true
+}
+
+// Accepts implements Schema.
+func (u *Union) Accepts(t *jsontype.Type) bool { return u.AcceptsWith(t, DefaultOptions) }
+
+// AcceptsWith implements Schema. The null wildcard is applied by the
+// alternatives themselves, so a union that is semantically empty (only
+// empty alternatives) rejects null like the empty schema does.
+func (u *Union) AcceptsWith(t *jsontype.Type, opts Options) bool {
+	for _, a := range u.Alts {
+		if a.AcceptsWith(t, opts) {
+			return true
+		}
+	}
+	return false
+}

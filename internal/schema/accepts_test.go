@@ -1,0 +1,189 @@
+package schema
+
+import "testing"
+
+func TestPrimitiveAccepts(t *testing.T) {
+	if !Number.Accepts(ty("1.5")) || Number.Accepts(ty(`"x"`)) {
+		t.Error("number acceptance broken")
+	}
+	if !String.Accepts(ty(`"x"`)) || String.Accepts(ty("true")) {
+		t.Error("string acceptance broken")
+	}
+	if !Bool.Accepts(ty("true")) || Bool.Accepts(ty("[]")) {
+		t.Error("bool acceptance broken")
+	}
+	if !Null.Accepts(ty("null")) {
+		t.Error("null schema should accept null")
+	}
+	// Null wildcard (default options).
+	if !Number.Accepts(ty("null")) {
+		t.Error("null should be wildcard by default")
+	}
+	strict := Options{NullIsWildcard: false}
+	if Number.AcceptsWith(ty("null"), strict) {
+		t.Error("strict options should reject null under ℝ")
+	}
+	if !Null.AcceptsWith(ty("null"), strict) {
+		t.Error("null schema accepts null even in strict mode")
+	}
+}
+
+func TestObjectTupleAccepts(t *testing.T) {
+	s := tuple(
+		[]FieldSchema{req("ts", Number), req("event", String)},
+		[]FieldSchema{req("user", String)},
+	)
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{`{"ts":1,"event":"a"}`, true},
+		{`{"ts":1,"event":"a","user":"bob"}`, true},
+		{`{"ts":1}`, false},                        // missing required
+		{`{"ts":1,"event":"a","extra":1}`, false},  // unknown key
+		{`{"ts":"x","event":"a"}`, false},          // wrong type
+		{`{"ts":null,"event":"a"}`, true},          // null wildcard
+		{`{"ts":1,"event":"a","user":null}`, true}, // null optional
+		{`[1]`, false},                             // wrong kind
+		{`"str"`, false},                           // wrong kind
+	}
+	for _, c := range cases {
+		if got := s.Accepts(ty(c.src)); got != c.want {
+			t.Errorf("Accepts(%s) = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestObjectTupleEmptyAccepts(t *testing.T) {
+	empty := tuple(nil, nil)
+	if !empty.Accepts(ty(`{}`)) {
+		t.Error("empty tuple accepts empty object")
+	}
+	if empty.Accepts(ty(`{"a":1}`)) {
+		t.Error("empty tuple rejects any key")
+	}
+}
+
+func TestArrayTupleAccepts(t *testing.T) {
+	geo := NewArrayTuple(Number, Number)
+	if !geo.Accepts(ty("[1.0,2.0]")) {
+		t.Error("geo tuple should accept [ℝ,ℝ]")
+	}
+	for _, bad := range []string{"[1.0]", "[1.0,2.0,3.0]", `[1.0,"x"]`, `{"a":1}`} {
+		if geo.Accepts(ty(bad)) {
+			t.Errorf("geo tuple should reject %s", bad)
+		}
+	}
+	if !geo.Accepts(ty("[null,2.0]")) {
+		t.Error("null element is wildcard")
+	}
+}
+
+func TestArrayTupleOptionalSuffix(t *testing.T) {
+	s := &ArrayTuple{Elems: []Schema{Number, Number, String}, MinLen: 1}
+	for _, good := range []string{"[1]", "[1,2]", `[1,2,"x"]`} {
+		if !s.Accepts(ty(good)) {
+			t.Errorf("should accept %s", good)
+		}
+	}
+	for _, bad := range []string{"[]", `[1,2,"x",4]`, `["a"]`} {
+		if s.Accepts(ty(bad)) {
+			t.Errorf("should reject %s", bad)
+		}
+	}
+}
+
+func TestArrayCollectionAccepts(t *testing.T) {
+	s := &ArrayCollection{Elem: String, MaxLen: 2}
+	// MaxLen bounds entropy, not validation.
+	for _, good := range []string{"[]", `["a"]`, `["a","b","c","d"]`, `[null]`} {
+		if !s.Accepts(ty(good)) {
+			t.Errorf("should accept %s", good)
+		}
+	}
+	for _, bad := range []string{"[1]", `["a",1]`, `{"a":"b"}`} {
+		if s.Accepts(ty(bad)) {
+			t.Errorf("should reject %s", bad)
+		}
+	}
+}
+
+func TestObjectCollectionAccepts(t *testing.T) {
+	s := &ObjectCollection{Value: Number, Domain: 3}
+	for _, good := range []string{"{}", `{"a":1}`, `{"x":1,"y":2,"z":3,"w":4}`} {
+		if !s.Accepts(ty(good)) {
+			t.Errorf("should accept %s", good)
+		}
+	}
+	for _, bad := range []string{`{"a":"s"}`, `[1]`, `"x"`} {
+		if s.Accepts(ty(bad)) {
+			t.Errorf("should reject %s", bad)
+		}
+	}
+}
+
+func TestNestedCollectionAccepts(t *testing.T) {
+	// Synapse signatures shape: {url: {key: sig}}.
+	s := &ObjectCollection{Value: &ObjectCollection{Value: String, Domain: 2}, Domain: 2}
+	if !s.Accepts(ty(`{"matrix.org":{"ed25519:1":"sig"},"other.org":{"k":"v","k2":"v2"}}`)) {
+		t.Error("two-level collection should accept")
+	}
+	if s.Accepts(ty(`{"matrix.org":{"k":1}}`)) {
+		t.Error("leaf type mismatch should reject")
+	}
+}
+
+func TestUnionAccepts(t *testing.T) {
+	s := NewUnion(Number, &ArrayCollection{Elem: String})
+	if !s.Accepts(ty("3")) || !s.Accepts(ty(`["a"]`)) {
+		t.Error("union should accept either alternative")
+	}
+	if s.Accepts(ty("true")) {
+		t.Error("union should reject non-members")
+	}
+	if Empty().Accepts(ty("null")) {
+		t.Error("empty schema accepts nothing, even null")
+	}
+	// Null wildcard applies to non-empty unions.
+	u := NewUnion(Number, String).(*Union)
+	if !u.Accepts(ty("null")) {
+		t.Error("non-empty union should accept null under default options")
+	}
+}
+
+func TestMultiEntityUnionPrecision(t *testing.T) {
+	// The Example 1 scenario: S1 (two entities) rejects the mixed records
+	// that S2 (single entity with optionals) admits.
+	login := tuple(
+		[]FieldSchema{req("ts", Number), req("event", String), req("user", tuple(
+			[]FieldSchema{req("name", String), req("geo", NewArrayTuple(Number, Number))}, nil))},
+		nil)
+	serve := tuple(
+		[]FieldSchema{req("ts", Number), req("event", String), req("files", &ArrayCollection{Elem: String, MaxLen: 2})},
+		nil)
+	s1 := NewUnion(login, serve)
+	s2 := tuple(
+		[]FieldSchema{req("ts", Number), req("event", String)},
+		[]FieldSchema{
+			req("user", tuple([]FieldSchema{req("name", String), req("geo", NewArrayTuple(Number, Number))}, nil)),
+			req("files", &ArrayCollection{Elem: String, MaxLen: 2}),
+		})
+
+	loginRec := ty(`{"ts":7,"event":"login","user":{"name":"bob","geo":[1,2]}}`)
+	serveRec := ty(`{"ts":8,"event":"serve","files":["a.txt","b.txt"]}`)
+	both := ty(`{"ts":9,"event":"huh","user":{"name":"x","geo":[0,0]},"files":["f"]}`)
+	neither := ty(`{"ts":10,"event":"wat"}`)
+
+	if !s1.Accepts(loginRec) || !s1.Accepts(serveRec) {
+		t.Error("S1 must accept both training records")
+	}
+	if !s2.Accepts(loginRec) || !s2.Accepts(serveRec) {
+		t.Error("S2 must accept both training records")
+	}
+	if s1.Accepts(both) || s1.Accepts(neither) {
+		t.Error("S1 (entity-partitioned) must reject the invalid mixtures")
+	}
+	if !s2.Accepts(both) || !s2.Accepts(neither) {
+		t.Error("S2 (single entity) admits the mixtures — the imprecision JXPLAIN fixes")
+	}
+}

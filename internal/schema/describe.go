@@ -1,0 +1,82 @@
+package schema
+
+// Describe summarizes a schema's shape. The paper's third quality axis —
+// besides precision and recall — is a *concise description* (§2);
+// Stats quantifies it.
+
+// Stats is a structural summary of one schema.
+type Stats struct {
+	// Nodes is the total schema-node count.
+	Nodes int
+	// Entities is the number of tuple nodes (ObjectTuple / ArrayTuple).
+	Entities int
+	// Collections is the number of collection nodes.
+	Collections int
+	// Unions is the number of union nodes.
+	Unions int
+	// RequiredFields and OptionalFields count ObjectTuple fields.
+	RequiredFields, OptionalFields int
+	// Depth is the maximum nesting depth of the schema tree.
+	Depth int
+	// DescriptionLength is the length of the canonical rendering — a
+	// concrete proxy for description size.
+	DescriptionLength int
+}
+
+// Describe computes the Stats of s.
+func Describe(s Schema) Stats {
+	st := Stats{
+		DescriptionLength: len(s.Canon()),
+		Depth:             depth(s),
+	}
+	Walk(s, func(n Schema) {
+		st.Nodes++
+		switch node := n.(type) {
+		case *ObjectTuple:
+			st.Entities++
+			st.RequiredFields += len(node.Required)
+			st.OptionalFields += len(node.Optional)
+		case *ArrayTuple:
+			st.Entities++
+		case *ArrayCollection, *ObjectCollection:
+			st.Collections++
+		case *Union:
+			st.Unions++
+		}
+	})
+	return st
+}
+
+func depth(s Schema) int {
+	max := 0
+	bump := func(d int) {
+		if d > max {
+			max = d
+		}
+	}
+	switch n := s.(type) {
+	case *Primitive:
+		return 1
+	case *ArrayTuple:
+		for _, e := range n.Elems {
+			bump(depth(e))
+		}
+	case *ObjectTuple:
+		for _, f := range n.Required {
+			bump(depth(f.Schema))
+		}
+		for _, f := range n.Optional {
+			bump(depth(f.Schema))
+		}
+	case *ArrayCollection:
+		bump(depth(n.Elem))
+	case *ObjectCollection:
+		bump(depth(n.Value))
+	case *Union:
+		for _, a := range n.Alts {
+			bump(depth(a))
+		}
+		return max // unions do not add structural depth
+	}
+	return 1 + max
+}

@@ -1,0 +1,64 @@
+package schema
+
+import "testing"
+
+func TestDescribe(t *testing.T) {
+	s := NewUnion(
+		tuple(
+			[]FieldSchema{req("a", Number), req("u", tuple([]FieldSchema{req("x", String)}, nil))},
+			[]FieldSchema{req("b", Bool)},
+		),
+		&ArrayCollection{Elem: &ObjectCollection{Value: Number, Domain: 3}, MaxLen: 5},
+	)
+	st := Describe(s)
+	if st.Entities != 2 {
+		t.Errorf("Entities = %d", st.Entities)
+	}
+	if st.Collections != 2 {
+		t.Errorf("Collections = %d", st.Collections)
+	}
+	if st.Unions != 1 {
+		t.Errorf("Unions = %d", st.Unions)
+	}
+	if st.RequiredFields != 3 || st.OptionalFields != 1 {
+		t.Errorf("fields = %d/%d", st.RequiredFields, st.OptionalFields)
+	}
+	if st.Nodes != Size(s) {
+		t.Errorf("Nodes = %d, Size = %d", st.Nodes, Size(s))
+	}
+	if st.DescriptionLength != len(s.Canon()) {
+		t.Error("DescriptionLength mismatch")
+	}
+	// Depth: union → tuple → tuple → primitive = 3 structural levels;
+	// the collection chain is also 3 (coll → coll → prim).
+	if st.Depth != 3 {
+		t.Errorf("Depth = %d", st.Depth)
+	}
+}
+
+func TestDescribeDepthPrimitive(t *testing.T) {
+	if Describe(Number).Depth != 1 {
+		t.Error("primitive depth is 1")
+	}
+	if Describe(Empty()).Depth != 0 {
+		t.Error("empty schema depth is 0")
+	}
+	at := NewArrayTuple(Number, NewArrayTuple(Number))
+	if Describe(at).Depth != 3 {
+		t.Errorf("nested array tuple depth = %d", Describe(at).Depth)
+	}
+}
+
+func TestDescribeConcisenessOrdering(t *testing.T) {
+	// A collection description is more concise than the equivalent
+	// 50-optional-field tuple — the paper's compactness motivation.
+	coll := &ObjectCollection{Value: Number, Domain: 50}
+	var opts []FieldSchema
+	for i := 0; i < 50; i++ {
+		opts = append(opts, req(string(rune('a'+i%26))+string(rune('a'+i/26)), Number))
+	}
+	tup := tuple(nil, opts)
+	if Describe(coll).DescriptionLength >= Describe(tup).DescriptionLength {
+		t.Error("collection should describe more concisely than optional-field tuple")
+	}
+}

@@ -1,0 +1,168 @@
+package schema
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Native JSON encoding for schemas, so discovered schemas can be saved by
+// cmd/jxplain and reloaded by cmd/jxvalidate. The encoding is a tagged
+// tree: {"node": "...", ...}. It round-trips exactly (including Domain and
+// MaxLen statistics, which JSON-Schema export does not carry).
+
+type encodedSchema struct {
+	Node     string          `json:"node"`
+	Kind     string          `json:"kind,omitempty"`     // primitive
+	Elems    []encodedSchema `json:"elems,omitempty"`    // array tuple
+	MinLen   *int            `json:"minLen,omitempty"`   // array tuple
+	Required []encodedField  `json:"required,omitempty"` // object tuple
+	Optional []encodedField  `json:"optional,omitempty"` // object tuple
+	Elem     *encodedSchema  `json:"elem,omitempty"`     // array collection
+	MaxLen   int             `json:"maxLen,omitempty"`   // array collection
+	Value    *encodedSchema  `json:"value,omitempty"`    // object collection
+	Domain   int             `json:"domain,omitempty"`   // object collection
+	Alts     []encodedSchema `json:"alts,omitempty"`     // union
+}
+
+type encodedField struct {
+	Key    string        `json:"key"`
+	Schema encodedSchema `json:"schema"`
+}
+
+func encode(s Schema) encodedSchema {
+	switch n := s.(type) {
+	case *Primitive:
+		return encodedSchema{Node: "primitive", Kind: n.K.String()}
+	case *ArrayTuple:
+		elems := make([]encodedSchema, len(n.Elems))
+		for i, e := range n.Elems {
+			elems[i] = encode(e)
+		}
+		minLen := n.MinLen
+		enc := encodedSchema{Node: "arrayTuple", MinLen: &minLen}
+		if len(elems) > 0 {
+			enc.Elems = elems
+		}
+		return enc
+	case *ObjectTuple:
+		enc := encodedSchema{Node: "objectTuple"}
+		for _, f := range n.Required {
+			enc.Required = append(enc.Required, encodedField{Key: f.Key, Schema: encode(f.Schema)})
+		}
+		for _, f := range n.Optional {
+			enc.Optional = append(enc.Optional, encodedField{Key: f.Key, Schema: encode(f.Schema)})
+		}
+		return enc
+	case *ArrayCollection:
+		elem := encode(n.Elem)
+		return encodedSchema{Node: "arrayCollection", Elem: &elem, MaxLen: n.MaxLen}
+	case *ObjectCollection:
+		value := encode(n.Value)
+		return encodedSchema{Node: "objectCollection", Value: &value, Domain: n.Domain}
+	case *Union:
+		alts := make([]encodedSchema, len(n.Alts))
+		for i, a := range n.Alts {
+			alts[i] = encode(a)
+		}
+		enc := encodedSchema{Node: "union"}
+		if len(alts) > 0 {
+			enc.Alts = alts
+		}
+		return enc
+	}
+	mustSchema(false, "unknown schema node %T", s)
+	return encodedSchema{}
+}
+
+func decode(e encodedSchema) (Schema, error) {
+	switch e.Node {
+	case "primitive":
+		switch e.Kind {
+		case "null":
+			return Null, nil
+		case "bool":
+			return Bool, nil
+		case "number":
+			return Number, nil
+		case "string":
+			return String, nil
+		}
+		return nil, fmt.Errorf("schema: unknown primitive kind %q", e.Kind)
+	case "arrayTuple":
+		elems := make([]Schema, len(e.Elems))
+		for i, enc := range e.Elems {
+			var err error
+			if elems[i], err = decode(enc); err != nil {
+				return nil, err
+			}
+		}
+		minLen := len(elems)
+		if e.MinLen != nil {
+			minLen = *e.MinLen
+		}
+		if minLen < 0 || minLen > len(elems) {
+			return nil, fmt.Errorf("schema: invalid arrayTuple minLen %d for %d elems", minLen, len(elems))
+		}
+		return &ArrayTuple{Elems: elems, MinLen: minLen}, nil
+	case "objectTuple":
+		required := make([]FieldSchema, 0, len(e.Required))
+		for _, f := range e.Required {
+			s, err := decode(f.Schema)
+			if err != nil {
+				return nil, err
+			}
+			required = append(required, FieldSchema{Key: f.Key, Schema: s})
+		}
+		optional := make([]FieldSchema, 0, len(e.Optional))
+		for _, f := range e.Optional {
+			s, err := decode(f.Schema)
+			if err != nil {
+				return nil, err
+			}
+			optional = append(optional, FieldSchema{Key: f.Key, Schema: s})
+		}
+		return NewObjectTuple(required, optional), nil
+	case "arrayCollection":
+		if e.Elem == nil {
+			return nil, fmt.Errorf("schema: arrayCollection missing elem")
+		}
+		elem, err := decode(*e.Elem)
+		if err != nil {
+			return nil, err
+		}
+		return &ArrayCollection{Elem: elem, MaxLen: e.MaxLen}, nil
+	case "objectCollection":
+		if e.Value == nil {
+			return nil, fmt.Errorf("schema: objectCollection missing value")
+		}
+		value, err := decode(*e.Value)
+		if err != nil {
+			return nil, err
+		}
+		return &ObjectCollection{Value: value, Domain: e.Domain}, nil
+	case "union":
+		alts := make([]Schema, len(e.Alts))
+		for i, enc := range e.Alts {
+			var err error
+			if alts[i], err = decode(enc); err != nil {
+				return nil, err
+			}
+		}
+		return &Union{Alts: alts}, nil
+	}
+	return nil, fmt.Errorf("schema: unknown node %q", e.Node)
+}
+
+// Marshal renders s in the native JSON encoding.
+func Marshal(s Schema) ([]byte, error) {
+	return json.MarshalIndent(encode(s), "", "  ")
+}
+
+// Unmarshal parses the native JSON encoding produced by Marshal.
+func Unmarshal(data []byte) (Schema, error) {
+	var e encodedSchema
+	if err := json.Unmarshal(data, &e); err != nil {
+		return nil, err
+	}
+	return decode(e)
+}

@@ -1,0 +1,153 @@
+package schema
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sampleSchema() Schema {
+	return NewUnion(
+		tuple(
+			[]FieldSchema{req("ts", Number), req("event", String)},
+			[]FieldSchema{req("user", tuple([]FieldSchema{req("name", String)}, nil))},
+		),
+		&ArrayCollection{Elem: NewUnion(Number, Null), MaxLen: 7},
+		&ObjectCollection{Value: String, Domain: 12},
+		&ArrayTuple{Elems: []Schema{Number, Number, String}, MinLen: 2},
+		Bool,
+	)
+}
+
+func TestMarshalUnmarshalRoundTrip(t *testing.T) {
+	orig := sampleSchema()
+	data, err := Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(orig, back) {
+		t.Errorf("round trip mismatch:\n%s\n%s", orig, back)
+	}
+}
+
+func TestRoundTripPreservesStats(t *testing.T) {
+	orig := &ArrayCollection{Elem: Number, MaxLen: 42}
+	data, _ := Marshal(orig)
+	back, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.(*ArrayCollection).MaxLen != 42 {
+		t.Error("MaxLen lost in round trip")
+	}
+	orig2 := &ObjectCollection{Value: Number, Domain: 17}
+	data2, _ := Marshal(orig2)
+	back2, _ := Unmarshal(data2)
+	if back2.(*ObjectCollection).Domain != 17 {
+		t.Error("Domain lost in round trip")
+	}
+}
+
+func TestRoundTripEmptySchemas(t *testing.T) {
+	for _, s := range []Schema{Empty(), tuple(nil, nil), NewArrayTuple()} {
+		data, err := Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := Unmarshal(data)
+		if err != nil {
+			t.Fatalf("unmarshal %s: %v", data, err)
+		}
+		if !Equal(s, back) {
+			t.Errorf("round trip mismatch for %s", s)
+		}
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	bad := []string{
+		`{`,
+		`{"node":"bogus"}`,
+		`{"node":"primitive","kind":"frob"}`,
+		`{"node":"arrayCollection"}`,
+		`{"node":"objectCollection"}`,
+		`{"node":"arrayTuple","minLen":5,"elems":[{"node":"primitive","kind":"number"}]}`,
+		`{"node":"union","alts":[{"node":"bogus"}]}`,
+		`{"node":"objectTuple","required":[{"key":"a","schema":{"node":"bogus"}}]}`,
+		`{"node":"objectTuple","optional":[{"key":"a","schema":{"node":"bogus"}}]}`,
+		`{"node":"arrayTuple","elems":[{"node":"bogus"}]}`,
+		`{"node":"arrayCollection","elem":{"node":"bogus"}}`,
+		`{"node":"objectCollection","value":{"node":"bogus"}}`,
+	}
+	for _, src := range bad {
+		if _, err := Unmarshal([]byte(src)); err == nil {
+			t.Errorf("Unmarshal(%s) should fail", src)
+		}
+	}
+}
+
+func TestToJSONSchemaShape(t *testing.T) {
+	doc := ToJSONSchema(sampleSchema())
+	data, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(data)
+	for _, want := range []string{
+		`"anyOf"`, `"properties"`, `"required"`, `"additionalProperties":false`,
+		`"type":"array"`, `"type":"boolean"`, `"minItems":2`, `"maxItems":3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("JSON Schema missing %s in %s", want, out)
+		}
+	}
+}
+
+func TestToJSONSchemaPrimitives(t *testing.T) {
+	cases := map[Schema]string{
+		Null:   "null",
+		Bool:   "boolean",
+		Number: "number",
+		String: "string",
+	}
+	for s, want := range cases {
+		doc := ToJSONSchema(s)
+		if doc["type"] != want {
+			t.Errorf("ToJSONSchema(%v) type = %v", s, doc["type"])
+		}
+	}
+}
+
+func TestToJSONSchemaEmpty(t *testing.T) {
+	doc := ToJSONSchema(Empty())
+	if _, ok := doc["not"]; !ok {
+		t.Error("empty schema should export as {\"not\": {}}")
+	}
+}
+
+func TestMarshalJSONSchemaHeader(t *testing.T) {
+	data, err := MarshalJSONSchema(Number)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "json-schema.org/draft-07") {
+		t.Error("missing $schema header")
+	}
+}
+
+func TestToJSONSchemaCollections(t *testing.T) {
+	coll := ToJSONSchema(&ObjectCollection{Value: Number, Domain: 5})
+	ap, ok := coll["additionalProperties"].(map[string]any)
+	if !ok || ap["type"] != "number" {
+		t.Errorf("object collection export wrong: %v", coll)
+	}
+	arr := ToJSONSchema(&ArrayCollection{Elem: String, MaxLen: 5})
+	items, ok := arr["items"].(map[string]any)
+	if !ok || items["type"] != "string" {
+		t.Errorf("array collection export wrong: %v", arr)
+	}
+}

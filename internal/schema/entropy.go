@@ -1,0 +1,72 @@
+package schema
+
+import (
+	"math"
+
+	"jxplain/internal/stats"
+)
+
+// Schema entropy (Section 7.2): the log2 number of distinct structural
+// types admitted by a schema. Optional fields are binary decisions;
+// collections range over the active key domain (ObjectCollection.Domain)
+// or over lengths up to the longest observed array (ArrayCollection.
+// MaxLen). Counts routinely exceed 2^2000, so all arithmetic is in log2
+// space; an empty schema has -Inf entropy (it admits zero types).
+
+// LogTypeCount implements Schema. A primitive admits exactly one type.
+func (p *Primitive) LogTypeCount() float64 { return 0 }
+
+// LogTypeCount implements Schema: the sum over admitted lengths ℓ of the
+// product of per-position counts for positions < ℓ.
+func (a *ArrayTuple) LogTypeCount() float64 {
+	terms := make([]float64, 0, len(a.Elems)-a.MinLen+1)
+	logProd := 0.0
+	for i := 0; i <= len(a.Elems); i++ {
+		if i >= a.MinLen {
+			terms = append(terms, logProd)
+		}
+		if i < len(a.Elems) {
+			logProd += a.Elems[i].LogTypeCount()
+		}
+	}
+	return stats.Log2SumExp2(terms)
+}
+
+// LogTypeCount implements Schema: required fields multiply their counts;
+// each optional field contributes a factor (1 + count).
+func (o *ObjectTuple) LogTypeCount() float64 {
+	total := 0.0
+	for _, f := range o.Required {
+		total += f.Schema.LogTypeCount()
+	}
+	for _, f := range o.Optional {
+		total += stats.Log2Add(0, f.Schema.LogTypeCount())
+	}
+	return total
+}
+
+// LogTypeCount implements Schema: Σ_{ℓ=0..MaxLen} count(Elem)^ℓ.
+func (a *ArrayCollection) LogTypeCount() float64 {
+	return stats.Log2GeometricSeries(a.Elem.LogTypeCount(), a.MaxLen)
+}
+
+// LogTypeCount implements Schema: each of the Domain active keys is
+// independently absent or present with any admitted value type, giving
+// (1 + count(Value))^Domain.
+func (o *ObjectCollection) LogTypeCount() float64 {
+	return float64(o.Domain) * stats.Log2Add(0, o.Value.LogTypeCount())
+}
+
+// LogTypeCount implements Schema: alternatives are summed. Overlap between
+// alternatives is ignored, making this an upper bound, consistent with the
+// paper's binary-decision counting.
+func (u *Union) LogTypeCount() float64 {
+	if len(u.Alts) == 0 {
+		return math.Inf(-1)
+	}
+	terms := make([]float64, len(u.Alts))
+	for i, a := range u.Alts {
+		terms[i] = a.LogTypeCount()
+	}
+	return stats.Log2SumExp2(terms)
+}

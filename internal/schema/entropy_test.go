@@ -1,0 +1,146 @@
+package schema
+
+import (
+	"math"
+	"testing"
+)
+
+func almost(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestPrimitiveLogTypeCount(t *testing.T) {
+	for _, p := range []*Primitive{Null, Bool, Number, String} {
+		if p.LogTypeCount() != 0 {
+			t.Errorf("%v admits exactly one type", p)
+		}
+	}
+}
+
+func TestObjectTupleLogTypeCount(t *testing.T) {
+	// Two required primitives: 1 type.
+	s := tuple([]FieldSchema{req("a", Number), req("b", String)}, nil)
+	if got := s.LogTypeCount(); got != 0 {
+		t.Errorf("required-only tuple: %v, want 0", got)
+	}
+	// One optional primitive: 2 types (present/absent).
+	s2 := tuple(nil, []FieldSchema{req("a", Number)})
+	if got := s2.LogTypeCount(); !almost(got, 1, 1e-12) {
+		t.Errorf("one optional: %v, want 1", got)
+	}
+	// k optional primitives: 2^k types.
+	s3 := tuple(nil, []FieldSchema{req("a", Number), req("b", Number), req("c", Number)})
+	if got := s3.LogTypeCount(); !almost(got, 3, 1e-12) {
+		t.Errorf("three optionals: %v, want 3", got)
+	}
+	// Optional union of 3 primitives: 1 + 3 = 4 types.
+	s4 := tuple(nil, []FieldSchema{req("a", NewUnion(Number, String, Bool))})
+	if got := s4.LogTypeCount(); !almost(got, 2, 1e-12) {
+		t.Errorf("optional 3-union: %v, want 2", got)
+	}
+}
+
+func TestArrayTupleLogTypeCount(t *testing.T) {
+	// Fixed [ℝ,ℝ]: 1 type.
+	if got := NewArrayTuple(Number, Number).LogTypeCount(); got != 0 {
+		t.Errorf("fixed tuple: %v", got)
+	}
+	// [U2, U2] where U2 has 2 alts: 4 types.
+	u := NewUnion(Number, String)
+	if got := NewArrayTuple(u, u).LogTypeCount(); !almost(got, 2, 1e-12) {
+		t.Errorf("2x2 tuple: %v, want 2", got)
+	}
+	// Optional suffix: [ℝ, ℝ?, ℝ?] admits lengths 1..3 → 3 types.
+	s := &ArrayTuple{Elems: []Schema{Number, Number, Number}, MinLen: 1}
+	if got := s.LogTypeCount(); !almost(got, math.Log2(3), 1e-12) {
+		t.Errorf("optional suffix: %v, want log2(3)", got)
+	}
+}
+
+func TestArrayCollectionLogTypeCount(t *testing.T) {
+	// [ℝ]* bounded at MaxLen 3: lengths 0,1,2,3 each with 1 element type = 4.
+	s := &ArrayCollection{Elem: Number, MaxLen: 3}
+	if got := s.LogTypeCount(); !almost(got, 2, 1e-12) {
+		t.Errorf("[ℝ]* maxlen 3: %v, want 2", got)
+	}
+	// Elem with 2 types, MaxLen 2: 1 + 2 + 4 = 7.
+	s2 := &ArrayCollection{Elem: NewUnion(Number, String), MaxLen: 2}
+	if got := s2.LogTypeCount(); !almost(got, math.Log2(7), 1e-12) {
+		t.Errorf("got %v, want log2(7)", got)
+	}
+	// MaxLen 0: only the empty array.
+	s3 := &ArrayCollection{Elem: Number, MaxLen: 0}
+	if got := s3.LogTypeCount(); !almost(got, 0, 1e-12) {
+		t.Errorf("maxlen 0: %v, want 0", got)
+	}
+}
+
+func TestObjectCollectionLogTypeCount(t *testing.T) {
+	// {*: ℝ}* over domain of 4 keys: each key present or absent → 2^4.
+	s := &ObjectCollection{Value: Number, Domain: 4}
+	if got := s.LogTypeCount(); !almost(got, 4, 1e-12) {
+		t.Errorf("domain 4: %v, want 4", got)
+	}
+	// Value with 3 types, domain 2: (1+3)^2 = 16.
+	s2 := &ObjectCollection{Value: NewUnion(Number, String, Bool), Domain: 2}
+	if got := s2.LogTypeCount(); !almost(got, 4, 1e-12) {
+		t.Errorf("got %v, want 4", got)
+	}
+	// Pharma-scale: domain 2397 of numbers → 2397 bits, no overflow.
+	s3 := &ObjectCollection{Value: Number, Domain: 2397}
+	if got := s3.LogTypeCount(); !almost(got, 2397, 1e-9) {
+		t.Errorf("pharma-scale: %v, want 2397", got)
+	}
+}
+
+func TestUnionLogTypeCount(t *testing.T) {
+	if !math.IsInf(Empty().LogTypeCount(), -1) {
+		t.Error("empty schema admits zero types")
+	}
+	u := &Union{Alts: []Schema{Number, String, Bool, Null}}
+	if got := u.LogTypeCount(); !almost(got, 2, 1e-12) {
+		t.Errorf("4 primitives: %v, want 2", got)
+	}
+}
+
+func TestEntityPartitioningReducesEntropy(t *testing.T) {
+	// The core claim of Table 2: a union of two tight entities admits fewer
+	// types than one entity with the symmetric fields optional.
+	fieldsA := []FieldSchema{req("a1", Number), req("a2", Number), req("a3", Number)}
+	fieldsB := []FieldSchema{req("b1", String), req("b2", String), req("b3", String)}
+	shared := []FieldSchema{req("id", String)}
+
+	twoEntities := NewUnion(
+		tuple(append(append([]FieldSchema{}, shared...), fieldsA...), nil),
+		tuple(append(append([]FieldSchema{}, shared...), fieldsB...), nil),
+	)
+	oneEntity := tuple(shared, append(append([]FieldSchema{}, fieldsA...), fieldsB...))
+
+	if twoEntities.LogTypeCount() >= oneEntity.LogTypeCount() {
+		t.Errorf("partitioned %v should admit fewer types than merged %v",
+			twoEntities.LogTypeCount(), oneEntity.LogTypeCount())
+	}
+	if got := twoEntities.LogTypeCount(); !almost(got, 1, 1e-12) {
+		t.Errorf("two exact entities = 2 types: %v", got)
+	}
+	if got := oneEntity.LogTypeCount(); !almost(got, 6, 1e-12) {
+		t.Errorf("6 optional fields = 2^6 types: %v", got)
+	}
+}
+
+func TestCollectionVsTupleEntropy(t *testing.T) {
+	// A collection object over a huge domain admits far more types than the
+	// tuple interpretation of the same few records, but far fewer than
+	// exploding optionals would suggest when values share one type — and it
+	// generalizes. Check magnitudes are sane.
+	coll := &ObjectCollection{Value: Number, Domain: 100}
+	if got := coll.LogTypeCount(); !almost(got, 100, 1e-9) {
+		t.Errorf("collection: %v", got)
+	}
+	opts := make([]FieldSchema, 100)
+	for i := range opts {
+		opts[i] = req(string(rune('a'+i%26))+string(rune('0'+i/26)), Number)
+	}
+	tup := tuple(nil, opts)
+	if got := tup.LogTypeCount(); !almost(got, 100, 1e-9) {
+		t.Errorf("100 optionals: %v", got)
+	}
+}

@@ -1,0 +1,45 @@
+package schema
+
+import "testing"
+
+// FuzzUnmarshal exercises the native schema decoder against arbitrary
+// bytes: never panic; on success the schema must render, re-encode and
+// round-trip.
+func FuzzUnmarshal(f *testing.F) {
+	for _, s := range []Schema{
+		Number, Empty(),
+		NewObjectTuple([]FieldSchema{{Key: "a", Schema: Number}},
+			[]FieldSchema{{Key: "b", Schema: String}}),
+		&ArrayCollection{Elem: NewUnion(Number, Null), MaxLen: 3},
+		&ObjectCollection{Value: Bool, Domain: 7},
+		&ArrayTuple{Elems: []Schema{Number, String}, MinLen: 1},
+	} {
+		data, err := Marshal(s)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(`{"node":"bogus"}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`{"node":"arrayTuple","minLen":-1}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		if s.String() == "" && !IsEmpty(s) {
+			// The empty union renders as (⊥); everything renders non-empty.
+			t.Fatalf("empty rendering for %#v", s)
+		}
+		re, err := Marshal(s)
+		if err != nil {
+			t.Fatalf("re-marshal failed: %v", err)
+		}
+		back, err := Unmarshal(re)
+		if err != nil || !Equal(s, back) {
+			t.Fatalf("round trip diverged: %v vs %v (%v)", s, back, err)
+		}
+		_ = s.LogTypeCount() // must not panic
+	})
+}

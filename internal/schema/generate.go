@@ -1,0 +1,339 @@
+package schema
+
+import (
+	"math/rand"
+
+	"jxplain/internal/jsontype"
+)
+
+// Schema-driven generation: sample or enumerate the structural types a
+// schema admits. Sampling yields synthetic test records conforming to a
+// discovered schema; bounded enumeration cross-checks Accepts and the
+// schema-entropy computation against ground truth (every enumerated type
+// must validate, and for overlap-free schemas the count must equal
+// 2^LogTypeCount).
+
+// SampleType draws a uniform-ish random type admitted by the schema, or
+// ok=false when the schema admits none (the empty schema, or a composite
+// whose children admit none). Collections draw lengths up to MaxLen and
+// synthetic keys within Domain, matching the entropy bounds.
+func SampleType(s Schema, r *rand.Rand) (t *jsontype.Type, ok bool) {
+	switch n := s.(type) {
+	case *Primitive:
+		return jsontype.NewPrimitive(n.K), true
+	case *ArrayTuple:
+		length := n.MinLen + r.Intn(len(n.Elems)-n.MinLen+1)
+		elems := make([]*jsontype.Type, length)
+		for i := 0; i < length; i++ {
+			e, ok := SampleType(n.Elems[i], r)
+			if !ok {
+				return nil, false
+			}
+			elems[i] = e
+		}
+		return jsontype.NewArray(elems), true
+	case *ObjectTuple:
+		var fields []jsontype.Field
+		for _, f := range n.Required {
+			v, ok := SampleType(f.Schema, r)
+			if !ok {
+				return nil, false
+			}
+			fields = append(fields, jsontype.Field{Key: f.Key, Type: v})
+		}
+		for _, f := range n.Optional {
+			if r.Intn(2) == 0 {
+				continue
+			}
+			v, ok := SampleType(f.Schema, r)
+			if !ok {
+				continue // an uninhabited optional field is simply omitted
+			}
+			fields = append(fields, jsontype.Field{Key: f.Key, Type: v})
+		}
+		return jsontype.NewObject(fields), true
+	case *ArrayCollection:
+		maxLen := n.MaxLen
+		if IsEmpty(n.Elem) {
+			maxLen = 0
+		}
+		length := 0
+		if maxLen > 0 {
+			length = r.Intn(maxLen + 1)
+		}
+		elems := make([]*jsontype.Type, length)
+		for i := range elems {
+			e, ok := SampleType(n.Elem, r)
+			if !ok {
+				return nil, false
+			}
+			elems[i] = e
+		}
+		return jsontype.NewArray(elems), true
+	case *ObjectCollection:
+		domain := n.Domain
+		if IsEmpty(n.Value) {
+			domain = 0
+		}
+		var fields []jsontype.Field
+		for i := 0; i < domain; i++ {
+			if r.Intn(2) == 0 {
+				continue
+			}
+			v, ok := SampleType(n.Value, r)
+			if !ok {
+				return nil, false
+			}
+			fields = append(fields, jsontype.Field{Key: syntheticKey(i), Type: v})
+		}
+		return jsontype.NewObject(fields), true
+	case *Union:
+		if len(n.Alts) == 0 {
+			return nil, false
+		}
+		// Try alternatives in random order; some may be uninhabited.
+		order := r.Perm(len(n.Alts))
+		for _, i := range order {
+			if t, ok := SampleType(n.Alts[i], r); ok {
+				return t, true
+			}
+		}
+		return nil, false
+	}
+	return nil, false
+}
+
+// SampleValue draws a decoded JSON value (map[string]any / []any /
+// primitives) conforming to the schema, with placeholder leaf values —
+// synthetic test data for a discovered schema.
+func SampleValue(s Schema, r *rand.Rand) (any, bool) {
+	t, ok := SampleType(s, r)
+	if !ok {
+		return nil, false
+	}
+	return valueOf(t, r), true
+}
+
+func valueOf(t *jsontype.Type, r *rand.Rand) any {
+	switch t.Kind() {
+	case jsontype.KindNull:
+		return nil
+	case jsontype.KindBool:
+		return r.Intn(2) == 0
+	case jsontype.KindNumber:
+		return float64(r.Intn(1000))
+	case jsontype.KindString:
+		return syntheticKey(r.Intn(1000))
+	case jsontype.KindArray:
+		out := make([]any, t.Len())
+		for i, e := range t.Elems() {
+			out[i] = valueOf(e, r)
+		}
+		return out
+	case jsontype.KindObject:
+		out := make(map[string]any, t.Len())
+		for _, f := range t.Fields() {
+			out[f.Key] = valueOf(f.Type, r)
+		}
+		return out
+	}
+	return nil
+}
+
+func syntheticKey(i int) string {
+	const letters = "abcdefghijklmnopqrstuvwxyz"
+	out := []byte{'k'}
+	for {
+		out = append(out, letters[i%26])
+		i /= 26
+		if i == 0 {
+			return string(out)
+		}
+	}
+}
+
+// EnumerateTypes lists the distinct structural types the schema admits,
+// stopping once limit is exceeded (ok=false then; the slice holds the
+// first ≥limit found). Collections enumerate within their recorded bounds
+// (lengths ≤ MaxLen over the synthetic key domain), mirroring the Table 2
+// counting semantics, so for schemas without union overlap
+// len(EnumerateTypes) equals 2^LogTypeCount exactly.
+func EnumerateTypes(s Schema, limit int) (types []*jsontype.Type, ok bool) {
+	seen := map[string]bool{}
+	var out []*jsontype.Type
+	complete := enumerate(s, limit, func(t *jsontype.Type) bool {
+		if seen[t.Canon()] {
+			return true
+		}
+		seen[t.Canon()] = true
+		out = append(out, t)
+		return len(out) < limit
+	})
+	return out, complete
+}
+
+// enumerate invokes yield for every admitted type (possibly with
+// duplicates across union alternatives); yield returns false to stop.
+// enumerate reports whether the enumeration ran to completion.
+func enumerate(s Schema, limit int, yield func(*jsontype.Type) bool) bool {
+	switch n := s.(type) {
+	case *Primitive:
+		return yield(jsontype.NewPrimitive(n.K))
+	case *Union:
+		for _, a := range n.Alts {
+			if !enumerate(a, limit, yield) {
+				return false
+			}
+		}
+		return true
+	case *ArrayTuple:
+		for length := n.MinLen; length <= len(n.Elems); length++ {
+			if !enumerateSlots(n.Elems[:length], limit, func(elems []*jsontype.Type) bool {
+				return yield(jsontype.NewArray(append([]*jsontype.Type(nil), elems...)))
+			}) {
+				return false
+			}
+		}
+		return true
+	case *ObjectTuple:
+		return enumerateObject(n, limit, yield)
+	case *ArrayCollection:
+		var elemTypes []*jsontype.Type
+		if !IsEmpty(n.Elem) {
+			var complete bool
+			elemTypes, complete = EnumerateTypes(n.Elem, limit)
+			if !complete {
+				return false
+			}
+		}
+		return enumerateSequences(elemTypes, n.MaxLen, func(elems []*jsontype.Type) bool {
+			return yield(jsontype.NewArray(append([]*jsontype.Type(nil), elems...)))
+		})
+	case *ObjectCollection:
+		var valueTypes []*jsontype.Type
+		if !IsEmpty(n.Value) {
+			var complete bool
+			valueTypes, complete = EnumerateTypes(n.Value, limit)
+			if !complete {
+				return false
+			}
+		}
+		domain := n.Domain
+		if len(valueTypes) == 0 {
+			domain = 0
+		}
+		return enumerateKeySubsets(domain, valueTypes, nil, 0, yield)
+	}
+	return true
+}
+
+// enumerateSlots enumerates every combination of one admitted type per
+// slot schema.
+func enumerateSlots(slots []Schema, limit int, yield func([]*jsontype.Type) bool) bool {
+	current := make([]*jsontype.Type, len(slots))
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == len(slots) {
+			return yield(current)
+		}
+		ok := true
+		enumerate(slots[i], limit, func(t *jsontype.Type) bool {
+			current[i] = t
+			if !rec(i + 1) {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok
+	}
+	return rec(0)
+}
+
+func enumerateObject(o *ObjectTuple, limit int, yield func(*jsontype.Type) bool) bool {
+	all := make([]FieldSchema, 0, len(o.Required)+len(o.Optional))
+	all = append(all, o.Required...)
+	all = append(all, o.Optional...)
+	requiredCount := len(o.Required)
+	fields := make([]jsontype.Field, 0, len(all))
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == len(all) {
+			cp := append([]jsontype.Field(nil), fields...)
+			return yield(jsontype.NewObject(cp))
+		}
+		f := all[i]
+		optional := i >= requiredCount
+		if optional {
+			if !rec(i + 1) { // absent branch
+				return false
+			}
+		}
+		ok := true
+		enumerate(f.Schema, limit, func(t *jsontype.Type) bool {
+			fields = append(fields, jsontype.Field{Key: f.Key, Type: t})
+			if !rec(i + 1) {
+				ok = false
+			}
+			fields = fields[:len(fields)-1]
+			return ok
+		})
+		return ok
+	}
+	return rec(0)
+}
+
+// enumerateSequences yields every sequence of length 0..maxLen over the
+// element types.
+func enumerateSequences(elemTypes []*jsontype.Type, maxLen int, yield func([]*jsontype.Type) bool) bool {
+	var current []*jsontype.Type
+	var rec func(remaining int) bool
+	rec = func(remaining int) bool {
+		if !yield(current) {
+			return false
+		}
+		if remaining == 0 {
+			return true
+		}
+		for _, e := range elemTypes {
+			current = append(current, e)
+			ok := rec(remaining - 1)
+			current = current[:len(current)-1]
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	return rec(maxLen)
+}
+
+// enumerateKeySubsets yields objects over every subset of the synthetic
+// key domain with every assignment of value types.
+func enumerateKeySubsets(domain int, valueTypes []*jsontype.Type, fields []jsontype.Field, i int, yield func(*jsontype.Type) bool) bool {
+	if i == domain {
+		cp := append([]jsontype.Field(nil), fields...)
+		return yield(jsontype.NewObject(cp))
+	}
+	if !enumerateKeySubsets(domain, valueTypes, fields, i+1, yield) { // key absent
+		return false
+	}
+	for _, v := range valueTypes {
+		if !enumerateKeySubsets(domain, valueTypes,
+			append(fields, jsontype.Field{Key: syntheticKey(i), Type: v}), i+1, yield) {
+			return false
+		}
+	}
+	return true
+}
+
+// ExactTypeCount returns the exact number of admitted types (within
+// collection bounds), or -1 when it exceeds limit. It exists to
+// cross-check LogTypeCount on small schemas.
+func ExactTypeCount(s Schema, limit int) int {
+	types, complete := EnumerateTypes(s, limit)
+	if !complete {
+		return -1
+	}
+	return len(types)
+}

@@ -1,0 +1,154 @@
+package schema
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"jxplain/internal/jsontype"
+)
+
+func TestSampleTypeAlwaysAccepted(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 400; trial++ {
+		s := randomSchema(r, 3)
+		ty, ok := SampleType(s, r)
+		if !ok {
+			continue // uninhabited schema
+		}
+		if !s.Accepts(ty) {
+			t.Fatalf("schema %s rejects its own sample %s", s, ty)
+		}
+	}
+}
+
+func TestSampleTypeEmptySchema(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	if _, ok := SampleType(Empty(), r); ok {
+		t.Error("the empty schema is uninhabited")
+	}
+	// A tuple with an uninhabited required field is uninhabited too.
+	s := tuple([]FieldSchema{req("a", Empty())}, nil)
+	if _, ok := SampleType(s, r); ok {
+		t.Error("required empty field makes the tuple uninhabited")
+	}
+	// An uninhabited optional field is simply omitted.
+	s2 := tuple([]FieldSchema{req("a", Number)}, []FieldSchema{req("b", Empty())})
+	ty, ok := SampleType(s2, r)
+	if !ok || ty.HasField("b") {
+		t.Errorf("optional empty field should be skipped: %v %v", ty, ok)
+	}
+}
+
+func TestSampleValueConforms(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	s := NewUnion(
+		tuple([]FieldSchema{req("id", Number)}, []FieldSchema{req("tag", String)}),
+		&ArrayCollection{Elem: Bool, MaxLen: 3},
+	)
+	for i := 0; i < 50; i++ {
+		v, ok := SampleValue(s, r)
+		if !ok {
+			t.Fatal("inhabited schema must sample")
+		}
+		ty, err := jsontype.FromValue(v)
+		if err != nil {
+			t.Fatalf("sampled value not JSON-representable: %v", err)
+		}
+		if !s.Accepts(ty) {
+			t.Fatalf("sampled value %v does not conform", v)
+		}
+	}
+}
+
+func TestEnumerateSmallSchemas(t *testing.T) {
+	cases := []struct {
+		s    Schema
+		want int
+	}{
+		{Number, 1},
+		{Empty(), 0},
+		{NewUnion(Number, String), 2},
+		{tuple([]FieldSchema{req("a", Number)}, nil), 1},
+		{tuple(nil, []FieldSchema{req("a", Number), req("b", String)}), 4},
+		{NewArrayTuple(NewUnion(Number, String), Bool), 2},
+		{&ArrayTuple{Elems: []Schema{Number, Number}, MinLen: 0}, 3},
+		{&ArrayCollection{Elem: Number, MaxLen: 3}, 4},
+		{&ArrayCollection{Elem: NewUnion(Number, String), MaxLen: 2}, 7},
+		{&ObjectCollection{Value: Number, Domain: 3}, 8},
+		{&ObjectCollection{Value: NewUnion(Number, Bool), Domain: 2}, 9},
+		{&ArrayCollection{Elem: Empty(), MaxLen: 5}, 1}, // only []
+	}
+	for _, c := range cases {
+		got := ExactTypeCount(c.s, 10000)
+		if got != c.want {
+			t.Errorf("ExactTypeCount(%s) = %d, want %d", c.s, got, c.want)
+		}
+	}
+}
+
+func TestEnumerateMatchesLogTypeCountProperty(t *testing.T) {
+	// For randomly built *overlap-free* schemas (we just avoid unions of
+	// same-kind alternatives by filtering via exact count ≤ limit), the
+	// enumeration size must equal 2^LogTypeCount.
+	r := rand.New(rand.NewSource(17))
+	checked := 0
+	for trial := 0; trial < 500 && checked < 120; trial++ {
+		s := randomSchema(r, 2)
+		n := ExactTypeCount(s, 3000)
+		if n < 0 {
+			continue
+		}
+		logCount := s.LogTypeCount()
+		var want float64
+		if math.IsInf(logCount, -1) {
+			want = 0
+		} else {
+			want = math.Exp2(logCount)
+		}
+		// Unions may overlap: enumeration (deduplicated) ≤ the counted bound.
+		if float64(n) > want+0.5 {
+			t.Fatalf("schema %s enumerates %d types but LogTypeCount says %.3f",
+				s, n, want)
+		}
+		// Without unions the count must be exact.
+		if CountNodes(s, func(x Schema) bool { return x.Node() == NodeUnion }) == 0 {
+			if math.Abs(float64(n)-want) > 0.5 {
+				t.Fatalf("union-free schema %s: enumerated %d, counted %.3f", s, n, want)
+			}
+		}
+		checked++
+	}
+	if checked < 50 {
+		t.Fatalf("too few schemas checked: %d", checked)
+	}
+}
+
+func TestEnumerateEveryTypeAccepted(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 150; trial++ {
+		s := randomSchema(r, 2)
+		types, _ := EnumerateTypes(s, 500)
+		for _, ty := range types {
+			if !s.AcceptsWith(ty, Options{NullIsWildcard: false}) && !s.Accepts(ty) {
+				t.Fatalf("schema %s rejects enumerated type %s", s, ty)
+			}
+		}
+	}
+}
+
+func TestEnumerateLimit(t *testing.T) {
+	// 2^20 optional fields: enumeration must stop at the limit.
+	var opts []FieldSchema
+	for i := 0; i < 20; i++ {
+		opts = append(opts, req(syntheticKey(i), Number))
+	}
+	s := tuple(nil, opts)
+	types, complete := EnumerateTypes(s, 100)
+	if complete {
+		t.Error("enumeration should be truncated")
+	}
+	if len(types) < 100 {
+		t.Errorf("got %d types before stopping", len(types))
+	}
+}

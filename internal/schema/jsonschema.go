@@ -1,0 +1,90 @@
+package schema
+
+import (
+	"encoding/json"
+
+	"jxplain/internal/jsontype"
+)
+
+// ToJSONSchema converts a Schema into the json-schema.org (draft-07 style)
+// subset used by the paper: explicit primitive types, tuple arrays via the
+// array form of "items" with bounded length, tuple objects via
+// "properties"/"required" with "additionalProperties": false, collections
+// via homogeneous "items"/"additionalProperties", and unions via "anyOf".
+//
+// The result is a plain map ready for json.Marshal.
+func ToJSONSchema(s Schema) map[string]any {
+	switch n := s.(type) {
+	case *Primitive:
+		switch n.K {
+		case jsontype.KindNull:
+			return map[string]any{"type": "null"}
+		case jsontype.KindBool:
+			return map[string]any{"type": "boolean"}
+		case jsontype.KindNumber:
+			return map[string]any{"type": "number"}
+		case jsontype.KindString:
+			return map[string]any{"type": "string"}
+		}
+	case *ArrayTuple:
+		items := make([]any, len(n.Elems))
+		for i, e := range n.Elems {
+			items[i] = ToJSONSchema(e)
+		}
+		return map[string]any{
+			"type":            "array",
+			"items":           items,
+			"minItems":        n.MinLen,
+			"maxItems":        len(n.Elems),
+			"additionalItems": false,
+		}
+	case *ObjectTuple:
+		props := make(map[string]any, len(n.Required)+len(n.Optional))
+		required := make([]string, 0, len(n.Required))
+		for _, f := range n.Required {
+			props[f.Key] = ToJSONSchema(f.Schema)
+			required = append(required, f.Key)
+		}
+		for _, f := range n.Optional {
+			props[f.Key] = ToJSONSchema(f.Schema)
+		}
+		out := map[string]any{
+			"type":                 "object",
+			"properties":           props,
+			"additionalProperties": false,
+		}
+		if len(required) > 0 {
+			out["required"] = required
+		}
+		return out
+	case *ArrayCollection:
+		return map[string]any{
+			"type":  "array",
+			"items": ToJSONSchema(n.Elem),
+		}
+	case *ObjectCollection:
+		return map[string]any{
+			"type":                 "object",
+			"additionalProperties": ToJSONSchema(n.Value),
+		}
+	case *Union:
+		if len(n.Alts) == 0 {
+			return map[string]any{"not": map[string]any{}} // accepts nothing
+		}
+		alts := make([]any, len(n.Alts))
+		for i, a := range n.Alts {
+			alts[i] = ToJSONSchema(a)
+		}
+		return map[string]any{"anyOf": alts}
+	}
+	mustSchema(false, "unknown schema node %T", s)
+	return nil
+}
+
+// MarshalJSONSchema renders s as an indented json-schema.org document with
+// the standard $schema header.
+func MarshalJSONSchema(s Schema) ([]byte, error) {
+	doc := ToJSONSchema(s)
+	doc["$schema"] = "http://json-schema.org/draft-07/schema#"
+	return json.MarshalIndent(doc, "", "  ")
+}

@@ -1,0 +1,74 @@
+package schema
+
+import (
+	"sort"
+	"strconv"
+)
+
+// FieldPaths returns the set of key paths described by the schema, as
+// dotted strings from the root: required and optional object-tuple keys
+// descend by key, collections descend through a "[*]"/"{*}" step, and
+// array tuples descend through their positions. The root contributes the
+// empty path only implicitly — a primitive schema has no field paths.
+//
+// Path sets are the basis of the Table 3 symmetric-difference metric
+// between discovered entity schemas and ground-truth entity schemas.
+func FieldPaths(s Schema) map[string]bool {
+	out := map[string]bool{}
+	collectPaths(s, "", out)
+	return out
+}
+
+func collectPaths(s Schema, prefix string, out map[string]bool) {
+	switch n := s.(type) {
+	case *Primitive:
+	case *ArrayTuple:
+		for i, e := range n.Elems {
+			p := prefix + "[" + strconv.Itoa(i) + "]"
+			out[p] = true
+			collectPaths(e, p, out)
+		}
+	case *ObjectTuple:
+		for _, f := range n.Required {
+			p := join(prefix, f.Key)
+			out[p] = true
+			collectPaths(f.Schema, p, out)
+		}
+		for _, f := range n.Optional {
+			p := join(prefix, f.Key)
+			out[p] = true
+			collectPaths(f.Schema, p, out)
+		}
+	case *ArrayCollection:
+		p := prefix + "[*]"
+		out[p] = true
+		collectPaths(n.Elem, p, out)
+	case *ObjectCollection:
+		p := join(prefix, "{*}")
+		out[p] = true
+		collectPaths(n.Value, p, out)
+	case *Union:
+		for _, a := range n.Alts {
+			collectPaths(a, prefix, out)
+		}
+	}
+}
+
+// SortedPaths returns FieldPaths as a sorted slice, convenient for tests
+// and deterministic output.
+func SortedPaths(s Schema) []string {
+	set := FieldPaths(s)
+	out := make([]string, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func join(prefix, key string) string {
+	if prefix == "" {
+		return key
+	}
+	return prefix + "." + key
+}

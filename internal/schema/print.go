@@ -1,0 +1,229 @@
+package schema
+
+import (
+	"strconv"
+	"strings"
+
+	"jxplain/internal/jsontype"
+)
+
+// String rendering uses the paper's notation:
+//
+//	ℝ 𝕊 𝔹 null              primitives
+//	[S₁, S₂, S₃?]           ArrayTuple (optional suffix marked ?)
+//	{k: S, k?: S}           ObjectTuple
+//	[S]*                    ArrayCollection
+//	{*: S}*                 ObjectCollection
+//	(S | S | …)             Union; (⊥) is the empty schema
+//
+// Canon renders a canonical single-line form used for schema equality and
+// deduplication; it coincides with String except that keys are escaped.
+
+// String implements Schema.
+func (p *Primitive) String() string { return render(p) }
+
+// String implements Schema.
+func (a *ArrayTuple) String() string { return render(a) }
+
+// String implements Schema.
+func (o *ObjectTuple) String() string { return render(o) }
+
+// String implements Schema.
+func (a *ArrayCollection) String() string { return render(a) }
+
+// String implements Schema.
+func (o *ObjectCollection) String() string { return render(o) }
+
+// String implements Schema.
+func (u *Union) String() string { return render(u) }
+
+func render(s Schema) string {
+	var b strings.Builder
+	s.writeString(&b)
+	return b.String()
+}
+
+// Canon implements Schema.
+func (p *Primitive) Canon() string { return canon(p) }
+
+// Canon implements Schema.
+func (a *ArrayTuple) Canon() string { return canon(a) }
+
+// Canon implements Schema.
+func (o *ObjectTuple) Canon() string { return canon(o) }
+
+// Canon implements Schema.
+func (a *ArrayCollection) Canon() string { return canon(a) }
+
+// Canon implements Schema.
+func (o *ObjectCollection) Canon() string { return canon(o) }
+
+// Canon implements Schema.
+func (u *Union) Canon() string { return canon(u) }
+
+func canon(s Schema) string {
+	var b strings.Builder
+	s.writeCanon(&b)
+	return b.String()
+}
+
+func (p *Primitive) writeString(b *strings.Builder) {
+	switch p.K {
+	case jsontype.KindNull:
+		b.WriteString("null")
+	case jsontype.KindBool:
+		b.WriteString("𝔹")
+	case jsontype.KindNumber:
+		b.WriteString("ℝ")
+	case jsontype.KindString:
+		b.WriteString("𝕊")
+	}
+}
+
+func (p *Primitive) writeCanon(b *strings.Builder) {
+	switch p.K {
+	case jsontype.KindNull:
+		b.WriteByte('n')
+	case jsontype.KindBool:
+		b.WriteByte('b')
+	case jsontype.KindNumber:
+		b.WriteByte('r')
+	case jsontype.KindString:
+		b.WriteByte('s')
+	}
+}
+
+func (a *ArrayTuple) writeString(b *strings.Builder) {
+	b.WriteByte('[')
+	for i, e := range a.Elems {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		e.writeString(b)
+		if i >= a.MinLen {
+			b.WriteByte('?')
+		}
+	}
+	b.WriteByte(']')
+}
+
+func (a *ArrayTuple) writeCanon(b *strings.Builder) {
+	b.WriteString("T[")
+	b.WriteString(strconv.Itoa(a.MinLen))
+	b.WriteByte(';')
+	for i, e := range a.Elems {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		e.writeCanon(b)
+	}
+	b.WriteByte(']')
+}
+
+func (o *ObjectTuple) writeString(b *strings.Builder) {
+	b.WriteByte('{')
+	first := true
+	writeFields := func(fields []FieldSchema, optional bool) {
+		for _, f := range fields {
+			if !first {
+				b.WriteString(", ")
+			}
+			first = false
+			b.WriteString(f.Key)
+			if optional {
+				b.WriteByte('?')
+			}
+			b.WriteString(": ")
+			f.Schema.writeString(b)
+		}
+	}
+	writeFields(o.Required, false)
+	writeFields(o.Optional, true)
+	b.WriteByte('}')
+}
+
+func (o *ObjectTuple) writeCanon(b *strings.Builder) {
+	b.WriteString("T{")
+	writeFields := func(fields []FieldSchema, marker byte) {
+		for _, f := range fields {
+			b.WriteByte(marker)
+			writeEscapedKey(b, f.Key)
+			b.WriteByte(':')
+			f.Schema.writeCanon(b)
+			b.WriteByte(',')
+		}
+	}
+	writeFields(o.Required, '!')
+	writeFields(o.Optional, '?')
+	b.WriteByte('}')
+}
+
+func (a *ArrayCollection) writeString(b *strings.Builder) {
+	b.WriteByte('[')
+	a.Elem.writeString(b)
+	b.WriteString("]*")
+}
+
+func (a *ArrayCollection) writeCanon(b *strings.Builder) {
+	b.WriteString("C[")
+	b.WriteString(strconv.Itoa(a.MaxLen))
+	b.WriteByte(';')
+	a.Elem.writeCanon(b)
+	b.WriteByte(']')
+}
+
+func (o *ObjectCollection) writeString(b *strings.Builder) {
+	b.WriteString("{*: ")
+	o.Value.writeString(b)
+	b.WriteString("}*")
+}
+
+func (o *ObjectCollection) writeCanon(b *strings.Builder) {
+	b.WriteString("C{")
+	b.WriteString(strconv.Itoa(o.Domain))
+	b.WriteByte(';')
+	o.Value.writeCanon(b)
+	b.WriteByte('}')
+}
+
+func (u *Union) writeString(b *strings.Builder) {
+	if len(u.Alts) == 0 {
+		b.WriteString("(⊥)")
+		return
+	}
+	b.WriteByte('(')
+	for i, a := range u.Alts {
+		if i > 0 {
+			b.WriteString(" | ")
+		}
+		a.writeString(b)
+	}
+	b.WriteByte(')')
+}
+
+func (u *Union) writeCanon(b *strings.Builder) {
+	b.WriteString("U(")
+	for i, a := range u.Alts {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		a.writeCanon(b)
+	}
+	b.WriteByte(')')
+}
+
+func writeEscapedKey(b *strings.Builder, key string) {
+	if !strings.ContainsAny(key, `\:,{}[]()|!?`) {
+		b.WriteString(key)
+		return
+	}
+	for i := 0; i < len(key); i++ {
+		switch c := key[i]; c {
+		case '\\', ':', ',', '{', '}', '[', ']', '(', ')', '|', '!', '?':
+			b.WriteByte('\\')
+			b.WriteByte(c)
+		default:
+			b.WriteByte(c)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package schema
+
+// Simplify reduces redundancy in a schema without changing the set of
+// admitted types (up to the bounded-domain statistics, which are merged
+// conservatively):
+//
+//   - nested unions are flattened,
+//   - structurally identical union alternatives are deduplicated,
+//   - single-alternative unions are unwrapped,
+//   - children are simplified recursively.
+//
+// This mirrors the post-processing step the paper applied to the binary
+// K-reduction release, which "produced schemas with some redundant union
+// types" (§7).
+func Simplify(s Schema) Schema {
+	switch n := s.(type) {
+	case *Primitive:
+		return n
+	case *ArrayTuple:
+		elems := make([]Schema, len(n.Elems))
+		for i, e := range n.Elems {
+			elems[i] = Simplify(e)
+		}
+		return &ArrayTuple{Elems: elems, MinLen: n.MinLen}
+	case *ObjectTuple:
+		required := make([]FieldSchema, len(n.Required))
+		for i, f := range n.Required {
+			required[i] = FieldSchema{Key: f.Key, Schema: Simplify(f.Schema)}
+		}
+		optional := make([]FieldSchema, len(n.Optional))
+		for i, f := range n.Optional {
+			optional[i] = FieldSchema{Key: f.Key, Schema: Simplify(f.Schema)}
+		}
+		return &ObjectTuple{Required: required, Optional: optional}
+	case *ArrayCollection:
+		return &ArrayCollection{Elem: Simplify(n.Elem), MaxLen: n.MaxLen}
+	case *ObjectCollection:
+		return &ObjectCollection{Value: Simplify(n.Value), Domain: n.Domain}
+	case *Union:
+		flat := make([]Schema, 0, len(n.Alts))
+		seen := map[string]bool{}
+		var addAlt func(a Schema)
+		addAlt = func(a Schema) {
+			a = Simplify(a)
+			if inner, ok := a.(*Union); ok {
+				for _, x := range inner.Alts {
+					addAlt(x)
+				}
+				return
+			}
+			c := a.Canon()
+			if seen[c] {
+				return
+			}
+			seen[c] = true
+			flat = append(flat, a)
+		}
+		for _, a := range n.Alts {
+			addAlt(a)
+		}
+		if len(flat) == 1 {
+			return flat[0]
+		}
+		return &Union{Alts: flat}
+	}
+	mustSchema(false, "unknown schema node %T", s)
+	return nil
+}

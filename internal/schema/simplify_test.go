@@ -1,0 +1,220 @@
+package schema
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"jxplain/internal/jsontype"
+)
+
+func TestSimplifyFlattensNestedUnions(t *testing.T) {
+	s := &Union{Alts: []Schema{
+		&Union{Alts: []Schema{Number, &Union{Alts: []Schema{String}}}},
+		Bool,
+	}}
+	got := Simplify(s)
+	u, ok := got.(*Union)
+	if !ok || len(u.Alts) != 3 {
+		t.Fatalf("Simplify = %v", got)
+	}
+}
+
+func TestSimplifyDeduplicates(t *testing.T) {
+	s := &Union{Alts: []Schema{Number, Number, String, Number}}
+	got := Simplify(s).(*Union)
+	if len(got.Alts) != 2 {
+		t.Errorf("dedup failed: %v", got)
+	}
+	// Structural duplicates, not just pointer duplicates.
+	a := tuple([]FieldSchema{req("x", Number)}, nil)
+	b := tuple([]FieldSchema{req("x", Number)}, nil)
+	s2 := &Union{Alts: []Schema{a, b}}
+	if got := Simplify(s2); got.Node() != NodeObjectTuple {
+		t.Errorf("structural dedup + unwrap failed: %v", got)
+	}
+}
+
+func TestSimplifyUnwrapsSingleton(t *testing.T) {
+	s := &Union{Alts: []Schema{&Union{Alts: []Schema{Number}}}}
+	if got := Simplify(s); got != Number {
+		t.Errorf("Simplify = %v, want ℝ", got)
+	}
+}
+
+func TestSimplifyRecursesIntoChildren(t *testing.T) {
+	s := tuple([]FieldSchema{
+		req("a", &Union{Alts: []Schema{&Union{Alts: []Schema{Number, Number}}}}),
+	}, []FieldSchema{
+		req("b", &ArrayCollection{Elem: &Union{Alts: []Schema{String, String}}, MaxLen: 1}),
+	})
+	got := Simplify(s).(*ObjectTuple)
+	if fa, _ := got.Field("a"); fa != Number {
+		t.Errorf("nested union under required field not simplified: %v", fa)
+	}
+	fb, _ := got.Field("b")
+	if fb.(*ArrayCollection).Elem.(*Primitive).K != jsontype.KindString {
+		t.Errorf("nested union under collection not simplified: %v", fb)
+	}
+}
+
+func TestSimplifyPreservesEmpty(t *testing.T) {
+	if !IsEmpty(Simplify(Empty())) {
+		t.Error("empty schema should stay empty")
+	}
+}
+
+func TestSimplifyPreservesAcceptanceProperty(t *testing.T) {
+	// Simplify must never change which types a schema admits.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := randomSchema(r, 3)
+		simp := Simplify(s)
+		for i := 0; i < 20; i++ {
+			ty := randomTestType(r, 3)
+			if s.Accepts(ty) != simp.Accepts(ty) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSimplifyIdempotentProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := Simplify(randomSchema(r, 3))
+		return Equal(s, Simplify(s))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRoundTripRandomSchemasProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := randomSchema(r, 3)
+		data, err := Marshal(s)
+		if err != nil {
+			return false
+		}
+		back, err := Unmarshal(data)
+		if err != nil {
+			return false
+		}
+		return Equal(s, back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomSchema builds a bounded random schema for property tests.
+func randomSchema(r *rand.Rand, depth int) Schema {
+	if depth <= 0 || r.Intn(3) == 0 {
+		return []Schema{Null, Bool, Number, String}[r.Intn(4)]
+	}
+	keys := []string{"a", "b", "c", "d"}
+	switch r.Intn(5) {
+	case 0:
+		n := r.Intn(3)
+		elems := make([]Schema, n)
+		for i := range elems {
+			elems[i] = randomSchema(r, depth-1)
+		}
+		minLen := n
+		if n > 0 {
+			minLen = r.Intn(n + 1)
+		}
+		return &ArrayTuple{Elems: elems, MinLen: minLen}
+	case 1:
+		var required, optional []FieldSchema
+		seen := map[string]bool{}
+		for i := 0; i < r.Intn(4); i++ {
+			k := keys[r.Intn(len(keys))]
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			f := FieldSchema{Key: k, Schema: randomSchema(r, depth-1)}
+			if r.Intn(2) == 0 {
+				required = append(required, f)
+			} else {
+				optional = append(optional, f)
+			}
+		}
+		return NewObjectTuple(required, optional)
+	case 2:
+		return &ArrayCollection{Elem: randomSchema(r, depth-1), MaxLen: r.Intn(5)}
+	case 3:
+		return &ObjectCollection{Value: randomSchema(r, depth-1), Domain: r.Intn(5)}
+	default:
+		n := r.Intn(3)
+		alts := make([]Schema, n)
+		for i := range alts {
+			alts[i] = randomSchema(r, depth-1)
+		}
+		return &Union{Alts: alts}
+	}
+}
+
+// randomTestType builds a bounded random structural type.
+func randomTestType(r *rand.Rand, depth int) *jsontype.Type {
+	if depth <= 0 || r.Intn(3) == 0 {
+		return jsontype.NewPrimitive(jsontype.Kind(r.Intn(4)))
+	}
+	if r.Intn(2) == 0 {
+		n := r.Intn(3)
+		elems := make([]*jsontype.Type, n)
+		for i := range elems {
+			elems[i] = randomTestType(r, depth-1)
+		}
+		return jsontype.NewArray(elems)
+	}
+	keys := []string{"a", "b", "c", "d"}
+	var fields []jsontype.Field
+	seen := map[string]bool{}
+	for i := 0; i < r.Intn(4); i++ {
+		k := keys[r.Intn(len(keys))]
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		fields = append(fields, jsontype.Field{Key: k, Type: randomTestType(r, depth-1)})
+	}
+	return jsontype.NewObject(fields)
+}
+
+func TestFieldPaths(t *testing.T) {
+	s := NewUnion(
+		tuple(
+			[]FieldSchema{req("a", tuple([]FieldSchema{req("b", Number)}, nil))},
+			[]FieldSchema{req("c", &ArrayCollection{Elem: tuple([]FieldSchema{req("d", String)}, nil)})},
+		),
+		&ObjectCollection{Value: Number},
+		NewArrayTuple(Number, String),
+	)
+	got := SortedPaths(s)
+	expect := map[string]bool{
+		"a": true, "a.b": true, "c": true, "c[*]": true, "c[*].d": true,
+		"{*}": true, "[0]": true, "[1]": true,
+	}
+	if len(got) != len(expect) {
+		t.Fatalf("paths = %v", got)
+	}
+	for _, p := range got {
+		if !expect[p] {
+			t.Errorf("unexpected path %q", p)
+		}
+	}
+}
+
+func TestFieldPathsPrimitive(t *testing.T) {
+	if len(FieldPaths(Number)) != 0 {
+		t.Error("primitive has no field paths")
+	}
+}

@@ -1,0 +1,228 @@
+// Package stats provides the small descriptive-statistics toolkit used by
+// the experiment harness: streaming mean/variance (Welford), min/max,
+// histograms for the Figure 4 entropy distribution, and log-space
+// arithmetic helpers for schema-entropy computation.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary accumulates a stream of float64 observations and reports mean,
+// sample standard deviation, min and max. The zero value is ready to use.
+type Summary struct {
+	n            int
+	mean, m2     float64
+	minV, maxV   float64
+	haveExtremes bool
+}
+
+// Add folds one observation into the summary.
+func (s *Summary) Add(x float64) {
+	s.n++
+	delta := x - s.mean
+	s.mean += delta / float64(s.n)
+	s.m2 += delta * (x - s.mean)
+	if !s.haveExtremes || x < s.minV {
+		s.minV = x
+	}
+	if !s.haveExtremes || x > s.maxV {
+		s.maxV = x
+	}
+	s.haveExtremes = true
+}
+
+// N returns the number of observations.
+func (s *Summary) N() int { return s.n }
+
+// Mean returns the arithmetic mean (0 for an empty summary).
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Std returns the population standard deviation, matching the paper's
+// reported "std" columns (0 for fewer than 2 observations).
+func (s *Summary) Std() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return math.Sqrt(s.m2 / float64(s.n))
+}
+
+// Min returns the smallest observation (0 for an empty summary).
+func (s *Summary) Min() float64 { return s.minV }
+
+// Max returns the largest observation (0 for an empty summary).
+func (s *Summary) Max() float64 { return s.maxV }
+
+// Summarize builds a Summary over a slice.
+func Summarize(xs []float64) *Summary {
+	var s Summary
+	for _, x := range xs {
+		s.Add(x)
+	}
+	return &s
+}
+
+// Histogram is a fixed-width-bin histogram over [Lo, Hi); observations
+// outside the range are clamped into the first/last bin.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	total  int
+}
+
+// NewHistogram returns a histogram with bins equal-width bins over [lo, hi).
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins <= 0 || hi <= lo {
+		panic("stats: invalid histogram parameters")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	i := int(float64(len(h.Counts)) * (x - h.Lo) / (h.Hi - h.Lo))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.Counts) {
+		i = len(h.Counts) - 1
+	}
+	h.Counts[i]++
+	h.total++
+}
+
+// Total returns the number of observations recorded.
+func (h *Histogram) Total() int { return h.total }
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + w*(float64(i)+0.5)
+}
+
+// Render draws an ASCII bar chart, used by cmd/jxbench for Figure 4.
+func (h *Histogram) Render(width int) string {
+	maxC := 0
+	for _, c := range h.Counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	var b strings.Builder
+	for i, c := range h.Counts {
+		bar := 0
+		if maxC > 0 {
+			bar = c * width / maxC
+		}
+		fmt.Fprintf(&b, "%8.3f | %-*s %d\n", h.BinCenter(i), width, strings.Repeat("#", bar), c)
+	}
+	return b.String()
+}
+
+// Percentile returns the p-th percentile (0..100) of xs using the
+// nearest-rank method. It sorts a copy.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	rank := int(math.Ceil(p / 100 * float64(len(cp))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(cp) {
+		rank = len(cp)
+	}
+	return cp[rank-1]
+}
+
+// Log2SumExp2 returns log2(Σ 2^xᵢ) computed stably. It is the workhorse of
+// schema entropy: admitted-type counts live in log2 space because they
+// routinely exceed 2^2000.
+func Log2SumExp2(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.Inf(-1)
+	}
+	maxX := xs[0]
+	for _, x := range xs[1:] {
+		if x > maxX {
+			maxX = x
+		}
+	}
+	if math.IsInf(maxX, -1) {
+		return maxX
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += math.Exp2(x - maxX)
+	}
+	return maxX + math.Log2(sum)
+}
+
+// Log2Add returns log2(2^a + 2^b).
+func Log2Add(a, b float64) float64 {
+	if math.IsInf(a, -1) {
+		return b
+	}
+	if math.IsInf(b, -1) {
+		return a
+	}
+	if a < b {
+		a, b = b, a
+	}
+	return a + math.Log2(1+math.Exp2(b-a))
+}
+
+// Log2GeometricSeries returns log2(Σ_{ℓ=0..n} (2^logC)^ℓ): the log2 count of
+// sequences of length up to n over an alphabet of 2^logC element types.
+// Used for ArrayCollection entropy.
+func Log2GeometricSeries(logC float64, n int) float64 {
+	if n < 0 {
+		return math.Inf(-1)
+	}
+	if math.IsInf(logC, -1) {
+		// Only the empty sequence (ℓ=0 contributes 1; ℓ>0 contribute 0).
+		return 0
+	}
+	// Sum has n+1 terms: ℓ*logC for ℓ=0..n. The sum is dominated by the
+	// largest term; closed form avoids materializing huge slices.
+	if logC == 0 {
+		return math.Log2(float64(n + 1))
+	}
+	// Σ 2^{ℓ·logC} = (2^{(n+1)·logC} − 1) / (2^{logC} − 1).
+	top := float64(n+1) * logC
+	if logC > 0 {
+		// log2(2^top − 1) ≈ top for large top; compute stably.
+		num := top + math.Log2(1-math.Exp2(-top))
+		den := logC + math.Log2(1-math.Exp2(-logC))
+		return num - den
+	}
+	// logC < 0: series converges toward 1/(1−2^logC).
+	num := math.Log2(1 - math.Exp2(top))
+	den := math.Log2(1 - math.Exp2(logC))
+	return num - den
+}
+
+// Entropy returns the Shannon entropy −Σ p ln p (natural log, matching the
+// paper's key-space entropy examples) of an arbitrary non-negative weight
+// vector; weights are normalized by norm, not by their own sum, because
+// key-space entropy divides by the record count rather than the total key
+// count (the Pₖ need not sum to 1).
+func Entropy(weights []float64, norm float64) float64 {
+	if norm <= 0 {
+		return 0
+	}
+	e := 0.0
+	for _, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		p := w / norm
+		e -= p * math.Log(p)
+	}
+	return e
+}

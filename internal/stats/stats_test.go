@@ -1,0 +1,213 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestSummaryBasics(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if !almost(s.Mean(), 5, 1e-12) {
+		t.Errorf("mean = %v, want 5", s.Mean())
+	}
+	if !almost(s.Std(), 2, 1e-12) { // population std of the classic example
+		t.Errorf("std = %v, want 2", s.Std())
+	}
+	if s.Min() != 2 || s.Max() != 9 || s.N() != 8 {
+		t.Errorf("min/max/n = %v/%v/%v", s.Min(), s.Max(), s.N())
+	}
+}
+
+func TestSummaryEmptyAndSingle(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Std() != 0 || s.N() != 0 {
+		t.Error("empty summary should be zero")
+	}
+	s.Add(3)
+	if s.Mean() != 3 || s.Std() != 0 || s.Min() != 3 || s.Max() != 3 {
+		t.Error("single-observation summary wrong")
+	}
+}
+
+func TestSummaryMatchesDirectComputationProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		for i, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e6 {
+				xs[i] = float64(i % 100)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := Summarize(xs)
+		mean := 0.0
+		for _, x := range xs {
+			mean += x
+		}
+		mean /= float64(len(xs))
+		varSum := 0.0
+		for _, x := range xs {
+			varSum += (x - mean) * (x - mean)
+		}
+		std := 0.0
+		if len(xs) >= 2 {
+			std = math.Sqrt(varSum / float64(len(xs)))
+		}
+		return almost(s.Mean(), mean, 1e-6) && almost(s.Std(), std, 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{0, 1.9, 2, 5, 9.99, -3, 42} {
+		h.Add(x)
+	}
+	if h.Total() != 7 {
+		t.Errorf("total = %d", h.Total())
+	}
+	// -3 clamps to bin 0, 42 clamps to bin 4.
+	if h.Counts[0] != 3 { // 0, 1.9, -3
+		t.Errorf("bin 0 = %d, want 3", h.Counts[0])
+	}
+	if h.Counts[1] != 1 || h.Counts[2] != 1 || h.Counts[4] != 2 {
+		t.Errorf("counts = %v", h.Counts)
+	}
+	if !almost(h.BinCenter(0), 1, 1e-12) || !almost(h.BinCenter(4), 9, 1e-12) {
+		t.Error("BinCenter wrong")
+	}
+	if !strings.Contains(h.Render(10), "#") {
+		t.Error("Render should draw bars")
+	}
+}
+
+func TestNewHistogramPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid params should panic")
+		}
+	}()
+	NewHistogram(5, 5, 3)
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	if Percentile(xs, 50) != 3 {
+		t.Errorf("p50 = %v", Percentile(xs, 50))
+	}
+	if Percentile(xs, 100) != 5 || Percentile(xs, 0) != 1 {
+		t.Error("extreme percentiles wrong")
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty percentile should be 0")
+	}
+	// xs must be unchanged (sorted copy).
+	if xs[0] != 5 {
+		t.Error("Percentile mutated input")
+	}
+}
+
+func TestLog2SumExp2(t *testing.T) {
+	// log2(2^3 + 2^3) = 4.
+	if got := Log2SumExp2([]float64{3, 3}); !almost(got, 4, 1e-12) {
+		t.Errorf("got %v, want 4", got)
+	}
+	// Huge exponents must not overflow: log2(2^5000 + 2^4999) = 5000 + log2(1.5).
+	got := Log2SumExp2([]float64{5000, 4999})
+	if !almost(got, 5000+math.Log2(1.5), 1e-9) {
+		t.Errorf("got %v", got)
+	}
+	if !math.IsInf(Log2SumExp2(nil), -1) {
+		t.Error("empty sum should be -inf")
+	}
+	if !math.IsInf(Log2SumExp2([]float64{math.Inf(-1)}), -1) {
+		t.Error("sum of zeros should be -inf")
+	}
+}
+
+func TestLog2Add(t *testing.T) {
+	if got := Log2Add(3, 3); !almost(got, 4, 1e-12) {
+		t.Errorf("Log2Add(3,3) = %v", got)
+	}
+	if got := Log2Add(math.Inf(-1), 7); got != 7 {
+		t.Errorf("Log2Add(-inf,7) = %v", got)
+	}
+	if got := Log2Add(7, math.Inf(-1)); got != 7 {
+		t.Errorf("Log2Add(7,-inf) = %v", got)
+	}
+	if got := Log2Add(0, 10); !almost(got, 10+math.Log2(1+math.Exp2(-10)), 1e-12) {
+		t.Errorf("Log2Add(0,10) = %v", got)
+	}
+}
+
+func TestLog2GeometricSeries(t *testing.T) {
+	// c = 2 (logC = 1), n = 3: 1 + 2 + 4 + 8 = 15.
+	if got := Log2GeometricSeries(1, 3); !almost(got, math.Log2(15), 1e-9) {
+		t.Errorf("got %v, want log2(15)", got)
+	}
+	// c = 1 (logC = 0), n = 9: 10 terms of 1.
+	if got := Log2GeometricSeries(0, 9); !almost(got, math.Log2(10), 1e-12) {
+		t.Errorf("got %v, want log2(10)", got)
+	}
+	// n = 0: only the empty sequence.
+	if got := Log2GeometricSeries(5, 0); !almost(got, 0, 1e-9) {
+		t.Errorf("n=0: got %v, want 0", got)
+	}
+	// n < 0: empty sum.
+	if !math.IsInf(Log2GeometricSeries(1, -1), -1) {
+		t.Error("n<0 should be -inf")
+	}
+	// logC = -inf: alphabet of zero types, only empty sequence counts.
+	if got := Log2GeometricSeries(math.Inf(-1), 5); got != 0 {
+		t.Errorf("zero alphabet: got %v, want 0", got)
+	}
+	// Convergent case logC < 0: c=0.5, n large → sum → 2.
+	if got := Log2GeometricSeries(-1, 1000); !almost(got, 1, 1e-9) {
+		t.Errorf("convergent: got %v, want 1", got)
+	}
+	// Huge n must not overflow: c=2, n=10000 → ≈ 10001.
+	if got := Log2GeometricSeries(1, 10000); !almost(got, 10001, 1e-6) {
+		t.Errorf("huge n: got %v", got)
+	}
+}
+
+func TestLog2GeometricSeriesMatchesBruteForceProperty(t *testing.T) {
+	f := func(logCRaw int8, nRaw uint8) bool {
+		logC := float64(logCRaw%8) / 2 // -3.5 .. 3.5
+		n := int(nRaw % 20)
+		want := math.Inf(-1)
+		for l := 0; l <= n; l++ {
+			want = Log2Add(want, float64(l)*logC)
+		}
+		got := Log2GeometricSeries(logC, n)
+		return almost(got, want, 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEntropy(t *testing.T) {
+	// Example 7 from the paper: keys with P=1,1,0.5,0.5 give 0.6931 nats.
+	got := Entropy([]float64{2, 2, 1, 1}, 2)
+	if !almost(got, 2*0.5*math.Log(2), 1e-9) {
+		t.Errorf("entropy = %v, want %v", got, math.Log(2))
+	}
+	if Entropy(nil, 10) != 0 || Entropy([]float64{1}, 0) != 0 {
+		t.Error("degenerate entropy should be 0")
+	}
+	// Uniform distribution over k outcomes (weights sum to norm): ln k.
+	if got := Entropy([]float64{1, 1, 1, 1}, 4); !almost(got, math.Log(4), 1e-9) {
+		t.Errorf("uniform entropy = %v", got)
+	}
+	// Zero weights contribute nothing.
+	if got := Entropy([]float64{4, 0, 0}, 4); got != 0 {
+		t.Errorf("certain outcome entropy = %v", got)
+	}
+}
