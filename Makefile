@@ -1,8 +1,14 @@
 GO ?= go
 
-.PHONY: all build vet test test-short cover fuzz bench experiments clean
+.PHONY: all build vet test test-short check cover fuzz bench bench-stream experiments clean
 
 all: build vet test
+
+# CI gate: static checks plus the full suite under the race detector (the
+# ingest worker pool and the parallel stats folds must stay race-clean).
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./...
 
 build:
 	$(GO) build ./...
@@ -27,6 +33,11 @@ fuzz:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Streaming vs materialized ingestion comparison (throughput and peak
+# heap), written to BENCH_stream.json.
+bench-stream:
+	$(GO) run ./cmd/jxbench -table stream -json-out BENCH_stream.json
 
 # Regenerates every table and figure of the paper's evaluation into
 # results/jxbench_full.txt (about a minute at scale 0.5).

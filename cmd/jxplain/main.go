@@ -10,29 +10,39 @@
 // notation (default), a json-schema.org document (-format jsonschema), or
 // the native round-trip encoding (-format native) consumable by
 // jxvalidate.
+//
+// The JXPLAIN algorithms ingest the input as a bounded-memory stream:
+// records are decoded in chunks by a worker pool (-workers, -chunk) and
+// folded into mergeable sketches, so arbitrarily large inputs never
+// materialize in memory. -stats reports throughput and peak heap
+// alongside the schema statistics.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"jxplain/internal/core"
+	"jxplain/internal/ingest"
 	"jxplain/internal/jsontype"
 	"jxplain/internal/merge"
 	"jxplain/internal/metrics"
 	"jxplain/internal/schema"
+	"jxplain/internal/stats"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "jxplain:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, stdin io.Reader, stdout io.Writer) error {
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("jxplain", flag.ContinueOnError)
 	algorithm := fs.String("algorithm", "jxplain",
 		"extractor: jxplain, bimax-naive, k-reduce, or l-reduce")
@@ -47,11 +57,20 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	iterative := fs.Float64("iterative", 0,
 		"run the §4.2 sampling loop with this seed fraction (0 = train on everything)")
 	jsonl := fs.Bool("jsonl", false,
-		"treat input as strict JSONL and decode lines in parallel")
+		"treat input as strict JSONL (line-framed chunking, line-numbered errors)")
+	workers := fs.Int("workers", 0,
+		"decode workers for streaming ingestion (0 = one per core)")
+	chunk := fs.Int("chunk", 0,
+		"records per ingestion chunk (0 = default 2048)")
 	seed := fs.Int64("seed", 1, "seed for sampling and k-means")
-	stats := fs.Bool("stats", false, "print schema statistics to stderr")
+	statsF := fs.Bool("stats", false, "print schema statistics to stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	switch *algorithm {
+	case "jxplain", "bimax-naive", "k-reduce", "l-reduce":
+	default:
+		return fmt.Errorf("unknown algorithm %q", *algorithm)
 	}
 
 	input := stdin
@@ -63,45 +82,85 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		defer f.Close()
 		input = f
 	}
-	var types []*jsontype.Type
-	var err error
-	if *jsonl {
-		types, err = jsontype.DecodeLines(input, 0)
-	} else {
-		types, err = jsontype.DecodeAll(input)
-	}
-	if err != nil {
-		return fmt.Errorf("decoding records: %w", err)
-	}
-	if len(types) == 0 {
-		return fmt.Errorf("no records in input")
-	}
+
+	streaming := (*algorithm == "jxplain" || *algorithm == "bimax-naive") &&
+		!(*iterative > 0 && *iterative < 1)
 
 	var s schema.Schema
-	if *iterative > 0 && *iterative < 1 {
-		if *algorithm != "jxplain" && *algorithm != "bimax-naive" {
-			return fmt.Errorf("-iterative requires a JXPLAIN algorithm")
-		}
+	records := 0
+	distinct := 0
+	start := time.Now()
+	var sampler *stats.MemSampler
+	if *statsF {
+		sampler = stats.StartMemSampler(0)
+		defer sampler.Stop()
+	}
+
+	if streaming {
 		cfg := configFor(*algorithm, *threshold, !*noArrayTuples, !*noObjectColls)
-		var report core.IterativeReport
-		s, report = core.IterativeDiscover(types, cfg, *iterative, 10, *seed)
-		if *stats {
-			fmt.Fprintf(os.Stderr, "iterative: rounds=%d converged=%v final sample=%d of %d\n",
-				report.Rounds, report.Converged,
-				report.SampleSizes[len(report.SampleSizes)-1], len(types))
-		}
-	} else {
-		var err error
-		s, err = discover(*algorithm, types, *threshold, !*noArrayTuples, !*noObjectColls)
+		cfg.Seed = *seed
+		acc := core.NewAccumulator(cfg)
+		opts := ingest.Options{ChunkSize: *chunk, Workers: *workers, JSONL: *jsonl}
+		n, err := ingest.Each(context.Background(), input, opts, func(c ingest.Chunk) error {
+			acc.AddBag(c.Bag)
+			return nil
+		})
 		if err != nil {
-			return err
+			return fmt.Errorf("decoding records: %w", err)
+		}
+		if n == 0 {
+			return fmt.Errorf("no records in input")
+		}
+		records, distinct = acc.Records(), acc.Distinct()
+		s = acc.Finish()
+	} else {
+		var types []*jsontype.Type
+		var err error
+		if *jsonl {
+			types, err = jsontype.DecodeLines(input, *workers)
+		} else {
+			types, err = jsontype.DecodeAll(input)
+		}
+		if err != nil {
+			return fmt.Errorf("decoding records: %w", err)
+		}
+		if len(types) == 0 {
+			return fmt.Errorf("no records in input")
+		}
+		records = len(types)
+
+		if *iterative > 0 && *iterative < 1 {
+			if *algorithm != "jxplain" && *algorithm != "bimax-naive" {
+				return fmt.Errorf("-iterative requires a JXPLAIN algorithm")
+			}
+			cfg := configFor(*algorithm, *threshold, !*noArrayTuples, !*noObjectColls)
+			var report core.IterativeReport
+			s, report = core.IterativeDiscover(types, cfg, *iterative, 10, *seed)
+			if *statsF {
+				fmt.Fprintf(stderr, "iterative: rounds=%d converged=%v final sample=%d of %d\n",
+					report.Rounds, report.Converged,
+					report.SampleSizes[len(report.SampleSizes)-1], len(types))
+			}
+		} else {
+			s, err = discover(*algorithm, types, *threshold, !*noArrayTuples, !*noObjectColls)
+			if err != nil {
+				return err
+			}
 		}
 	}
 	s = schema.Simplify(s)
 
-	if *stats {
-		fmt.Fprintf(os.Stderr, "records: %d\nschema nodes: %d\nentities: %d\nschema entropy (log2 types): %.2f\n",
-			len(types), schema.Size(s), schema.Entities(s), metrics.SchemaEntropy(s))
+	if *statsF {
+		elapsed := time.Since(start)
+		peak := sampler.Stop()
+		fmt.Fprintf(stderr, "records: %d\nschema nodes: %d\nentities: %d\nschema entropy (log2 types): %.2f\n",
+			records, schema.Size(s), schema.Entities(s), metrics.SchemaEntropy(s))
+		if streaming {
+			fmt.Fprintf(stderr, "distinct types: %d\n", distinct)
+		}
+		fmt.Fprintf(stderr, "elapsed: %s\nthroughput: %.0f records/s\npeak heap: %.1f MiB\n",
+			elapsed.Round(time.Millisecond), float64(records)/elapsed.Seconds(),
+			float64(peak)/(1<<20))
 	}
 
 	switch *format {

@@ -12,9 +12,14 @@ const sample = `
 {"ts":8,"event":"serve","files":["a.txt","b.txt"]}
 `
 
+// runOut runs the command with a discarded stderr.
+func runOut(args []string, stdin string, out *strings.Builder) error {
+	return run(args, strings.NewReader(stdin), out, &strings.Builder{})
+}
+
 func TestRunPretty(t *testing.T) {
 	var out strings.Builder
-	if err := run(nil, strings.NewReader(sample), &out); err != nil {
+	if err := runOut(nil, sample, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "ts: ℝ") {
@@ -24,7 +29,7 @@ func TestRunPretty(t *testing.T) {
 
 func TestRunJSONSchema(t *testing.T) {
 	var out strings.Builder
-	if err := run([]string{"-format", "jsonschema"}, strings.NewReader(sample), &out); err != nil {
+	if err := runOut([]string{"-format", "jsonschema"}, sample, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "json-schema.org") {
@@ -34,7 +39,7 @@ func TestRunJSONSchema(t *testing.T) {
 
 func TestRunNative(t *testing.T) {
 	var out strings.Builder
-	if err := run([]string{"-format", "native"}, strings.NewReader(sample), &out); err != nil {
+	if err := runOut([]string{"-format", "native"}, sample, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), `"node"`) {
@@ -45,7 +50,7 @@ func TestRunNative(t *testing.T) {
 func TestRunAlgorithms(t *testing.T) {
 	for _, alg := range []string{"jxplain", "bimax-naive", "k-reduce", "l-reduce"} {
 		var out strings.Builder
-		if err := run([]string{"-algorithm", alg}, strings.NewReader(sample), &out); err != nil {
+		if err := runOut([]string{"-algorithm", alg}, sample, &out); err != nil {
 			t.Errorf("%s: %v", alg, err)
 		}
 		if out.Len() == 0 {
@@ -60,17 +65,17 @@ func TestRunErrors(t *testing.T) {
 		{"-format", "bogus"},
 	}
 	for _, args := range cases {
-		if err := run(args, strings.NewReader(sample), &strings.Builder{}); err == nil {
+		if err := runOut(args, sample, &strings.Builder{}); err == nil {
 			t.Errorf("args %v should fail", args)
 		}
 	}
-	if err := run(nil, strings.NewReader(""), &strings.Builder{}); err == nil {
+	if err := runOut(nil, "", &strings.Builder{}); err == nil {
 		t.Error("empty input should fail")
 	}
-	if err := run(nil, strings.NewReader(`{"a":`), &strings.Builder{}); err == nil {
+	if err := runOut(nil, `{"a":`, &strings.Builder{}); err == nil {
 		t.Error("malformed input should fail")
 	}
-	if err := run([]string{"/does/not/exist.jsonl"}, strings.NewReader(""), &strings.Builder{}); err == nil {
+	if err := run([]string{"/does/not/exist.jsonl"}, strings.NewReader(""), &strings.Builder{}, &strings.Builder{}); err == nil {
 		t.Error("missing file should fail")
 	}
 }
@@ -81,7 +86,7 @@ func TestRunFromFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out strings.Builder
-	if err := run([]string{path}, strings.NewReader(""), &out); err != nil {
+	if err := run([]string{path}, strings.NewReader(""), &out, &strings.Builder{}); err != nil {
 		t.Fatal(err)
 	}
 	if out.Len() == 0 {
@@ -91,19 +96,66 @@ func TestRunFromFile(t *testing.T) {
 
 func TestJSONLFlag(t *testing.T) {
 	var serial, parallel strings.Builder
-	if err := run(nil, strings.NewReader(sample), &serial); err != nil {
+	if err := runOut(nil, sample, &serial); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-jsonl"}, strings.NewReader(sample), &parallel); err != nil {
+	if err := runOut([]string{"-jsonl"}, sample, &parallel); err != nil {
 		t.Fatal(err)
 	}
 	if serial.String() != parallel.String() {
 		t.Errorf("jsonl decode changed the schema:\n%s\n%s", serial.String(), parallel.String())
 	}
 	// Line errors carry line numbers.
-	err := run([]string{"-jsonl"}, strings.NewReader("{\"a\":1}\n{bad\n"), &strings.Builder{})
+	err := runOut([]string{"-jsonl"}, "{\"a\":1}\n{bad\n", &strings.Builder{})
 	if err == nil || !strings.Contains(err.Error(), "line 2") {
 		t.Errorf("err = %v", err)
+	}
+}
+
+func TestStreamingFlagsMatchDefault(t *testing.T) {
+	var def strings.Builder
+	if err := runOut(nil, sample, &def); err != nil {
+		t.Fatal(err)
+	}
+	for _, args := range [][]string{
+		{"-workers", "1", "-chunk", "1"},
+		{"-workers", "4", "-chunk", "1"},
+		{"-workers", "3", "-chunk", "2", "-jsonl"},
+	} {
+		var got strings.Builder
+		if err := runOut(args, sample, &got); err != nil {
+			t.Fatalf("%v: %v", args, err)
+		}
+		if got.String() != def.String() {
+			t.Errorf("%v changed the schema:\n%s\n%s", args, def.String(), got.String())
+		}
+	}
+}
+
+func TestStatsFlag(t *testing.T) {
+	var out, errOut strings.Builder
+	if err := run([]string{"-stats"}, strings.NewReader(sample), &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	stderr := errOut.String()
+	for _, want := range []string{
+		"records: 2", "schema nodes:", "entities:", "schema entropy",
+		"distinct types: 2", "throughput:", "peak heap:",
+	} {
+		if !strings.Contains(stderr, want) {
+			t.Errorf("stats output missing %q:\n%s", want, stderr)
+		}
+	}
+	if strings.Contains(out.String(), "records:") {
+		t.Error("stats leaked into stdout")
+	}
+	// The stats path stays quiet without the flag.
+	errOut.Reset()
+	if err := run(nil, strings.NewReader(sample), &strings.Builder{}, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if errOut.Len() != 0 {
+		t.Errorf("unexpected stderr output: %q", errOut.String())
 	}
 }
 
@@ -114,15 +166,24 @@ func TestIterativeFlag(t *testing.T) {
 	}
 	data.WriteString(`{"a":1,"b":"x","rare":true}` + "\n")
 	var out strings.Builder
-	if err := run([]string{"-iterative", "0.02"}, strings.NewReader(data.String()), &out); err != nil {
+	if err := runOut([]string{"-iterative", "0.02"}, data.String(), &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "rare") {
 		t.Errorf("iterative schema should cover the rare field: %q", out.String())
 	}
+	// The iterative report goes to the injected stderr writer.
+	var errOut strings.Builder
+	if err := run([]string{"-iterative", "0.02", "-stats"},
+		strings.NewReader(data.String()), &strings.Builder{}, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errOut.String(), "iterative: rounds=") {
+		t.Errorf("missing iterative report: %q", errOut.String())
+	}
 	// Iterative only makes sense for the JXPLAIN algorithms.
-	if err := run([]string{"-iterative", "0.02", "-algorithm", "k-reduce"},
-		strings.NewReader(`{"a":1}`), &strings.Builder{}); err == nil {
+	if err := runOut([]string{"-iterative", "0.02", "-algorithm", "k-reduce"},
+		`{"a":1}`, &strings.Builder{}); err == nil {
 		t.Error("-iterative with k-reduce should fail")
 	}
 }
@@ -131,10 +192,10 @@ func TestDetectionFlags(t *testing.T) {
 	// Disabling array-tuple detection turns geo into a collection.
 	var with, without strings.Builder
 	geoSample := strings.Repeat(`{"geo":[1.5,2.5]}`+"\n", 10)
-	if err := run(nil, strings.NewReader(geoSample), &with); err != nil {
+	if err := runOut(nil, geoSample, &with); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-no-array-tuples"}, strings.NewReader(geoSample), &without); err != nil {
+	if err := runOut([]string{"-no-array-tuples"}, geoSample, &without); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(with.String(), "[ℝ, ℝ]") {

@@ -223,28 +223,17 @@ func sortedKeys(m map[string]*statsTrie) []string {
 // record types with the given worker count. It produces the same path
 // statistics as CollectPathStats on the same data.
 func ParallelCollectPathStats(types []*jsontype.Type, workers int, cfg Config) []PathStat {
-	root := dist.Fold(types, workers,
-		newStatsTrie,
-		func(t *statsTrie, ty *jsontype.Type) *statsTrie { t.add(ty, 1); return t },
-		func(a, b *statsTrie) *statsTrie { return a.combine(b) })
-	return deriveStats(root, cfg)
+	sketch := dist.Fold(types, workers,
+		NewPathSketch,
+		func(s *PathSketch, ty *jsontype.Type) *PathSketch { s.Add(ty); return s },
+		func(a, b *PathSketch) *PathSketch { a.Merge(b); return a })
+	return sketch.Stats(cfg)
 }
 
 // ParallelCollectPathStatsBag is ParallelCollectPathStats over a bag: the
 // fold runs over the distinct types, weighting each by its multiplicity.
 func ParallelCollectPathStatsBag(bag *jsontype.Bag, workers int, cfg Config) []PathStat {
-	idx := make([]int, bag.Distinct())
-	for i := range idx {
-		idx[i] = i
-	}
-	root := dist.Fold(idx, workers,
-		newStatsTrie,
-		func(t *statsTrie, i int) *statsTrie {
-			t.add(bag.Types()[i], bag.Count(i))
-			return t
-		},
-		func(a, b *statsTrie) *statsTrie { return a.combine(b) })
-	return deriveStats(root, cfg)
+	return sketchFromBag(bag, workers).Stats(cfg)
 }
 
 func deriveStats(root *statsTrie, cfg Config) []PathStat {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 	"strings"
@@ -8,6 +9,7 @@ import (
 	"jxplain/internal/entropy"
 	"jxplain/internal/jsontype"
 	"jxplain/internal/schema"
+	"jxplain/internal/stats"
 )
 
 // Pipeline runs JXPLAIN as the staged three-pass computation of Figure 3:
@@ -34,25 +36,9 @@ import (
 // length entropy straddles the threshold within one entity) can flip,
 // changing the schema's shape but not its validation of the training data.
 func Pipeline(bag *jsontype.Bag, cfg Config) schema.Schema {
-	statsBag := bag
-	if cfg.DetectionSample > 0 && cfg.DetectionSample < 1 {
-		statsBag = SampleBag(bag, cfg.DetectionSample, cfg.Seed)
-	}
-	var stats []PathStat // pass ①
-	if cfg.StatsWorkers > 1 {
-		stats = ParallelCollectPathStatsBag(statsBag, cfg.StatsWorkers, cfg)
-	} else {
-		stats = CollectPathStats(statsBag, cfg)
-	}
-	decisions := decisionMap(stats)
-	dec := &pipelineDecider{
-		cfg:       cfg,
-		decisions: decisions,
-		plans:     map[string]*partitionPlan{},
-	}
-	dec.collectPlans(RootPath, bag) // pass ②
-	s := &synthesizer{dec: dec}
-	return s.merge(RootPath, bag) // pass ③
+	acc := NewAccumulator(cfg)
+	acc.AddBag(bag)
+	return acc.Finish()
 }
 
 // PipelineTypes is Pipeline over a slice of record types.
@@ -60,21 +46,131 @@ func PipelineTypes(types []*jsontype.Type, cfg Config) schema.Schema {
 	return Pipeline(bagOf(types), cfg)
 }
 
+// Accumulator is the streaming form of Pipeline: records arrive in chunks
+// (bags, types, or decoded values via the facade), pass-① statistics
+// accumulate in a mergeable PathSketch as they do, and Finish runs passes
+// ② and ③ over the deduplicated union bag. Memory is proportional to the
+// collection's *distinct structure* (distinct record types plus distinct
+// paths), never to its record count — the property that lets the pipeline
+// ingest unbounded streams.
+//
+// When Config.DetectionSample is in (0, 1) the incremental sketch is
+// skipped and pass ① instead samples the accumulated bag at Finish,
+// matching the batch Pipeline draw for draw.
+//
+// Finish does not consume the accumulator: more records may be added and
+// Finish called again, which is the natural shape for periodic schema
+// snapshots over a live stream. An Accumulator is not safe for concurrent
+// use.
+type Accumulator struct {
+	cfg    Config
+	bag    *jsontype.Bag
+	sketch *PathSketch // nil when detection sampling defers pass ① to Finish
+}
+
+// NewAccumulator returns an empty accumulator for the configuration.
+func NewAccumulator(cfg Config) *Accumulator {
+	a := &Accumulator{cfg: cfg, bag: &jsontype.Bag{}}
+	if !(cfg.DetectionSample > 0 && cfg.DetectionSample < 1) {
+		a.sketch = NewPathSketch()
+	}
+	return a
+}
+
+// Add folds one record type into the accumulator.
+func (a *Accumulator) Add(t *jsontype.Type) { a.AddN(t, 1) }
+
+// AddN folds n occurrences of one record type into the accumulator.
+func (a *Accumulator) AddN(t *jsontype.Type, n int) {
+	a.bag.AddN(t, n)
+	if a.sketch != nil {
+		a.sketch.AddN(t, n)
+	}
+}
+
+// AddBag folds one chunk into the accumulator. The chunk bag is not
+// retained and may be reused by the caller.
+func (a *Accumulator) AddBag(chunk *jsontype.Bag) {
+	a.bag.Merge(chunk)
+	if a.sketch == nil {
+		return
+	}
+	if a.cfg.StatsWorkers > 1 {
+		a.sketch.Merge(sketchFromBag(chunk, a.cfg.StatsWorkers))
+	} else {
+		a.sketch.AddBag(chunk)
+	}
+}
+
+// Records returns the number of record occurrences accumulated.
+func (a *Accumulator) Records() int { return a.bag.Len() }
+
+// Distinct returns the number of distinct record types accumulated.
+func (a *Accumulator) Distinct() int { return a.bag.Distinct() }
+
+// Stats returns the pass-① path statistics over everything accumulated.
+func (a *Accumulator) Stats() []PathStat {
+	if a.sketch != nil {
+		return a.sketch.Stats(a.cfg)
+	}
+	statsBag := SampleBag(a.bag, a.cfg.DetectionSample, a.cfg.Seed)
+	if a.cfg.StatsWorkers > 1 {
+		return ParallelCollectPathStatsBag(statsBag, a.cfg.StatsWorkers, a.cfg)
+	}
+	return CollectPathStats(statsBag, a.cfg)
+}
+
+// Finish runs passes ② and ③ over the accumulated collection and returns
+// the schema (unsimplified, like Pipeline).
+func (a *Accumulator) Finish() schema.Schema {
+	return synthesize(a.bag, a.Stats(), a.cfg)
+}
+
+// synthesize runs passes ② and ③ over the full bag, consulting the
+// precomputed pass-① statistics.
+func synthesize(bag *jsontype.Bag, stats []PathStat, cfg Config) schema.Schema {
+	dec := &pipelineDecider{
+		cfg:       cfg,
+		decisions: decisionMap(stats),
+		plans:     map[string]*partitionPlan{},
+	}
+	dec.collectPlans(RootPath, bag) // pass ②
+	s := &synthesizer{dec: dec}
+	return s.merge(RootPath, bag) // pass ③
+}
+
+// PipelineChunks runs the staged pipeline over a chunk source: next is
+// called repeatedly for the next deduplicated chunk bag and returns
+// (nil, nil) when the stream is exhausted. The context is checked between
+// chunks; cancellation abandons the stream and returns ctx.Err().
+func PipelineChunks(ctx context.Context, next func() (*jsontype.Bag, error), cfg Config) (schema.Schema, error) {
+	acc := NewAccumulator(cfg)
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		chunk, err := next()
+		if err != nil {
+			return nil, err
+		}
+		if chunk == nil {
+			break
+		}
+		acc.AddBag(chunk)
+	}
+	return acc.Finish(), nil
+}
+
 // SampleBag draws a uniform sample of the bag's occurrences: each distinct
-// type keeps a binomial share of its multiplicity, with at least the
-// guarantee that a non-empty bag stays non-empty. It is the sampler behind
-// Config.DetectionSample.
+// type keeps a Binomial(multiplicity, fraction) share, drawn in O(1) per
+// distinct type rather than per occurrence, with at least the guarantee
+// that a non-empty bag stays non-empty. Sampling is deterministic for a
+// given seed. It is the sampler behind Config.DetectionSample.
 func SampleBag(bag *jsontype.Bag, fraction float64, seed int64) *jsontype.Bag {
 	r := rand.New(rand.NewSource(seed))
 	out := &jsontype.Bag{}
 	bag.Each(func(t *jsontype.Type, n int) {
-		kept := 0
-		for i := 0; i < n; i++ {
-			if r.Float64() < fraction {
-				kept++
-			}
-		}
-		if kept > 0 {
+		if kept := stats.Binomial(r, n, fraction); kept > 0 {
 			out.AddN(t, kept)
 		}
 	})

@@ -38,6 +38,35 @@ func TestSampleBagNeverEmpty(t *testing.T) {
 	}
 }
 
+// TestSampleBagPinned pins the exact draw for a fixed seed: the binomial
+// sampler must stay deterministic across runs and platforms (the
+// Config.Seed contract).
+func TestSampleBagPinned(t *testing.T) {
+	bag := &jsontype.Bag{}
+	bag.AddN(jsontype.Number, 1000)
+	bag.AddN(jsontype.String, 500)
+	bag.AddN(jsontype.Bool, 3)
+	s := SampleBag(bag, 0.1, 7)
+	got := fmt.Sprintf("%d/%d/%d", s.CountOf(jsontype.Number), s.CountOf(jsontype.String), s.CountOf(jsontype.Bool))
+	if want := "116/45/0"; got != want {
+		t.Errorf("SampleBag(seed=7) drew %s, want %s", got, want)
+	}
+}
+
+// TestSampleBagLargeMultiplicity exercises the O(distinct) property: a
+// multiplicity in the tens of millions must sample in a handful of draws,
+// not one Bernoulli per occurrence, and still land on the right mean.
+func TestSampleBagLargeMultiplicity(t *testing.T) {
+	bag := &jsontype.Bag{}
+	const n = 50_000_000
+	bag.AddN(jsontype.Number, n)
+	s := SampleBag(bag, 0.001, 11)
+	mean := float64(n) * 0.001
+	if got := float64(s.CountOf(jsontype.Number)); got < mean*0.95 || got > mean*1.05 {
+		t.Errorf("kept %v of %d at p=0.001, want ≈%v", got, n, mean)
+	}
+}
+
 func TestPipelineWithDetectionSample(t *testing.T) {
 	// A pharma-like collection: even a small detection sample should find
 	// the collection and keep recall at 1 on seen data.

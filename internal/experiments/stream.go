@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"time"
+
+	"jxplain/internal/core"
+	"jxplain/internal/dataset"
+	"jxplain/internal/ingest"
+	"jxplain/internal/jsontype"
+	"jxplain/internal/schema"
+	"jxplain/internal/stats"
+)
+
+// streamRepeat is how many times the generated stream is replayed back to
+// back in the streaming benchmark. Replaying multiplies the record count
+// without adding distinct structure — the shape of a multi-GB production
+// stream — so it separates the two memory models: the materialized path
+// holds one type tree per record and grows with the replay factor, while
+// the streaming accumulator holds only distinct structure and stays flat.
+const streamRepeat = 5
+
+// StreamRow is the streaming-vs-materialized measurement for one dataset.
+type StreamRow struct {
+	Dataset       string  `json:"dataset"`
+	Records       int     `json:"records"`
+	DistinctTypes int     `json:"distinct_types"`
+	InputBytes    int     `json:"input_bytes"`
+	// Materialized: DecodeAll into a type slice, then the batch pipeline.
+	MaterializedMillis   float64 `json:"materialized_ms"`
+	MaterializedPeakHeap uint64  `json:"materialized_peak_heap_bytes"`
+	// Streaming: chunked ingest worker pool into the mergeable-sketch
+	// accumulator.
+	StreamingMillis   float64 `json:"streaming_ms"`
+	StreamingPeakHeap uint64  `json:"streaming_peak_heap_bytes"`
+	// PeakHeapRatio is materialized peak / streaming peak (>1 means the
+	// streaming path needed less memory).
+	PeakHeapRatio float64 `json:"peak_heap_ratio"`
+	// ThroughputRatio is streaming records/s over materialized records/s.
+	ThroughputRatio float64 `json:"throughput_ratio"`
+	// SchemasEqual confirms both paths produced the identical schema.
+	SchemasEqual bool `json:"schemas_equal"`
+}
+
+// StreamBenchResult compares streaming chunked ingestion against the
+// materialize-everything baseline on the synthetic datasets, each stream
+// replayed streamRepeat times to simulate large collections of bounded
+// distinct structure.
+type StreamBenchResult struct {
+	Options Options     `json:"options"`
+	Repeat  int         `json:"repeat"`
+	Workers int         `json:"workers"`
+	Rows    []StreamRow `json:"rows"`
+}
+
+// RunStreamBench measures both ingestion paths over the configured
+// datasets.
+func RunStreamBench(o Options) (*StreamBenchResult, error) {
+	o = o.Defaults()
+	gens, err := o.generators()
+	if err != nil {
+		return nil, err
+	}
+	res := &StreamBenchResult{Options: o, Repeat: streamRepeat, Workers: runtime.GOMAXPROCS(0)}
+	for _, g := range gens {
+		row, err := streamBenchDataset(g, o)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+func streamBenchDataset(g *dataset.Generator, o Options) (StreamRow, error) {
+	records := g.Generate(o.scaledN(g), o.Seed)
+	var one bytes.Buffer
+	for _, rec := range records {
+		data, err := json.Marshal(rec.Value)
+		if err != nil {
+			return StreamRow{}, fmt.Errorf("stream bench: marshal %s: %w", g.Name, err)
+		}
+		one.Write(data)
+		one.WriteByte('\n')
+	}
+	input := bytes.Repeat(one.Bytes(), streamRepeat)
+	row := StreamRow{
+		Dataset:    g.Name,
+		Records:    len(records) * streamRepeat,
+		InputBytes: len(input),
+	}
+
+	// Streaming first so the baseline's larger garbage cannot inflate the
+	// streaming watermark.
+	cfg := core.Default()
+	var streamed schema.Schema
+	{
+		sampler := stats.StartMemSampler(0)
+		start := time.Now()
+		acc := core.NewAccumulator(cfg)
+		_, err := ingest.Each(context.Background(), bytes.NewReader(input),
+			ingest.Options{JSONL: true}, func(c ingest.Chunk) error {
+				acc.AddBag(c.Bag)
+				return nil
+			})
+		if err != nil {
+			return StreamRow{}, fmt.Errorf("stream bench: ingest %s: %w", g.Name, err)
+		}
+		streamed = schema.Simplify(acc.Finish())
+		row.StreamingMillis = float64(time.Since(start).Microseconds()) / 1000.0
+		row.StreamingPeakHeap = sampler.Stop()
+		row.DistinctTypes = acc.Distinct()
+	}
+
+	var materialized schema.Schema
+	{
+		sampler := stats.StartMemSampler(0)
+		start := time.Now()
+		types, err := jsontype.DecodeAll(bytes.NewReader(input))
+		if err != nil {
+			return StreamRow{}, fmt.Errorf("stream bench: decode %s: %w", g.Name, err)
+		}
+		materialized = schema.Simplify(core.PipelineTypes(types, cfg))
+		row.MaterializedMillis = float64(time.Since(start).Microseconds()) / 1000.0
+		row.MaterializedPeakHeap = sampler.Stop()
+	}
+
+	row.SchemasEqual = schema.Equal(streamed, materialized)
+	if row.StreamingPeakHeap > 0 {
+		row.PeakHeapRatio = float64(row.MaterializedPeakHeap) / float64(row.StreamingPeakHeap)
+	}
+	if row.MaterializedMillis > 0 && row.StreamingMillis > 0 {
+		row.ThroughputRatio = row.MaterializedMillis / row.StreamingMillis
+	}
+	return row, nil
+}
+
+func (r *StreamBenchResult) table() *table {
+	t := &table{
+		title: fmt.Sprintf("Streaming vs materialized ingestion (replay ×%d, %d workers)",
+			r.Repeat, r.Workers),
+		headers: []string{"dataset", "records", "distinct", "MB",
+			"materialized ms", "streaming ms", "speedup",
+			"mat peak MiB", "stream peak MiB", "mem ratio", "equal"},
+	}
+	for _, row := range r.Rows {
+		t.addRow(row.Dataset,
+			fmt.Sprintf("%d", row.Records),
+			fmt.Sprintf("%d", row.DistinctTypes),
+			fmt.Sprintf("%.1f", float64(row.InputBytes)/(1<<20)),
+			fmt.Sprintf("%.1f", row.MaterializedMillis),
+			fmt.Sprintf("%.1f", row.StreamingMillis),
+			fmt.Sprintf("%.2fx", row.ThroughputRatio),
+			fmt.Sprintf("%.1f", float64(row.MaterializedPeakHeap)/(1<<20)),
+			fmt.Sprintf("%.1f", float64(row.StreamingPeakHeap)/(1<<20)),
+			fmt.Sprintf("%.2fx", row.PeakHeapRatio),
+			fmt.Sprintf("%v", row.SchemasEqual))
+	}
+	return t
+}
+
+// Render draws the comparison as an ASCII table.
+func (r *StreamBenchResult) Render() string { return r.table().Render() }
+
+// CSV renders the comparison as CSV.
+func (r *StreamBenchResult) CSV() string { return r.table().CSV() }
+
+// JSON renders the full measurement for BENCH_stream.json.
+func (r *StreamBenchResult) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}

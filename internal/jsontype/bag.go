@@ -48,7 +48,18 @@ func (b *Bag) AddN(t *Type, n int) {
 }
 
 // AddBag inserts every occurrence in other.
-func (b *Bag) AddBag(other *Bag) {
+func (b *Bag) AddBag(other *Bag) { b.Merge(other) }
+
+// Merge folds every occurrence of other into b, preserving other's
+// insertion order for types b has not seen. Merge is the monoid operation
+// that makes bags mergeable sketches: chunked ingestion builds one bag per
+// chunk and folds them, so memory tracks distinct structure rather than
+// record count. other is not modified; sharing *Type values is safe
+// because types are immutable.
+func (b *Bag) Merge(other *Bag) {
+	if other == nil {
+		return
+	}
 	for i, t := range other.types {
 		b.AddN(t, other.counts[i])
 	}

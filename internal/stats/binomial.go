@@ -1,0 +1,94 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Binomial draws one variate from Binomial(n, p) using r, in expected O(1)
+// time for large n·p and O(n·p) for small — never the O(n) per-trial
+// Bernoulli loop. Draws are deterministic for a given generator state.
+//
+// Small means (n·min(p,1−p) < 10) use the BINV inversion of the CDF;
+// larger means use Hörmann's BTRS transformed-rejection algorithm
+// (W. Hörmann, "The generation of binomial random variates", JSCS 1993),
+// the sampler behind numpy's and TensorFlow's binomial. Both are exact.
+func Binomial(r *rand.Rand, n int, p float64) int {
+	if n <= 0 || p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return n
+	}
+	// Exploit Binomial(n, p) = n − Binomial(n, 1−p) so the workhorses only
+	// see p ≤ 1/2, keeping BINV's expected iteration count at n·p and
+	// BTRS's constants in their derived range.
+	if p > 0.5 {
+		return n - Binomial(r, n, 1-p)
+	}
+	if float64(n)*p < 10 {
+		return binv(r, n, p)
+	}
+	return btrs(r, n, p)
+}
+
+// binv inverts the binomial CDF by walking the probability mass from k=0,
+// using the recurrence pmf(k+1) = pmf(k)·(n−k)/(k+1)·(p/q). Expected
+// iterations ≈ n·p + O(√(n·p)).
+func binv(r *rand.Rand, n int, p float64) int {
+	q := 1 - p
+	s := p / q
+	a := float64(n+1) * s
+	pmf := math.Pow(q, float64(n)) // no underflow: callers keep n·p < 10
+	u := r.Float64()
+	k := 0
+	for u > pmf {
+		u -= pmf
+		k++
+		if k > n {
+			// Float round-off exhausted the mass; clamp to the support.
+			return n
+		}
+		pmf *= a/float64(k) - s
+	}
+	return k
+}
+
+// btrs is Hörmann's transformed-rejection sampler for p ≤ 1/2, n·p ≥ 10:
+// a triangular-tailed hat over the transformed binomial with an inner
+// squeeze that accepts ~86% of proposals without evaluating the mass
+// function; the remainder are decided exactly via log-gamma.
+func btrs(r *rand.Rand, n int, p float64) int {
+	q := 1 - p
+	fn := float64(n)
+	spq := math.Sqrt(fn * p * q)
+
+	b := 1.15 + 2.53*spq
+	a := -0.0873 + 0.0248*b + 0.01*p
+	c := fn*p + 0.5
+	vr := 0.92 - 4.2/b
+	alpha := (2.83 + 5.1/b) * spq
+	lpq := math.Log(p / q)
+	m := math.Floor(float64(n+1) * p) // the mode
+	lgM, _ := math.Lgamma(m + 1)
+	lgNM, _ := math.Lgamma(fn - m + 1)
+	h := lgM + lgNM
+
+	for {
+		u := r.Float64() - 0.5
+		v := r.Float64()
+		us := 0.5 - math.Abs(u)
+		k := math.Floor((2*a/us+b)*u + c)
+		if us >= 0.07 && v <= vr {
+			return int(k)
+		}
+		if k < 0 || k > fn {
+			continue
+		}
+		lgK, _ := math.Lgamma(k + 1)
+		lgNK, _ := math.Lgamma(fn - k + 1)
+		if math.Log(v*alpha/(a/(us*us)+b)) <= h-lgK-lgNK+(k-m)*lpq {
+			return int(k)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestBinomialEdgeCases(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	if got := Binomial(r, 0, 0.5); got != 0 {
+		t.Errorf("n=0: %d", got)
+	}
+	if got := Binomial(r, 100, 0); got != 0 {
+		t.Errorf("p=0: %d", got)
+	}
+	if got := Binomial(r, 100, -0.5); got != 0 {
+		t.Errorf("p<0: %d", got)
+	}
+	if got := Binomial(r, 100, 1); got != 100 {
+		t.Errorf("p=1: %d", got)
+	}
+	if got := Binomial(r, 100, 1.5); got != 100 {
+		t.Errorf("p>1: %d", got)
+	}
+}
+
+func TestBinomialSupport(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for _, n := range []int{1, 3, 17, 500, 100000} {
+		for _, p := range []float64{1e-6, 0.01, 0.3, 0.5, 0.7, 0.999} {
+			for i := 0; i < 200; i++ {
+				k := Binomial(r, n, p)
+				if k < 0 || k > n {
+					t.Fatalf("Binomial(%d, %g) = %d outside [0, n]", n, p, k)
+				}
+			}
+		}
+	}
+}
+
+// TestBinomialMoments checks empirical mean and variance against n·p and
+// n·p·q on both the BINV (small mean) and BTRS (large mean) regimes.
+func TestBinomialMoments(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	cases := []struct {
+		n int
+		p float64
+	}{
+		{50, 0.05},     // BINV
+		{2000, 0.002},  // BINV, large n
+		{200, 0.3},     // BTRS
+		{10000, 0.5},   // BTRS, worst-case p
+		{100000, 0.01}, // BTRS after symmetry-free path
+		{1000, 0.9},    // symmetry (p > 1/2)
+	}
+	const trials = 20000
+	for _, c := range cases {
+		var sum Summary
+		for i := 0; i < trials; i++ {
+			sum.Add(float64(Binomial(r, c.n, c.p)))
+		}
+		mean := float64(c.n) * c.p
+		sd := math.Sqrt(mean * (1 - c.p))
+		// The sample mean of `trials` draws has std sd/√trials; 6 of those
+		// make a practically flake-free bound.
+		if tol := 6 * sd / math.Sqrt(trials); math.Abs(sum.Mean()-mean) > tol {
+			t.Errorf("Binomial(%d, %g): mean %.2f, want %.2f ± %.2f",
+				c.n, c.p, sum.Mean(), mean, tol)
+		}
+		if sd > 0 && (sum.Std() < 0.9*sd || sum.Std() > 1.1*sd) {
+			t.Errorf("Binomial(%d, %g): std %.2f, want ≈%.2f", c.n, c.p, sum.Std(), sd)
+		}
+	}
+}
+
+// TestBinomialDeterminism pins the seeded sequence: identical generator
+// states must yield identical draws, the contract Config.Seed relies on.
+func TestBinomialDeterminism(t *testing.T) {
+	draw := func() []int {
+		r := rand.New(rand.NewSource(42))
+		out := make([]int, 0, 12)
+		for _, c := range []struct {
+			n int
+			p float64
+		}{{10, 0.3}, {1000, 0.5}, {1000, 0.01}, {50, 0.9}} {
+			for i := 0; i < 3; i++ {
+				out = append(out, Binomial(r, c.n, c.p))
+			}
+		}
+		return out
+	}
+	a, b := draw(), draw()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d: %d vs %d — not deterministic per seed", i, a[i], b[i])
+		}
+	}
+}

@@ -24,7 +24,7 @@
 package jxplain
 
 import (
-	"fmt"
+	"context"
 	"io"
 	"math/rand"
 
@@ -70,13 +70,11 @@ func Discover(types []*Type, cfg Config) Schema {
 }
 
 // DiscoverJSON reads a stream of JSON documents (JSONL or concatenated)
-// and infers their collection schema.
+// and infers their collection schema. It streams: records are decoded in
+// bounded chunks and folded into mergeable sketches, so memory tracks the
+// stream's distinct structure rather than its record count.
 func DiscoverJSON(r io.Reader, cfg Config) (Schema, error) {
-	types, err := jsontype.DecodeAll(r)
-	if err != nil {
-		return nil, fmt.Errorf("jxplain: decoding records: %w", err)
-	}
-	return Discover(types, cfg), nil
+	return DiscoverStream(context.Background(), r, cfg)
 }
 
 // DiscoverValues infers a schema from decoded JSON values.

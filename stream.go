@@ -1,0 +1,90 @@
+package jxplain
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"jxplain/internal/core"
+	"jxplain/internal/ingest"
+	"jxplain/internal/jsontype"
+	"jxplain/internal/schema"
+)
+
+// StreamOptions bounds streaming ingestion: records per chunk, decode
+// worker count, and input framing. The zero value picks sensible defaults
+// (2048-record chunks, one worker per core, concatenated-JSON framing).
+type StreamOptions = ingest.Options
+
+// Discoverer accumulates records incrementally and derives their schema on
+// demand, without ever materializing the collection: memory tracks the
+// stream's distinct structure (distinct record types and paths), not its
+// record count. Records arrive via Add (raw JSON), AddValue (decoded
+// values) or AddType; Finish returns the schema over everything seen so
+// far and does not consume the accumulator, so it can be called
+// periodically over a live stream.
+//
+// A Discoverer is not safe for concurrent use. The zero value is not
+// valid; use NewDiscoverer.
+type Discoverer struct {
+	acc *core.Accumulator
+}
+
+// NewDiscoverer returns an empty Discoverer for the configuration.
+func NewDiscoverer(cfg Config) *Discoverer {
+	return &Discoverer{acc: core.NewAccumulator(cfg)}
+}
+
+// Add folds one raw JSON document into the discoverer.
+func (d *Discoverer) Add(doc []byte) error {
+	t, err := jsontype.FromJSON(doc)
+	if err != nil {
+		return err
+	}
+	d.acc.Add(t)
+	return nil
+}
+
+// AddValue folds one decoded JSON value (nil, bool, float64, string,
+// []any, map[string]any) into the discoverer.
+func (d *Discoverer) AddValue(v any) error {
+	t, err := jsontype.FromValue(v)
+	if err != nil {
+		return err
+	}
+	d.acc.Add(t)
+	return nil
+}
+
+// AddType folds one structural type into the discoverer.
+func (d *Discoverer) AddType(t *Type) { d.acc.Add(t) }
+
+// Records returns the number of records folded in so far.
+func (d *Discoverer) Records() int { return d.acc.Records() }
+
+// Finish derives and simplifies the schema of everything added so far.
+// More records may be added afterwards and Finish called again.
+func (d *Discoverer) Finish() Schema { return schema.Simplify(d.acc.Finish()) }
+
+// DiscoverStream reads a stream of JSON documents (JSONL or concatenated)
+// in bounded chunks through a decode worker pool and infers their
+// collection schema, holding only the stream's distinct structure in
+// memory. It produces exactly the schema Discover produces on the same
+// records. The context cancels ingestion mid-stream.
+func DiscoverStream(ctx context.Context, r io.Reader, cfg Config) (Schema, error) {
+	return DiscoverStreamOpts(ctx, r, cfg, StreamOptions{})
+}
+
+// DiscoverStreamOpts is DiscoverStream with explicit chunking, worker and
+// framing options.
+func DiscoverStreamOpts(ctx context.Context, r io.Reader, cfg Config, opts StreamOptions) (Schema, error) {
+	acc := core.NewAccumulator(cfg)
+	_, err := ingest.Each(ctx, r, opts, func(c ingest.Chunk) error {
+		acc.AddBag(c.Bag)
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("jxplain: decoding records: %w", err)
+	}
+	return schema.Simplify(acc.Finish()), nil
+}
