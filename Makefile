@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-short check cover fuzz bench bench-stream experiments clean
+.PHONY: all build vet test test-short check cover fuzz bench bench-stream bench-hotpath experiments clean
 
 all: build vet test
 
@@ -31,13 +31,26 @@ fuzz:
 	$(GO) test -fuzz FuzzDecodeAll -fuzztime 30s ./internal/jsontype/
 	$(GO) test -fuzz FuzzUnmarshal -fuzztime 30s ./internal/schema/
 
+# Go benchmarks in benchstat-compatible format (-count=10 gives benchstat
+# enough samples for a significance test). To compare against a baseline:
+# run `make bench > old.txt` on the base commit, re-run on your branch as
+# new.txt, then `benchstat old.txt new.txt`. The committed JSON baselines
+# (results/BENCH_hotpath_pr1.json, results/BENCH_hotpath.json) track the
+# end-to-end pipeline op instead — regenerate with `make bench-hotpath`
+# and compare the allocs_per_op / ns_per_op columns directly.
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) test -run=^$$ -bench=. -benchmem -count=10 ./...
 
 # Streaming vs materialized ingestion comparison (throughput and peak
 # heap), written to BENCH_stream.json.
 bench-stream:
 	$(GO) run ./cmd/jxbench -table stream -json-out BENCH_stream.json
+
+# Allocation/hot-path benchmark (interning + bitsets + parallel synthesis)
+# with ratios against the committed PR-1 baseline, written to
+# results/BENCH_hotpath.json.
+bench-hotpath:
+	$(GO) run ./cmd/jxbench -table hotpath -json-out results/BENCH_hotpath.json
 
 # Regenerates every table and figure of the paper's evaluation into
 # results/jxbench_full.txt (about a minute at scale 0.5).

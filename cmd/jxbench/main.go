@@ -24,6 +24,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"jxplain/internal/experiments"
@@ -44,7 +46,7 @@ func main() {
 
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("jxbench", flag.ContinueOnError)
-	tableF := fs.String("table", "", "table to run: 1..5, edits, threshold, staged, iterative, sampled, fd, describe, stream")
+	tableF := fs.String("table", "", "table to run: 1..5, edits, threshold, staged, iterative, sampled, fd, describe, stream, hotpath")
 	figureF := fs.String("figure", "", "figure to run: 4 or 5")
 	all := fs.Bool("all", false, "run every table, figure and ablation")
 	datasets := fs.String("datasets", "", "comma-separated dataset subset")
@@ -54,8 +56,33 @@ func run(args []string, stdout io.Writer) error {
 	csv := fs.Bool("csv", false, "emit CSV instead of ASCII tables")
 	jsonOut := fs.String("json-out", "",
 		"also write results supporting JSON (e.g. -table stream) to this file")
+	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memProfile := fs.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			runtime.GC() // up-to-date heap statistics for the profile
+			pprof.Lookup("allocs").WriteTo(f, 0)
+			f.Close()
+		}()
 	}
 
 	opts := experiments.Options{Trials: *trials, Scale: *scale, Seed: *seed}
@@ -136,6 +163,8 @@ func dispatch(name string, opts experiments.Options) (result, error) {
 		return experiments.RunDescribe(opts)
 	case "stream":
 		return experiments.RunStreamBench(opts)
+	case "hotpath":
+		return experiments.RunHotpath(opts)
 	}
 	return nil, fmt.Errorf("unknown experiment %q", name)
 }

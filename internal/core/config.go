@@ -82,6 +82,12 @@ type Config struct {
 	// over mergeable per-path statistics (the Spark execution shape)
 	// instead of the sequential walk. Results are identical.
 	StatsWorkers int
+	// SynthWorkers, when > 1, fans passes ② and ③ out over a bounded
+	// worker pool: partition plans for sibling subtrees are computed
+	// concurrently, and the synthesizer merges sibling child bags in
+	// parallel, assembling results in deterministic (index) order. The
+	// schema is identical to the sequential run.
+	SynthWorkers int
 }
 
 // Default returns the full JXPLAIN configuration used in the paper's

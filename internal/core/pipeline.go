@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"sort"
 	"strings"
+	"sync"
 
 	"jxplain/internal/entropy"
 	"jxplain/internal/jsontype"
@@ -66,11 +67,12 @@ type Accumulator struct {
 	cfg    Config
 	bag    *jsontype.Bag
 	sketch *PathSketch // nil when detection sampling defers pass ① to Finish
+	memo   *mergeMemo  // pass-③ subtree cache, kept across Finish calls
 }
 
 // NewAccumulator returns an empty accumulator for the configuration.
 func NewAccumulator(cfg Config) *Accumulator {
-	a := &Accumulator{cfg: cfg, bag: &jsontype.Bag{}}
+	a := &Accumulator{cfg: cfg, bag: &jsontype.Bag{}, memo: newMergeMemo()}
 	if !(cfg.DetectionSample > 0 && cfg.DetectionSample < 1) {
 		a.sketch = NewPathSketch()
 	}
@@ -121,21 +123,30 @@ func (a *Accumulator) Stats() []PathStat {
 }
 
 // Finish runs passes ② and ③ over the accumulated collection and returns
-// the schema (unsimplified, like Pipeline).
+// the schema (unsimplified, like Pipeline). Subtree results are memoized
+// on the accumulator: a later Finish over a grown stream recomputes only
+// the subtrees whose bags (or global decisions) actually changed.
 func (a *Accumulator) Finish() schema.Schema {
-	return synthesize(a.bag, a.Stats(), a.cfg)
+	return synthesize(a.bag, a.Stats(), a.cfg, a.memo)
 }
 
 // synthesize runs passes ② and ③ over the full bag, consulting the
-// precomputed pass-① statistics.
-func synthesize(bag *jsontype.Bag, stats []PathStat, cfg Config) schema.Schema {
+// precomputed pass-① statistics. memo may be nil (no caching).
+func synthesize(bag *jsontype.Bag, stats []PathStat, cfg Config, memo *mergeMemo) schema.Schema {
+	pool := newWorkPool(cfg.SynthWorkers)
 	dec := &pipelineDecider{
 		cfg:       cfg,
 		decisions: decisionMap(stats),
 		plans:     map[string]*partitionPlan{},
+		pool:      pool,
 	}
 	dec.collectPlans(RootPath, bag) // pass ②
-	s := &synthesizer{dec: dec}
+	if memo != nil {
+		// The memo is only sound while the global decisions and plans that
+		// shaped its entries still hold; a changed epoch drops the cache.
+		memo.validate(dec.epochHash())
+	}
+	s := &synthesizer{dec: dec, pool: pool, memo: memo}
 	return s.merge(RootPath, bag) // pass ③
 }
 
@@ -222,7 +233,13 @@ func keySetCanon(names []string) string {
 type pipelineDecider struct {
 	cfg       Config
 	decisions map[string]pathDecision
-	plans     map[string]*partitionPlan
+	pool      *workPool
+
+	// mu guards plans during the concurrent pass-② walk and the
+	// plan.assign fallback writes during pass ③; decisions is read-only
+	// after construction.
+	mu    sync.Mutex
+	plans map[string]*partitionPlan
 }
 
 func (d *pipelineDecider) arrayDecision(path string, arrays *jsontype.Bag) entropy.Decision {
@@ -276,15 +293,22 @@ func (d *pipelineDecider) partitionWithPlan(planKey string, bag *jsontype.Bag, k
 	if d.cfg.Partition == SingleEntity || d.cfg.Partition == PerKeySet {
 		return partitionBag(bag, keySetOf, d.cfg)
 	}
+	d.mu.Lock()
 	plan := d.plans[planKey]
+	d.mu.Unlock()
 	if plan == nil {
 		// Unreached in normal operation.
 		return partitionBag(bag, keySetOf, d.cfg)
 	}
-	next := plan.n
-	assignment := make([]int, bag.Distinct())
+	// Feature extraction is the expensive part; do it outside the lock.
+	canons := make([]string, bag.Distinct())
 	for ti, t := range bag.Types() {
-		c := keySetCanon(keySetOf(t))
+		canons[ti] = keySetCanon(keySetOf(t))
+	}
+	assignment := make([]int, bag.Distinct())
+	d.mu.Lock()
+	next := plan.n
+	for ti, c := range canons {
 		cluster, ok := plan.assign[c]
 		if !ok {
 			// A key set unseen in pass ② (possible only if the data changed
@@ -295,6 +319,7 @@ func (d *pipelineDecider) partitionWithPlan(planKey string, bag *jsontype.Bag, k
 		}
 		assignment[ti] = cluster
 	}
+	d.mu.Unlock()
 	typesBySet := make([][]int, bag.Distinct())
 	for i := range typesBySet {
 		typesBySet[i] = []int{i}
@@ -303,36 +328,49 @@ func (d *pipelineDecider) partitionWithPlan(planKey string, bag *jsontype.Bag, k
 }
 
 // collectPlans is pass ②: walk the data along the pass-① decisions and,
-// at every tuple path, precompute the key-set → entity assignment.
+// at every tuple path, precompute the key-set → entity assignment. Child
+// subtrees are independent, so with a pool they are walked concurrently —
+// entity discovery (Bimax clustering inside buildPlan) dominates pass-②
+// cost and every partition point gets its own private key-set dictionary,
+// so the fan-out shares nothing but the plans map.
 func (d *pipelineDecider) collectPlans(path string, bag *jsontype.Bag) {
 	_, arrays, objects := bag.SplitKinds()
+
+	type child struct {
+		path string
+		bag  *jsontype.Bag
+	}
+	var children []child
 
 	if arrays.Len() > 0 {
 		if d.arrayDecision(path, arrays) == entropy.Collection {
 			if elems := arrays.Elements(); elems.Len() > 0 {
-				d.collectPlans(arrayElemPath(path), elems)
+				children = append(children, child{arrayElemPath(path), elems})
 			}
 		} else {
 			d.buildPlan("A:"+path, arrays, d.featureKeySet(path))
 			groups, _ := arrays.GroupByIndex()
 			for i, g := range groups {
-				d.collectPlans(arrayIndexPath(path, i), g)
+				children = append(children, child{arrayIndexPath(path, i), g})
 			}
 		}
 	}
 	if objects.Len() > 0 {
 		if d.objectDecision(path, objects) == entropy.Collection {
 			if values := objects.FieldValues(); values.Len() > 0 {
-				d.collectPlans(objectValuePath(path), values)
+				children = append(children, child{objectValuePath(path), values})
 			}
 		} else {
 			d.buildPlan("O:"+path, objects, d.featureKeySet(path))
 			keys, groups, _ := objects.GroupByKey()
 			for i, key := range keys {
-				d.collectPlans(childKeyPath(path, key), groups[i])
+				children = append(children, child{childKeyPath(path, key), groups[i]})
 			}
 		}
 	}
+	d.pool.forEach(len(children), func(i int) {
+		d.collectPlans(children[i].path, children[i].bag)
+	})
 }
 
 func (d *pipelineDecider) buildPlan(planKey string, bag *jsontype.Bag, keySetOf func(*jsontype.Type) []string) {
@@ -349,5 +387,7 @@ func (d *pipelineDecider) buildPlan(planKey string, bag *jsontype.Bag, keySetOf 
 			plan.n = cluster + 1
 		}
 	}
+	d.mu.Lock()
 	d.plans[planKey] = plan
+	d.mu.Unlock()
 }

@@ -1,0 +1,52 @@
+package core
+
+import "sync"
+
+// workPool bounds the goroutines fanned out by the parallel synthesis
+// passes. A nil pool means sequential execution. The pool never blocks
+// waiting for a slot: when all slots are busy the work item runs inline on
+// the caller's goroutine, which keeps the recursive fan-out deadlock-free
+// (a parent holding no slot can always make progress on its own children)
+// and caps live goroutines at the configured worker count.
+type workPool struct {
+	sem chan struct{}
+}
+
+// newWorkPool returns a pool with the given parallelism, or nil when
+// workers <= 1 (sequential).
+func newWorkPool(workers int) *workPool {
+	if workers <= 1 {
+		return nil
+	}
+	return &workPool{sem: make(chan struct{}, workers)}
+}
+
+// forEach runs fn(0..n-1), concurrently when slots are available, and
+// returns once all calls complete. Callers obtain determinism by writing
+// results into position i of a pre-sized slice and combining in index
+// order after forEach returns.
+func (p *workPool) forEach(n int, fn func(i int)) {
+	if p == nil || n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		select {
+		case p.sem <- struct{}{}:
+			wg.Add(1)
+			go func(i int) {
+				defer func() {
+					<-p.sem
+					wg.Done()
+				}()
+				fn(i)
+			}(i)
+		default:
+			fn(i)
+		}
+	}
+	wg.Wait()
+}

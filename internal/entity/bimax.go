@@ -39,12 +39,14 @@ func BimaxNaive(sets []KeySet) []Cluster {
 // sizeDescending returns the indices of sets ordered by descending set
 // size; ties preserve input order (stable), keeping results deterministic.
 func sizeDescending(sets []KeySet) []int {
+	sizes := make([]int, len(sets))
 	order := make([]int, len(sets))
 	for i := range order {
 		order[i] = i
+		sizes[i] = sets[i].Len()
 	}
 	sort.SliceStable(order, func(a, b int) bool {
-		return len(sets[order[a]]) > len(sets[order[b]])
+		return sizes[order[a]] > sizes[order[b]]
 	})
 	return order
 }
@@ -88,19 +90,26 @@ func bimaxSort(sets []KeySet, order []int, clusters *[]Cluster) {
 // (§6.2) — running Bimax over the transposed sets yields that column
 // ordering.
 func Transpose(sets []KeySet, dim int) []KeySet {
-	cols := make([][]int, dim)
+	words := (len(sets) + wordBits - 1) / wordBits
+	cols := make([]KeySet, dim)
 	for ri, ks := range sets {
-		for _, id := range ks {
+		ks.Each(func(id int) {
 			if id < dim {
-				cols[id] = append(cols[id], ri)
+				if cols[id] == nil {
+					cols[id] = make(KeySet, words)
+				}
+				cols[id][ri/wordBits] |= 1 << (uint(ri) % wordBits)
 			}
+		})
+	}
+	for i, c := range cols {
+		if c == nil {
+			cols[i] = KeySet{}
+		} else {
+			cols[i] = c.trim()
 		}
 	}
-	out := make([]KeySet, dim)
-	for i, rows := range cols {
-		out[i] = KeySet(rows) // already sorted: record indices ascend
-	}
-	return out
+	return cols
 }
 
 // BimaxColumns returns the feature ids in Bimax order: features whose
@@ -167,9 +176,9 @@ func GreedyMerge(naive []Cluster) []Cluster {
 // order places similar entities together, so the nearest preceding cluster
 // is the most similar one — the property Example 11 relies on.
 func findCover(work []Cluster, active []bool, target KeySet) []int {
-	uncovered := append(KeySet(nil), target...)
+	uncovered := target.Clone()
 	var cover []int
-	for len(uncovered) > 0 {
+	for !uncovered.Empty() {
 		best, bestGain := -1, 0
 		for i := range work {
 			if !active[i] || contains(cover, i) {

@@ -1,7 +1,5 @@
 package entity
 
-import "sort"
-
 // Feature-vector encodings (§6.4). A feature vector records which paths
 // appear in one record (or one unnested collection element). JXPLAIN
 // defaults to a sparse encoding; a dense bitset encoding is faster and
@@ -99,7 +97,7 @@ func (f *FeatureSet) MemoryBytes() int {
 	default:
 		total := 0
 		for _, s := range f.sets {
-			total += len(s) * word
+			total += s.Len() * word
 		}
 		return total
 	}
@@ -108,12 +106,5 @@ func (f *FeatureSet) MemoryBytes() int {
 // SortBySizeDesc returns indices of the distinct vectors sorted by
 // descending size (stable), the starting order of Bimax.
 func (f *FeatureSet) SortBySizeDesc() []int {
-	order := make([]int, len(f.sets))
-	for i := range order {
-		order[i] = i
-	}
-	sort.SliceStable(order, func(a, b int) bool {
-		return len(f.sets[order[a]]) > len(f.sets[order[b]])
-	})
-	return order
+	return sizeDescending(f.sets)
 }

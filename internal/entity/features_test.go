@@ -82,7 +82,7 @@ func TestSortBySizeDesc(t *testing.T) {
 	f.AddNames([]string{"a", "b", "c"})
 	f.AddNames([]string{"a", "b"})
 	order := f.SortBySizeDesc()
-	sizes := []int{len(f.Sets()[order[0]]), len(f.Sets()[order[1]]), len(f.Sets()[order[2]])}
+	sizes := []int{f.Sets()[order[0]].Len(), f.Sets()[order[1]].Len(), f.Sets()[order[2]].Len()}
 	if sizes[0] != 3 || sizes[1] != 2 || sizes[2] != 1 {
 		t.Errorf("sizes = %v", sizes)
 	}

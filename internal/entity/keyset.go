@@ -6,60 +6,45 @@
 //
 // Entity discovery operates on key sets: the set of field names (or array
 // indices) present in each tuple-like record at one path. Keys are
-// interned into integer ids through a Dict so set operations are cheap.
+// interned into integer ids through a Dict, and key sets are stored as
+// bitsets over those ids, so the set operations Bimax and GreedyMerge hammer
+// (subset, intersect, union, minus) are word-parallel AND/OR/ANDNOT plus
+// popcount instead of O(k) sorted-slice walks.
 package entity
 
-import "sort"
+import (
+	"math/bits"
+	"sort"
+)
 
-// Dict interns key names to dense integer ids.
-type Dict struct {
-	ids   map[string]int
-	names []string
-}
+// KeySet is a set of interned key ids stored as a bitset: word w bit b
+// holds id w*64+b. The representation is normalized — no trailing zero
+// words — so equal sets are equal slices and Canon is well-defined. The
+// zero value (nil) is the empty set.
+type KeySet []uint64
 
-// NewDict returns an empty dictionary.
-func NewDict() *Dict { return &Dict{ids: map[string]int{}} }
+const wordBits = 64
 
-// ID returns the id for name, assigning the next id on first use.
-func (d *Dict) ID(name string) int {
-	if id, ok := d.ids[name]; ok {
-		return id
-	}
-	id := len(d.names)
-	d.ids[name] = id
-	d.names = append(d.names, name)
-	return id
-}
-
-// Lookup returns the id for name without assigning, with ok=false if absent.
-func (d *Dict) Lookup(name string) (int, bool) {
-	id, ok := d.ids[name]
-	return id, ok
-}
-
-// Name returns the name for id.
-func (d *Dict) Name(id int) string { return d.names[id] }
-
-// Len returns the number of interned names.
-func (d *Dict) Len() int { return len(d.names) }
-
-// KeySet is a sorted set of interned key ids.
-type KeySet []int
-
-// NewKeySet returns a KeySet from arbitrary ids (sorted, deduplicated).
+// NewKeySet returns a KeySet from arbitrary ids (duplicates collapse).
+// Negative ids panic.
 func NewKeySet(ids ...int) KeySet {
 	if len(ids) == 0 {
 		return KeySet{}
 	}
-	cp := append([]int(nil), ids...)
-	sort.Ints(cp)
-	out := cp[:1]
-	for _, id := range cp[1:] {
-		if id != out[len(out)-1] {
-			out = append(out, id)
+	max := 0
+	for _, id := range ids {
+		if id < 0 {
+			panic("entity: negative key id")
+		}
+		if id > max {
+			max = id
 		}
 	}
-	return KeySet(out)
+	s := make(KeySet, max/wordBits+1)
+	for _, id := range ids {
+		s[id/wordBits] |= 1 << (uint(id) % wordBits)
+	}
+	return s
 }
 
 // KeySetOf interns names into d and returns their KeySet.
@@ -71,53 +56,88 @@ func KeySetOf(d *Dict, names ...string) KeySet {
 	return NewKeySet(ids...)
 }
 
+// trim drops trailing zero words, restoring the normalization invariant.
+func (s KeySet) trim() KeySet {
+	n := len(s)
+	for n > 0 && s[n-1] == 0 {
+		n--
+	}
+	return s[:n]
+}
+
+// Len returns the set's cardinality.
+func (s KeySet) Len() int {
+	n := 0
+	for _, w := range s {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Empty reports whether the set has no elements.
+func (s KeySet) Empty() bool { return len(s) == 0 }
+
+// Each calls fn for every id in the set in ascending order.
+func (s KeySet) Each(fn func(id int)) {
+	for wi, w := range s {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			fn(wi*wordBits + b)
+			w &= w - 1
+		}
+	}
+}
+
+// IDs returns the set's ids in ascending order.
+func (s KeySet) IDs() []int {
+	out := make([]int, 0, s.Len())
+	s.Each(func(id int) { out = append(out, id) })
+	return out
+}
+
+// Clone returns an independent copy of the set.
+func (s KeySet) Clone() KeySet {
+	return append(KeySet(nil), s...)
+}
+
 // Names maps the set back to sorted key names via d.
 func (s KeySet) Names(d *Dict) []string {
-	out := make([]string, len(s))
-	for i, id := range s {
-		out[i] = d.Name(id)
-	}
+	out := make([]string, 0, s.Len())
+	s.Each(func(id int) { out = append(out, d.Name(id)) })
 	sort.Strings(out)
 	return out
 }
 
 // Contains reports whether id is in the set.
 func (s KeySet) Contains(id int) bool {
-	i := sort.SearchInts(s, id)
-	return i < len(s) && s[i] == id
+	if id < 0 || id/wordBits >= len(s) {
+		return false
+	}
+	return s[id/wordBits]&(1<<(uint(id)%wordBits)) != 0
 }
 
 // SubsetOf reports whether s ⊆ t.
 func (s KeySet) SubsetOf(t KeySet) bool {
 	if len(s) > len(t) {
-		return false
+		return false // normalization: a longer set has a higher id
 	}
-	i, j := 0, 0
-	for i < len(s) && j < len(t) {
-		switch {
-		case s[i] == t[j]:
-			i++
-			j++
-		case s[i] > t[j]:
-			j++
-		default:
+	for i, w := range s {
+		if w&^t[i] != 0 {
 			return false
 		}
 	}
-	return i == len(s)
+	return true
 }
 
 // Intersects reports whether s ∩ t ≠ ∅.
 func (s KeySet) Intersects(t KeySet) bool {
-	i, j := 0, 0
-	for i < len(s) && j < len(t) {
-		switch {
-		case s[i] == t[j]:
+	n := len(s)
+	if len(t) < n {
+		n = len(t)
+	}
+	for i := 0; i < n; i++ {
+		if s[i]&t[i] != 0 {
 			return true
-		case s[i] < t[j]:
-			i++
-		default:
-			j++
 		}
 	}
 	return false
@@ -125,60 +145,41 @@ func (s KeySet) Intersects(t KeySet) bool {
 
 // Union returns s ∪ t as a new set.
 func (s KeySet) Union(t KeySet) KeySet {
-	out := make(KeySet, 0, len(s)+len(t))
-	i, j := 0, 0
-	for i < len(s) || j < len(t) {
-		switch {
-		case j >= len(t) || (i < len(s) && s[i] < t[j]):
-			out = append(out, s[i])
-			i++
-		case i >= len(s) || s[i] > t[j]:
-			out = append(out, t[j])
-			j++
-		default:
-			out = append(out, s[i])
-			i++
-			j++
-		}
+	long, short := s, t
+	if len(short) > len(long) {
+		long, short = short, long
+	}
+	out := make(KeySet, len(long))
+	copy(out, long)
+	for i, w := range short {
+		out[i] |= w
 	}
 	return out
 }
 
 // Minus returns s − t as a new set.
 func (s KeySet) Minus(t KeySet) KeySet {
-	out := make(KeySet, 0, len(s))
-	i, j := 0, 0
-	for i < len(s) {
-		switch {
-		case j >= len(t) || s[i] < t[j]:
-			out = append(out, s[i])
-			i++
-		case s[i] > t[j]:
-			j++
-		default:
-			i++
-			j++
+	out := make(KeySet, len(s))
+	for i, w := range s {
+		if i < len(t) {
+			w &^= t[i]
 		}
+		out[i] = w
 	}
-	return out
+	return out.trim()
 }
 
 // IntersectCount returns |s ∩ t|.
 func (s KeySet) IntersectCount(t KeySet) int {
-	n, i, j := 0, 0, 0
-	for i < len(s) && j < len(t) {
-		switch {
-		case s[i] == t[j]:
-			n++
-			i++
-			j++
-		case s[i] < t[j]:
-			i++
-		default:
-			j++
-		}
+	n := len(s)
+	if len(t) < n {
+		n = len(t)
 	}
-	return n
+	count := 0
+	for i := 0; i < n; i++ {
+		count += bits.OnesCount64(s[i] & t[i])
+	}
+	return count
 }
 
 // Equal reports set equality.
@@ -194,15 +195,14 @@ func (s KeySet) Equal(t KeySet) bool {
 	return true
 }
 
-// Canon returns a canonical string key for map usage.
+// Canon returns a canonical string key for map usage: the little-endian
+// bytes of the normalized words.
 func (s KeySet) Canon() string {
-	buf := make([]byte, 0, len(s)*3)
-	for _, id := range s {
-		for id >= 128 {
-			buf = append(buf, byte(id&0x7f)|0x80)
-			id >>= 7
+	buf := make([]byte, 0, len(s)*8)
+	for _, w := range s {
+		for i := 0; i < 8; i++ {
+			buf = append(buf, byte(w>>(8*i)))
 		}
-		buf = append(buf, byte(id))
 	}
 	return string(buf)
 }
@@ -210,7 +210,7 @@ func (s KeySet) Canon() string {
 // Jaccard returns the Jaccard index |s∩t| / |s∪t| (1 for two empty sets).
 func (s KeySet) Jaccard(t KeySet) float64 {
 	inter := s.IntersectCount(t)
-	union := len(s) + len(t) - inter
+	union := s.Len() + t.Len() - inter
 	if union == 0 {
 		return 1
 	}

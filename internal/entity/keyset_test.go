@@ -32,12 +32,38 @@ func TestDict(t *testing.T) {
 	}
 }
 
-func TestNewKeySetSortsAndDedups(t *testing.T) {
+func TestDictSnapshot(t *testing.T) {
+	d := NewDict()
+	a := d.ID("alpha")
+	snap := d.Snapshot()
+	b := d.ID("beta") // mutate after the snapshot
+
+	if snap.Len() != 1 {
+		t.Errorf("snapshot Len = %d, want 1", snap.Len())
+	}
+	if id, ok := snap.Lookup("alpha"); !ok || id != a {
+		t.Error("snapshot Lookup broken")
+	}
+	if _, ok := snap.Lookup("beta"); ok {
+		t.Error("snapshot must not see names interned after it was taken")
+	}
+	if snap.Name(a) != "alpha" {
+		t.Error("snapshot Name broken")
+	}
+	if d.Len() != 2 || d.Name(b) != "beta" {
+		t.Error("snapshot must not disturb the live dict")
+	}
+}
+
+func TestNewKeySetDedups(t *testing.T) {
 	s := ks(5, 1, 3, 1, 5)
 	if !s.Equal(ks(1, 3, 5)) {
-		t.Errorf("got %v", s)
+		t.Errorf("got %v", s.IDs())
 	}
-	if len(ks()) != 0 {
+	if s.Len() != 3 {
+		t.Errorf("duplicates must collapse: Len = %d", s.Len())
+	}
+	if ks().Len() != 0 || !ks().Empty() {
 		t.Error("empty set")
 	}
 }
@@ -45,8 +71,8 @@ func TestNewKeySetSortsAndDedups(t *testing.T) {
 func TestKeySetOfAndNames(t *testing.T) {
 	d := NewDict()
 	s := KeySetOf(d, "z", "a", "m", "a")
-	if len(s) != 3 {
-		t.Fatalf("got %v", s)
+	if s.Len() != 3 {
+		t.Fatalf("got %v", s.IDs())
 	}
 	names := s.Names(d)
 	if names[0] != "a" || names[1] != "m" || names[2] != "z" {
@@ -67,20 +93,83 @@ func TestSetOps(t *testing.T) {
 	if !ks().SubsetOf(a) {
 		t.Error("∅ ⊆ a")
 	}
+	if !ks().SubsetOf(ks()) {
+		t.Error("∅ ⊆ ∅")
+	}
 	if !a.Intersects(b) || a.Intersects(c) {
 		t.Error("Intersects broken")
 	}
+	if a.Intersects(ks()) || ks().Intersects(a) {
+		t.Error("nothing intersects the empty set")
+	}
 	if !a.Union(b).Equal(ks(1, 2, 3, 4)) {
-		t.Errorf("Union = %v", a.Union(b))
+		t.Errorf("Union = %v", a.Union(b).IDs())
 	}
 	if !a.Minus(b).Equal(ks(1)) {
-		t.Errorf("Minus = %v", a.Minus(b))
+		t.Errorf("Minus = %v", a.Minus(b).IDs())
 	}
 	if a.IntersectCount(b) != 2 || a.IntersectCount(c) != 0 {
 		t.Error("IntersectCount broken")
 	}
-	if !a.Contains(2) || a.Contains(9) {
+	if !a.Contains(2) || a.Contains(9) || a.Contains(-1) {
 		t.Error("Contains broken")
+	}
+}
+
+// TestWideKeySets exercises ids beyond word 0 — the boundary bitsets make
+// easy to get wrong.
+func TestWideKeySets(t *testing.T) {
+	wide := ks(0, 63, 64, 65, 127, 128, 500)
+	if wide.Len() != 7 {
+		t.Fatalf("Len = %d", wide.Len())
+	}
+	for _, id := range []int{0, 63, 64, 65, 127, 128, 500} {
+		if !wide.Contains(id) {
+			t.Errorf("missing id %d", id)
+		}
+	}
+	for _, id := range []int{1, 62, 66, 129, 499, 501, 5000} {
+		if wide.Contains(id) {
+			t.Errorf("spurious id %d", id)
+		}
+	}
+	got := wide.IDs()
+	want := []int{0, 63, 64, 65, 127, 128, 500}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("IDs = %v", got)
+		}
+	}
+	// Cross-word subset and minus.
+	if !ks(64, 500).SubsetOf(wide) || ks(64, 501).SubsetOf(wide) {
+		t.Error("cross-word SubsetOf broken")
+	}
+	if !wide.Minus(ks(500)).Equal(ks(0, 63, 64, 65, 127, 128)) {
+		t.Error("Minus must trim trailing zero words")
+	}
+	// A narrow set is never a superset of a wider one.
+	if wide.SubsetOf(ks(0, 63)) {
+		t.Error("wide ⊄ narrow")
+	}
+	if !ks(0, 63).SubsetOf(wide) {
+		t.Error("narrow ⊆ wide")
+	}
+}
+
+// TestNormalization: operations whose result drops high ids must trim
+// trailing zero words so Equal and Canon stay representation-independent.
+func TestNormalization(t *testing.T) {
+	a := ks(1, 200)
+	dropped := a.Minus(ks(200))
+	if !dropped.Equal(ks(1)) {
+		t.Errorf("Minus result not normalized: %v words", len(dropped))
+	}
+	if dropped.Canon() != ks(1).Canon() {
+		t.Error("Canon differs between equal sets")
+	}
+	empty := a.Minus(a)
+	if !empty.Empty() || !empty.Equal(ks()) || empty.Canon() != ks().Canon() {
+		t.Error("s − s must be the canonical empty set")
 	}
 }
 
@@ -94,24 +183,26 @@ func TestJaccard(t *testing.T) {
 	if ks(1).Jaccard(ks()) != 0 {
 		t.Error("disjoint Jaccard 0")
 	}
+	if ks(1, 200).Jaccard(ks(1, 200)) != 1 {
+		t.Error("identical wide sets have Jaccard 1")
+	}
 }
 
 func TestCanonDistinguishesSets(t *testing.T) {
-	// Exercise the varint encoding across the 1-byte boundary.
 	pairs := [][2]KeySet{
 		{ks(1, 2), ks(12)},
-		{ks(127), ks(128)},
-		{ks(128, 1), ks(129)},
+		{ks(63), ks(64)},
+		{ks(64, 1), ks(65)},
 		{ks(), ks(0)},
 		{ks(1000), ks(1, 1000)},
 	}
 	for _, p := range pairs {
 		if p[0].Canon() == p[1].Canon() {
-			t.Errorf("canon collision: %v vs %v", p[0], p[1])
+			t.Errorf("canon collision: %v vs %v", p[0].IDs(), p[1].IDs())
 		}
 	}
 	if ks(3, 900).Canon() != ks(900, 3).Canon() {
-		t.Error("canon must be order-insensitive (sets are sorted)")
+		t.Error("canon must be order-insensitive (sets are sets)")
 	}
 }
 
@@ -124,31 +215,93 @@ func randomKeySet(r *rand.Rand, maxID int) KeySet {
 	return NewKeySet(ids...)
 }
 
+// refSet is the map-based reference model the bitset is checked against.
+func refSet(s KeySet) map[int]bool {
+	m := map[int]bool{}
+	s.Each(func(id int) { m[id] = true })
+	return m
+}
+
+// TestSetOpsProperties property-checks the bitset operations against the
+// reference model, drawing ids across several words (maxID 200 spans word
+// boundaries) so cross-word carries and trailing-word trims are hit.
 func TestSetOpsProperties(t *testing.T) {
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
-		a := randomKeySet(r, 20)
-		b := randomKeySet(r, 20)
+		maxID := 8 + r.Intn(200) // sometimes single-word, sometimes several
+		a := randomKeySet(r, maxID)
+		b := randomKeySet(r, maxID)
+		ra, rb := refSet(a), refSet(b)
+
+		// Union/Minus/IntersectCount against the model.
 		u := a.Union(b)
-		// a, b ⊆ a∪b; (a−b) ∩ b = ∅; |a∩b| + |a−b| = |a|.
+		ru := refSet(u)
+		if len(ru) != len(ra)+len(rb)-a.IntersectCount(b) {
+			return false
+		}
+		for id := range ra {
+			if !u.Contains(id) {
+				return false
+			}
+		}
+		for id := range rb {
+			if !u.Contains(id) {
+				return false
+			}
+		}
+		m := a.Minus(b)
+		for id := range refSet(m) {
+			if !ra[id] || rb[id] {
+				return false
+			}
+		}
+		if m.Len() != a.Len()-a.IntersectCount(b) {
+			return false
+		}
+
+		// Symmetry: intersect and Jaccard are commutative.
+		if a.IntersectCount(b) != b.IntersectCount(a) {
+			return false
+		}
+		if a.Intersects(b) != b.Intersects(a) {
+			return false
+		}
+		if a.Jaccard(b) != b.Jaccard(a) {
+			return false
+		}
+
+		// Subset is antisymmetric up to equality, and agrees with Union.
+		if a.SubsetOf(b) && b.SubsetOf(a) && !a.Equal(b) {
+			return false
+		}
+		if a.SubsetOf(b) != a.Union(b).Equal(b) {
+			return false
+		}
+		// a, b ⊆ a∪b; (a−b) ∩ b = ∅.
 		if !a.SubsetOf(u) || !b.SubsetOf(u) {
 			return false
 		}
 		if a.Minus(b).Intersects(b) {
 			return false
 		}
-		if a.IntersectCount(b)+len(a.Minus(b)) != len(a) {
-			return false
-		}
-		// Subset ⇒ union is the superset.
-		if a.SubsetOf(b) && !a.Union(b).Equal(b) {
-			return false
-		}
+
 		// Canon round-trip: equal canon ⇔ equal sets.
-		c := randomKeySet(r, 20)
+		c := randomKeySet(r, maxID)
 		return (a.Canon() == c.Canon()) == a.Equal(c)
 	}
-	if err := quick.Check(f, nil); err != nil {
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestClone(t *testing.T) {
+	a := ks(1, 64, 130)
+	c := a.Clone()
+	if !c.Equal(a) {
+		t.Fatal("clone differs")
+	}
+	c[0] = 0 // mutate the copy
+	if !a.Contains(1) {
+		t.Error("mutating a clone must not affect the original")
 	}
 }

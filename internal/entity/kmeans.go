@@ -81,9 +81,11 @@ func KMeans(sets []KeySet, dim, k int, seed int64, maxIter int) []int {
 		for i, s := range sets {
 			c := assign[i]
 			counts[c]++
-			for _, id := range s {
-				centroids[c][id]++
-			}
+			s.Each(func(id int) {
+				if id < len(centroids[c]) {
+					centroids[c][id]++
+				}
+			})
 		}
 		for c := range centroids {
 			if counts[c] == 0 {
@@ -101,11 +103,11 @@ func KMeans(sets []KeySet, dim, k int, seed int64, maxIter int) []int {
 
 func toVector(s KeySet, dim int) []float64 {
 	v := make([]float64, dim)
-	for _, id := range s {
+	s.Each(func(id int) {
 		if id < dim {
 			v[id] = 1
 		}
-	}
+	})
 	return v
 }
 
@@ -117,14 +119,14 @@ func sqDist(s KeySet, centroid []float64) float64 {
 	for _, c := range centroid {
 		d += c * c
 	}
-	for _, id := range s {
+	s.Each(func(id int) {
 		if id < len(centroid) {
 			c := centroid[id]
 			d += (1-c)*(1-c) - c*c
 		} else {
 			d += 1
 		}
-	}
+	})
 	return d
 }
 

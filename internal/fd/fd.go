@@ -70,17 +70,18 @@ func Mine(dict *entity.Dict, keySets []entity.KeySet, counts []int, cfg Config) 
 	for si, ks := range keySets {
 		n := counts[si]
 		total += n
-		for _, id := range ks {
+		ids := ks.IDs()
+		for _, id := range ids {
 			if id < len(present) {
 				present[id] += n
 			}
 		}
-		for ai := 0; ai < len(ks); ai++ {
-			for bi := 0; bi < len(ks); bi++ {
+		for ai := 0; ai < len(ids); ai++ {
+			for bi := 0; bi < len(ids); bi++ {
 				if ai == bi {
 					continue
 				}
-				pair[[2]int{ks[ai], ks[bi]}] += n
+				pair[[2]int{ids[ai], ids[bi]}] += n
 			}
 		}
 	}

@@ -12,7 +12,7 @@ import "sort"
 type Bag struct {
 	types  []*Type
 	counts []int
-	index  map[string]int // canon -> position in types
+	index  map[uint64]int // intern id -> position in types
 	total  int
 }
 
@@ -35,12 +35,12 @@ func (b *Bag) AddN(t *Type, n int) {
 		panic("jsontype: Bag.AddN with non-positive count")
 	}
 	if b.index == nil {
-		b.index = make(map[string]int)
+		b.index = make(map[uint64]int)
 	}
-	if i, ok := b.index[t.Canon()]; ok {
+	if i, ok := b.index[t.ID()]; ok {
 		b.counts[i] += n
 	} else {
-		b.index[t.Canon()] = len(b.types)
+		b.index[t.ID()] = len(b.types)
 		b.types = append(b.types, t)
 		b.counts = append(b.counts, n)
 	}
@@ -83,7 +83,7 @@ func (b *Bag) CountOf(t *Type) int {
 	if b.index == nil {
 		return 0
 	}
-	if i, ok := b.index[t.Canon()]; ok {
+	if i, ok := b.index[t.ID()]; ok {
 		return b.counts[i]
 	}
 	return 0

@@ -1,8 +1,6 @@
 package jsontype
 
 import (
-	"bufio"
-	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -57,100 +55,20 @@ func MustFromValue(v any) *Type {
 }
 
 // FromJSON derives the structural type of a single JSON document. Trailing
-// content after the first value is an error.
+// content after the first value is an error. Decoding goes through the
+// allocation-free scanner (scan.go): repeated structure costs no heap
+// allocation once interned.
 func FromJSON(data []byte) (*Type, error) {
-	dec := json.NewDecoder(bytes.NewReader(data))
-	dec.UseNumber()
-	t, err := decodeType(dec)
-	if err != nil {
-		return nil, err
-	}
-	if dec.More() {
-		return nil, fmt.Errorf("jsontype: trailing content after JSON value")
-	}
-	return t, nil
+	return scanOne(data)
 }
 
 // DecodeAll derives the structural types of a stream of whitespace- or
 // newline-separated JSON documents (JSONL and concatenated JSON both work).
+// The stream is read fully into memory and scanned in place.
 func DecodeAll(r io.Reader) ([]*Type, error) {
-	dec := json.NewDecoder(bufio.NewReaderSize(r, 1<<16))
-	dec.UseNumber()
-	var out []*Type
-	for dec.More() {
-		t, err := decodeType(dec)
-		if err != nil {
-			return out, err
-		}
-		out = append(out, t)
-	}
-	return out, nil
-}
-
-// decodeType consumes one JSON value from dec and returns its type without
-// materializing the value itself (strings and numbers are discarded as soon
-// as their kind is known).
-func decodeType(dec *json.Decoder) (*Type, error) {
-	tok, err := dec.Token()
+	data, err := io.ReadAll(r)
 	if err != nil {
 		return nil, err
 	}
-	return typeFromToken(dec, tok)
-}
-
-func typeFromToken(dec *json.Decoder, tok json.Token) (*Type, error) {
-	switch t := tok.(type) {
-	case nil:
-		return Null, nil
-	case bool:
-		return Bool, nil
-	case json.Number, float64:
-		return Number, nil
-	case string:
-		return String, nil
-	case json.Delim:
-		switch t {
-		case '[':
-			var elems []*Type
-			for dec.More() {
-				e, err := decodeType(dec)
-				if err != nil {
-					return nil, err
-				}
-				elems = append(elems, e)
-			}
-			if _, err := dec.Token(); err != nil { // consume ']'
-				return nil, err
-			}
-			return NewArray(elems), nil
-		case '{':
-			var fields []Field
-			seen := map[string]int{} // duplicate keys: last wins, per encoding/json
-			for dec.More() {
-				keyTok, err := dec.Token()
-				if err != nil {
-					return nil, err
-				}
-				key, ok := keyTok.(string)
-				if !ok {
-					return nil, fmt.Errorf("jsontype: non-string object key %v", keyTok)
-				}
-				val, err := decodeType(dec)
-				if err != nil {
-					return nil, err
-				}
-				if i, dup := seen[key]; dup {
-					fields[i].Type = val
-					continue
-				}
-				seen[key] = len(fields)
-				fields = append(fields, Field{Key: key, Type: val})
-			}
-			if _, err := dec.Token(); err != nil { // consume '}'
-				return nil, err
-			}
-			return NewObject(fields), nil
-		}
-	}
-	return nil, fmt.Errorf("jsontype: unexpected token %v", tok)
+	return scanAll(data, nil)
 }

@@ -1,0 +1,191 @@
+package jsontype
+
+import (
+	"encoding/binary"
+	"sync"
+	"sync/atomic"
+)
+
+// Hash-consing interner. Every complex Type is registered in a sharded
+// global table at construction, keyed by a 64-bit structural hash (FNV-1a
+// over the kind, the child type ids, and — for objects — the field keys).
+// Child ids are unique by induction (children are interned before their
+// parent), so the hash covers the whole subtree in O(direct children)
+// work; hash collisions are resolved by a shallow structural scan of the
+// bucket, which again only compares child *pointers*.
+//
+// Consequences the rest of the system builds on:
+//
+//   - Equal is pointer identity,
+//   - Bag and memo tables key on the dense uint64 id instead of the
+//     canonical string,
+//   - repeated records allocate no new type nodes — only the first
+//     occurrence of each distinct subtree costs a node.
+//
+// The table is append-only and safe for concurrent use (the ingest worker
+// pool decodes in parallel). It grows with the distinct structure observed
+// over the process lifetime — the same asymptote as any single retained
+// Bag — and is never reset: released types would otherwise be re-interned
+// as fresh pointers while stale pointers to the old nodes survive,
+// silently breaking pointer equality.
+
+const internShardCount = 64 // power of two; shard = hash & (count-1)
+
+type internShard struct {
+	mu sync.Mutex
+	m  map[uint64][]*Type // structural hash -> bucket
+}
+
+var (
+	internShards [internShardCount]internShard
+	internNextID atomic.Uint64 // ids 1..4 are the primitive singletons
+)
+
+func init() {
+	for i := range internShards {
+		internShards[i].m = make(map[uint64][]*Type)
+	}
+	internNextID.Store(4)
+}
+
+// newPrimitiveSingleton builds one of the four primitive singletons with a
+// fixed id and a pre-cached canonical form. Kinds are 0..3, ids 1..4.
+func newPrimitiveSingleton(k Kind, canon string) *Type {
+	t := &Type{kind: k, hash: hashPrimitive(k), id: uint64(k) + 1}
+	t.canon.Store(&canon)
+	return t
+}
+
+// FNV-1a 64-bit.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func fnvByte(h uint64, b byte) uint64 { return (h ^ uint64(b)) * fnvPrime }
+
+func fnvUint64(h uint64, v uint64) uint64 {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	for _, b := range buf {
+		h = fnvByte(h, b)
+	}
+	return h
+}
+
+func fnvString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = fnvByte(h, s[i])
+	}
+	return h
+}
+
+func hashPrimitive(k Kind) uint64 {
+	return fnvByte(fnvOffset, byte(k))
+}
+
+func hashArray(elems []*Type) uint64 {
+	h := fnvByte(fnvOffset, byte(KindArray))
+	for _, e := range elems {
+		h = fnvUint64(h, e.id)
+	}
+	return h
+}
+
+func hashObject(fields []Field) uint64 {
+	h := fnvByte(fnvOffset, byte(KindObject))
+	for _, f := range fields {
+		// NUL-terminated key then child id; a key containing NUL can at
+		// worst alias another hash input, which the bucket scan resolves.
+		h = fnvString(h, f.Key)
+		h = fnvByte(h, 0)
+		h = fnvUint64(h, f.Type.id)
+	}
+	return h
+}
+
+// internArray returns the canonical *Type for the array [elems...]. The
+// slice is retained on a miss.
+func internArray(elems []*Type) *Type { return internArraySlice(elems, false) }
+
+// internArrayScratch is internArray for callers reusing a scratch buffer:
+// the slice is copied on a miss and never retained, so the caller may
+// overwrite it immediately — this is what keeps the scanner's steady state
+// allocation-free once the distinct types have been seen.
+func internArrayScratch(elems []*Type) *Type { return internArraySlice(elems, true) }
+
+func internArraySlice(elems []*Type, scratch bool) *Type {
+	h := hashArray(elems)
+	shard := &internShards[h&(internShardCount-1)]
+	shard.mu.Lock()
+	for _, c := range shard.m[h] {
+		if c.kind == KindArray && sameElems(c.elems, elems) {
+			shard.mu.Unlock()
+			return c
+		}
+	}
+	if scratch {
+		elems = append([]*Type(nil), elems...)
+	}
+	t := &Type{kind: KindArray, elems: elems, hash: h, id: internNextID.Add(1)}
+	shard.m[h] = append(shard.m[h], t)
+	shard.mu.Unlock()
+	return t
+}
+
+// internObject returns the canonical *Type for the key-sorted fields. The
+// slice is retained on a miss.
+func internObject(fields []Field) *Type { return internObjectSlice(fields, false) }
+
+// internObjectScratch is internObject with copy-on-miss semantics (see
+// internArrayScratch).
+func internObjectScratch(fields []Field) *Type { return internObjectSlice(fields, true) }
+
+func internObjectSlice(fields []Field, scratch bool) *Type {
+	h := hashObject(fields)
+	shard := &internShards[h&(internShardCount-1)]
+	shard.mu.Lock()
+	for _, c := range shard.m[h] {
+		if c.kind == KindObject && sameFields(c.fields, fields) {
+			shard.mu.Unlock()
+			return c
+		}
+	}
+	if scratch {
+		fields = append([]Field(nil), fields...)
+	}
+	t := &Type{kind: KindObject, fields: fields, hash: h, id: internNextID.Add(1)}
+	shard.m[h] = append(shard.m[h], t)
+	shard.mu.Unlock()
+	return t
+}
+
+// sameElems compares two child lists by pointer — sound because children
+// are already interned.
+func sameElems(a, b []*Type) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func sameFields(a, b []Field) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Key != b[i].Key || a[i].Type != b[i].Type {
+			return false
+		}
+	}
+	return true
+}
+
+// InternedTypes reports the number of distinct complex types interned so
+// far (primitives excluded) — an observability hook for memory accounting.
+func InternedTypes() uint64 { return internNextID.Load() - 4 }

@@ -1,0 +1,310 @@
+package jsontype
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// typeScanner derives structural types directly from raw JSON bytes. The
+// encoding/json token API allocates per token (boxed tokens, one string
+// per key and value, one json.Number per number); since discovery only
+// needs the *shape*, this scanner walks the bytes itself and allocates
+// only for structure it has never seen: object keys are cached in a
+// per-scanner string table, child slices live on reusable stacks, and the
+// interner copies a slice only when the type is genuinely new. In steady
+// state — every distinct type already interned — scanning a record
+// performs no heap allocation at all.
+//
+// The scanner validates structure (delimiters, literals, string framing)
+// but is lenient inside numbers: any run of number characters is accepted
+// where encoding/json would reject malformed exponents. Discovery treats
+// all numbers as ℝ, so the distinction cannot change a schema.
+type typeScanner struct {
+	data []byte
+	pos  int
+
+	keys   map[string]string // raw key bytes -> canonical decoded string
+	fields []Field           // shared stack for in-flight object fields
+	elems  []*Type           // shared stack for in-flight array elements
+}
+
+var scannerPool = sync.Pool{
+	New: func() any { return &typeScanner{keys: map[string]string{}} },
+}
+
+// scanOne scans a single JSON value; trailing non-space content is an
+// error.
+func scanOne(data []byte) (*Type, error) {
+	s := scannerPool.Get().(*typeScanner)
+	defer scannerPool.Put(s)
+	s.reset(data)
+	t, err := s.value()
+	if err != nil {
+		return nil, err
+	}
+	s.skipSpace()
+	if s.pos < len(s.data) {
+		return nil, fmt.Errorf("jsontype: trailing content after JSON value")
+	}
+	return t, nil
+}
+
+// scanAll scans a stream of whitespace-separated JSON values, appending
+// their types to out. On error the types scanned so far are returned with
+// it.
+func scanAll(data []byte, out []*Type) ([]*Type, error) {
+	s := scannerPool.Get().(*typeScanner)
+	defer scannerPool.Put(s)
+	s.reset(data)
+	for {
+		s.skipSpace()
+		if s.pos >= len(s.data) {
+			return out, nil
+		}
+		t, err := s.value()
+		if err != nil {
+			return out, err
+		}
+		out = append(out, t)
+	}
+}
+
+func (s *typeScanner) reset(data []byte) {
+	s.data, s.pos = data, 0
+	s.fields = s.fields[:0]
+	s.elems = s.elems[:0]
+}
+
+func (s *typeScanner) skipSpace() {
+	for s.pos < len(s.data) {
+		switch s.data[s.pos] {
+		case ' ', '\t', '\n', '\r':
+			s.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (s *typeScanner) errf(msg string) error {
+	return fmt.Errorf("jsontype: %s at offset %d", msg, s.pos)
+}
+
+func (s *typeScanner) value() (*Type, error) {
+	s.skipSpace()
+	if s.pos >= len(s.data) {
+		return nil, s.errf("unexpected end of JSON")
+	}
+	switch c := s.data[s.pos]; {
+	case c == '{':
+		return s.object()
+	case c == '[':
+		return s.array()
+	case c == '"':
+		if err := s.skipString(); err != nil {
+			return nil, err
+		}
+		return String, nil
+	case c == 't':
+		return s.literal("true", Bool)
+	case c == 'f':
+		return s.literal("false", Bool)
+	case c == 'n':
+		return s.literal("null", Null)
+	case c == '-' || (c >= '0' && c <= '9'):
+		return s.number()
+	}
+	return nil, s.errf("unexpected character")
+}
+
+func (s *typeScanner) literal(lit string, t *Type) (*Type, error) {
+	if len(s.data)-s.pos < len(lit) || string(s.data[s.pos:s.pos+len(lit)]) != lit {
+		return nil, s.errf("invalid literal")
+	}
+	s.pos += len(lit)
+	return t, nil
+}
+
+func (s *typeScanner) number() (*Type, error) {
+	for s.pos < len(s.data) {
+		c := s.data[s.pos]
+		if (c >= '0' && c <= '9') || c == '-' || c == '+' || c == '.' || c == 'e' || c == 'E' {
+			s.pos++
+			continue
+		}
+		break
+	}
+	return Number, nil
+}
+
+// skipString consumes a string value without decoding it; only its kind
+// matters.
+func (s *typeScanner) skipString() error {
+	s.pos++ // opening quote
+	for s.pos < len(s.data) {
+		switch s.data[s.pos] {
+		case '\\':
+			s.pos += 2
+		case '"':
+			s.pos++
+			return nil
+		default:
+			s.pos++
+		}
+	}
+	return s.errf("unterminated string")
+}
+
+// key consumes an object key and returns its canonical string: each
+// distinct raw byte sequence is decoded once and cached, so repeated
+// records share key strings instead of allocating one per occurrence.
+func (s *typeScanner) key() (string, error) {
+	start := s.pos + 1
+	escaped := false
+	s.pos++
+	for s.pos < len(s.data) {
+		switch s.data[s.pos] {
+		case '\\':
+			escaped = true
+			s.pos += 2
+		case '"':
+			raw := s.data[start:s.pos]
+			quoted := s.data[start-1 : s.pos+1]
+			s.pos++
+			if k, ok := s.keys[string(raw)]; ok { // no-alloc lookup
+				return k, nil
+			}
+			var k string
+			if escaped {
+				if err := json.Unmarshal(quoted, &k); err != nil {
+					return "", s.errf("invalid object key")
+				}
+			} else {
+				k = string(raw)
+			}
+			s.keys[string(raw)] = k
+			return k, nil
+		default:
+			s.pos++
+		}
+	}
+	return "", s.errf("unterminated string")
+}
+
+func (s *typeScanner) object() (*Type, error) {
+	s.pos++ // '{'
+	mark := len(s.fields)
+	s.skipSpace()
+	if s.pos >= len(s.data) {
+		return nil, s.errf("unterminated object")
+	}
+	if s.data[s.pos] == '}' {
+		s.pos++
+		return internObjectScratch(nil), nil
+	}
+	for {
+		s.skipSpace()
+		if s.pos >= len(s.data) || s.data[s.pos] != '"' {
+			return nil, s.errf("expected object key")
+		}
+		key, err := s.key()
+		if err != nil {
+			return nil, err
+		}
+		s.skipSpace()
+		if s.pos >= len(s.data) || s.data[s.pos] != ':' {
+			return nil, s.errf("expected ':' after object key")
+		}
+		s.pos++
+		v, err := s.value()
+		if err != nil {
+			return nil, err
+		}
+		s.fields = append(s.fields, Field{Key: key, Type: v})
+		s.skipSpace()
+		if s.pos >= len(s.data) {
+			return nil, s.errf("unterminated object")
+		}
+		if c := s.data[s.pos]; c == ',' {
+			s.pos++
+			continue
+		} else if c == '}' {
+			s.pos++
+			break
+		}
+		return nil, s.errf("expected ',' or '}' in object")
+	}
+	seg := s.fields[mark:]
+	sortFieldsStable(seg)
+	// Duplicate keys: last occurrence wins, mirroring encoding/json. The
+	// stable sort keeps equal keys in source order, so collapsing runs
+	// toward their last element implements that.
+	w := 0
+	for i := 0; i < len(seg); i++ {
+		if w > 0 && seg[w-1].Key == seg[i].Key {
+			seg[w-1].Type = seg[i].Type
+		} else {
+			seg[w] = seg[i]
+			w++
+		}
+	}
+	t := internObjectScratch(seg[:w])
+	s.fields = s.fields[:mark]
+	return t, nil
+}
+
+func (s *typeScanner) array() (*Type, error) {
+	s.pos++ // '['
+	mark := len(s.elems)
+	s.skipSpace()
+	if s.pos >= len(s.data) {
+		return nil, s.errf("unterminated array")
+	}
+	if s.data[s.pos] == ']' {
+		s.pos++
+		return internArrayScratch(nil), nil
+	}
+	for {
+		v, err := s.value()
+		if err != nil {
+			return nil, err
+		}
+		s.elems = append(s.elems, v)
+		s.skipSpace()
+		if s.pos >= len(s.data) {
+			return nil, s.errf("unterminated array")
+		}
+		if c := s.data[s.pos]; c == ',' {
+			s.pos++
+			continue
+		} else if c == ']' {
+			s.pos++
+			break
+		}
+		return nil, s.errf("expected ',' or ']' in array")
+	}
+	t := internArrayScratch(s.elems[mark:])
+	s.elems = s.elems[:mark]
+	return t, nil
+}
+
+// sortFieldsStable sorts fields by key, stably. Small segments — the
+// overwhelming majority of JSON objects — use an allocation-free insertion
+// sort; wide objects fall back to sort.SliceStable.
+func sortFieldsStable(fields []Field) {
+	if len(fields) <= 24 {
+		for i := 1; i < len(fields); i++ {
+			f := fields[i]
+			j := i - 1
+			for j >= 0 && fields[j].Key > f.Key {
+				fields[j+1] = fields[j]
+				j--
+			}
+			fields[j+1] = f
+		}
+		return
+	}
+	sort.SliceStable(fields, func(i, j int) bool { return fields[i].Key < fields[j].Key })
+}

@@ -11,6 +11,9 @@ package jsontype
 // shared keys/positions are similar; differently-kinded complex types (or
 // a complex vs. a non-null primitive) are dissimilar.
 func Similar(a, b *Type) bool {
+	if a == b {
+		return true // interning: identical pointers are identical types
+	}
 	if a.Kind() == KindNull || b.Kind() == KindNull {
 		return true
 	}
@@ -91,6 +94,9 @@ func (s *SimilarityAccumulator) Add(t *Type) bool {
 // similar prefixes; an object subsumes similar key subsets. Behavior for
 // dissimilar inputs is unspecified.
 func Subsumes(a, b *Type) bool {
+	if a == b {
+		return true // interning: Union(a, a) = a
+	}
 	if b.Kind() == KindNull {
 		return true // Union(a, null) = a
 	}
@@ -176,6 +182,9 @@ func (s *SimilarityAccumulator) Max() *Type {
 // the result is unspecified but total (the non-null, first-argument kind
 // wins), so callers should check Similar first when it matters.
 func Union(a, b *Type) *Type {
+	if a == b {
+		return a
+	}
 	if a.Kind() == KindNull {
 		return b
 	}

@@ -4,14 +4,19 @@
 // primitives are atomic kinds; arrays carry one element type per position;
 // objects carry a key-sorted list of field types.
 //
-// Types are immutable once built. Canonical string forms make structural
-// equality, hashing, and deduplication cheap, which the schema extractors
-// rely on heavily (L-reduction is literally a set of canonical types).
+// Types are immutable and hash-consed: the constructors intern every type
+// through a sharded global table keyed by a 64-bit structural hash, so
+// structurally equal types are the *same pointer*. Equality is pointer
+// identity, deduplication keys are dense uint64 ids, and the canonical
+// string form — which the pre-interning implementation rebuilt on every
+// hot-path comparison — is computed lazily, only when something actually
+// prints or serializes a type.
 package jsontype
 
 import (
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // Kind enumerates the six JSON kinds of Figure 2: the four primitive kinds
@@ -67,22 +72,24 @@ type Field struct {
 // For objects, Fields is sorted by key and keys are unique. For arrays,
 // Elems holds one type per position. Primitive types carry no children.
 //
-// A Type must be treated as immutable; types are shared across records and
-// schema nodes.
+// Every Type is interned (see intern.go): structurally equal types are the
+// same pointer, so a Type must never be mutated after construction.
 type Type struct {
 	kind   Kind
 	elems  []*Type // array positions
 	fields []Field // object fields, key-sorted
-	canon  string  // cached canonical form
+	hash   uint64  // structural hash (intern bucket key)
+	id     uint64  // dense unique id, assigned at intern time
+	canon  atomic.Pointer[string] // lazily built canonical form
 }
 
 // Singleton primitive types. Primitives are interned: NewPrimitive always
 // returns one of these four.
 var (
-	Null   = &Type{kind: KindNull, canon: "n"}
-	Bool   = &Type{kind: KindBool, canon: "b"}
-	Number = &Type{kind: KindNumber, canon: "r"}
-	String = &Type{kind: KindString, canon: "s"}
+	Null   = newPrimitiveSingleton(KindNull, "n")
+	Bool   = newPrimitiveSingleton(KindBool, "b")
+	Number = newPrimitiveSingleton(KindNumber, "r")
+	String = newPrimitiveSingleton(KindString, "s")
 )
 
 // NewPrimitive returns the interned primitive type for kind k.
@@ -101,18 +108,16 @@ func NewPrimitive(k Kind) *Type {
 	panic("jsontype: NewPrimitive called with complex kind " + k.String())
 }
 
-// NewArray returns the array type [elems...]. The slice is retained;
-// callers must not mutate it afterwards.
+// NewArray returns the interned array type [elems...]. The slice may be
+// retained; callers must not mutate it afterwards.
 func NewArray(elems []*Type) *Type {
-	t := &Type{kind: KindArray, elems: elems}
-	t.canon = t.buildCanon()
-	return t
+	return internArray(elems)
 }
 
-// NewObject returns the object type with the given fields. The slice is
-// retained and sorted in place by key; callers must not mutate it
-// afterwards. Duplicate keys are not permitted and panic, mirroring the
-// JSON RFC's recommendation that keys be unique.
+// NewObject returns the interned object type with the given fields. The
+// slice is sorted in place by key and may be retained; callers must not
+// mutate it afterwards. Duplicate keys are not permitted and panic,
+// mirroring the JSON RFC's recommendation that keys be unique.
 func NewObject(fields []Field) *Type {
 	sort.Slice(fields, func(i, j int) bool { return fields[i].Key < fields[j].Key })
 	for i := 1; i < len(fields); i++ {
@@ -120,9 +125,7 @@ func NewObject(fields []Field) *Type {
 			panic("jsontype: duplicate object key " + fields[i].Key)
 		}
 	}
-	t := &Type{kind: KindObject, fields: fields}
-	t.canon = t.buildCanon()
-	return t
+	return internObject(fields)
 }
 
 // Kind returns the kind of the type.
@@ -182,29 +185,42 @@ func (t *Type) KeySet() map[string]bool {
 	return set
 }
 
+// ID returns the type's dense unique intern id (1-based). Two types have
+// the same id iff they are the same pointer, so ids are collision-free
+// deduplication keys — this is what Bag keys on. Ids are stable for the
+// life of the process but depend on intern order, so they must never leak
+// into serialized output.
+func (t *Type) ID() uint64 { return t.id }
+
+// Hash returns the 64-bit structural hash the interner bucketed the type
+// under. Unlike ID it is a hash — equal types share it, unequal types
+// almost always differ — useful for composing set-level memo keys.
+func (t *Type) Hash() uint64 { return t.hash }
+
 // Canon returns the canonical string form of the type. Two types are
-// structurally equal iff their canonical forms are equal, so Canon doubles
-// as a hash key for type deduplication.
-func (t *Type) Canon() string { return t.canon }
-
-// Equal reports structural equality.
-func Equal(a, b *Type) bool {
-	if a == b {
-		return true
+// structurally equal iff their canonical forms are equal. The form is
+// built lazily on first call and cached; interning keeps it off the hot
+// path entirely (deduplication uses ids, not strings).
+func (t *Type) Canon() string {
+	if p := t.canon.Load(); p != nil {
+		return *p
 	}
-	if a == nil || b == nil {
-		return false
-	}
-	return a.canon == b.canon
-}
-
-func (t *Type) buildCanon() string {
 	var b strings.Builder
 	t.writeCanon(&b)
-	return b.String()
+	s := b.String()
+	t.canon.Store(&s)
+	return s
 }
 
+// Equal reports structural equality. Interning makes this pointer
+// identity.
+func Equal(a, b *Type) bool { return a == b }
+
 func (t *Type) writeCanon(b *strings.Builder) {
+	if p := t.canon.Load(); p != nil {
+		b.WriteString(*p)
+		return
+	}
 	switch t.kind {
 	case KindNull:
 		b.WriteByte('n')
@@ -220,7 +236,7 @@ func (t *Type) writeCanon(b *strings.Builder) {
 			if i > 0 {
 				b.WriteByte(',')
 			}
-			b.WriteString(e.canon)
+			e.writeCanon(b)
 		}
 		b.WriteByte(']')
 	case KindObject:
@@ -231,7 +247,7 @@ func (t *Type) writeCanon(b *strings.Builder) {
 			}
 			writeCanonKey(b, f.Key)
 			b.WriteByte(':')
-			b.WriteString(f.Type.canon)
+			f.Type.writeCanon(b)
 		}
 		b.WriteByte('}')
 	}
