@@ -1,14 +1,23 @@
 GO ?= go
 
-.PHONY: all build vet test test-short check cover fuzz bench bench-stream bench-hotpath experiments clean
+.PHONY: all build vet test test-short check lint cover fuzz bench bench-stream bench-hotpath experiments clean
 
 all: build vet test
 
-# CI gate: static checks plus the full suite under the race detector (the
-# ingest worker pool and the parallel stats folds must stay race-clean).
-check:
+# CI gate: static checks (including the jxlint invariant analyzers) plus
+# the full suite under the race detector (the ingest worker pool and the
+# parallel stats folds must stay race-clean).
+check: lint
 	$(GO) vet ./...
 	$(GO) test -race ./...
+
+# jxlint mechanically enforces the interner, hot-path, and determinism
+# invariants (see DESIGN.md "Enforced invariants"). It runs through the
+# go vet driver, so it sees every package — test-augmented — exactly as
+# vet does. Suppressions require //jx:lint-ignore <analyzer> <reason>.
+lint:
+	$(GO) install ./cmd/jxlint
+	$(GO) vet -vettool=$$($(GO) env GOPATH)/bin/jxlint ./...
 
 build:
 	$(GO) build ./...
@@ -29,6 +38,8 @@ cover:
 fuzz:
 	$(GO) test -fuzz FuzzFromJSON -fuzztime 30s ./internal/jsontype/
 	$(GO) test -fuzz FuzzDecodeAll -fuzztime 30s ./internal/jsontype/
+	$(GO) test -fuzz FuzzScan -fuzztime 30s ./internal/jsontype/
+	$(GO) test -fuzz FuzzKeySet -fuzztime 30s ./internal/entity/
 	$(GO) test -fuzz FuzzUnmarshal -fuzztime 30s ./internal/schema/
 
 # Go benchmarks in benchstat-compatible format (-count=10 gives benchstat

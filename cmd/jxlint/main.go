@@ -1,0 +1,149 @@
+// Command jxlint runs the jxplain analyzer suite (interncheck,
+// hotpathalloc, detorder, mergelaw — see internal/lint). It speaks cmd/go's
+// vet tool protocol, so the canonical invocation is
+//
+//	go vet -vettool=$(go env GOPATH)/bin/jxlint ./...
+//
+// (what `make lint` runs). Invoked with package patterns instead of a vet
+// config file, it re-executes itself through go vet, so
+//
+//	jxlint ./...
+//
+// works standalone. Individual analyzers can be disabled with
+// -<analyzer>=false.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"jxplain/internal/lint/analyzers"
+	"jxplain/internal/lint/jxanalysis"
+	"jxplain/internal/lint/unitchecker"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	progname := filepath.Base(os.Args[0])
+	suite := analyzers.All()
+
+	fs := flag.NewFlagSet(progname, flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: %s [-<analyzer>=false ...] <packages | vet.cfg>\n\nanalyzers:\n", progname)
+		for _, a := range suite {
+			fmt.Fprintf(fs.Output(), "  %-14s %s\n", a.Name, a.Doc)
+		}
+	}
+	vFlag := fs.String("V", "", "print version and exit (cmd/go build ID protocol)")
+	flagsFlag := fs.Bool("flags", false, "print analyzer flags in JSON (cmd/go vet protocol)")
+	enabled := map[string]*bool{}
+	for _, a := range suite {
+		enabled[a.Name] = fs.Bool(a.Name, true, a.Doc)
+	}
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+
+	if *vFlag != "" {
+		// cmd/go runs `jxlint -V=full` and parses "<name> version devel ...
+		// buildID=<content id>" to compute the tool's build ID.
+		return printVersion(progname)
+	}
+	if *flagsFlag {
+		return printFlags(suite)
+	}
+
+	active := make([]*jxanalysis.Analyzer, 0, len(suite))
+	var disabled []string
+	for _, a := range suite {
+		if *enabled[a.Name] {
+			active = append(active, a)
+		} else {
+			disabled = append(disabled, "-"+a.Name+"=false")
+		}
+	}
+
+	rest := fs.Args()
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		return unitchecker.Run(rest[0], active)
+	}
+	if len(rest) == 0 {
+		fs.Usage()
+		return 1
+	}
+	return delegate(disabled, rest)
+}
+
+// delegate re-invokes the tool through go vet so cmd/go does the package
+// loading and export-data plumbing.
+func delegate(flags, patterns []string) int {
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "jxlint: %v\n", err)
+		return 1
+	}
+	args := append([]string{"vet", "-vettool=" + exe}, flags...)
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Stdin, cmd.Stdout, cmd.Stderr = os.Stdin, os.Stdout, os.Stderr
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		fmt.Fprintf(os.Stderr, "jxlint: running go vet: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+func printVersion(progname string) int {
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "jxlint: %v\n", err)
+		return 1
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "jxlint: %v\n", err)
+		return 1
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		fmt.Fprintf(os.Stderr, "jxlint: %v\n", err)
+		return 1
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", progname, h.Sum(nil))
+	return 0
+}
+
+// printFlags describes the tool's flags in the JSON form go vet's flag
+// resolution expects.
+func printFlags(suite []*jxanalysis.Analyzer) int {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var out []jsonFlag
+	for _, a := range suite {
+		out = append(out, jsonFlag{Name: a.Name, Bool: true, Usage: a.Doc})
+	}
+	data, err := json.MarshalIndent(out, "", "\t")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "jxlint: %v\n", err)
+		return 1
+	}
+	os.Stdout.Write(append(data, '\n'))
+	return 0
+}

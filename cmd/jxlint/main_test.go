@@ -1,0 +1,133 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles jxlint into a temp dir and returns the binary path.
+func buildTool(t *testing.T) string {
+	t.Helper()
+	exe := filepath.Join(t.TempDir(), "jxlint")
+	cmd := exec.Command("go", "build", "-o", exe, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building jxlint: %v\n%s", err, out)
+	}
+	return exe
+}
+
+// writeModule materializes a throwaway module for go vet to analyze.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func vet(t *testing.T, tool, dir string) (string, error) {
+	t.Helper()
+	cmd := exec.Command("go", "vet", "-vettool="+tool, "./...")
+	cmd.Dir = dir
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	err := cmd.Run()
+	return buf.String(), err
+}
+
+const modfile = "module scratch\n\ngo 1.22\n"
+
+func TestVettoolFlagsViolation(t *testing.T) {
+	tool := buildTool(t)
+	dir := writeModule(t, map[string]string{
+		"go.mod": modfile,
+		"hot.go": `package scratch
+
+import "fmt"
+
+//jx:hotpath
+func Describe(v int) string {
+	return fmt.Sprintf("%d", v)
+}
+`,
+	})
+	out, err := vet(t, tool, dir)
+	if err == nil {
+		t.Fatalf("go vet -vettool=jxlint succeeded on a violating package; output:\n%s", out)
+	}
+	if !strings.Contains(out, "hotpathalloc") || !strings.Contains(out, "references fmt") {
+		t.Fatalf("diagnostic missing from output:\n%s", out)
+	}
+}
+
+func TestVettoolPassesCleanPackage(t *testing.T) {
+	tool := buildTool(t)
+	dir := writeModule(t, map[string]string{
+		"go.mod": modfile,
+		"ok.go": `package scratch
+
+import "fmt"
+
+// Describe is cold; untagged functions may allocate freely.
+func Describe(v int) string {
+	return fmt.Sprintf("%d", v)
+}
+`,
+	})
+	out, err := vet(t, tool, dir)
+	if err != nil {
+		t.Fatalf("go vet -vettool=jxlint failed on a clean package: %v\n%s", err, out)
+	}
+}
+
+func TestVettoolHonorsIgnoreDirective(t *testing.T) {
+	tool := buildTool(t)
+	dir := writeModule(t, map[string]string{
+		"go.mod": modfile,
+		"hot.go": `package scratch
+
+//jx:hotpath
+func Key(b []byte) string {
+	//jx:lint-ignore hotpathalloc startup-only, measured off the hot loop
+	return string(b)
+}
+`,
+	})
+	out, err := vet(t, tool, dir)
+	if err != nil {
+		t.Fatalf("go vet -vettool=jxlint rejected a suppressed diagnostic: %v\n%s", err, out)
+	}
+}
+
+func TestVettoolAnalyzerOptOut(t *testing.T) {
+	tool := buildTool(t)
+	dir := writeModule(t, map[string]string{
+		"go.mod": modfile,
+		"hot.go": `package scratch
+
+import "fmt"
+
+//jx:hotpath
+func Describe(v int) string {
+	return fmt.Sprintf("%d", v)
+}
+`,
+	})
+	cmd := exec.Command("go", "vet", "-vettool="+tool, "-hotpathalloc=false", "./...")
+	cmd.Dir = dir
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("-hotpathalloc=false should disable the analyzer: %v\n%s", err, out)
+	}
+}

@@ -44,6 +44,7 @@ type statsTrie struct {
 
 func newStatsTrie() *statsTrie { return &statsTrie{} }
 
+//jx:hotpath
 func (t *statsTrie) child(key string) *statsTrie {
 	if t.children == nil {
 		t.children = map[string]*statsTrie{}
@@ -56,6 +57,7 @@ func (t *statsTrie) child(key string) *statsTrie {
 	return c
 }
 
+//jx:hotpath
 func (t *statsTrie) elem(i int) *statsTrie {
 	for len(t.elems) <= i {
 		t.elems = append(t.elems, newStatsTrie())
@@ -64,6 +66,8 @@ func (t *statsTrie) elem(i int) *statsTrie {
 }
 
 // add folds one value type (with multiplicity n) into the trie.
+//
+//jx:hotpath
 func (t *statsTrie) add(ty *jsontype.Type, n int) {
 	switch ty.Kind() {
 	case jsontype.KindObject:
@@ -90,6 +94,8 @@ func (t *statsTrie) add(ty *jsontype.Type, n int) {
 }
 
 // combine merges other into t (mutating t).
+//
+//jx:hotpath
 func (t *statsTrie) combine(other *statsTrie) *statsTrie {
 	t.objCount += other.objCount
 	if other.keyCounts != nil {
@@ -131,9 +137,17 @@ func (t *statsTrie) combine(other *statsTrie) *statsTrie {
 // objectEvidence renders the node's object statistics as entropy.Evidence,
 // matching entropy.DetectObjects bit for bit.
 func (t *statsTrie) objectEvidence() entropy.Evidence {
-	weights := make([]float64, 0, len(t.keyCounts))
-	for _, c := range t.keyCounts {
-		weights = append(weights, float64(c))
+	// Key order must be pinned before the float64 summation inside Entropy:
+	// FP addition is not associative, so map order would leak into the
+	// entropy bits (and differ from entropy.DetectObjects).
+	keys := make([]string, 0, len(t.keyCounts))
+	for k := range t.keyCounts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	weights := make([]float64, 0, len(keys))
+	for _, k := range keys {
+		weights = append(weights, float64(t.keyCounts[k]))
 	}
 	return entropy.Evidence{
 		KeyEntropy:   stats.Entropy(weights, float64(t.objCount)),
@@ -146,9 +160,14 @@ func (t *statsTrie) objectEvidence() entropy.Evidence {
 // arrayEvidence renders the node's array statistics, matching
 // entropy.DetectArrays.
 func (t *statsTrie) arrayEvidence() entropy.Evidence {
-	weights := make([]float64, 0, len(t.lenCounts))
-	for _, c := range t.lenCounts {
-		weights = append(weights, float64(c))
+	lengths := make([]int, 0, len(t.lenCounts))
+	for l := range t.lenCounts {
+		lengths = append(lengths, l)
+	}
+	sort.Ints(lengths)
+	weights := make([]float64, 0, len(lengths))
+	for _, l := range lengths {
+		weights = append(weights, float64(t.lenCounts[l]))
 	}
 	return entropy.Evidence{
 		KeyEntropy:   stats.Entropy(weights, float64(t.arrCount)),

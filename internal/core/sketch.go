@@ -26,9 +26,13 @@ type PathSketch struct {
 func NewPathSketch() *PathSketch { return &PathSketch{root: newStatsTrie()} }
 
 // Add folds one record type into the sketch.
+//
+//jx:hotpath
 func (s *PathSketch) Add(t *jsontype.Type) { s.AddN(t, 1) }
 
 // AddN folds n occurrences of one record type into the sketch.
+//
+//jx:hotpath
 func (s *PathSketch) AddN(t *jsontype.Type, n int) {
 	s.root.add(t, n)
 	s.records += n
@@ -41,6 +45,8 @@ func (s *PathSketch) AddBag(bag *jsontype.Bag) {
 
 // Merge folds other into s (the monoid operation). other must not be used
 // afterwards: its trie nodes may be adopted by s.
+//
+//jx:hotpath
 func (s *PathSketch) Merge(other *PathSketch) {
 	if other == nil {
 		return

@@ -1,0 +1,118 @@
+package entity
+
+import (
+	"sort"
+	"testing"
+)
+
+// FuzzKeySet model-checks the bitset against a map-of-ids reference: the
+// fuzz input is a little program of (op, id) byte pairs mutating two sets,
+// and after every step each KeySet observer (Len, Contains, IDs, SubsetOf,
+// Intersects, IntersectCount, Equal, Canon, Jaccard) must agree with the
+// same question asked of the model, and the normalization invariant (no
+// trailing zero words) must survive via a NewKeySet round-trip.
+func FuzzKeySet(f *testing.F) {
+	f.Add([]byte{0, 3, 1, 66, 2, 0, 3, 0})
+	f.Add([]byte{0, 0, 0, 63, 0, 64, 0, 255, 1, 64, 3, 0, 2, 0})
+	f.Add([]byte{1, 200, 3, 1, 2, 2})
+	f.Fuzz(func(t *testing.T, program []byte) {
+		sets := [2]KeySet{NewKeySet(), NewKeySet()}
+		models := [2]map[int]bool{{}, {}}
+		for i := 0; i+1 < len(program); i += 2 {
+			op, id := program[i]%4, int(program[i+1])
+			switch op {
+			case 0: // rebuild set 0 with id added, exercising NewKeySet
+				models[0][id] = true
+				sets[0] = NewKeySet(modelIDs(models[0])...)
+			case 1: // add id to set 1 through a singleton union
+				models[1][id] = true
+				sets[1] = sets[1].Union(NewKeySet(id))
+			case 2: // set 0 ∪= set 1
+				for k := range models[1] {
+					models[0][k] = true
+				}
+				sets[0] = sets[0].Union(sets[1])
+			case 3: // set 0 −= set 1
+				for k := range models[1] {
+					delete(models[0], k)
+				}
+				sets[0] = sets[0].Minus(sets[1])
+			}
+			checkAgainstModel(t, sets, models)
+		}
+	})
+}
+
+func modelIDs(m map[int]bool) []int {
+	ids := make([]int, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+func checkAgainstModel(t *testing.T, sets [2]KeySet, models [2]map[int]bool) {
+	t.Helper()
+	for k := 0; k < 2; k++ {
+		s, m := sets[k], models[k]
+		if s.Len() != len(m) {
+			t.Fatalf("set %d: Len %d, model %d", k, s.Len(), len(m))
+		}
+		want := modelIDs(m)
+		got := s.IDs()
+		if len(got) != len(want) {
+			t.Fatalf("set %d: IDs %v, model %v", k, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("set %d: IDs %v, model %v", k, got, want)
+			}
+			if !s.Contains(want[i]) {
+				t.Fatalf("set %d: Contains(%d) false, model true", k, want[i])
+			}
+		}
+		if !NewKeySet(got...).Equal(s) {
+			t.Fatalf("set %d not normalized: round-trip of %v diverges", k, got)
+		}
+		if s.Empty() != (len(m) == 0) {
+			t.Fatalf("set %d: Empty %v, model size %d", k, s.Empty(), len(m))
+		}
+	}
+
+	a, b := sets[0], sets[1]
+	ma, mb := models[0], models[1]
+	inter, union := 0, len(mb)
+	subset, equal := true, len(ma) == len(mb)
+	for id := range ma {
+		if mb[id] {
+			inter++
+		} else {
+			union++
+			subset = false
+		}
+	}
+	equal = equal && subset
+	if got := a.SubsetOf(b); got != subset {
+		t.Fatalf("SubsetOf %v, model %v (%v ⊆ %v)", got, subset, a.IDs(), b.IDs())
+	}
+	if got := a.Intersects(b); got != (inter > 0) {
+		t.Fatalf("Intersects %v, model %v", got, inter > 0)
+	}
+	if got := a.IntersectCount(b); got != inter {
+		t.Fatalf("IntersectCount %d, model %d", got, inter)
+	}
+	if got := a.Equal(b); got != equal {
+		t.Fatalf("Equal %v, model %v", got, equal)
+	}
+	if got := a.Canon() == b.Canon(); got != equal {
+		t.Fatalf("Canon equality %v, Equal %v", got, equal)
+	}
+	wantJ := 1.0
+	if union > 0 {
+		wantJ = float64(inter) / float64(union)
+	}
+	if got := a.Jaccard(b); got != wantJ {
+		t.Fatalf("Jaccard %v, model %v", got, wantJ)
+	}
+}

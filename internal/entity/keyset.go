@@ -57,6 +57,8 @@ func KeySetOf(d *Dict, names ...string) KeySet {
 }
 
 // trim drops trailing zero words, restoring the normalization invariant.
+//
+//jx:hotpath
 func (s KeySet) trim() KeySet {
 	n := len(s)
 	for n > 0 && s[n-1] == 0 {
@@ -66,6 +68,8 @@ func (s KeySet) trim() KeySet {
 }
 
 // Len returns the set's cardinality.
+//
+//jx:hotpath
 func (s KeySet) Len() int {
 	n := 0
 	for _, w := range s {
@@ -78,6 +82,8 @@ func (s KeySet) Len() int {
 func (s KeySet) Empty() bool { return len(s) == 0 }
 
 // Each calls fn for every id in the set in ascending order.
+//
+//jx:hotpath
 func (s KeySet) Each(fn func(id int)) {
 	for wi, w := range s {
 		for w != 0 {
@@ -109,6 +115,8 @@ func (s KeySet) Names(d *Dict) []string {
 }
 
 // Contains reports whether id is in the set.
+//
+//jx:hotpath
 func (s KeySet) Contains(id int) bool {
 	if id < 0 || id/wordBits >= len(s) {
 		return false
@@ -117,6 +125,8 @@ func (s KeySet) Contains(id int) bool {
 }
 
 // SubsetOf reports whether s ⊆ t.
+//
+//jx:hotpath
 func (s KeySet) SubsetOf(t KeySet) bool {
 	if len(s) > len(t) {
 		return false // normalization: a longer set has a higher id
@@ -130,6 +140,8 @@ func (s KeySet) SubsetOf(t KeySet) bool {
 }
 
 // Intersects reports whether s ∩ t ≠ ∅.
+//
+//jx:hotpath
 func (s KeySet) Intersects(t KeySet) bool {
 	n := len(s)
 	if len(t) < n {
@@ -144,6 +156,8 @@ func (s KeySet) Intersects(t KeySet) bool {
 }
 
 // Union returns s ∪ t as a new set.
+//
+//jx:hotpath
 func (s KeySet) Union(t KeySet) KeySet {
 	long, short := s, t
 	if len(short) > len(long) {
@@ -158,6 +172,8 @@ func (s KeySet) Union(t KeySet) KeySet {
 }
 
 // Minus returns s − t as a new set.
+//
+//jx:hotpath
 func (s KeySet) Minus(t KeySet) KeySet {
 	out := make(KeySet, len(s))
 	for i, w := range s {
@@ -170,6 +186,8 @@ func (s KeySet) Minus(t KeySet) KeySet {
 }
 
 // IntersectCount returns |s ∩ t|.
+//
+//jx:hotpath
 func (s KeySet) IntersectCount(t KeySet) int {
 	n := len(s)
 	if len(t) < n {
@@ -183,6 +201,8 @@ func (s KeySet) IntersectCount(t KeySet) int {
 }
 
 // Equal reports set equality.
+//
+//jx:hotpath
 func (s KeySet) Equal(t KeySet) bool {
 	if len(s) != len(t) {
 		return false
@@ -197,6 +217,8 @@ func (s KeySet) Equal(t KeySet) bool {
 
 // Canon returns a canonical string key for map usage: the little-endian
 // bytes of the normalized words.
+//
+//jx:hotpath
 func (s KeySet) Canon() string {
 	buf := make([]byte, 0, len(s)*8)
 	for _, w := range s {
@@ -204,10 +226,13 @@ func (s KeySet) Canon() string {
 			buf = append(buf, byte(w>>(8*i)))
 		}
 	}
+	//jx:lint-ignore hotpathalloc the canonical key is the product; callers memoize it
 	return string(buf)
 }
 
 // Jaccard returns the Jaccard index |s∩t| / |s∪t| (1 for two empty sets).
+//
+//jx:hotpath
 func (s KeySet) Jaccard(t KeySet) float64 {
 	inter := s.IntersectCount(t)
 	union := s.Len() + t.Len() - inter

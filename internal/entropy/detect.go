@@ -19,6 +19,8 @@
 package entropy
 
 import (
+	"sort"
+
 	"jxplain/internal/jsontype"
 	"jxplain/internal/stats"
 )
@@ -90,9 +92,17 @@ func DetectObjects(bag *jsontype.Bag, cfg Config) (Decision, Evidence) {
 	ev.Similar = sim.Similar()
 	ev.DistinctKeys = len(keyCounts)
 
-	weights := make([]float64, 0, len(keyCounts))
-	for _, c := range keyCounts {
-		weights = append(weights, float64(c))
+	// Pin key order before summing: FP addition is not associative, so map
+	// iteration order would otherwise leak into the entropy bits (and into
+	// any output derived from them).
+	keys := make([]string, 0, len(keyCounts))
+	for k := range keyCounts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	weights := make([]float64, 0, len(keys))
+	for _, k := range keys {
+		weights = append(weights, float64(keyCounts[k]))
 	}
 	ev.KeyEntropy = stats.Entropy(weights, float64(bag.Len()))
 
@@ -121,9 +131,14 @@ func DetectArrays(bag *jsontype.Bag, cfg Config) (Decision, Evidence) {
 	ev.Similar = sim.Similar()
 	ev.DistinctKeys = len(lengthCounts)
 
-	weights := make([]float64, 0, len(lengthCounts))
-	for _, c := range lengthCounts {
-		weights = append(weights, float64(c))
+	lengths := make([]int, 0, len(lengthCounts))
+	for l := range lengthCounts {
+		lengths = append(lengths, l)
+	}
+	sort.Ints(lengths)
+	weights := make([]float64, 0, len(lengths))
+	for _, l := range lengths {
+		weights = append(weights, float64(lengthCounts[l]))
 	}
 	// Length probabilities form a true distribution (they sum to 1).
 	ev.KeyEntropy = stats.Entropy(weights, float64(bag.Len()))

@@ -26,10 +26,10 @@ const streamRepeat = 5
 
 // StreamRow is the streaming-vs-materialized measurement for one dataset.
 type StreamRow struct {
-	Dataset       string  `json:"dataset"`
-	Records       int     `json:"records"`
-	DistinctTypes int     `json:"distinct_types"`
-	InputBytes    int     `json:"input_bytes"`
+	Dataset       string `json:"dataset"`
+	Records       int    `json:"records"`
+	DistinctTypes int    `json:"distinct_types"`
+	InputBytes    int    `json:"input_bytes"`
 	// Materialized: DecodeAll into a type slice, then the batch pipeline.
 	MaterializedMillis   float64 `json:"materialized_ms"`
 	MaterializedPeakHeap uint64  `json:"materialized_peak_heap_bytes"`

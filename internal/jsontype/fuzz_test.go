@@ -2,7 +2,9 @@ package jsontype
 
 import (
 	"bytes"
+	"encoding/json"
 	"testing"
+	"unicode/utf8"
 )
 
 // FuzzFromJSON exercises the type extractor against arbitrary bytes: it
@@ -40,6 +42,57 @@ func FuzzFromJSON(f *testing.F) {
 		// String rendering must terminate and be non-empty.
 		if ty.String() == "" {
 			t.Fatal("empty String()")
+		}
+	})
+}
+
+// FuzzScan is the differential test for the byte scanner: on every input
+// encoding/json accepts, the scanner must also accept and derive exactly
+// the type FromValue derives from the decoded value (same interned
+// pointer). On inputs the oracle rejects the scanner may still accept —
+// it is deliberately lenient inside numbers — but must not panic.
+//
+// Inputs with invalid UTF-8 are exempt from the comparison: encoding/json
+// rewrites invalid bytes in strings to U+FFFD, while the scanner treats
+// object keys as raw bytes; discovery never depends on that distinction.
+func FuzzScan(f *testing.F) {
+	seeds := []string{
+		`null`, `true`, `false`, `0`, `-1.5e3`, `"s"`, `[]`, `{}`,
+		`{"ts":7,"event":"login","user":{"name":"bob","geo":[1.1,2.2]}}`,
+		`{"a":1,"a":"x","a":null}`,
+		`{"escA":"v","plain":[true,null]}`,
+		`[{"k":1},{"k":2,"j":[]}]`,
+		` { "padded" : [ 1 , 2 ] } `,
+		`{"":0}`, `[[[[1]]]]`,
+		`01`, `1e999`, `{"a":`, `"unterminated`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if !utf8.Valid(data) {
+			if _, err := FromJSON(data); err == nil {
+				return // lenient acceptance is fine; no oracle to compare
+			}
+			return
+		}
+		var v any
+		if err := json.Unmarshal(data, &v); err != nil {
+			// Oracle rejects: the scanner may be more lenient (numbers) but
+			// must stay total.
+			_, _ = FromJSON(data)
+			return
+		}
+		got, err := FromJSON(data)
+		if err != nil {
+			t.Fatalf("oracle accepts %q, scanner rejects: %v", data, err)
+		}
+		want, err := FromValue(v)
+		if err != nil {
+			t.Fatalf("FromValue on oracle output of %q: %v", data, err)
+		}
+		if got != want {
+			t.Fatalf("scanner/oracle type mismatch for %q: %v vs %v", data, got, want)
 		}
 	})
 }

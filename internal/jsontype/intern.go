@@ -62,8 +62,10 @@ const (
 	fnvPrime  = 1099511628211
 )
 
+//jx:hotpath
 func fnvByte(h uint64, b byte) uint64 { return (h ^ uint64(b)) * fnvPrime }
 
+//jx:hotpath
 func fnvUint64(h uint64, v uint64) uint64 {
 	var buf [8]byte
 	binary.LittleEndian.PutUint64(buf[:], v)
@@ -73,6 +75,7 @@ func fnvUint64(h uint64, v uint64) uint64 {
 	return h
 }
 
+//jx:hotpath
 func fnvString(h uint64, s string) uint64 {
 	for i := 0; i < len(s); i++ {
 		h = fnvByte(h, s[i])
@@ -80,10 +83,12 @@ func fnvString(h uint64, s string) uint64 {
 	return h
 }
 
+//jx:hotpath
 func hashPrimitive(k Kind) uint64 {
 	return fnvByte(fnvOffset, byte(k))
 }
 
+//jx:hotpath
 func hashArray(elems []*Type) uint64 {
 	h := fnvByte(fnvOffset, byte(KindArray))
 	for _, e := range elems {
@@ -92,6 +97,7 @@ func hashArray(elems []*Type) uint64 {
 	return h
 }
 
+//jx:hotpath
 func hashObject(fields []Field) uint64 {
 	h := fnvByte(fnvOffset, byte(KindObject))
 	for _, f := range fields {
@@ -106,14 +112,19 @@ func hashObject(fields []Field) uint64 {
 
 // internArray returns the canonical *Type for the array [elems...]. The
 // slice is retained on a miss.
+//
+//jx:hotpath
 func internArray(elems []*Type) *Type { return internArraySlice(elems, false) }
 
 // internArrayScratch is internArray for callers reusing a scratch buffer:
 // the slice is copied on a miss and never retained, so the caller may
 // overwrite it immediately — this is what keeps the scanner's steady state
 // allocation-free once the distinct types have been seen.
+//
+//jx:hotpath
 func internArrayScratch(elems []*Type) *Type { return internArraySlice(elems, true) }
 
+//jx:hotpath
 func internArraySlice(elems []*Type, scratch bool) *Type {
 	h := hashArray(elems)
 	shard := &internShards[h&(internShardCount-1)]
@@ -135,12 +146,17 @@ func internArraySlice(elems []*Type, scratch bool) *Type {
 
 // internObject returns the canonical *Type for the key-sorted fields. The
 // slice is retained on a miss.
+//
+//jx:hotpath
 func internObject(fields []Field) *Type { return internObjectSlice(fields, false) }
 
 // internObjectScratch is internObject with copy-on-miss semantics (see
 // internArrayScratch).
+//
+//jx:hotpath
 func internObjectScratch(fields []Field) *Type { return internObjectSlice(fields, true) }
 
+//jx:hotpath
 func internObjectSlice(fields []Field, scratch bool) *Type {
 	h := hashObject(fields)
 	shard := &internShards[h&(internShardCount-1)]
@@ -162,6 +178,8 @@ func internObjectSlice(fields []Field, scratch bool) *Type {
 
 // sameElems compares two child lists by pointer — sound because children
 // are already interned.
+//
+//jx:hotpath
 func sameElems(a, b []*Type) bool {
 	if len(a) != len(b) {
 		return false
@@ -174,6 +192,7 @@ func sameElems(a, b []*Type) bool {
 	return true
 }
 
+//jx:hotpath
 func sameFields(a, b []Field) bool {
 	if len(a) != len(b) {
 		return false

@@ -36,6 +36,8 @@ var scannerPool = sync.Pool{
 
 // scanOne scans a single JSON value; trailing non-space content is an
 // error.
+//
+//jx:hotpath
 func scanOne(data []byte) (*Type, error) {
 	s := scannerPool.Get().(*typeScanner)
 	defer scannerPool.Put(s)
@@ -46,7 +48,7 @@ func scanOne(data []byte) (*Type, error) {
 	}
 	s.skipSpace()
 	if s.pos < len(s.data) {
-		return nil, fmt.Errorf("jsontype: trailing content after JSON value")
+		return nil, s.errf("trailing content after JSON value")
 	}
 	return t, nil
 }
@@ -54,6 +56,8 @@ func scanOne(data []byte) (*Type, error) {
 // scanAll scans a stream of whitespace-separated JSON values, appending
 // their types to out. On error the types scanned so far are returned with
 // it.
+//
+//jx:hotpath
 func scanAll(data []byte, out []*Type) ([]*Type, error) {
 	s := scannerPool.Get().(*typeScanner)
 	defer scannerPool.Put(s)
@@ -77,6 +81,7 @@ func (s *typeScanner) reset(data []byte) {
 	s.elems = s.elems[:0]
 }
 
+//jx:hotpath
 func (s *typeScanner) skipSpace() {
 	for s.pos < len(s.data) {
 		switch s.data[s.pos] {
@@ -88,10 +93,14 @@ func (s *typeScanner) skipSpace() {
 	}
 }
 
+// errf builds scan errors; it is the designated cold path and therefore
+// deliberately untagged — hot-path functions call it only on malformed
+// input.
 func (s *typeScanner) errf(msg string) error {
 	return fmt.Errorf("jsontype: %s at offset %d", msg, s.pos)
 }
 
+//jx:hotpath
 func (s *typeScanner) value() (*Type, error) {
 	s.skipSpace()
 	if s.pos >= len(s.data) {
@@ -119,7 +128,10 @@ func (s *typeScanner) value() (*Type, error) {
 	return nil, s.errf("unexpected character")
 }
 
+//jx:hotpath
 func (s *typeScanner) literal(lit string, t *Type) (*Type, error) {
+	// The string(...) conversion is a comparison operand; the compiler
+	// elides the copy.
 	if len(s.data)-s.pos < len(lit) || string(s.data[s.pos:s.pos+len(lit)]) != lit {
 		return nil, s.errf("invalid literal")
 	}
@@ -127,6 +139,7 @@ func (s *typeScanner) literal(lit string, t *Type) (*Type, error) {
 	return t, nil
 }
 
+//jx:hotpath
 func (s *typeScanner) number() (*Type, error) {
 	for s.pos < len(s.data) {
 		c := s.data[s.pos]
@@ -141,6 +154,8 @@ func (s *typeScanner) number() (*Type, error) {
 
 // skipString consumes a string value without decoding it; only its kind
 // matters.
+//
+//jx:hotpath
 func (s *typeScanner) skipString() error {
 	s.pos++ // opening quote
 	for s.pos < len(s.data) {
@@ -160,6 +175,8 @@ func (s *typeScanner) skipString() error {
 // key consumes an object key and returns its canonical string: each
 // distinct raw byte sequence is decoded once and cached, so repeated
 // records share key strings instead of allocating one per occurrence.
+//
+//jx:hotpath
 func (s *typeScanner) key() (string, error) {
 	start := s.pos + 1
 	escaped := false
@@ -176,16 +193,7 @@ func (s *typeScanner) key() (string, error) {
 			if k, ok := s.keys[string(raw)]; ok { // no-alloc lookup
 				return k, nil
 			}
-			var k string
-			if escaped {
-				if err := json.Unmarshal(quoted, &k); err != nil {
-					return "", s.errf("invalid object key")
-				}
-			} else {
-				k = string(raw)
-			}
-			s.keys[string(raw)] = k
-			return k, nil
+			return s.internKey(raw, quoted, escaped)
 		default:
 			s.pos++
 		}
@@ -193,6 +201,24 @@ func (s *typeScanner) key() (string, error) {
 	return "", s.errf("unterminated string")
 }
 
+// internKey decodes a key seen for the first time and caches it under its
+// raw bytes. It runs once per distinct raw key byte sequence — cold by
+// construction — so it stays untagged and may allocate (the cache entry)
+// and lean on encoding/json for escape decoding.
+func (s *typeScanner) internKey(raw, quoted []byte, escaped bool) (string, error) {
+	var k string
+	if escaped {
+		if err := json.Unmarshal(quoted, &k); err != nil {
+			return "", s.errf("invalid object key")
+		}
+	} else {
+		k = string(raw)
+	}
+	s.keys[string(raw)] = k
+	return k, nil
+}
+
+//jx:hotpath
 func (s *typeScanner) object() (*Type, error) {
 	s.pos++ // '{'
 	mark := len(s.fields)
@@ -255,6 +281,7 @@ func (s *typeScanner) object() (*Type, error) {
 	return t, nil
 }
 
+//jx:hotpath
 func (s *typeScanner) array() (*Type, error) {
 	s.pos++ // '['
 	mark := len(s.elems)
@@ -293,6 +320,8 @@ func (s *typeScanner) array() (*Type, error) {
 // sortFieldsStable sorts fields by key, stably. Small segments — the
 // overwhelming majority of JSON objects — use an allocation-free insertion
 // sort; wide objects fall back to sort.SliceStable.
+//
+//jx:hotpath
 func sortFieldsStable(fields []Field) {
 	if len(fields) <= 24 {
 		for i := 1; i < len(fields); i++ {

@@ -76,10 +76,10 @@ type Field struct {
 // same pointer, so a Type must never be mutated after construction.
 type Type struct {
 	kind   Kind
-	elems  []*Type // array positions
-	fields []Field // object fields, key-sorted
-	hash   uint64  // structural hash (intern bucket key)
-	id     uint64  // dense unique id, assigned at intern time
+	elems  []*Type                // array positions
+	fields []Field                // object fields, key-sorted
+	hash   uint64                 // structural hash (intern bucket key)
+	id     uint64                 // dense unique id, assigned at intern time
 	canon  atomic.Pointer[string] // lazily built canonical form
 }
 

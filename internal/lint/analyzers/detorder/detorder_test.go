@@ -1,0 +1,19 @@
+package detorder_test
+
+import (
+	"testing"
+
+	"jxplain/internal/lint/analyzers/detorder"
+	"jxplain/internal/lint/checktest"
+)
+
+func TestDetorder(t *testing.T) {
+	checktest.Run(t, "../../testdata/src", "example.com/internal/core", detorder.Analyzer)
+}
+
+// TestDetorderUngatedPackage verifies packages outside the synthesis gate
+// are not analyzed: plainpkg commits the map-range append shape and has no
+// want expectations, so any diagnostic fails the test.
+func TestDetorderUngatedPackage(t *testing.T) {
+	checktest.Run(t, "../../testdata/src", "example.com/plainpkg", detorder.Analyzer)
+}

@@ -1,0 +1,166 @@
+// Package hotpathalloc guards the allocation discipline of the scanner /
+// interner / synthesis hot path. Functions tagged with a
+//
+//	//jx:hotpath
+//
+// directive in their doc comment may not:
+//
+//   - reference the fmt or encoding/json packages (formatting and token
+//     decoding are exactly the per-record allocations the byte scanner
+//     removed; error paths belong in small untagged helpers);
+//   - perform a string([]byte) conversion that escapes. The compiler
+//     elides the copy when the conversion is immediately used as a map
+//     index being read or as a comparison operand, so those forms are
+//     allowed; anything else allocates a string per call and must either
+//     go through a cache (see typeScanner.keys) or move off the tagged
+//     path.
+//
+// The tag is opt-in and package-agnostic: annotate the functions whose
+// steady state must stay allocation-free, and the analyzer keeps them
+// honest as the code grows.
+package hotpathalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"jxplain/internal/lint/jxanalysis"
+)
+
+// Analyzer is the hotpathalloc pass.
+var Analyzer = &jxanalysis.Analyzer{
+	Name: "hotpathalloc",
+	Doc:  "forbid fmt/encoding/json references and escaping string(bytes) conversions in //jx:hotpath functions",
+	Run:  run,
+}
+
+const tag = "//jx:hotpath"
+
+// forbiddenImports are the packages a hot-path function may not touch.
+var forbiddenImports = map[string]string{
+	"fmt":           "fmt",
+	"encoding/json": "encoding/json",
+}
+
+func tagged(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if c.Text == tag || strings.HasPrefix(c.Text, tag+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *jxanalysis.Pass) error {
+	for _, f := range pass.Files {
+		if file := pass.Fset.File(f.Pos()); file != nil && strings.HasSuffix(file.Name(), "_test.go") {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !tagged(fd) {
+				continue
+			}
+			checkBody(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkBody(pass *jxanalysis.Pass, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	jxanalysis.WalkStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			x, ok := n.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := pass.TypesInfo.Uses[x].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			if path, bad := forbiddenImports[pkgName.Imported().Path()]; bad {
+				pass.Reportf(n.Pos(), "hot-path function %s references %s; move the cold path into an untagged helper", name, path)
+			}
+		case *ast.CallExpr:
+			checkConversion(pass, n, name, stack)
+		}
+		return true
+	})
+}
+
+// checkConversion flags string(b []byte) conversions in contexts where the
+// result escapes (i.e. everywhere except map-read indexing and
+// comparisons, which the compiler keeps allocation-free).
+func checkConversion(pass *jxanalysis.Pass, call *ast.CallExpr, fn string, stack []ast.Node) {
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || !tv.IsType() || len(call.Args) != 1 {
+		return
+	}
+	dst, ok := types.Unalias(tv.Type).Underlying().(*types.Basic)
+	if !ok || dst.Kind() != types.String {
+		return
+	}
+	src := pass.TypesInfo.TypeOf(call.Args[0])
+	if src == nil {
+		return
+	}
+	slice, ok := types.Unalias(src).Underlying().(*types.Slice)
+	if !ok {
+		return
+	}
+	elem, ok := types.Unalias(slice.Elem()).Underlying().(*types.Basic)
+	if !ok || elem.Kind() != types.Byte && elem.Kind() != types.Uint8 {
+		return
+	}
+	if nonEscapingContext(pass, call, stack) {
+		return
+	}
+	pass.Reportf(call.Pos(), "string(bytes) conversion escapes in hot-path function %s; cache the string or restructure so the conversion stays a map index / comparison", fn)
+}
+
+// nonEscapingContext reports whether the conversion's immediate use is one
+// the compiler optimizes to skip the copy: a comparison operand, or the
+// index of a map *read*.
+func nonEscapingContext(pass *jxanalysis.Pass, call *ast.CallExpr, stack []ast.Node) bool {
+	if len(stack) < 2 {
+		return false
+	}
+	parent := stack[len(stack)-2]
+	switch p := parent.(type) {
+	case *ast.BinaryExpr:
+		switch p.Op {
+		case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+			return true
+		}
+	case *ast.IndexExpr:
+		if p.Index != call {
+			return false
+		}
+		t := pass.TypesInfo.TypeOf(p.X)
+		if t == nil {
+			return false
+		}
+		if _, isMap := types.Unalias(t).Underlying().(*types.Map); !isMap {
+			return false
+		}
+		// A map index on the left of an assignment stores the key.
+		if len(stack) >= 3 {
+			if assign, ok := stack[len(stack)-3].(*ast.AssignStmt); ok {
+				for _, lhs := range assign.Lhs {
+					if lhs == ast.Expr(p) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package hotpathalloc_test
+
+import (
+	"testing"
+
+	"jxplain/internal/lint/analyzers/hotpathalloc"
+	"jxplain/internal/lint/checktest"
+)
+
+func TestHotpathalloc(t *testing.T) {
+	checktest.Run(t, "../../testdata/src", "example.com/hotuse", hotpathalloc.Analyzer)
+}

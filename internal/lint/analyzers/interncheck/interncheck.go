@@ -1,0 +1,154 @@
+// Package interncheck enforces the hash-consing invariant of
+// internal/jsontype: every Type is built by the interner, so *jsontype.Type
+// equality IS pointer identity and the dense intern id is the only legal
+// map key. Outside the owning package the analyzer therefore rejects
+//
+//   - composite literals (jsontype.Type{...}, &jsontype.Type{...}) and
+//     new(jsontype.Type): a Type that did not pass through the interner
+//     silently breaks pointer equality everywhere downstream;
+//   - map types keyed on Type or *Type: keys must be the dense Type.ID()
+//     (pointer keys would work but make hash layouts address-dependent and
+//     hide accidental non-interned construction; the hot-path tables all
+//     key on uint64 ids);
+//   - reflect.DeepEqual on anything containing a Type: DeepEqual walks the
+//     struct (including the canon cache) — interning makes it both wrong in
+//     spirit and needlessly deep. Pointer comparison is the legal equality;
+//   - struct comparison (== / !=) of Type values: only *pointers* may be
+//     compared.
+package interncheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"jxplain/internal/lint/jxanalysis"
+)
+
+// Analyzer is the interncheck pass.
+var Analyzer = &jxanalysis.Analyzer{
+	Name: "interncheck",
+	Doc:  "enforce that jsontype.Type is only built by the interner and compared by pointer identity",
+	Run:  run,
+}
+
+// typePkgSuffix identifies the package owning the interned Type; matching
+// by suffix keeps the analyzer testable against fixture packages.
+const typePkgSuffix = "internal/jsontype"
+
+func ownsType(pkgPath string) bool {
+	return strings.HasSuffix(strings.TrimSuffix(pkgPath, "_test"), typePkgSuffix)
+}
+
+// isType reports whether t is the interned Type (after unaliasing).
+func isType(t types.Type) bool {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Type" && obj.Pkg() != nil && ownsType(obj.Pkg().Path())
+}
+
+// isTypeOrPointer reports whether t is Type or *Type.
+func isTypeOrPointer(t types.Type) bool {
+	if ptr, ok := types.Unalias(t).(*types.Pointer); ok {
+		return isType(ptr.Elem())
+	}
+	return isType(t)
+}
+
+// containsType reports whether t reaches a Type value through pointers,
+// slices, arrays, maps, or struct fields — the shapes reflect.DeepEqual
+// would walk into.
+func containsType(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	if isType(t) {
+		return true
+	}
+	switch u := types.Unalias(t).Underlying().(type) {
+	case *types.Pointer:
+		return containsType(u.Elem(), seen)
+	case *types.Slice:
+		return containsType(u.Elem(), seen)
+	case *types.Array:
+		return containsType(u.Elem(), seen)
+	case *types.Map:
+		return containsType(u.Key(), seen) || containsType(u.Elem(), seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsType(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func run(pass *jxanalysis.Pass) error {
+	if ownsType(pass.Pkg.Path()) {
+		return nil // the interner implementation itself is exempt
+	}
+	for _, f := range pass.Files {
+		if file := pass.Fset.File(f.Pos()); file != nil && strings.HasSuffix(file.Name(), "_test.go") {
+			continue // the invariant guards production code
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				if isType(pass.TypesInfo.TypeOf(n)) {
+					pass.Reportf(n.Pos(), "jsontype.Type composite literal bypasses the interner; construct types with jsontype.NewObject/NewArray/NewPrimitive")
+				}
+			case *ast.CallExpr:
+				checkCall(pass, n)
+			case *ast.MapType:
+				if tv, ok := pass.TypesInfo.Types[n.Key]; ok && isTypeOrPointer(tv.Type) {
+					pass.Reportf(n.Pos(), "map keyed on jsontype.Type makes layout address-dependent; key on the dense Type.ID() instead")
+				}
+			case *ast.BinaryExpr:
+				if n.Op == token.EQL || n.Op == token.NEQ {
+					if isType(pass.TypesInfo.TypeOf(n.X)) || isType(pass.TypesInfo.TypeOf(n.Y)) {
+						pass.Reportf(n.OpPos, "struct comparison of jsontype.Type values; interned types are compared by pointer identity (compare *Type, not Type)")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkCall(pass *jxanalysis.Pass, call *ast.CallExpr) {
+	// new(jsontype.Type)
+	if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "new" && len(call.Args) == 1 {
+		if _, builtin := pass.TypesInfo.Uses[id].(*types.Builtin); builtin {
+			if tv, ok := pass.TypesInfo.Types[call.Args[0]]; ok && tv.IsType() && isType(tv.Type) {
+				pass.Reportf(call.Pos(), "new(jsontype.Type) bypasses the interner; construct types with jsontype.NewObject/NewArray/NewPrimitive")
+			}
+		}
+		return
+	}
+	// reflect.DeepEqual(x, y) where either side contains a Type.
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "DeepEqual" {
+		return
+	}
+	x, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	pkgName, ok := pass.TypesInfo.Uses[x].(*types.PkgName)
+	if !ok || pkgName.Imported().Path() != "reflect" {
+		return
+	}
+	for _, arg := range call.Args {
+		if t := pass.TypesInfo.TypeOf(arg); t != nil && containsType(t, map[types.Type]bool{}) {
+			pass.Reportf(call.Pos(), "reflect.DeepEqual on jsontype.Type walks interned nodes; interned types are compared by pointer identity (== on *Type, or Type.ID())")
+			return
+		}
+	}
+}

@@ -1,0 +1,18 @@
+package interncheck_test
+
+import (
+	"testing"
+
+	"jxplain/internal/lint/analyzers/interncheck"
+	"jxplain/internal/lint/checktest"
+)
+
+func TestInterncheck(t *testing.T) {
+	checktest.Run(t, "../../testdata/src", "example.com/interncheckuse", interncheck.Analyzer)
+}
+
+// TestInterncheckOwningPackage verifies the owning package (which must
+// build Types from literals) is exempt.
+func TestInterncheckOwningPackage(t *testing.T) {
+	checktest.Run(t, "../../testdata/src", "example.com/internal/jsontype", interncheck.Analyzer)
+}

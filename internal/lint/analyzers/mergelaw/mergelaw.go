@@ -1,0 +1,165 @@
+// Package mergelaw enforces the algebra behind streaming discovery: the
+// chunked / parallel pipeline is correct only because its per-partition
+// states (jsontype.Bag, core.PathSketch, merge.Accumulator,
+// jsontype.SimilarityAccumulator) fold with a commutative, associative
+// merge — the same monoid bet JSONoid makes for scalability. The laws are
+// not checkable statically, but their *tests* are: for every exported
+// method Merge(T) or Combine(T) on a type T, the analyzer demands, by
+// naming convention, a commutativity and an associativity property test
+// (a Test function whose name contains the type name and "Commutative" /
+// "Associative"). A merge that is deliberately order-sensitive can opt out
+// with //jx:lint-ignore mergelaw <reason>.
+package mergelaw
+
+import (
+	"go/ast"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+
+	"jxplain/internal/lint/jxanalysis"
+)
+
+// Analyzer is the mergelaw pass.
+var Analyzer = &jxanalysis.Analyzer{
+	Name: "mergelaw",
+	Doc:  "require commutativity/associativity property tests for every Merge/Combine monoid operation",
+	Run:  run,
+}
+
+var mergeNames = map[string]bool{"Merge": true, "Combine": true}
+
+var testFuncRx = regexp.MustCompile(`func\s+(Test[A-Za-z0-9_]*)\s*\(`)
+
+func run(pass *jxanalysis.Pass) error {
+	if strings.HasSuffix(pass.Pkg.Path(), "_test") || strings.HasSuffix(pass.Pkg.Name(), "_test") {
+		return nil // external test packages declare no production types
+	}
+	testNames, err := collectTestNames(pass)
+	if err != nil {
+		return err
+	}
+	for _, f := range pass.Files {
+		if file := pass.Fset.File(f.Pos()); file != nil && strings.HasSuffix(file.Name(), "_test.go") {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || !mergeNames[fd.Name.Name] {
+				continue
+			}
+			recv := monoidReceiver(pass, fd)
+			if recv == nil {
+				continue
+			}
+			checkLaws(pass, fd, recv, testNames)
+		}
+	}
+	return nil
+}
+
+// monoidReceiver returns the receiver's named type when fd has the monoid
+// shape: method Merge/Combine whose single parameter is the receiver type
+// itself (T or *T).
+func monoidReceiver(pass *jxanalysis.Pass, fd *ast.FuncDecl) *types.Named {
+	obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return nil
+	}
+	sig := obj.Type().(*types.Signature)
+	if sig.Recv() == nil || sig.Params().Len() != 1 {
+		return nil
+	}
+	recv := namedOf(sig.Recv().Type())
+	param := namedOf(sig.Params().At(0).Type())
+	if recv == nil || recv != param {
+		return nil
+	}
+	return recv
+}
+
+func namedOf(t types.Type) *types.Named {
+	t = types.Unalias(t)
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(ptr.Elem())
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+func checkLaws(pass *jxanalysis.Pass, fd *ast.FuncDecl, recv *types.Named, testNames []string) {
+	typeName := recv.Obj().Name()
+	method := fd.Name.Name
+	for _, law := range []string{"Commutative", "Associative"} {
+		if hasLawTest(testNames, typeName, law) {
+			continue
+		}
+		pass.Reportf(fd.Pos(), "%s.%s is a monoid merge but package %s has no %s-law property test (want a Test function whose name contains %q and %q)",
+			typeName, method, pass.Pkg.Name(), strings.ToLower(law), typeName, law)
+	}
+}
+
+func hasLawTest(testNames []string, typeName, law string) bool {
+	// "Commutative" tests are often named with the verb ("Commutes"); match
+	// on the shared stem.
+	stem := strings.TrimSuffix(law, "ative") // Commut / Associ
+	for _, name := range testNames {
+		if strings.Contains(name, typeName) && strings.Contains(name, stem) {
+			return true
+		}
+	}
+	return false
+}
+
+// collectTestNames gathers Test function names from the unit's own test
+// files (go vet analyzes the test-augmented package) and, as a fallback
+// for drivers that load packages without test files, from *_test.go files
+// in the package directory.
+func collectTestNames(pass *jxanalysis.Pass) ([]string, error) {
+	var names []string
+	sawTestFile := false
+	dir := ""
+	for _, f := range pass.Files {
+		file := pass.Fset.File(f.Pos())
+		if file == nil {
+			continue
+		}
+		if dir == "" {
+			dir = filepath.Dir(file.Name())
+		}
+		if !strings.HasSuffix(file.Name(), "_test.go") {
+			continue
+		}
+		sawTestFile = true
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Recv == nil && strings.HasPrefix(fd.Name.Name, "Test") {
+				names = append(names, fd.Name.Name)
+			}
+		}
+	}
+	if sawTestFile || dir == "" {
+		return names, nil
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		// The unit may be compiled from a location the driver cannot
+		// re-read (e.g. a cache); treat as having no test files rather
+		// than failing the whole analysis.
+		return names, nil
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			continue
+		}
+		for _, m := range testFuncRx.FindAllStringSubmatch(string(data), -1) {
+			names = append(names, m[1])
+		}
+	}
+	return names, nil
+}

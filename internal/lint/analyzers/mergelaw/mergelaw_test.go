@@ -1,0 +1,12 @@
+package mergelaw_test
+
+import (
+	"testing"
+
+	"jxplain/internal/lint/analyzers/mergelaw"
+	"jxplain/internal/lint/checktest"
+)
+
+func TestMergelaw(t *testing.T) {
+	checktest.Run(t, "../../testdata/src", "example.com/mergelawuse", mergelaw.Analyzer)
+}

@@ -1,0 +1,20 @@
+// Package analyzers registers the jxlint analyzer suite.
+package analyzers
+
+import (
+	"jxplain/internal/lint/analyzers/detorder"
+	"jxplain/internal/lint/analyzers/hotpathalloc"
+	"jxplain/internal/lint/analyzers/interncheck"
+	"jxplain/internal/lint/analyzers/mergelaw"
+	"jxplain/internal/lint/jxanalysis"
+)
+
+// All returns the full jxlint suite in a stable order.
+func All() []*jxanalysis.Analyzer {
+	return []*jxanalysis.Analyzer{
+		interncheck.Analyzer,
+		hotpathalloc.Analyzer,
+		detorder.Analyzer,
+		mergelaw.Analyzer,
+	}
+}

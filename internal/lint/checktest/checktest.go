@@ -1,0 +1,122 @@
+// Package checktest is a miniature of golang.org/x/tools/go/analysis/
+// analysistest: it loads a fixture package from a testdata source root,
+// runs one analyzer over it (including the //jx:lint-ignore filtering, so
+// fixtures exercise the escape hatch end-to-end), and compares the
+// diagnostics against "// want" expectations embedded in the fixture.
+//
+// An expectation is a comment on the offending line of the form
+//
+//	// want "regexp"
+//	// want "regexp-1" "regexp-2"
+//
+// Each quoted pattern must match the message of exactly one diagnostic
+// reported on that line; diagnostics with no matching expectation, and
+// expectations with no matching diagnostic, fail the test.
+package checktest
+
+import (
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"jxplain/internal/lint/jxanalysis"
+	"jxplain/internal/lint/loader"
+)
+
+type expectation struct {
+	file    string
+	line    int
+	rx      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads root/path and checks analyzer's diagnostics against the
+// fixture's // want comments.
+func Run(t *testing.T, root, path string, analyzer *jxanalysis.Analyzer) {
+	t.Helper()
+	pkg, err := loader.Load(root, path)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", path, err)
+	}
+	diags, err := jxanalysis.Run(pkg, []*jxanalysis.Analyzer{analyzer})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", analyzer.Name, path, err)
+	}
+
+	var expects []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, raw := range splitQuoted(t, pos, strings.TrimPrefix(text, "want ")) {
+					rx, err := regexp.Compile(raw)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, raw, err)
+					}
+					expects = append(expects, &expectation{
+						file: pos.Filename, line: pos.Line, rx: rx, raw: raw,
+					})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		if !claim(expects, pos, d.Message) {
+			t.Errorf("%s: unexpected diagnostic [%s] %s", pos, d.Analyzer, d.Message)
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("%s:%d: no diagnostic matched want %q", e.file, e.line, e.raw)
+		}
+	}
+}
+
+func claim(expects []*expectation, pos token.Position, msg string) bool {
+	for _, e := range expects {
+		if !e.matched && e.file == pos.Filename && e.line == pos.Line && e.rx.MatchString(msg) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// splitQuoted parses a sequence of Go-quoted strings.
+func splitQuoted(t *testing.T, pos token.Position, s string) []string {
+	t.Helper()
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return out
+		}
+		quoted, rest, err := quotedPrefix(s)
+		if err != nil {
+			t.Fatalf("%s: malformed want comment near %q: %v", pos, s, err)
+		}
+		unquoted, err := strconv.Unquote(quoted)
+		if err != nil {
+			t.Fatalf("%s: malformed want pattern %q: %v", pos, quoted, err)
+		}
+		out = append(out, unquoted)
+		s = rest
+	}
+}
+
+func quotedPrefix(s string) (quoted, rest string, err error) {
+	prefix, err := strconv.QuotedPrefix(s)
+	if err != nil {
+		return "", "", err
+	}
+	return prefix, s[len(prefix):], nil
+}

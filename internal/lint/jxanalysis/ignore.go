@@ -1,0 +1,64 @@
+package jxanalysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The escape hatch: a comment of the form
+//
+//	//jx:lint-ignore <analyzer> <reason>
+//
+// suppresses diagnostics from <analyzer> reported on the same line as the
+// directive or on the line directly below it (so the directive can trail
+// the offending statement or sit on its own line above it). The reason is
+// mandatory: an intentional violation must say why it is intentional, and
+// a directive without a reason is itself reported.
+const ignorePrefix = "//jx:lint-ignore"
+
+type ignoreKey struct {
+	file string
+	line int
+}
+
+// Filter applies the //jx:lint-ignore directives found in files to diags:
+// suppressed diagnostics are dropped, and malformed directives are
+// reported as diagnostics of the pseudo-analyzer "jxlint".
+func Filter(fset *token.FileSet, files []*ast.File, diags []Diagnostic) []Diagnostic {
+	index := map[ignoreKey]map[string]bool{}
+	var kept []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				fields := strings.Fields(strings.TrimPrefix(c.Text, ignorePrefix))
+				if len(fields) < 2 {
+					kept = append(kept, Diagnostic{
+						Pos:      c.Pos(),
+						Analyzer: "jxlint",
+						Message:  `malformed ignore directive: want "//jx:lint-ignore <analyzer> <reason>"`,
+					})
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := ignoreKey{pos.Filename, pos.Line}
+				if index[key] == nil {
+					index[key] = map[string]bool{}
+				}
+				index[key][fields[0]] = true
+			}
+		}
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		if index[ignoreKey{pos.Filename, pos.Line}][d.Analyzer] ||
+			index[ignoreKey{pos.Filename, pos.Line - 1}][d.Analyzer] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}

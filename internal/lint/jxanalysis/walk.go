@@ -1,0 +1,26 @@
+package jxanalysis
+
+import "go/ast"
+
+// WalkStack traverses root in depth-first order, calling fn for every node
+// with the stack of its ancestors: stack[0] is root and
+// stack[len(stack)-1] is the node itself. Returning false skips the node's
+// children. The stack slice is reused between calls; callers must not
+// retain it.
+func WalkStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		if !fn(n, stack) {
+			// Children are skipped, so Inspect will not deliver the
+			// balancing nil; pop now.
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		return true
+	})
+}

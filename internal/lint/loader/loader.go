@@ -1,0 +1,107 @@
+// Package loader parses and type-checks fixture packages for the
+// analysistest-style harness (internal/lint/checktest) without shelling
+// out to the go tool: fixture-local imports are resolved recursively from
+// a GOPATH-like source root, everything else (the standard library) goes
+// through go/importer's source importer. The vet driver does not use this
+// loader — it type-checks against the export data cmd/go hands it.
+package loader
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"jxplain/internal/lint/jxanalysis"
+)
+
+// Load parses and type-checks the package at root/path (and, recursively,
+// any imports also located under root). Test files (_test.go) are included
+// in the package, mirroring how go vet analyzes the test-augmented unit.
+func Load(root, path string) (*jxanalysis.Package, error) {
+	im := &fixtureImporter{
+		root:  root,
+		fset:  token.NewFileSet(),
+		cache: map[string]*entry{},
+	}
+	im.std = importer.ForCompiler(im.fset, "source", nil)
+	e, err := im.load(path)
+	if err != nil {
+		return nil, err
+	}
+	return &jxanalysis.Package{Fset: im.fset, Files: e.files, Types: e.pkg, Info: e.info}, nil
+}
+
+type entry struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+type fixtureImporter struct {
+	root  string
+	fset  *token.FileSet
+	std   types.Importer
+	cache map[string]*entry
+}
+
+// Import resolves an import path: fixture packages from the source root,
+// anything else from the standard library.
+func (im *fixtureImporter) Import(path string) (*types.Package, error) {
+	if st, err := os.Stat(filepath.Join(im.root, path)); err == nil && st.IsDir() {
+		e, err := im.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return e.pkg, nil
+	}
+	return im.std.Import(path)
+}
+
+func (im *fixtureImporter) load(path string) (*entry, error) {
+	if e, ok := im.cache[path]; ok {
+		if e == nil {
+			return nil, fmt.Errorf("loader: import cycle through %s", path)
+		}
+		return e, nil
+	}
+	im.cache[path] = nil // cycle marker
+	dir := filepath.Join(im.root, path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, de := range entries {
+		if !de.IsDir() && strings.HasSuffix(de.Name(), ".go") && !strings.HasPrefix(de.Name(), ".") {
+			names = append(names, de.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("loader: no Go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(im.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := jxanalysis.NewInfo()
+	conf := types.Config{Importer: im}
+	pkg, err := conf.Check(path, im.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("loader: type-checking %s: %w", path, err)
+	}
+	e := &entry{pkg: pkg, files: files, info: info}
+	im.cache[path] = e
+	return e, nil
+}

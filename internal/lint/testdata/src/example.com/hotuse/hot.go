@@ -1,0 +1,61 @@
+// Package hotuse is the hotpathalloc fixture: tagged functions committing
+// the forbidden allocations, the non-escaping forms the compiler elides,
+// and the escape hatch.
+package hotuse
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+var cache = map[string]int{}
+
+//jx:hotpath
+func badFmt(v int) string {
+	return fmt.Sprintf("%d", v) // want `references fmt`
+}
+
+//jx:hotpath
+func badJSON(b []byte) error {
+	var v any
+	return json.Unmarshal(b, &v) // want `references encoding/json`
+}
+
+//jx:hotpath
+func badEscape(b []byte) string {
+	return string(b) // want `string\(bytes\) conversion escapes`
+}
+
+//jx:hotpath
+func badMapWrite(b []byte, v int) {
+	cache[string(b)] = v // want `string\(bytes\) conversion escapes`
+}
+
+// okCompare: comparison operands do not escape.
+//
+//jx:hotpath
+func okCompare(b []byte) bool {
+	return string(b) == "null"
+}
+
+// okMapRead: a map-read index does not escape.
+//
+//jx:hotpath
+func okMapRead(b []byte) int {
+	return cache[string(b)]
+}
+
+// coldFmt is untagged; the discipline is opt-in.
+func coldFmt(v int) string {
+	return fmt.Sprintf("%d", v)
+}
+
+//jx:hotpath
+func tolerated(b []byte) string {
+	//jx:lint-ignore hotpathalloc boot-time configuration parse, runs once
+	return string(b)
+}
+
+var _, _, _, _ = badFmt, badJSON, badEscape, coldFmt
+var _, _, _ = okCompare, okMapRead, tolerated
+var _ = badMapWrite

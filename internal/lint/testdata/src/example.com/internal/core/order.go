@@ -1,0 +1,65 @@
+// Package core is the detorder fixture: its import path ends in
+// internal/core, so it falls inside the analyzer's synthesis-package gate.
+package core
+
+import "sort"
+
+func bad(m map[string]float64) []float64 {
+	var out []float64
+	for _, v := range m { // want `map iteration order flows into slice "out"`
+		out = append(out, v)
+	}
+	return out
+}
+
+// sorted is the canonical deterministic shape: collect keys, sort, walk.
+func sorted(m map[string]float64) []float64 {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]float64, 0, len(m))
+	for _, k := range keys {
+		out = append(out, m[k])
+	}
+	return out
+}
+
+// counts has no slice sink; a commutative sum cannot leak map order.
+func counts(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// localOnly appends to a slice that dies inside the loop body.
+func localOnly(m map[string]int) int {
+	for range m {
+		var tmp []int
+		tmp = append(tmp, 1)
+		_ = tmp
+	}
+	return len(m)
+}
+
+// insensitive leaks order into vals but reduces with max; the escape hatch
+// records why that is sound.
+func insensitive(m map[string]float64) float64 {
+	var vals []float64
+	//jx:lint-ignore detorder consumer reduces vals with a commutative max
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	best := 0.0
+	for _, v := range vals {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+var _, _, _, _, _ = bad, sorted, counts, localOnly, insensitive

@@ -1,0 +1,22 @@
+// Package jsontype is a fixture standing in for jxplain's
+// internal/jsontype: interncheck identifies the owning package by import
+// path suffix, so this miniature Type exercises the analyzer without
+// importing the real interner.
+package jsontype
+
+// Kind discriminates the fixture's type kinds.
+type Kind uint8
+
+// Type mirrors the interned node: built only by the owning package,
+// compared by pointer identity, keyed by its dense ID.
+type Type struct {
+	kind Kind
+	id   uint64
+}
+
+// ID returns the dense intern id.
+func (t *Type) ID() uint64 { return t.id }
+
+// NewPrimitive is the fixture's constructor; composite literals inside the
+// owning package are legal.
+func NewPrimitive(k Kind) *Type { return &Type{kind: k} }

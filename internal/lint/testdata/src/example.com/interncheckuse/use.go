@@ -1,0 +1,61 @@
+// Package interncheckuse is the interncheck fixture: a consumer of the
+// fixture jsontype package committing every category of interner violation,
+// alongside the legal forms.
+package interncheckuse
+
+import (
+	"reflect"
+
+	"example.com/internal/jsontype"
+)
+
+func fresh() *jsontype.Type {
+	return &jsontype.Type{} // want `composite literal bypasses the interner`
+}
+
+func freshNew() *jsontype.Type {
+	return new(jsontype.Type) // want `new\(jsontype\.Type\) bypasses the interner`
+}
+
+var byPointer map[*jsontype.Type]int // want `map keyed on jsontype\.Type`
+
+var byValue map[jsontype.Type]int // want `map keyed on jsontype\.Type`
+
+func deepEq(a, b *jsontype.Type) bool {
+	return reflect.DeepEqual(a, b) // want `reflect\.DeepEqual on jsontype\.Type`
+}
+
+func deepEqSlices(a, b []*jsontype.Type) bool {
+	return reflect.DeepEqual(a, b) // want `reflect\.DeepEqual on jsontype\.Type`
+}
+
+func valueEq(a, b jsontype.Type) bool {
+	return a == b // want `struct comparison of jsontype\.Type`
+}
+
+// ptrEq is the legal equality: pointer identity.
+func ptrEq(a, b *jsontype.Type) bool {
+	return a == b
+}
+
+// keyed is the legal map shape: dense intern ids.
+func keyed(m map[uint64]*jsontype.Type, t *jsontype.Type) *jsontype.Type {
+	return m[t.ID()]
+}
+
+// deepEqInts never reaches a Type; DeepEqual is fine.
+func deepEqInts(a, b []int) bool {
+	return reflect.DeepEqual(a, b)
+}
+
+// scratch shows the escape hatch: the zero value is used as a sentinel and
+// never escapes un-interned.
+//
+//jx:lint-ignore interncheck zero-value sentinel, never escapes un-interned
+var scratch = jsontype.Type{}
+
+var _ = scratch
+var _ = byPointer
+var _ = byValue
+var _, _, _, _, _, _ = fresh, freshNew, deepEq, deepEqSlices, valueEq, ptrEq
+var _, _ = keyed, deepEqInts

@@ -1,0 +1,27 @@
+// Package mergelawuse is the mergelaw fixture: a monoid merge with no law
+// tests, one fully covered by the naming convention, one opted out, and one
+// method that merely shares the Merge name.
+package mergelawuse
+
+// Sketch merges without any law tests. Both laws are reported on the
+// method's line.
+type Sketch struct{ n int }
+
+func (s *Sketch) Merge(o *Sketch) { s.n += o.n } // want `Sketch\.Merge is a monoid merge but package mergelawuse has no commutative-law property test` `Sketch\.Merge is a monoid merge but package mergelawuse has no associative-law property test`
+
+// Acc has both property tests in m_test.go; no diagnostics.
+type Acc struct{ n int }
+
+func (a *Acc) Combine(o *Acc) { a.n += o.n }
+
+// Quiet is deliberately order-sensitive and opts out.
+type Quiet struct{ order []int }
+
+//jx:lint-ignore mergelaw fold order is pinned by the single-threaded driver
+func (q *Quiet) Merge(o *Quiet) { q.order = append(q.order, o.order...) }
+
+// NotMonoid's Merge takes a non-receiver parameter; it is not the monoid
+// shape and is ignored.
+type NotMonoid struct{ n int }
+
+func (n *NotMonoid) Merge(k int) { n.n += k }

@@ -1,0 +1,29 @@
+package mergelawuse
+
+import "testing"
+
+func TestAccCombineCommutativeProperty(t *testing.T) {
+	a, b := Acc{n: 1}, Acc{n: 2}
+	x, y := a, b
+	x.Combine(&b)
+	y2 := b
+	y2.Combine(&a)
+	_ = y
+	if x.n != y2.n {
+		t.Fatal("Combine is not commutative")
+	}
+}
+
+func TestAccCombineAssociativeProperty(t *testing.T) {
+	mk := func() (Acc, Acc, Acc) { return Acc{n: 1}, Acc{n: 2}, Acc{n: 3} }
+	a, b, c := mk()
+	b.Combine(&c)
+	a.Combine(&b)
+	left := a.n
+	a2, b2, c2 := mk()
+	a2.Combine(&b2)
+	a2.Combine(&c2)
+	if left != a2.n {
+		t.Fatal("Combine is not associative")
+	}
+}

@@ -1,0 +1,8 @@
+package unitchecker
+
+import "runtime"
+
+// defaultGOARCH is the architecture the unit is type-checked for when the
+// environment does not say otherwise. Vet runs on the host toolchain, so
+// the host architecture is the right default.
+const defaultGOARCH = runtime.GOARCH

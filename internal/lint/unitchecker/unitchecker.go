@@ -1,0 +1,195 @@
+// Package unitchecker implements cmd/go's (unpublished) vet tool protocol
+// for the jxlint analyzers, mirroring golang.org/x/tools/go/analysis/
+// unitchecker without the dependency: go vet invokes the tool once per
+// compilation unit with the path to a JSON config file describing the
+// unit's sources and the export data of its dependencies. The unit is
+// parsed and type-checked against that export data (via go/importer's gc
+// importer with a custom lookup), the analyzers run, and diagnostics are
+// printed to stderr in file:line:col form with a non-zero exit status.
+//
+// jxlint declares no analysis facts, so the .vetx output cmd/go caches is
+// an empty file; dependency units (VetxOnly) return immediately.
+package unitchecker
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+
+	"jxplain/internal/lint/jxanalysis"
+)
+
+// Config is the JSON schema of the file cmd/go passes to the vet tool
+// (cmd/go/internal/work.vetConfig). Fields jxlint does not consume are
+// listed for documentation and ignored on decode.
+type Config struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+
+	ModulePath    string
+	ModuleVersion string
+	ImportMap     map[string]string
+	PackageFile   map[string]string
+	Standard      map[string]bool
+	PackageVetx   map[string]string
+	VetxOnly      bool
+	VetxOutput    string
+	GoVersion     string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// Run analyzes the unit described by cfgPath and returns the process exit
+// code: 0 clean, 1 operational error, 2 diagnostics reported.
+func Run(cfgPath string, analyzers []*jxanalysis.Analyzer) int {
+	cfg, err := readConfig(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "jxlint: %v\n", err)
+		return 1
+	}
+	// Write the (empty — jxlint has no facts) vetx output first so cmd/go
+	// can cache the unit regardless of findings.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "jxlint: writing vetx output: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0 // dependency unit: facts only, and jxlint has none
+	}
+	diags, err := analyze(cfg, analyzers)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "jxlint: %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", d.Position, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// A Finding is one diagnostic with its position resolved.
+type Finding struct {
+	Position token.Position
+	Analyzer string
+	Message  string
+}
+
+func readConfig(path string) (*Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(Config)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("parsing vet config %s: %w", path, err)
+	}
+	if cfg.GoFiles == nil && !cfg.VetxOnly {
+		return nil, fmt.Errorf("vet config %s has no GoFiles", path)
+	}
+	return cfg, nil
+}
+
+// analyze parses and type-checks the unit, then runs the analyzers.
+func analyze(cfg *Config, analyzers []*jxanalysis.Analyzer) ([]Finding, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	imp := &unitImporter{
+		gc: importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+			file, ok := cfg.PackageFile[path]
+			if !ok {
+				return nil, fmt.Errorf("no export data for %q", path)
+			}
+			return os.Open(file)
+		}),
+		importMap: cfg.ImportMap,
+	}
+	conf := types.Config{
+		Importer:  imp,
+		GoVersion: goVersion(cfg.GoVersion),
+		Sizes:     types.SizesFor("gc", buildArch()),
+	}
+	pkg := &jxanalysis.Package{Fset: fset, Files: files, Info: jxanalysis.NewInfo()}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, pkg.Info)
+	if err != nil {
+		return nil, err
+	}
+	pkg.Types = tpkg
+	diags, err := jxanalysis.Run(pkg, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Finding, len(diags))
+	for i, d := range diags {
+		out[i] = Finding{Position: fset.Position(d.Pos), Analyzer: d.Analyzer, Message: d.Message}
+	}
+	return out, nil
+}
+
+// unitImporter maps source-level import paths through cfg.ImportMap before
+// delegating to the gc export-data importer.
+type unitImporter struct {
+	gc        types.Importer
+	importMap map[string]string
+}
+
+func (im *unitImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if mapped, ok := im.importMap[path]; ok {
+		path = mapped
+	}
+	return im.gc.Import(path)
+}
+
+// goVersion sanitizes cfg.GoVersion for types.Config: the type checker
+// wants a plain language version ("go1.22"), while cmd/go may hand over a
+// toolchain version with patch and suffix.
+func goVersion(v string) string {
+	if v == "" {
+		return ""
+	}
+	parts := strings.SplitN(v, ".", 3)
+	if len(parts) >= 2 {
+		minor := parts[1]
+		if i := strings.IndexFunc(minor, func(r rune) bool { return r < '0' || r > '9' }); i >= 0 {
+			minor = minor[:i]
+		}
+		return parts[0] + "." + minor
+	}
+	return v
+}
+
+func buildArch() string {
+	if arch := os.Getenv("GOARCH"); arch != "" {
+		return arch
+	}
+	return defaultGOARCH
+}
