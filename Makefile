@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-short check lint cover fuzz bench bench-stream bench-hotpath experiments clean
+.PHONY: all build vet test test-short check lint cover fuzz bench bench-stream bench-hotpath bench-entity experiments clean
 
 all: build vet test
 
@@ -51,6 +51,7 @@ fuzz:
 # and compare the allocs_per_op / ns_per_op columns directly.
 bench:
 	$(GO) test -run=^$$ -bench=. -benchmem -count=10 ./...
+	$(GO) run ./cmd/jxbench -table entity -trials 3
 
 # Streaming vs materialized ingestion comparison (throughput and peak
 # heap), written to BENCH_stream.json.
@@ -62,6 +63,12 @@ bench-stream:
 # results/BENCH_hotpath.json.
 bench-hotpath:
 	$(GO) run ./cmd/jxbench -table hotpath -json-out results/BENCH_hotpath.json
+
+# Entity-discovery scaling grid (weighted dedup + posting-index Bimax and
+# GreedyMerge vs the quadratic reference) over the wide synthetic
+# datasets, written to results/BENCH_entity.json.
+bench-entity:
+	$(GO) run ./cmd/jxbench -table entity -trials 3 -json-out results/BENCH_entity.json
 
 # Regenerates every table and figure of the paper's evaluation into
 # results/jxbench_full.txt (about a minute at scale 0.5).

@@ -39,8 +39,8 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	if *list {
-		for _, g := range dataset.Registry() {
-			fmt.Fprintf(stdout, "%-14s n=%-6d entities=%-2d %s\n",
+		for _, g := range append(dataset.Registry(), dataset.WideRegistry()...) {
+			fmt.Fprintf(stdout, "%-14s n=%-6d entities=%-3d %s\n",
 				g.Name, g.DefaultN, len(g.Entities), g.Description)
 		}
 		return nil

@@ -254,16 +254,17 @@ func partitionBag(bag *jsontype.Bag, keySetOf func(*jsontype.Type) []string, cfg
 		return partitionPerKeySet(bag, keySetOf)
 	}
 
-	sets, dict, typesBySet := collectKeySets(bag, keySetOf)
-	assignment := assignClusters(sets, dict, cfg)
+	w, dict, typesBySet := collectKeySets(bag, keySetOf)
+	assignment := assignClusters(w, dict, cfg)
 	return groupByAssignment(bag, typesBySet, assignment)
 }
 
-// collectKeySets builds the distinct key sets of a bag plus, for each set,
-// the indices of the distinct types carrying it.
-func collectKeySets(bag *jsontype.Bag, keySetOf func(*jsontype.Type) []string) ([]entity.KeySet, *entity.Dict, [][]int) {
+// collectKeySets builds the weighted distinct key sets of a bag — each
+// set's weight is its record multiplicity — plus, for each set, the
+// indices of the distinct types carrying it.
+func collectKeySets(bag *jsontype.Bag, keySetOf func(*jsontype.Type) []string) (entity.Weighted, *entity.Dict, [][]int) {
 	dict := entity.NewDict()
-	var sets []entity.KeySet
+	var w entity.Weighted
 	setIndex := map[string]int{}
 	var typesBySet [][]int
 	for ti, t := range bag.Types() {
@@ -271,26 +272,27 @@ func collectKeySets(bag *jsontype.Bag, keySetOf func(*jsontype.Type) []string) (
 		c := ks.Canon()
 		si, ok := setIndex[c]
 		if !ok {
-			si = len(sets)
+			si = len(w.Sets)
 			setIndex[c] = si
-			sets = append(sets, ks)
+			w.Sets = append(w.Sets, ks)
+			w.Weights = append(w.Weights, 0)
 			typesBySet = append(typesBySet, nil)
 		}
+		w.Weights[si] += bag.Count(ti)
 		typesBySet[si] = append(typesBySet[si], ti)
 	}
-	return sets, dict, typesBySet
+	return w, dict, typesBySet
 }
 
 // assignClusters maps each distinct key set to a cluster id under the
-// configured strategy.
-func assignClusters(sets []entity.KeySet, dict *entity.Dict, cfg Config) []int {
-	assignment := make([]int, len(sets))
+// configured strategy. Weights ride along for per-entity statistics; no
+// strategy's clustering decisions depend on them (entity discovery is
+// multiplicity-blind, §6.4).
+func assignClusters(w entity.Weighted, dict *entity.Dict, cfg Config) []int {
+	assignment := make([]int, len(w.Sets))
 	switch cfg.Partition {
 	case BimaxNaive, BimaxMerge:
-		clusters := entity.BimaxNaive(sets)
-		if cfg.Partition == BimaxMerge {
-			clusters = entity.GreedyMerge(clusters)
-		}
+		clusters := entity.DiscoverEntities(w, cfg.Partition == BimaxMerge)
 		for ci, c := range clusters {
 			for _, m := range c.Members {
 				assignment[m] = ci
@@ -301,7 +303,7 @@ func assignClusters(sets []entity.KeySet, dict *entity.Dict, cfg Config) []int {
 		if k <= 0 {
 			k = 1
 		}
-		assignment = entity.KMeans(sets, dict.Len(), k, cfg.Seed, 100)
+		assignment = entity.KMeans(w.Sets, dict.Len(), k, cfg.Seed, 100)
 	}
 	return assignment
 }

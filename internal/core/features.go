@@ -155,9 +155,7 @@ func BuildFeatureSet(bag *jsontype.Bag, cfg Config, pruneNested bool, enc entity
 			return
 		}
 		paths := featurePaths(t, decide, pruneNested)
-		for i := 0; i < n; i++ {
-			fs.AddNames(paths)
-		}
+		fs.AddNamesN(paths, n)
 	})
 	return fs
 }

@@ -238,6 +238,36 @@ func sortedKeys(m map[string]*statsTrie) []string {
 	return keys
 }
 
+// parallelCutover is the distinct-record-type count below which the
+// config-driven parallel paths — the pass-① partitioned fold and the
+// pass-②/③ synthesis fan-out — run sequentially. Goroutine fan-out and
+// fan-in merging carry a fixed cost per op; on collections with little
+// distinct structure that overhead exceeds the fold's work and the
+// "parallel" run measures slower than the sequential one (the hotpath
+// benchmark showed par_ns_per_op > ns_per_op exactly on the datasets
+// whose distinct-type count sits below this bound). Explicit-workers
+// entry points (ParallelCollectPathStats and friends) are not gated:
+// a caller passing a worker count gets that worker count.
+const parallelCutover = 4096
+
+// effectiveWorkers returns the worker count a config-driven site should
+// actually use for a collection with the given distinct-type count.
+func effectiveWorkers(workers, distinct int) int {
+	if distinct < parallelCutover {
+		return 1
+	}
+	return workers
+}
+
+// EffectiveWorkers reports the worker count the config-driven pipeline
+// stages will actually use for a collection with the given distinct-type
+// count — 1 when the collection falls below the parallel cutover.
+// Exported for benchmark harnesses that must know whether a "parallel"
+// configuration genuinely fans out.
+func EffectiveWorkers(workers, distinct int) int {
+	return effectiveWorkers(workers, distinct)
+}
+
 // ParallelCollectPathStats computes pass ① as a partitioned fold over the
 // record types with the given worker count. It produces the same path
 // statistics as CollectPathStats on the same data.

@@ -210,3 +210,41 @@ func TestParallelPathStatsOnDatasetShapes(t *testing.T) {
 		}
 	}
 }
+
+func TestEffectiveWorkersCutover(t *testing.T) {
+	cases := []struct{ workers, distinct, want int }{
+		{8, 0, 1},
+		{8, parallelCutover - 1, 1},
+		{8, parallelCutover, 8},
+		{8, parallelCutover + 1, 8},
+		{1, parallelCutover, 1},
+		{0, parallelCutover - 1, 1},
+	}
+	for _, c := range cases {
+		if got := effectiveWorkers(c.workers, c.distinct); got != c.want {
+			t.Errorf("effectiveWorkers(%d, %d) = %d, want %d", c.workers, c.distinct, got, c.want)
+		}
+	}
+}
+
+func TestPipelineParallelAboveCutoverMatchesSequential(t *testing.T) {
+	// Enough distinct record types to clear the cutover, so the
+	// config-driven parallel paths genuinely fan out and must still
+	// produce the byte-identical schema.
+	if testing.Short() {
+		t.Skip("builds a bag above the parallel cutover")
+	}
+	bag := &jsontype.Bag{}
+	for i := 0; i < parallelCutover+16; i++ {
+		src := fmt.Sprintf(`{"id":%d,"v%d":1}`, i, i%5000)
+		bag.Add(ty(t, src))
+	}
+	serial := Pipeline(bag, Default())
+	cfg := Default()
+	cfg.StatsWorkers = 4
+	cfg.SynthWorkers = 4
+	parallel := Pipeline(bag, cfg)
+	if !schema.Equal(serial, parallel) {
+		t.Error("parallel synthesis above the cutover changed the schema")
+	}
+}

@@ -97,8 +97,8 @@ func (a *Accumulator) AddBag(chunk *jsontype.Bag) {
 	if a.sketch == nil {
 		return
 	}
-	if a.cfg.StatsWorkers > 1 {
-		a.sketch.Merge(sketchFromBag(chunk, a.cfg.StatsWorkers))
+	if w := effectiveWorkers(a.cfg.StatsWorkers, chunk.Distinct()); w > 1 {
+		a.sketch.Merge(sketchFromBag(chunk, w))
 	} else {
 		a.sketch.AddBag(chunk)
 	}
@@ -116,8 +116,8 @@ func (a *Accumulator) Stats() []PathStat {
 		return a.sketch.Stats(a.cfg)
 	}
 	statsBag := SampleBag(a.bag, a.cfg.DetectionSample, a.cfg.Seed)
-	if a.cfg.StatsWorkers > 1 {
-		return ParallelCollectPathStatsBag(statsBag, a.cfg.StatsWorkers, a.cfg)
+	if w := effectiveWorkers(a.cfg.StatsWorkers, statsBag.Distinct()); w > 1 {
+		return ParallelCollectPathStatsBag(statsBag, w, a.cfg)
 	}
 	return CollectPathStats(statsBag, a.cfg)
 }
@@ -133,7 +133,7 @@ func (a *Accumulator) Finish() schema.Schema {
 // synthesize runs passes ② and ③ over the full bag, consulting the
 // precomputed pass-① statistics. memo may be nil (no caching).
 func synthesize(bag *jsontype.Bag, stats []PathStat, cfg Config, memo *mergeMemo) schema.Schema {
-	pool := newWorkPool(cfg.SynthWorkers)
+	pool := newWorkPool(effectiveWorkers(cfg.SynthWorkers, bag.Distinct()))
 	dec := &pipelineDecider{
 		cfg:       cfg,
 		decisions: decisionMap(stats),
@@ -377,8 +377,8 @@ func (d *pipelineDecider) buildPlan(planKey string, bag *jsontype.Bag, keySetOf 
 	if d.cfg.Partition == SingleEntity || d.cfg.Partition == PerKeySet {
 		return // no plan needed
 	}
-	sets, dict, typesBySet := collectKeySets(bag, keySetOf)
-	assignment := assignClusters(sets, dict, d.cfg)
+	w, dict, typesBySet := collectKeySets(bag, keySetOf)
+	assignment := assignClusters(w, dict, d.cfg)
 	plan := &partitionPlan{assign: map[string]int{}}
 	for si, cluster := range assignment {
 		ti := typesBySet[si][0]

@@ -66,9 +66,15 @@ func Registry() []*Generator {
 	}
 }
 
-// ByName looks a generator up by its registry name.
+// ByName looks a generator up by its registry name, consulting both the
+// paper-dataset registry and the wide scaling family.
 func ByName(name string) (*Generator, bool) {
 	for _, g := range Registry() {
+		if g.Name == name {
+			return g, true
+		}
+	}
+	for _, g := range WideRegistry() {
 		if g.Name == name {
 			return g, true
 		}

@@ -1,6 +1,9 @@
 package entity
 
-import "sort"
+import (
+	"sort"
+	"sync"
+)
 
 // Cluster is one discovered entity: a group of input key sets together
 // with its maximal element (the union of all member key sets — for
@@ -11,7 +14,18 @@ type Cluster struct {
 	Members []int
 	// Max is the cluster's maximal element.
 	Max KeySet
+	// Weight is the total record multiplicity of the cluster's members
+	// when the clustering ran over weighted (deduplicated) key sets; zero
+	// when the input carried no weights. Clustering decisions never depend
+	// on it — it exists so per-entity statistics reflect records, not
+	// distinct key sets.
+	Weight int
 }
+
+// indexMinSets is the input size below which the O(n²) reference loop
+// beats building the posting index. Both paths produce identical output;
+// the constant only trades constant factors.
+const indexMinSets = 64
 
 // Bimax implements Algorithm 6: reorder key sets so that similar sets are
 // adjacent. Starting from a size-descending order, the algorithm repeatedly
@@ -22,7 +36,7 @@ type Cluster struct {
 // The returned slice contains indices into sets, in Bimax order.
 func Bimax(sets []KeySet) []int {
 	order := sizeDescending(sets)
-	bimaxSort(sets, order, nil)
+	bimaxSort(sets, order, nil, nil)
 	return order
 }
 
@@ -30,9 +44,30 @@ func Bimax(sets []KeySet) []int {
 // iteration's subset group (the seed k_max and every remaining set
 // contained in it) as one cluster.
 func BimaxNaive(sets []KeySet) []Cluster {
+	return BimaxNaiveWeighted(sets, nil)
+}
+
+// BimaxNaiveWeighted is BimaxNaive over deduplicated key sets carrying
+// record multiplicities: weights[i] is the number of records whose key set
+// is sets[i] (nil means unweighted). The clustering is identical to
+// running BimaxNaive over the sets replicated weights[i] times — sizes,
+// seeds, and tie-breaks depend only on the distinct sets and their order —
+// but costs O(distinct) instead of O(records). Each cluster's Weight is
+// the sum of its members' weights.
+func BimaxNaiveWeighted(sets []KeySet, weights []int) []Cluster {
 	order := sizeDescending(sets)
 	var clusters []Cluster
-	bimaxSort(sets, order, &clusters)
+	bimaxSort(sets, order, &clusters, weights)
+	return clusters
+}
+
+// BimaxNaiveRef is the quadratic reference implementation of Algorithm 7,
+// retained for differential tests and the entity scaling benchmark. Output
+// is identical to BimaxNaive.
+func BimaxNaiveRef(sets []KeySet) []Cluster {
+	order := sizeDescending(sets)
+	var clusters []Cluster
+	bimaxSortRef(sets, order, &clusters, nil)
 	return clusters
 }
 
@@ -52,9 +87,21 @@ func sizeDescending(sets []KeySet) []int {
 }
 
 // bimaxSort runs the shared loop of Algorithms 6 and 7 over order in
-// place. When clusters is non-nil, each iteration's subset group is
-// appended to it as a Cluster.
-func bimaxSort(sets []KeySet, order []int, clusters *[]Cluster) {
+// place, choosing between the posting-index walk and the reference scan by
+// input size. When clusters is non-nil, each iteration's subset group is
+// appended to it as a Cluster (with Weight summed from weights when
+// non-nil).
+func bimaxSort(sets []KeySet, order []int, clusters *[]Cluster, weights []int) {
+	if len(order) < indexMinSets {
+		bimaxSortRef(sets, order, clusters, weights)
+		return
+	}
+	bimaxSortIndexed(sets, order, clusters, weights)
+}
+
+// bimaxSortRef is the reference O(n²) partition loop: every iteration
+// classifies every remaining set against the seed with bitset operations.
+func bimaxSortRef(sets []KeySet, order []int, clusters *[]Cluster, weights []int) {
 	for i := 0; i < len(order); {
 		kmax := sets[order[i]]
 		var sub, overlap, disjoint []int
@@ -78,10 +125,99 @@ func bimaxSort(sets []KeySet, order []int, clusters *[]Cluster) {
 			*clusters = append(*clusters, Cluster{
 				Members: append([]int(nil), sub...),
 				Max:     kmax,
+				Weight:  weightOf(sub, weights),
 			})
 		}
 		i += len(sub)
 	}
+}
+
+// bimaxSortIndexed is the sub-quadratic partition loop: the posting index
+// yields only the sets sharing a key with the seed (plus empty sets, which
+// are subsets of everything); everything else is disjoint and is neither
+// tested nor moved. Only the window span up to the last candidate is
+// rewritten per iteration, and only candidates pay a SubsetOf test, so
+// iterations over mutually disjoint regions of the key space no longer
+// touch each other at all. The resulting order — and the emitted clusters
+// — are identical to bimaxSortRef.
+func bimaxSortIndexed(sets []KeySet, order []int, clusters *[]Cluster, weights []int) {
+	ix := NewIndex(sets)
+	// pos inverts order: pos[id] is the current position of set id. A set
+	// is finalized (left the window) once its position drops below i;
+	// finalized sets never re-enter, which licenses posting compaction.
+	pos := make([]int32, len(sets))
+	for p, id := range order {
+		pos[id] = int32(p)
+	}
+	var cands []int32
+	var sub, overlap, buf, keys []int
+	for i := 0; i < len(order); {
+		seed := order[i]
+		kmax := sets[seed]
+		win := int32(i)
+		cands = ix.Candidates(kmax, func(id int32) bool { return pos[id] >= win }, cands[:0])
+		// Window-relative order: the stable partition needs candidates in
+		// their current order. Sorting (pos<<32)|id keys through sort.Ints
+		// instead of sort.Slice-by-pos avoids the reflective swapper and a
+		// per-comparison closure — this sort dominates the loop's profile.
+		keys = keys[:0]
+		for _, id := range cands {
+			keys = append(keys, int(pos[id])<<32|int(id))
+		}
+		sort.Ints(keys)
+		for j, k := range keys {
+			cands[j] = int32(k & (1<<32 - 1))
+		}
+		sub, overlap = sub[:0], overlap[:0]
+		for _, id := range cands {
+			if sets[id].SubsetOf(kmax) {
+				sub = append(sub, int(id))
+			} else {
+				overlap = append(overlap, int(id))
+			}
+		}
+		if clusters != nil {
+			*clusters = append(*clusters, Cluster{
+				Members: append([]int(nil), sub...),
+				Max:     kmax,
+				Weight:  weightOf(sub, weights),
+			})
+		}
+		if len(sub) == 1 && len(overlap) == 0 {
+			// The seed matched nothing: the window is unchanged.
+			i++
+			continue
+		}
+		// Rewrite order[i..last]: sub, then overlap, then the span's
+		// non-candidates in their existing order. Non-candidates after the
+		// last candidate are untouched — they are disjoint from the seed
+		// and already follow everything that moved, so the full window
+		// reads sub < overlap < disjoint exactly as the reference loop
+		// leaves it.
+		last := int(pos[cands[len(cands)-1]])
+		buf = append(append(buf[:0], sub...), overlap...)
+		for p := i; p <= last; p++ {
+			if id := order[p]; !ix.Marked(id) {
+				buf = append(buf, id)
+			}
+		}
+		copy(order[i:last+1], buf)
+		for p := i; p <= last; p++ {
+			pos[order[p]] = int32(p)
+		}
+		i += len(sub)
+	}
+}
+
+func weightOf(members []int, weights []int) int {
+	if weights == nil {
+		return 0
+	}
+	w := 0
+	for _, m := range members {
+		w += weights[m]
+	}
+	return w
 }
 
 // Transpose flips a record × feature incidence matrix: the result has one
@@ -112,6 +248,95 @@ func Transpose(sets []KeySet, dim int) []KeySet {
 	return cols
 }
 
+// TransposeParallel is Transpose fanned out over workers. Row stripes are
+// aligned to 64-row boundaries, so each worker writes a disjoint word
+// range of every column bitset and the shared column storage needs no
+// locks; a first (parallel) presence pass determines which columns are
+// non-empty so storage is allocated exactly as the serial walk would.
+// Output is identical to Transpose.
+func TransposeParallel(sets []KeySet, dim, workers int) []KeySet {
+	stripes := transposeStripes(len(sets), workers)
+	if len(stripes) <= 1 {
+		return Transpose(sets, dim)
+	}
+	// Pass 1: which columns does each stripe touch?
+	present := make([][]bool, len(stripes))
+	var wg sync.WaitGroup
+	for si, st := range stripes {
+		wg.Add(1)
+		go func(si int, lo, hi int) {
+			defer wg.Done()
+			p := make([]bool, dim)
+			for _, ks := range sets[lo:hi] {
+				ks.Each(func(id int) {
+					if id < dim {
+						p[id] = true
+					}
+				})
+			}
+			present[si] = p
+		}(si, st[0], st[1])
+	}
+	wg.Wait()
+
+	words := (len(sets) + wordBits - 1) / wordBits
+	cols := make([]KeySet, dim)
+	for id := 0; id < dim; id++ {
+		for _, p := range present {
+			if p[id] {
+				cols[id] = make(KeySet, words)
+				break
+			}
+		}
+	}
+	// Pass 2: fill. Stripe s writes only words [lo/64, hi/64) of each
+	// column — disjoint across stripes by the 64-row alignment.
+	for _, st := range stripes {
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for ri := lo; ri < hi; ri++ {
+				sets[ri].Each(func(id int) {
+					if id < dim {
+						cols[id][ri/wordBits] |= 1 << (uint(ri) % wordBits)
+					}
+				})
+			}
+		}(st[0], st[1])
+	}
+	wg.Wait()
+	for i, c := range cols {
+		if c == nil {
+			cols[i] = KeySet{}
+		} else {
+			cols[i] = c.trim()
+		}
+	}
+	return cols
+}
+
+// transposeStripes splits n rows into up to `workers` stripes aligned to
+// 64-row boundaries (so stripes own disjoint bitset words).
+func transposeStripes(n, workers int) [][2]int {
+	if workers < 1 {
+		workers = 1
+	}
+	per := (n + workers - 1) / workers
+	per = (per + wordBits - 1) / wordBits * wordBits
+	if per < wordBits {
+		per = wordBits
+	}
+	var stripes [][2]int
+	for lo := 0; lo < n; lo += per {
+		hi := lo + per
+		if hi > n {
+			hi = n
+		}
+		stripes = append(stripes, [2]int{lo, hi})
+	}
+	return stripes
+}
+
 // BimaxColumns returns the feature ids in Bimax order: features whose
 // record sets are subsets of the densest feature's cluster first, then
 // overlapping, then disjoint — placing co-occurring fields adjacently,
@@ -131,7 +356,30 @@ func BimaxColumns(sets []KeySet, dim int) []int {
 // The "minimal" cover of the paper is NP-hard; this uses the standard
 // greedy approximation, preferring clusters that cover more uncovered keys
 // and breaking ties toward earlier Bimax positions (more similar entities).
+//
+// Cover searches run over an inverted index of the clusters' maximal
+// elements with incrementally maintained per-cluster gain counts (see
+// coverState); GreedyMergeRef retains the rescanning reference loop.
 func GreedyMerge(naive []Cluster) []Cluster {
+	if len(naive) < indexMinSets {
+		return greedyMerge(naive, findCoverRef)
+	}
+	cs := newCoverState(naive)
+	return greedyMerge(naive, cs.findCover)
+}
+
+// GreedyMergeRef is the reference implementation of Algorithm 8 — every
+// cover step rescans all active clusters — retained for differential tests
+// and the entity scaling benchmark. Output is identical to GreedyMerge.
+func GreedyMergeRef(naive []Cluster) []Cluster {
+	return greedyMerge(naive, findCoverRef)
+}
+
+// greedyMerge is the shared absorption loop, parameterized by the cover
+// search. Active clusters' maximal elements never change (only the — by
+// then inactive — candidate's Max grows), which is what lets an indexed
+// cover search treat the naive maximal elements as immutable.
+func greedyMerge(naive []Cluster, findCover func(work []Cluster, active []bool, target KeySet) []int) []Cluster {
 	active := make([]bool, len(naive))
 	for i := range active {
 		active[i] = true
@@ -139,7 +387,7 @@ func GreedyMerge(naive []Cluster) []Cluster {
 	// Work on copies: Members and Max grow as clusters absorb others.
 	work := make([]Cluster, len(naive))
 	for i, c := range naive {
-		work[i] = Cluster{Members: append([]int(nil), c.Members...), Max: c.Max}
+		work[i] = Cluster{Members: append([]int(nil), c.Members...), Max: c.Max, Weight: c.Weight}
 	}
 
 	var merged []Cluster
@@ -157,6 +405,7 @@ func GreedyMerge(naive []Cluster) []Cluster {
 				active[ci] = false
 				work[cand].Members = append(work[cand].Members, work[ci].Members...)
 				work[cand].Max = work[cand].Max.Union(work[ci].Max)
+				work[cand].Weight += work[ci].Weight
 			}
 		}
 		merged = append(merged, work[cand])
@@ -169,19 +418,20 @@ func GreedyMerge(naive []Cluster) []Cluster {
 	return merged
 }
 
-// findCover greedily searches for a set cover of target among the maximal
-// elements of active clusters. It returns nil when no cover exists (some
-// key of target appears in no active cluster). Ties between equally
+// findCoverRef greedily searches for a set cover of target among the
+// maximal elements of active clusters. It returns nil when no cover exists
+// (some key of target appears in no active cluster). Ties between equally
 // covering clusters break toward the latest insertion position: the Bimax
 // order places similar entities together, so the nearest preceding cluster
 // is the most similar one — the property Example 11 relies on.
-func findCover(work []Cluster, active []bool, target KeySet) []int {
+func findCoverRef(work []Cluster, active []bool, target KeySet) []int {
 	uncovered := target.Clone()
+	picked := make([]uint64, (len(work)+wordBits-1)/wordBits)
 	var cover []int
 	for !uncovered.Empty() {
 		best, bestGain := -1, 0
 		for i := range work {
-			if !active[i] || contains(cover, i) {
+			if !active[i] || picked[i/wordBits]&(1<<(uint(i)%wordBits)) != 0 {
 				continue
 			}
 			gain := work[i].Max.IntersectCount(uncovered)
@@ -192,17 +442,90 @@ func findCover(work []Cluster, active []bool, target KeySet) []int {
 		if best < 0 {
 			return nil // some key cannot be covered
 		}
+		picked[best/wordBits] |= 1 << (uint(best) % wordBits)
 		cover = append(cover, best)
 		uncovered = uncovered.Minus(work[best].Max)
 	}
 	return cover
 }
 
-func contains(xs []int, x int) bool {
-	for _, v := range xs {
-		if v == x {
-			return true
-		}
+// coverState is the indexed cover search: an inverted index over the naive
+// clusters' maximal elements plus reusable gain counters and a picked
+// bitmask. Per search, gains[j] is maintained as |Max_j ∩ uncovered| for
+// every candidate cluster j — initialized by one posting walk over the
+// target's keys and decremented incrementally as picked clusters shrink
+// the uncovered set — so each cover step selects the best cluster with an
+// integer scan over the candidates instead of re-intersecting every active
+// cluster's bitset against the residual.
+type coverState struct {
+	ix     *Index
+	gains  []int
+	picked []uint64
+	cands  []int32
+}
+
+func newCoverState(naive []Cluster) *coverState {
+	maxes := make([]KeySet, len(naive))
+	for i, c := range naive {
+		maxes[i] = c.Max
 	}
-	return false
+	return &coverState{
+		ix:     NewIndex(maxes),
+		gains:  make([]int, len(naive)),
+		picked: make([]uint64, (len(naive)+wordBits-1)/wordBits),
+		// Non-nil from the start: AddGains only tracks first-touch ids
+		// when handed a non-nil dst, and cands[:0] must preserve that.
+		cands: make([]int32, 0, len(naive)),
+	}
+}
+
+// findCover is the indexed equivalent of findCoverRef: same greedy choice,
+// same tie-break toward the latest insertion position, identical returned
+// covers. Inactive clusters are compacted out of the posting lists as the
+// walks encounter them (GreedyMerge never reactivates a cluster).
+func (cs *coverState) findCover(work []Cluster, active []bool, target KeySet) []int {
+	if target.Empty() {
+		return nil
+	}
+	live := func(id int32) bool { return active[id] }
+	cs.cands = cs.ix.AddGains(target, live, 1, cs.gains, cs.cands[:0])
+	uncovered := target.Clone()
+	var cover []int
+	for !uncovered.Empty() {
+		best, bestGain := -1, 0
+		for _, id := range cs.cands {
+			j := int(id)
+			if cs.picked[j/wordBits]&(1<<(uint(j)%wordBits)) != 0 {
+				continue
+			}
+			gain := cs.gains[j]
+			if gain > bestGain || (gain == bestGain && gain > 0 && j > best) {
+				best, bestGain = j, gain
+			}
+		}
+		if best < 0 {
+			// Some key cannot be covered. cover still holds the partial
+			// picks so the scratch reset below clears their bits.
+			break
+		}
+		cs.picked[best/wordBits] |= 1 << (uint(best) % wordBits)
+		cover = append(cover, best)
+		// Every candidate's gain shrinks by its overlap with the keys the
+		// pick just covered; decrementing along the posting lists of the
+		// removed keys applies exactly that.
+		removed := uncovered.Intersect(work[best].Max)
+		cs.ix.AddGains(removed, live, -1, cs.gains, nil)
+		uncovered = uncovered.Minus(work[best].Max)
+	}
+	// Reset scratch state for the next search.
+	for _, id := range cs.cands {
+		cs.gains[id] = 0
+	}
+	for _, j := range cover {
+		cs.picked[j/wordBits] &^= 1 << (uint(j) % wordBits)
+	}
+	if !uncovered.Empty() {
+		return nil
+	}
+	return cover
 }

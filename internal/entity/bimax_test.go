@@ -286,3 +286,37 @@ func TestBimaxDeterministic(t *testing.T) {
 		}
 	}
 }
+
+// TestFindCoverTieBreak pins the Example 11 tie-break through both cover
+// searches: among equally covering clusters, findCover must pick the one
+// at the latest insertion position — the nearest preceding cluster in
+// Bimax similarity order. For E4:{B,D} the gains over E1:{A,B,E},
+// E2:{B,C,E}, E3:{C,D,E} are all 1, so the cover must be E3 then E2
+// ([2 1]), never the equally sized [0 2] or [1 2].
+func TestFindCoverTieBreak(t *testing.T) {
+	d := NewDict()
+	a, b, c, dd, e := d.ID("A"), d.ID("B"), d.ID("C"), d.ID("D"), d.ID("E")
+	work := []Cluster{
+		{Members: []int{0}, Max: ks(a, b, e)},
+		{Members: []int{1}, Max: ks(b, c, e)},
+		{Members: []int{2}, Max: ks(c, dd, e)},
+		{Members: []int{3}, Max: ks(b, dd)},
+	}
+	active := []bool{true, true, true, false}
+	target := work[3].Max
+	want := []int{2, 1}
+
+	for name, cover := range map[string][]int{
+		"ref":     findCoverRef(work, active, target),
+		"indexed": newCoverState(work).findCover(work, active, target),
+	} {
+		if len(cover) != len(want) {
+			t.Fatalf("%s cover = %v, want %v", name, cover, want)
+		}
+		for i := range want {
+			if cover[i] != want[i] {
+				t.Fatalf("%s cover = %v, want %v", name, cover, want)
+			}
+		}
+	}
+}

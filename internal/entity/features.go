@@ -46,16 +46,26 @@ func (f *FeatureSet) AddNames(names []string) {
 	f.Add(KeySetOf(f.Dict, names...))
 }
 
+// AddNamesN inserts n occurrences of the feature vector for a record
+// type's path names — one canonicalization for the whole multiplicity, so
+// folding a deduplicated bag costs O(distinct types), not O(records).
+func (f *FeatureSet) AddNamesN(names []string, n int) {
+	f.AddN(KeySetOf(f.Dict, names...), n)
+}
+
 // Add inserts one occurrence of the key set.
-func (f *FeatureSet) Add(s KeySet) {
+func (f *FeatureSet) Add(s KeySet) { f.AddN(s, 1) }
+
+// AddN inserts n occurrences of the key set.
+func (f *FeatureSet) AddN(s KeySet, n int) {
 	c := s.Canon()
 	if i, ok := f.index[c]; ok {
-		f.counts[i]++
+		f.counts[i] += n
 		return
 	}
 	f.index[c] = len(f.sets)
 	f.sets = append(f.sets, s)
-	f.counts = append(f.counts, 1)
+	f.counts = append(f.counts, n)
 }
 
 // Distinct returns the number of distinct feature vectors.
@@ -72,6 +82,13 @@ func (f *FeatureSet) Total() int {
 
 // Sets returns the distinct key sets in insertion order.
 func (f *FeatureSet) Sets() []KeySet { return f.sets }
+
+// Weighted returns the deduplicated (set, weight) view of the feature
+// set — the entity-discovery input. The returned slices share storage
+// with the feature set; do not mutate them.
+func (f *FeatureSet) Weighted() Weighted {
+	return Weighted{Sets: f.sets, Weights: f.counts}
+}
 
 // Count returns the multiplicity of the i-th distinct vector.
 func (f *FeatureSet) Count(i int) int { return f.counts[i] }

@@ -116,3 +116,44 @@ func checkAgainstModel(t *testing.T, sets [2]KeySet, models [2]map[int]bool) {
 		t.Fatalf("Jaccard %v, model %v", got, wantJ)
 	}
 }
+
+// FuzzWeightedVsReplicated model-checks the weighted-dedup contract on
+// arbitrary key-set bags: the fuzz input is consumed as (setShape, repeat)
+// byte pairs — setShape seeds a small key set, repeat its multiplicity —
+// and entity discovery over the replicated bag must render byte-identically
+// to discovery over its DedupKeySets form, with and without GreedyMerge.
+func FuzzWeightedVsReplicated(f *testing.F) {
+	f.Add([]byte{3, 2, 7, 1, 3, 4, 0, 2})
+	f.Add([]byte{255, 9, 1, 1, 255, 1, 128, 3, 64, 2})
+	f.Add([]byte{5, 40, 6, 40, 7, 40}) // crosses indexMinSets
+	f.Fuzz(func(t *testing.T, program []byte) {
+		var sets []KeySet
+		for i := 0; i+1 < len(program) && len(sets) < 300; i += 2 {
+			shape, repeat := program[i], int(program[i+1])%8+1
+			var ids []int
+			for b := 0; b < 8; b++ {
+				if shape&(1<<b) != 0 {
+					// Spread bits across word boundaries occasionally.
+					ids = append(ids, b*(1+int(shape)%17))
+				}
+			}
+			s := NewKeySet(ids...)
+			for r := 0; r < repeat; r++ {
+				sets = append(sets, s)
+			}
+		}
+		for _, merge := range []bool{false, true} {
+			w, toDistinct := DedupKeySets(sets)
+			replicated := BimaxNaive(sets)
+			if merge {
+				replicated = GreedyMerge(replicated)
+			}
+			weighted := DiscoverEntities(w, merge)
+			repl := renderReplicated(replicated, toDistinct)
+			wtd := renderWeighted(weighted)
+			if repl != wtd {
+				t.Fatalf("merge=%v: weighted diverges\nreplicated:\n%s\nweighted:\n%s", merge, repl, wtd)
+			}
+		}
+	})
+}

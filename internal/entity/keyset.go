@@ -171,6 +171,21 @@ func (s KeySet) Union(t KeySet) KeySet {
 	return out
 }
 
+// Intersect returns s ∩ t as a new set.
+//
+//jx:hotpath
+func (s KeySet) Intersect(t KeySet) KeySet {
+	n := len(s)
+	if len(t) < n {
+		n = len(t)
+	}
+	out := make(KeySet, n)
+	for i := 0; i < n; i++ {
+		out[i] = s[i] & t[i]
+	}
+	return out.trim()
+}
+
 // Minus returns s − t as a new set.
 //
 //jx:hotpath

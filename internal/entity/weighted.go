@@ -1,0 +1,66 @@
+package entity
+
+// Weighted key sets — the §6.4 dedup contract made first-class. Most
+// records of a collection share *identical* key sets, so entity discovery
+// should never run over one set per record: clustering decisions depend
+// only on the distinct sets and their first-appearance order (sizes,
+// seeds, and tie-breaks are all multiplicity-blind), while per-entity
+// statistics need the multiplicities back. Weighted carries both, so the
+// expensive stage scales with distinct structure, not record count —
+// the same fold-equivalent-before-merging idea Baazizi et al. apply to
+// types, applied one level up to key sets.
+
+// Weighted is a deduplicated multiset of key sets: Sets holds the
+// distinct sets in first-appearance order and Weights their record
+// multiplicities. len(Sets) == len(Weights) always; a nil Weights means
+// every set counts once.
+type Weighted struct {
+	Sets    []KeySet
+	Weights []int
+}
+
+// Records returns the total record multiplicity.
+func (w Weighted) Records() int {
+	if w.Weights == nil {
+		return len(w.Sets)
+	}
+	n := 0
+	for _, c := range w.Weights {
+		n += c
+	}
+	return n
+}
+
+// DedupKeySets canonicalizes a replicated key-set slice into distinct
+// (set, weight) pairs plus the mapping from each input position to its
+// distinct id. Distinct sets keep first-appearance order, so running
+// Bimax over w.Sets is position-for-position equivalent to running it
+// over the replicated input (see BimaxNaiveWeighted).
+func DedupKeySets(sets []KeySet) (w Weighted, toDistinct []int) {
+	index := map[string]int{}
+	toDistinct = make([]int, len(sets))
+	for i, s := range sets {
+		c := s.Canon()
+		si, ok := index[c]
+		if !ok {
+			si = len(w.Sets)
+			index[c] = si
+			w.Sets = append(w.Sets, s)
+			w.Weights = append(w.Weights, 0)
+		}
+		w.Weights[si]++
+		toDistinct[i] = si
+	}
+	return w, toDistinct
+}
+
+// DiscoverEntities runs the configured JXPLAIN clustering (Algorithm 7,
+// optionally coalesced by Algorithm 8) over weighted key sets. Cluster
+// Members index into w.Sets; Weights aggregate into each cluster's Weight.
+func DiscoverEntities(w Weighted, merge bool) []Cluster {
+	clusters := BimaxNaiveWeighted(w.Sets, w.Weights)
+	if merge {
+		clusters = GreedyMerge(clusters)
+	}
+	return clusters
+}

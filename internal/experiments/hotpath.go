@@ -42,8 +42,14 @@ type HotpathRow struct {
 	BytesPerOp    float64 `json:"bytes_per_op"`
 	PeakHeapBytes uint64  `json:"peak_heap_bytes"`
 
-	// Parallel run (StatsWorkers and SynthWorkers = GOMAXPROCS).
-	ParNsPerOp float64 `json:"par_ns_per_op"`
+	// Parallel run (StatsWorkers and SynthWorkers = GOMAXPROCS). When the
+	// parallel configuration degenerates to the sequential path — a
+	// single-CPU box, or a dataset below core's parallel cutover — the row
+	// reports the sequential measurement and sets ParSequential: the two
+	// configs execute identical code there, and re-measuring it would
+	// publish run-to-run jitter as a phantom parallel delta.
+	ParNsPerOp    float64 `json:"par_ns_per_op"`
+	ParSequential bool    `json:"par_sequential,omitempty"`
 
 	// SchemasEqual confirms sequential and parallel synthesis produced the
 	// byte-identical schema.
@@ -78,7 +84,8 @@ func RunHotpath(o Options) (*HotpathResult, error) {
 	baseline := loadHotpathBaseline()
 	workers := runtime.GOMAXPROCS(0)
 	res := &HotpathResult{
-		Note: fmt.Sprintf("hot path: DecodeAll + Pipeline + Simplify per op, n=DefaultN, seed=%d, %d iters",
+		Note: fmt.Sprintf("hot path: DecodeAll + Pipeline + Simplify per op, n=DefaultN, seed=%d, %d iters; "+
+			"par_sequential rows fell back to the sequential path (parallel cutover or single CPU)",
 			o.Seed, hotpathIters),
 		Options: o,
 		Workers: workers,
@@ -146,6 +153,13 @@ func hotpathDataset(g *dataset.Generator, o Options, workers int) (HotpathRow, e
 
 	var seqSchema, parSchema schema.Schema
 	var opErr error
+	// One unmeasured op before each measured block: the first execution
+	// pays one-time costs (interner growth, allocator warm-up) that
+	// otherwise land entirely on whichever block runs first and show up
+	// as a phantom seq/par delta.
+	if _, err := op(seqCfg); err != nil {
+		return HotpathRow{}, fmt.Errorf("hotpath: %s (warmup): %w", g.Name, err)
+	}
 	sampler := stats.StartMemSampler(0)
 	row.NsPerOp, row.AllocsPerOp, row.BytesPerOp = measureOp(hotpathIters, func() {
 		seqSchema, opErr = op(seqCfg)
@@ -155,9 +169,19 @@ func hotpathDataset(g *dataset.Generator, o Options, workers int) (HotpathRow, e
 		return HotpathRow{}, fmt.Errorf("hotpath: %s: %w", g.Name, opErr)
 	}
 
+	if core.EffectiveWorkers(workers, row.DistinctTypes) <= 1 {
+		row.ParNsPerOp = row.NsPerOp
+		row.ParSequential = true
+		row.SchemasEqual = true
+		return row, nil
+	}
+
 	parCfg := seqCfg
 	parCfg.StatsWorkers = workers
 	parCfg.SynthWorkers = workers
+	if _, err := op(parCfg); err != nil {
+		return HotpathRow{}, fmt.Errorf("hotpath: %s (parallel warmup): %w", g.Name, err)
+	}
 	row.ParNsPerOp, _, _ = measureOp(hotpathIters, func() {
 		parSchema, opErr = op(parCfg)
 	})
