@@ -1,6 +1,8 @@
 // Command jxlint runs the jxplain analyzer suite (interncheck,
-// hotpathalloc, detorder, mergelaw — see internal/lint). It speaks cmd/go's
-// vet tool protocol, so the canonical invocation is
+// hotpathalloc, hotpathcall, detorder, mergelaw, conccheck, ignoreaudit —
+// see internal/lint). It speaks cmd/go's vet tool protocol, including the
+// .vetx fact files that carry hotpathcall's cross-package AllocFree/ColdPath
+// facts between units, so the canonical invocation is
 //
 //	go vet -vettool=$(go env GOPATH)/bin/jxlint ./...
 //

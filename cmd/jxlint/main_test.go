@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"io"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -125,9 +127,117 @@ func Describe(v int) string {
 }
 `,
 	})
-	cmd := exec.Command("go", "vet", "-vettool="+tool, "-hotpathalloc=false", "./...")
+	// hotpathcall flags the same fixture (fmt.Sprintf is not a qualified
+	// callee), so both checks are opted out to isolate the flag plumbing.
+	cmd := exec.Command("go", "vet", "-vettool="+tool, "-hotpathalloc=false", "-hotpathcall=false", "./...")
 	cmd.Dir = dir
 	if out, err := cmd.CombinedOutput(); err != nil {
 		t.Fatalf("-hotpathalloc=false should disable the analyzer: %v\n%s", err, out)
+	}
+}
+
+// TestVettoolCrossPackageFacts drives the full vet protocol over a
+// two-package module: the AllocFree fact exported by package a's unit must
+// reach package b's unit through the .vetx plumbing, qualifying a.Fast
+// while still flagging the untagged a.Alloc.
+func TestVettoolCrossPackageFacts(t *testing.T) {
+	tool := buildTool(t)
+	dir := writeModule(t, map[string]string{
+		"go.mod": modfile,
+		"a/a.go": `package a
+
+// Fast is verified allocation-free.
+//
+//jx:hotpath
+func Fast(x int) int { return x + 1 }
+
+// Alloc is untagged.
+func Alloc(n int) []int { return make([]int, n) }
+`,
+		"b/b.go": `package b
+
+import "scratch/a"
+
+// Use relies on a.Fast's AllocFree fact crossing the unit boundary.
+//
+//jx:hotpath
+func Use(x int) int { return a.Fast(x) }
+
+// Bad calls an untagged dependency function.
+//
+//jx:hotpath
+func Bad(n int) []int { return a.Alloc(n) }
+`,
+	})
+	out, err := vet(t, tool, dir)
+	if err == nil {
+		t.Fatalf("go vet -vettool=jxlint missed the cross-package violation; output:\n%s", out)
+	}
+	if !strings.Contains(out, "hotpathcall") || !strings.Contains(out, "scratch/a.Alloc") {
+		t.Fatalf("expected a hotpathcall diagnostic naming scratch/a.Alloc:\n%s", out)
+	}
+	if strings.Contains(out, "scratch/a.Fast") {
+		t.Fatalf("a.Fast was flagged despite its AllocFree fact:\n%s", out)
+	}
+}
+
+func captureStdout(t *testing.T, f func() int) (string, int) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	code := f()
+	w.Close()
+	os.Stdout = old
+	data, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data), code
+}
+
+// TestVersionHandshake pins the -V=full output cmd/go parses to compute
+// the tool's build ID; a format drift silently breaks vet caching.
+func TestVersionHandshake(t *testing.T) {
+	out, code := captureStdout(t, func() int { return run([]string{"-V=full"}) })
+	if code != 0 {
+		t.Fatalf("-V=full exited %d\n%s", code, out)
+	}
+	if !strings.Contains(out, " version devel ") || !strings.Contains(out, "buildID=") {
+		t.Fatalf("-V=full output does not match cmd/go's expected shape: %q", out)
+	}
+}
+
+// TestFlagsHandshake pins the -flags JSON go vet uses to resolve
+// -<analyzer>=false on the command line.
+func TestFlagsHandshake(t *testing.T) {
+	out, code := captureStdout(t, func() int { return run([]string{"-flags"}) })
+	if code != 0 {
+		t.Fatalf("-flags exited %d\n%s", code, out)
+	}
+	var flags []struct {
+		Name string
+		Bool bool
+	}
+	if err := json.Unmarshal([]byte(out), &flags); err != nil {
+		t.Fatalf("-flags output is not valid JSON: %v\n%s", err, out)
+	}
+	byName := map[string]bool{}
+	for _, f := range flags {
+		if !f.Bool {
+			t.Errorf("flag %s is not boolean; go vet only forwards bool analyzer flags", f.Name)
+		}
+		byName[f.Name] = true
+	}
+	if len(flags) != 7 {
+		t.Errorf("-flags lists %d analyzers, want 7", len(flags))
+	}
+	for _, want := range []string{"interncheck", "hotpathalloc", "hotpathcall", "detorder", "mergelaw", "conccheck", "ignoreaudit"} {
+		if !byName[want] {
+			t.Errorf("-flags output is missing analyzer %s", want)
+		}
 	}
 }

@@ -42,6 +42,9 @@ type statsTrie struct {
 	elems    []*statsTrie          // array positions
 }
 
+// newStatsTrie allocates an empty trie node.
+//
+//jx:coldpath allocates once per newly observed path node, not per record
 func newStatsTrie() *statsTrie { return &statsTrie{} }
 
 //jx:hotpath

@@ -25,6 +25,8 @@ func newWorkPool(workers int) *workPool {
 // returns once all calls complete. Callers obtain determinism by writing
 // results into position i of a pre-sized slice and combining in index
 // order after forEach returns.
+//
+//jx:pool inline-fallback fan-out; callers write results by index per the forEach contract
 func (p *workPool) forEach(n int, fn func(i int)) {
 	if p == nil || n <= 1 {
 		for i := 0; i < n; i++ {

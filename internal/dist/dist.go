@@ -52,6 +52,8 @@ func split(n, workers int) [][2]int {
 
 // Map applies fn to every item in parallel and returns the results in input
 // order.
+//
+//jx:pool workers write disjoint ranges of the pre-sized out slice
 func Map[T, U any](items []T, workers int, fn func(T) U) []U {
 	out := make([]U, len(items))
 	parts := split(len(items), workers)
@@ -73,6 +75,8 @@ func Map[T, U any](items []T, workers int, fn func(T) U) []U {
 // into a fresh accumulator with add, then the per-worker accumulators are
 // combined left-to-right. combine must be associative for the result to be
 // independent of the partitioning; add(acc, item) may mutate and return acc.
+//
+//jx:pool each worker folds into its own accumulator, stored at accs[pi]; combine runs after Wait
 func Fold[T, A any](items []T, workers int, newAcc func() A, add func(A, T) A, combine func(A, A) A) A {
 	parts := split(len(items), workers)
 	if len(parts) == 0 {
@@ -101,6 +105,8 @@ func Fold[T, A any](items []T, workers int, newAcc func() A, add func(A, T) A, c
 
 // ForEach runs fn over every index in parallel; use when results are
 // written into caller-owned structures indexed by i.
+//
+//jx:pool workers cover disjoint index ranges; the write-by-index contract is the caller's
 func ForEach(n, workers int, fn func(i int)) {
 	parts := split(n, workers)
 	var wg sync.WaitGroup

@@ -254,6 +254,8 @@ func Transpose(sets []KeySet, dim int) []KeySet {
 // locks; a first (parallel) presence pass determines which columns are
 // non-empty so storage is allocated exactly as the serial walk would.
 // Output is identical to Transpose.
+//
+//jx:pool stripes are 64-row aligned, so workers write disjoint words of each column
 func TransposeParallel(sets []KeySet, dim, workers int) []KeySet {
 	stripes := transposeStripes(len(sets), workers)
 	if len(stripes) <= 1 {

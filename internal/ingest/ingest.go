@@ -83,6 +83,8 @@ type rawChunk struct {
 // stops ingestion and is returned as-is; decode errors and context
 // cancellation abort likewise. All internal goroutines have exited by the
 // time Each returns.
+//
+//jx:pool splitter/decoder fan-out communicates through channels only; re-sequencing is single-goroutine
 func Each(ctx context.Context, r io.Reader, opts Options, fn func(Chunk) error) (int, error) {
 	opts = opts.withDefaults()
 

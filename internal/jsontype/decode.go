@@ -32,7 +32,7 @@ func FromValue(v any) (*Type, error) {
 		return NewArray(elems), nil
 	case map[string]any:
 		fields := make([]Field, 0, len(x))
-		//jx:lint-ignore detorder NewObject canonicalizes by sorting fields
+		//jx:lint-ignore detorder field order is erased before escape: NewObject sorts and canonicalizes
 		for k, e := range x {
 			t, err := FromValue(e)
 			if err != nil {

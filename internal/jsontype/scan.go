@@ -75,6 +75,7 @@ func scanAll(data []byte, out []*Type) ([]*Type, error) {
 	}
 }
 
+//jx:hotpath
 func (s *typeScanner) reset(data []byte) {
 	s.data, s.pos = data, 0
 	s.fields = s.fields[:0]
@@ -93,9 +94,10 @@ func (s *typeScanner) skipSpace() {
 	}
 }
 
-// errf builds scan errors; it is the designated cold path and therefore
-// deliberately untagged — hot-path functions call it only on malformed
-// input.
+// errf builds scan errors; hot-path functions call it only on malformed
+// input, so the fmt allocation is off the steady state by construction.
+//
+//jx:coldpath error construction runs once per malformed document, not per record
 func (s *typeScanner) errf(msg string) error {
 	return fmt.Errorf("jsontype: %s at offset %d", msg, s.pos)
 }
@@ -203,8 +205,10 @@ func (s *typeScanner) key() (string, error) {
 
 // internKey decodes a key seen for the first time and caches it under its
 // raw bytes. It runs once per distinct raw key byte sequence — cold by
-// construction — so it stays untagged and may allocate (the cache entry)
-// and lean on encoding/json for escape decoding.
+// construction — so it may allocate (the cache entry) and lean on
+// encoding/json for escape decoding.
+//
+//jx:coldpath runs once per distinct raw key; steady state hits the keys cache
 func (s *typeScanner) internKey(raw, quoted []byte, escaped bool) (string, error) {
 	var k string
 	if escaped {
@@ -319,7 +323,7 @@ func (s *typeScanner) array() (*Type, error) {
 
 // sortFieldsStable sorts fields by key, stably. Small segments — the
 // overwhelming majority of JSON objects — use an allocation-free insertion
-// sort; wide objects fall back to sort.SliceStable.
+// sort; wide objects fall back to sortFieldsWide.
 //
 //jx:hotpath
 func sortFieldsStable(fields []Field) {
@@ -335,5 +339,13 @@ func sortFieldsStable(fields []Field) {
 		}
 		return
 	}
+	sortFieldsWide(fields)
+}
+
+// sortFieldsWide handles the >24-field case, where sort.SliceStable's
+// boxing of the slice is dwarfed by the comparisons anyway.
+//
+//jx:coldpath objects wider than 24 fields are rare; the sort dominates the boxing
+func sortFieldsWide(fields []Field) {
 	sort.SliceStable(fields, func(i, j int) bool { return fields[i].Key < fields[j].Key })
 }

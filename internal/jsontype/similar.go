@@ -10,6 +10,8 @@ package jsontype
 // (and null); like-kinded complex types are similar when nested values at
 // shared keys/positions are similar; differently-kinded complex types (or
 // a complex vs. a non-null primitive) are dissimilar.
+//
+//jx:hotpath
 func Similar(a, b *Type) bool {
 	if a == b {
 		return true // interning: identical pointers are identical types
@@ -68,6 +70,8 @@ type SimilarityAccumulator struct {
 // Add folds t into the accumulator and reports whether the set observed so
 // far is still pairwise similar. Once dissimilarity is detected the
 // accumulator latches false.
+//
+//jx:hotpath
 func (s *SimilarityAccumulator) Add(t *Type) bool {
 	if s.dissimilar {
 		return false
@@ -93,6 +97,8 @@ func (s *SimilarityAccumulator) Add(t *Type) bool {
 // non-null; a primitive subsumes its own kind; an array subsumes shorter
 // similar prefixes; an object subsumes similar key subsets. Behavior for
 // dissimilar inputs is unspecified.
+//
+//jx:hotpath
 func Subsumes(a, b *Type) bool {
 	if a == b {
 		return true // interning: Union(a, a) = a
@@ -144,6 +150,8 @@ func Subsumes(a, b *Type) bool {
 // similar iff both sides are internally similar and the two maximal types
 // are similar to each other. Combine makes the accumulator usable as the
 // per-partition state of a parallel fold.
+//
+//jx:hotpath
 func (s *SimilarityAccumulator) Combine(other *SimilarityAccumulator) {
 	if other.dissimilar {
 		s.dissimilar = true
@@ -181,6 +189,8 @@ func (s *SimilarityAccumulator) Max() *Type {
 // unioned recursively; null yields to the other side. For dissimilar inputs
 // the result is unspecified but total (the non-null, first-argument kind
 // wins), so callers should check Similar first when it matters.
+//
+//jx:coldpath allocates only when a new maximal shape appears; steady state hits Subsumes
 func Union(a, b *Type) *Type {
 	if a == b {
 		return a
@@ -236,6 +246,7 @@ func Union(a, b *Type) *Type {
 	return a
 }
 
+//jx:hotpath
 func min(a, b int) int {
 	if a < b {
 		return a

@@ -129,10 +129,14 @@ func NewObject(fields []Field) *Type {
 }
 
 // Kind returns the kind of the type.
+//
+//jx:hotpath
 func (t *Type) Kind() Kind { return t.kind }
 
 // Len returns the number of fields (objects) or positions (arrays).
 // It is 0 for primitives.
+//
+//jx:hotpath
 func (t *Type) Len() int {
 	if t.kind == KindArray {
 		return len(t.elems)
@@ -141,14 +145,20 @@ func (t *Type) Len() int {
 }
 
 // Elem returns the element type at array position i.
+//
+//jx:hotpath
 func (t *Type) Elem(i int) *Type { return t.elems[i] }
 
 // Elems returns the array's element types. The returned slice must not be
 // mutated.
+//
+//jx:hotpath
 func (t *Type) Elems() []*Type { return t.elems }
 
 // Fields returns the object's key-sorted fields. The returned slice must
 // not be mutated.
+//
+//jx:hotpath
 func (t *Type) Fields() []Field { return t.fields }
 
 // Field returns the type mapped under key, or nil if the key is absent.

@@ -1,0 +1,12 @@
+package conccheck_test
+
+import (
+	"testing"
+
+	"jxplain/internal/lint/analyzers/conccheck"
+	"jxplain/internal/lint/checktest"
+)
+
+func TestConccheck(t *testing.T) {
+	checktest.Run(t, "../../testdata/src", "example.com/concuse", conccheck.Analyzer)
+}

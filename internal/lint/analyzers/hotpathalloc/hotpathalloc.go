@@ -13,7 +13,13 @@
 //     index being read or as a comparison operand, so those forms are
 //     allowed; anything else allocates a string per call and must either
 //     go through a cache (see typeScanner.keys) or move off the tagged
-//     path.
+//     path;
+//   - box a non-pointer value into an interface. Converting an int, a
+//     slice, or a struct to interface{}/any (explicitly, as a call
+//     argument, in an assignment, or in a return) heap-allocates the
+//     boxed copy. Pointer-shaped values (pointers, channels, maps,
+//     funcs) fit in the interface word and constants are materialized
+//     statically, so those are allowed.
 //
 // The tag is opt-in and package-agnostic: annotate the functions whose
 // steady state must stay allocation-free, and the analyzer keeps them
@@ -32,7 +38,7 @@ import (
 // Analyzer is the hotpathalloc pass.
 var Analyzer = &jxanalysis.Analyzer{
 	Name: "hotpathalloc",
-	Doc:  "forbid fmt/encoding/json references and escaping string(bytes) conversions in //jx:hotpath functions",
+	Doc:  "forbid fmt/encoding/json references, escaping string(bytes) conversions, and interface boxing in //jx:hotpath functions",
 	Run:  run,
 }
 
@@ -90,9 +96,120 @@ func checkBody(pass *jxanalysis.Pass, fd *ast.FuncDecl) {
 			}
 		case *ast.CallExpr:
 			checkConversion(pass, n, name, stack)
+			checkCallBoxing(pass, n, name)
+		case *ast.AssignStmt:
+			if n.Tok == token.ASSIGN && len(n.Lhs) == len(n.Rhs) {
+				for i, rhs := range n.Rhs {
+					reportBoxing(pass, rhs, pass.TypesInfo.TypeOf(n.Lhs[i]), name)
+				}
+			}
+		case *ast.ValueSpec:
+			if n.Type != nil {
+				t := pass.TypesInfo.TypeOf(n.Type)
+				for _, v := range n.Values {
+					reportBoxing(pass, v, t, name)
+				}
+			}
+		case *ast.ReturnStmt:
+			results := enclosingResults(pass, fd, stack)
+			if results != nil && len(n.Results) == results.Len() {
+				for i, r := range n.Results {
+					reportBoxing(pass, r, results.At(i).Type(), name)
+				}
+			}
 		}
 		return true
 	})
+}
+
+// checkCallBoxing flags arguments boxed into interface parameters and
+// explicit conversions to an interface type. Spread calls (f(xs...)) pass
+// the slice through without boxing its elements, so they are skipped.
+func checkCallBoxing(pass *jxanalysis.Pass, call *ast.CallExpr, fn string) {
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 {
+			reportBoxing(pass, call.Args[0], tv.Type, fn)
+		}
+		return
+	}
+	if call.Ellipsis.IsValid() {
+		return
+	}
+	t := pass.TypesInfo.TypeOf(call.Fun)
+	if t == nil {
+		return
+	}
+	sig, ok := types.Unalias(t).Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	np := sig.Params().Len()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= np-1:
+			slice, ok := types.Unalias(sig.Params().At(np - 1).Type()).Underlying().(*types.Slice)
+			if !ok {
+				continue
+			}
+			pt = slice.Elem()
+		case i < np:
+			pt = sig.Params().At(i).Type()
+		default:
+			continue
+		}
+		reportBoxing(pass, arg, pt, fn)
+	}
+}
+
+// reportBoxing reports e when assigning it to dst boxes a non-pointer
+// value into an interface.
+func reportBoxing(pass *jxanalysis.Pass, e ast.Expr, dst types.Type, fn string) {
+	if dst == nil || !types.IsInterface(dst) {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value != nil { // constants are materialized statically
+		return
+	}
+	src := tv.Type
+	if src == nil || types.IsInterface(src) || pointerShaped(src) {
+		return
+	}
+	if b, ok := types.Unalias(src).Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return
+	}
+	pass.Reportf(e.Pos(), "hot-path function %s boxes %s into %s; boxing heap-allocates — keep the value concrete or pass a pointer",
+		fn, types.TypeString(src, types.RelativeTo(pass.Pkg)), types.TypeString(dst, types.RelativeTo(pass.Pkg)))
+}
+
+// pointerShaped reports whether values of t fit in the interface data
+// word without allocating.
+func pointerShaped(t types.Type) bool {
+	switch u := types.Unalias(t).Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+// enclosingResults returns the result tuple of the innermost function
+// enclosing the statement whose ancestor stack is given.
+func enclosingResults(pass *jxanalysis.Pass, fd *ast.FuncDecl, stack []ast.Node) *types.Tuple {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if lit, ok := stack[i].(*ast.FuncLit); ok {
+			if sig, ok := types.Unalias(pass.TypesInfo.TypeOf(lit)).(*types.Signature); ok {
+				return sig.Results()
+			}
+			return nil
+		}
+	}
+	if obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+		return obj.Type().(*types.Signature).Results()
+	}
+	return nil
 }
 
 // checkConversion flags string(b []byte) conversions in contexts where the

@@ -1,0 +1,12 @@
+package hotpathcall_test
+
+import (
+	"testing"
+
+	"jxplain/internal/lint/analyzers/hotpathcall"
+	"jxplain/internal/lint/checktest"
+)
+
+func TestHotpathcall(t *testing.T) {
+	checktest.Run(t, "../../testdata/src", "example.com/hotcall", hotpathcall.Analyzer)
+}

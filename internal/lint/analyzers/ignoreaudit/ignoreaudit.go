@@ -1,0 +1,28 @@
+// Package ignoreaudit reports //jx:lint-ignore directives that suppress
+// nothing. The escape hatch exists so a deliberate violation can be
+// waved through with a stated reason, but once the offending code is
+// rewritten the directive lingers and quietly disables the analyzer for
+// whatever lands on that line next. This pass makes stale suppressions
+// an error, so the set of ignores in the tree is always the set of
+// live, justified exceptions.
+//
+// The check itself lives in the jxanalysis framework (RunFacts): only
+// the driver knows, after applying Filter, which directives matched a
+// diagnostic and which went unused. This analyzer is the opt-in switch —
+// its presence in the run (under jxanalysis.IgnoreAuditName) activates
+// the audit — and its Run contributes nothing directly.
+//
+// Directives in _test.go files are exempt, because several analyzers
+// skip test files and suppressions there cannot be validated. A
+// directive naming an analyzer excluded from the current run (e.g. via
+// -hotpathalloc=false) is exempt too.
+package ignoreaudit
+
+import "jxplain/internal/lint/jxanalysis"
+
+// Analyzer is the ignoreaudit pass.
+var Analyzer = &jxanalysis.Analyzer{
+	Name: jxanalysis.IgnoreAuditName,
+	Doc:  "report //jx:lint-ignore directives that suppress no diagnostic",
+	Run:  func(*jxanalysis.Pass) error { return nil },
+}

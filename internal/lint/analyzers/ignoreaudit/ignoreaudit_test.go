@@ -1,0 +1,17 @@
+package ignoreaudit_test
+
+import (
+	"testing"
+
+	"jxplain/internal/lint/analyzers/hotpathalloc"
+	"jxplain/internal/lint/analyzers/ignoreaudit"
+	"jxplain/internal/lint/checktest"
+	"jxplain/internal/lint/jxanalysis"
+)
+
+// The audit only activates alongside the analyzer whose directives it
+// validates, so the fixture runs as a suite.
+func TestIgnoreaudit(t *testing.T) {
+	checktest.RunSuite(t, "../../testdata/src", "example.com/ignoreuse",
+		[]*jxanalysis.Analyzer{hotpathalloc.Analyzer, ignoreaudit.Analyzer})
+}

@@ -2,8 +2,11 @@
 package analyzers
 
 import (
+	"jxplain/internal/lint/analyzers/conccheck"
 	"jxplain/internal/lint/analyzers/detorder"
 	"jxplain/internal/lint/analyzers/hotpathalloc"
+	"jxplain/internal/lint/analyzers/hotpathcall"
+	"jxplain/internal/lint/analyzers/ignoreaudit"
 	"jxplain/internal/lint/analyzers/interncheck"
 	"jxplain/internal/lint/analyzers/mergelaw"
 	"jxplain/internal/lint/jxanalysis"
@@ -14,7 +17,10 @@ func All() []*jxanalysis.Analyzer {
 	return []*jxanalysis.Analyzer{
 		interncheck.Analyzer,
 		hotpathalloc.Analyzer,
+		hotpathcall.Analyzer,
 		detorder.Analyzer,
 		mergelaw.Analyzer,
+		conccheck.Analyzer,
+		ignoreaudit.Analyzer,
 	}
 }

@@ -1,6 +1,6 @@
 // Package checktest is a miniature of golang.org/x/tools/go/analysis/
 // analysistest: it loads a fixture package from a testdata source root,
-// runs one analyzer over it (including the //jx:lint-ignore filtering, so
+// runs analyzers over it (including the //jx:lint-ignore filtering, so
 // fixtures exercise the escape hatch end-to-end), and compares the
 // diagnostics against "// want" expectations embedded in the fixture.
 //
@@ -12,6 +12,18 @@
 // Each quoted pattern must match the message of exactly one diagnostic
 // reported on that line; diagnostics with no matching expectation, and
 // expectations with no matching diagnostic, fail the test.
+//
+// Fact-declaring analyzers are additionally run over the fixture's
+// in-fixture dependency packages first (dependency order, shared fact
+// store, diagnostics discarded), so cross-package fixtures see the same
+// fact flow as the vet driver. Exported facts can be pinned with
+//
+//	// want-fact AllocFree
+//	// want-fact AllocFree ColdPath
+//
+// on the declaration line: each named fact type must be attached to an
+// object declared on that line. The check is one-way — facts without a
+// want-fact comment are not errors.
 package checktest
 
 import (
@@ -33,43 +45,54 @@ type expectation struct {
 	matched bool
 }
 
+type factExpectation struct {
+	file    string
+	line    int
+	name    string
+	matched bool
+}
+
 // Run loads root/path and checks analyzer's diagnostics against the
 // fixture's // want comments.
 func Run(t *testing.T, root, path string, analyzer *jxanalysis.Analyzer) {
 	t.Helper()
-	pkg, err := loader.Load(root, path)
+	RunSuite(t, root, path, []*jxanalysis.Analyzer{analyzer})
+}
+
+// RunSuite is Run for a set of analyzers sharing one pass — the form the
+// ignoreaudit fixtures need (the audit activates only when ignoreaudit
+// runs alongside the analyzer whose directive it validates) and the form
+// cross-package fact fixtures need.
+func RunSuite(t *testing.T, root, path string, suite []*jxanalysis.Analyzer) {
+	t.Helper()
+	main, deps, err := loader.LoadAll(root, path)
 	if err != nil {
 		t.Fatalf("loading fixture %s: %v", path, err)
 	}
-	diags, err := jxanalysis.Run(pkg, []*jxanalysis.Analyzer{analyzer})
-	if err != nil {
-		t.Fatalf("running %s on %s: %v", analyzer.Name, path, err)
-	}
-
-	var expects []*expectation
-	for _, f := range pkg.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
-				if !strings.HasPrefix(text, "want ") {
-					continue
-				}
-				pos := pkg.Fset.Position(c.Pos())
-				for _, raw := range splitQuoted(t, pos, strings.TrimPrefix(text, "want ")) {
-					rx, err := regexp.Compile(raw)
-					if err != nil {
-						t.Fatalf("%s: bad want pattern %q: %v", pos, raw, err)
-					}
-					expects = append(expects, &expectation{
-						file: pos.Filename, line: pos.Line, rx: rx, raw: raw,
-					})
-				}
-			}
+	facts := jxanalysis.NewFacts()
+	factSuite := make([]*jxanalysis.Analyzer, 0, len(suite))
+	for _, a := range suite {
+		if len(a.FactTypes) > 0 {
+			factSuite = append(factSuite, a)
 		}
 	}
+	for _, dep := range deps {
+		if len(factSuite) == 0 {
+			break
+		}
+		if _, err := jxanalysis.RunFacts(dep, factSuite, facts); err != nil {
+			t.Fatalf("running fact analyzers on dependency %s: %v", dep.Types.Path(), err)
+		}
+	}
+	diags, err := jxanalysis.RunFacts(main, suite, facts)
+	if err != nil {
+		t.Fatalf("running suite on %s: %v", path, err)
+	}
+
+	expects, factExpects := collectExpectations(t, main, deps)
 
 	for _, d := range diags {
-		pos := pkg.Fset.Position(d.Pos)
+		pos := main.Fset.Position(d.Pos)
 		if !claim(expects, pos, d.Message) {
 			t.Errorf("%s: unexpected diagnostic [%s] %s", pos, d.Analyzer, d.Message)
 		}
@@ -79,6 +102,69 @@ func Run(t *testing.T, root, path string, analyzer *jxanalysis.Analyzer) {
 			t.Errorf("%s:%d: no diagnostic matched want %q", e.file, e.line, e.raw)
 		}
 	}
+
+	for _, of := range facts.ObjectFacts() {
+		pos := main.Fset.Position(of.Object.Pos())
+		name := jxanalysis.FactName(of.Fact)
+		for _, fe := range factExpects {
+			if fe.file == pos.Filename && fe.line == pos.Line && fe.name == name {
+				fe.matched = true
+			}
+		}
+	}
+	for _, fe := range factExpects {
+		if !fe.matched {
+			t.Errorf("%s:%d: no exported fact matched want-fact %s", fe.file, fe.line, fe.name)
+		}
+	}
+}
+
+// collectExpectations scans the main package for // want comments and the
+// whole fixture (main and dependencies — facts cross packages) for
+// // want-fact comments.
+func collectExpectations(t *testing.T, main *jxanalysis.Package, deps []*jxanalysis.Package) ([]*expectation, []*factExpectation) {
+	t.Helper()
+	var expects []*expectation
+	var factExpects []*factExpectation
+	scan := func(pkg *jxanalysis.Package, wantDiags bool) {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					// A want marker may trail another comment in the same
+					// line comment — e.g. a //jx:lint-ignore directive whose
+					// own position an ignoreaudit fixture asserts on.
+					if i := strings.LastIndex(text, "// want"); i >= 0 {
+						text = strings.TrimSpace(strings.TrimPrefix(text[i:], "//"))
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					switch {
+					case strings.HasPrefix(text, "want-fact "):
+						for _, name := range strings.Fields(strings.TrimPrefix(text, "want-fact ")) {
+							factExpects = append(factExpects, &factExpectation{
+								file: pos.Filename, line: pos.Line, name: name,
+							})
+						}
+					case wantDiags && strings.HasPrefix(text, "want "):
+						for _, raw := range splitQuoted(t, pos, strings.TrimPrefix(text, "want ")) {
+							rx, err := regexp.Compile(raw)
+							if err != nil {
+								t.Fatalf("%s: bad want pattern %q: %v", pos, raw, err)
+							}
+							expects = append(expects, &expectation{
+								file: pos.Filename, line: pos.Line, rx: rx, raw: raw,
+							})
+						}
+					}
+				}
+			}
+		}
+	}
+	scan(main, true)
+	for _, dep := range deps {
+		scan(dep, false) // dependency diagnostics are discarded; only facts matter
+	}
+	return expects, factExpects
 }
 
 func claim(expects []*expectation, pos token.Position, msg string) bool {

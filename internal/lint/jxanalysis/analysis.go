@@ -18,14 +18,19 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"strings"
 )
 
 // An Analyzer is one static check. Name identifies it in diagnostics and in
 // //jx:lint-ignore directives; Doc says what invariant it enforces.
+// FactTypes declares the Fact types the analyzer exports or imports; an
+// analyzer with facts also runs over dependency units (facts-only, no
+// diagnostics) so its results reach dependents.
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(*Pass) error
+	Name      string
+	Doc       string
+	Run       func(*Pass) error
+	FactTypes []Fact
 }
 
 // A Pass is one analyzer's view of one type-checked compilation unit.
@@ -37,6 +42,35 @@ type Pass struct {
 	TypesInfo *types.Info
 
 	diags *[]Diagnostic
+	facts *Facts
+}
+
+// ExportObjectFact attaches fact to obj, which must belong to the package
+// under analysis. The driver serializes it with the unit so dependent
+// units can import it.
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	if obj == nil || obj.Pkg() != p.Pkg {
+		panic(fmt.Sprintf("%s: ExportObjectFact on object %v outside package %v", p.Analyzer.Name, obj, p.Pkg))
+	}
+	p.facts.setObject(obj, fact)
+}
+
+// ImportObjectFact copies the fact of fact's type attached to obj — by
+// this unit or by a dependency unit — into fact, reporting whether one
+// exists.
+func (p *Pass) ImportObjectFact(obj types.Object, fact Fact) bool {
+	return p.facts.getObject(obj, fact)
+}
+
+// ExportPackageFact attaches fact to the package under analysis.
+func (p *Pass) ExportPackageFact(fact Fact) {
+	p.facts.setPackage(p.Pkg, fact)
+}
+
+// ImportPackageFact copies pkg's fact of fact's type into fact, reporting
+// whether one exists.
+func (p *Pass) ImportPackageFact(pkg *types.Package, fact Fact) bool {
+	return p.facts.getPackage(pkg, fact)
 }
 
 // Reportf records a diagnostic at pos.
@@ -78,12 +112,27 @@ func NewInfo() *types.Info {
 	}
 }
 
-// Run executes the analyzers over pkg, applies the //jx:lint-ignore
-// directives, and returns the surviving diagnostics in a deterministic
-// order (position, then analyzer, then message).
+// IgnoreAuditName is the name of the ignoreaudit analyzer. Its check is
+// implemented here rather than in its Run function because only the
+// framework knows, after Filter, which //jx:lint-ignore directives
+// suppressed a diagnostic and which went stale.
+const IgnoreAuditName = "ignoreaudit"
+
+// Run executes the analyzers over pkg with a fresh fact store. See
+// RunFacts.
 func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return RunFacts(pkg, analyzers, NewFacts())
+}
+
+// RunFacts executes the analyzers over pkg against the shared fact store,
+// applies the //jx:lint-ignore directives, audits them when the
+// ignoreaudit analyzer is active, and returns the surviving diagnostics in
+// a deterministic order (position, then analyzer, then message).
+func RunFacts(pkg *Package, analyzers []*Analyzer, facts *Facts) ([]Diagnostic, error) {
 	var diags []Diagnostic
+	active := map[string]bool{}
 	for _, a := range analyzers {
+		active[a.Name] = true
 		pass := &Pass{
 			Analyzer:  a,
 			Fset:      pkg.Fset,
@@ -91,12 +140,29 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.Info,
 			diags:     &diags,
+			facts:     facts,
 		}
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
 		}
 	}
-	diags = Filter(pkg.Fset, pkg.Files, diags)
+	diags, directives := filterTrack(pkg.Fset, pkg.Files, diags)
+	if active[IgnoreAuditName] {
+		for _, dir := range directives {
+			// Directives in test files are exempt: several analyzers skip
+			// _test.go, so suppressions there cannot be validated. A
+			// directive naming an analyzer not in this run is skipped too —
+			// it may be validated by a run with that analyzer enabled.
+			if strings.HasSuffix(dir.file, "_test.go") || !active[dir.analyzer] || dir.used {
+				continue
+			}
+			diags = append(diags, Diagnostic{
+				Pos:      dir.pos,
+				Analyzer: IgnoreAuditName,
+				Message:  fmt.Sprintf("ignore directive for %s suppresses no diagnostic; delete it or fix the reason", dir.analyzer),
+			})
+		}
+	}
 	sort.SliceStable(diags, func(i, j int) bool {
 		pi, pj := pkg.Fset.Position(diags[i].Pos), pkg.Fset.Position(diags[j].Pos)
 		if pi.Filename != pj.Filename {

@@ -14,7 +14,9 @@ import (
 // directive or on the line directly below it (so the directive can trail
 // the offending statement or sit on its own line above it). The reason is
 // mandatory: an intentional violation must say why it is intentional, and
-// a directive without a reason is itself reported.
+// a directive without a reason is itself reported. When the ignoreaudit
+// analyzer is active, a well-formed directive that suppresses nothing is
+// reported too, so stale escape hatches cannot accumulate.
 const ignorePrefix = "//jx:lint-ignore"
 
 type ignoreKey struct {
@@ -22,11 +24,29 @@ type ignoreKey struct {
 	line int
 }
 
+// directive is one parsed //jx:lint-ignore comment and whether it
+// suppressed at least one diagnostic.
+type directive struct {
+	pos      token.Pos
+	file     string
+	line     int
+	analyzer string
+	used     bool
+}
+
 // Filter applies the //jx:lint-ignore directives found in files to diags:
 // suppressed diagnostics are dropped, and malformed directives are
 // reported as diagnostics of the pseudo-analyzer "jxlint".
 func Filter(fset *token.FileSet, files []*ast.File, diags []Diagnostic) []Diagnostic {
-	index := map[ignoreKey]map[string]bool{}
+	kept, _ := filterTrack(fset, files, diags)
+	return kept
+}
+
+// filterTrack is Filter, also returning every well-formed directive with
+// its usage state so the framework can audit stale suppressions.
+func filterTrack(fset *token.FileSet, files []*ast.File, diags []Diagnostic) ([]Diagnostic, []*directive) {
+	index := map[ignoreKey]map[string][]*directive{}
+	var directives []*directive
 	var kept []Diagnostic
 	for _, f := range files {
 		for _, cg := range f.Comments {
@@ -44,21 +64,30 @@ func Filter(fset *token.FileSet, files []*ast.File, diags []Diagnostic) []Diagno
 					continue
 				}
 				pos := fset.Position(c.Pos())
+				d := &directive{pos: c.Pos(), file: pos.Filename, line: pos.Line, analyzer: fields[0]}
+				directives = append(directives, d)
 				key := ignoreKey{pos.Filename, pos.Line}
 				if index[key] == nil {
-					index[key] = map[string]bool{}
+					index[key] = map[string][]*directive{}
 				}
-				index[key][fields[0]] = true
+				index[key][fields[0]] = append(index[key][fields[0]], d)
 			}
 		}
 	}
+	suppress := func(key ignoreKey, analyzer string) bool {
+		ds := index[key][analyzer]
+		for _, d := range ds {
+			d.used = true
+		}
+		return len(ds) > 0
+	}
 	for _, d := range diags {
 		pos := fset.Position(d.Pos)
-		if index[ignoreKey{pos.Filename, pos.Line}][d.Analyzer] ||
-			index[ignoreKey{pos.Filename, pos.Line - 1}][d.Analyzer] {
+		if suppress(ignoreKey{pos.Filename, pos.Line}, d.Analyzer) ||
+			suppress(ignoreKey{pos.Filename, pos.Line - 1}, d.Analyzer) {
 			continue
 		}
 		kept = append(kept, d)
 	}
-	return kept
+	return kept, directives
 }

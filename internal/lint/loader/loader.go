@@ -38,6 +38,31 @@ func Load(root, path string) (*jxanalysis.Package, error) {
 	return &jxanalysis.Package{Fset: im.fset, Files: e.files, Types: e.pkg, Info: e.info}, nil
 }
 
+// LoadAll is Load, additionally returning the fixture-local packages the
+// main package (transitively) imports, in dependency order: each package
+// appears after everything it imports, so a driver can analyze the slice
+// front to back and have every fact available when its importer runs.
+// All packages share one FileSet.
+func LoadAll(root, path string) (main *jxanalysis.Package, deps []*jxanalysis.Package, err error) {
+	im := &fixtureImporter{
+		root:  root,
+		fset:  token.NewFileSet(),
+		cache: map[string]*entry{},
+	}
+	im.std = importer.ForCompiler(im.fset, "source", nil)
+	e, err := im.load(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, d := range im.order {
+		if d == e {
+			continue
+		}
+		deps = append(deps, &jxanalysis.Package{Fset: im.fset, Files: d.files, Types: d.pkg, Info: d.info})
+	}
+	return &jxanalysis.Package{Fset: im.fset, Files: e.files, Types: e.pkg, Info: e.info}, deps, nil
+}
+
 type entry struct {
 	pkg   *types.Package
 	files []*ast.File
@@ -49,6 +74,7 @@ type fixtureImporter struct {
 	fset  *token.FileSet
 	std   types.Importer
 	cache map[string]*entry
+	order []*entry // fixture packages in completion (dependency) order
 }
 
 // Import resolves an import path: fixture packages from the source root,
@@ -103,5 +129,6 @@ func (im *fixtureImporter) load(path string) (*entry, error) {
 	}
 	e := &entry{pkg: pkg, files: files, info: info}
 	im.cache[path] = e
+	im.order = append(im.order, e)
 	return e, nil
 }

@@ -1,0 +1,17 @@
+// Package coldlib is the dependency side of the hotpathcall fixture: its
+// tagged functions export AllocFree/ColdPath facts that example.com/hotcall
+// imports through the shared fact store.
+package coldlib
+
+// Fast is allocation-free and callable from any hot path.
+//
+//jx:hotpath
+func Fast(x int) int { return x + 1 } // want-fact AllocFree
+
+// Slow allocates, but is a designated cold helper.
+//
+//jx:coldpath fixture: first-occurrence setup allocates by design
+func Slow(n int) []int { return make([]int, n) } // want-fact ColdPath
+
+// Alloc is untagged: hot paths in dependent packages may not call it.
+func Alloc(n int) []int { return make([]int, n) }

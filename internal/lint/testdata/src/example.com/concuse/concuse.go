@@ -1,0 +1,91 @@
+// Package concuse exercises the conccheck analyzer: the //jx:pool gate on
+// go statements, the result-writing discipline inside spawned closures,
+// and the WaitGroup Add/Done pairing rules.
+package concuse
+
+import "sync"
+
+// rogue spawns a goroutine outside any pool helper.
+func rogue() {
+	go func() {}() // want `go statement in rogue, which is not a //jx:pool helper`
+}
+
+// Fan is the canonical pool shape: index-disjoint stores, deferred Done.
+//
+//jx:pool fixture: workers write out[i] disjointly; Add pairs with deferred Done
+func Fan(xs []int) []int {
+	out := make([]int, len(xs))
+	var wg sync.WaitGroup
+	for i, x := range xs {
+		wg.Add(1)
+		go func(i, x int) {
+			defer wg.Done()
+			out[i] = x * 2
+		}(i, x)
+	}
+	wg.Wait()
+	return out
+}
+
+// ChanFan returns results over a channel instead: also sanctioned.
+//
+//jx:pool fixture: results flow through a buffered channel
+func ChanFan(xs []int) []int {
+	ch := make(chan int, len(xs))
+	for _, x := range xs {
+		go func(x int) { ch <- x * 2 }(x)
+	}
+	out := make([]int, 0, len(xs))
+	for range xs {
+		out = append(out, <-ch)
+	}
+	return out
+}
+
+// badShared violates the closure discipline in every way at once.
+//
+//jx:pool fixture: demonstrates shared-write violations
+func badShared(xs []int) (int, []int) {
+	var sum int
+	var count int
+	var all []int
+	seen := map[int]bool{}
+	var wg sync.WaitGroup
+	for _, x := range xs {
+		wg.Add(1)
+		go func(x int) {
+			defer wg.Done()
+			sum += x             // want `assigns captured variable sum`
+			count++              // want `increments captured variable count`
+			all = append(all, x) // want `assigns captured variable all` `appends to captured slice all`
+			seen[x] = true       // want `writes captured map seen`
+		}(x)
+	}
+	wg.Wait()
+	return sum + count, all
+}
+
+// badDone calls Done without defer, so a panic would deadlock Wait.
+//
+//jx:pool fixture: demonstrates WaitGroup misuse
+func badDone(ch chan int, n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1) // want `wg\.Add in pool function badDone has no deferred wg\.Done`
+		go func() {
+			ch <- 1
+			wg.Done() // want `wg\.Done in pool function badDone is not deferred`
+		}()
+	}
+	wg.Wait()
+}
+
+// notAPool carries the tag but spawns nothing.
+//
+//jx:pool fixture: mistakenly tagged
+func notAPool() {} // want `//jx:pool function notAPool spawns no goroutine; the directive is stale`
+
+//jx:pool
+func noReason() { // want `//jx:pool directive on noReason requires a reason`
+	go func() {}()
+}

@@ -12,7 +12,44 @@ var cache = map[string]int{}
 
 //jx:hotpath
 func badFmt(v int) string {
-	return fmt.Sprintf("%d", v) // want `references fmt`
+	return fmt.Sprintf("%d", v) // want `references fmt` `boxes int into any`
+}
+
+//jx:hotpath
+func badExplicitBox(v [2]int) any {
+	return any(v) // want `boxes \[2\]int into any`
+}
+
+//jx:hotpath
+func badAssignBox(v []byte) (out any) {
+	out = v // want `boxes \[\]byte into any`
+	return out
+}
+
+//jx:hotpath
+func badReturnBox(s string) any {
+	return s // want `boxes string into any`
+}
+
+//jx:hotpath
+func badDeclBox(v uint64) int {
+	var x any = v // want `boxes uint64 into any`
+	_ = x
+	return 0
+}
+
+// okBoxes: constants are materialized statically, pointer-shaped values
+// fit in the interface word, interfaces pass through, and spread calls
+// forward the slice without boxing elements.
+//
+//jx:hotpath
+func okBoxes(p *int, e error, args []any) []any {
+	var x any = 42
+	var y any = p
+	var z any = e
+	f := func(vs ...any) int { return len(vs) }
+	f(args...)
+	return []any{x, y, z}
 }
 
 //jx:hotpath

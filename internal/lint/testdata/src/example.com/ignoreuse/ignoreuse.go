@@ -1,0 +1,28 @@
+// Package ignoreuse exercises the ignoreaudit analyzer: a directive that
+// suppresses a live diagnostic is fine, a directive that suppresses
+// nothing is itself reported at its own position.
+package ignoreuse
+
+import "fmt"
+
+// hotFmt keeps a justified suppression: the fmt reference and the boxing
+// of v below are real hotpathalloc diagnostics it silences.
+//
+//jx:hotpath
+func hotFmt(v int) string {
+	//jx:lint-ignore hotpathalloc fixture: exercises a used directive
+	return fmt.Sprint(v)
+}
+
+// coolFmt is not hot, so its directive suppresses nothing.
+func coolFmt(v int) string {
+	//jx:lint-ignore hotpathalloc fixture: exercises a stale directive // want `ignore directive for hotpathalloc suppresses no diagnostic`
+	return fmt.Sprint(v)
+}
+
+// otherAnalyzer names an analyzer that is not part of this run; the audit
+// leaves it for a run where that analyzer is active.
+func otherAnalyzer(v int) string {
+	//jx:lint-ignore detorder fixture: analyzer not in this suite
+	return fmt.Sprint(v)
+}

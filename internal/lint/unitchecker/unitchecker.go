@@ -7,8 +7,16 @@
 // importer with a custom lookup), the analyzers run, and diagnostics are
 // printed to stderr in file:line:col form with a non-zero exit status.
 //
-// jxlint declares no analysis facts, so the .vetx output cmd/go caches is
-// an empty file; dependency units (VetxOnly) return immediately.
+// Facts ride the same protocol: before the analyzers run, the .vetx file
+// of every dependency (cfg.PackageVetx) is decoded into the unit's fact
+// store, and afterwards the store — the unit's own exports plus the
+// imported facts, so propagation is transitive — is gob-encoded into
+// cfg.VetxOutput, which cmd/go caches next to the export data and feeds
+// to dependent units. Dependency units arrive with VetxOnly set; for
+// those only the fact-declaring analyzers run (diagnostics discarded),
+// and units outside the module under analysis are skipped outright with
+// an empty vetx, since the //jx: directives facts are derived from are
+// module-local by construction.
 package unitchecker
 
 import (
@@ -21,6 +29,7 @@ import (
 	"go/types"
 	"io"
 	"os"
+	"sort"
 	"strings"
 
 	"jxplain/internal/lint/jxanalysis"
@@ -59,23 +68,62 @@ func Run(cfgPath string, analyzers []*jxanalysis.Analyzer) int {
 		fmt.Fprintf(os.Stderr, "jxlint: %v\n", err)
 		return 1
 	}
-	// Write the (empty — jxlint has no facts) vetx output first so cmd/go
-	// can cache the unit regardless of findings.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
-			fmt.Fprintf(os.Stderr, "jxlint: writing vetx output: %v\n", err)
-			return 1
+	if err := jxanalysis.RegisterFactTypes(analyzers); err != nil {
+		fmt.Fprintf(os.Stderr, "jxlint: %v\n", err)
+		return 1
+	}
+	// cmd/go caches the unit keyed on the vetx output, so one must be
+	// written on every exit path — empty on failure.
+	writeVetx := func(data []byte) bool {
+		if cfg.VetxOutput == "" {
+			return true
 		}
+		if err := os.WriteFile(cfg.VetxOutput, data, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "jxlint: writing vetx output: %v\n", err)
+			return false
+		}
+		return true
 	}
 	if cfg.VetxOnly {
-		return 0 // dependency unit: facts only, and jxlint has none
+		// Dependency unit: only facts matter. The //jx: directives facts
+		// come from are module-local, so units outside the module export
+		// nothing and need not be type-checked at all.
+		factAnalyzers := withFacts(analyzers)
+		if len(factAnalyzers) == 0 || !moduleLocal(cfg) {
+			if !writeVetx(nil) {
+				return 1
+			}
+			return 0
+		}
+		_, factsData, err := analyze(cfg, factAnalyzers)
+		if err != nil {
+			if !writeVetx(nil) {
+				return 1
+			}
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintf(os.Stderr, "jxlint: %s: %v\n", cfg.ImportPath, err)
+			return 1
+		}
+		if !writeVetx(factsData) {
+			return 1
+		}
+		return 0
 	}
-	diags, err := analyze(cfg, analyzers)
+	diags, factsData, err := analyze(cfg, analyzers)
 	if err != nil {
+		ok := writeVetx(nil)
 		if cfg.SucceedOnTypecheckFailure {
+			if !ok {
+				return 1
+			}
 			return 0
 		}
 		fmt.Fprintf(os.Stderr, "jxlint: %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	if !writeVetx(factsData) {
 		return 1
 	}
 	for _, d := range diags {
@@ -85,6 +133,29 @@ func Run(cfgPath string, analyzers []*jxanalysis.Analyzer) int {
 		return 2
 	}
 	return 0
+}
+
+// withFacts filters analyzers down to those that declare fact types —
+// the only ones whose results a dependency unit contributes.
+func withFacts(analyzers []*jxanalysis.Analyzer) []*jxanalysis.Analyzer {
+	var out []*jxanalysis.Analyzer
+	for _, a := range analyzers {
+		if len(a.FactTypes) > 0 {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// moduleLocal reports whether the unit belongs to the module under
+// analysis (test-variant import paths like "pkg [pkg.test]" share the
+// module prefix and qualify).
+func moduleLocal(cfg *Config) bool {
+	if cfg.ModulePath == "" {
+		return false
+	}
+	return cfg.ImportPath == cfg.ModulePath ||
+		strings.HasPrefix(cfg.ImportPath, cfg.ModulePath+"/")
 }
 
 // A Finding is one diagnostic with its position resolved.
@@ -109,14 +180,16 @@ func readConfig(path string) (*Config, error) {
 	return cfg, nil
 }
 
-// analyze parses and type-checks the unit, then runs the analyzers.
-func analyze(cfg *Config, analyzers []*jxanalysis.Analyzer) ([]Finding, error) {
+// analyze parses and type-checks the unit, seeds the fact store from the
+// dependencies' vetx files, runs the analyzers, and returns the findings
+// together with the unit's encoded facts.
+func analyze(cfg *Config, analyzers []*jxanalysis.Analyzer) ([]Finding, []byte, error) {
 	fset := token.NewFileSet()
 	var files []*ast.File
 	for _, name := range cfg.GoFiles {
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		files = append(files, f)
 	}
@@ -138,18 +211,66 @@ func analyze(cfg *Config, analyzers []*jxanalysis.Analyzer) ([]Finding, error) {
 	pkg := &jxanalysis.Package{Fset: fset, Files: files, Info: jxanalysis.NewInfo()}
 	tpkg, err := conf.Check(cfg.ImportPath, fset, files, pkg.Info)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	pkg.Types = tpkg
-	diags, err := jxanalysis.Run(pkg, analyzers)
+	facts := jxanalysis.NewFacts()
+	if err := importFacts(cfg, tpkg, facts); err != nil {
+		return nil, nil, err
+	}
+	diags, err := jxanalysis.RunFacts(pkg, analyzers, facts)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
+	}
+	factsData, err := facts.Encode()
+	if err != nil {
+		return nil, nil, err
 	}
 	out := make([]Finding, len(diags))
 	for i, d := range diags {
 		out[i] = Finding{Position: fset.Position(d.Pos), Analyzer: d.Analyzer, Message: d.Message}
 	}
-	return out, nil
+	return out, factsData, nil
+}
+
+// importFacts decodes each dependency vetx file listed in cfg.PackageVetx
+// into the store. Fact objects are resolved against the unit's transitive
+// import graph; facts on packages the unit cannot reference are skipped
+// by Decode.
+func importFacts(cfg *Config, tpkg *types.Package, facts *jxanalysis.Facts) error {
+	if len(cfg.PackageVetx) == 0 {
+		return nil
+	}
+	byPath := map[string]*types.Package{}
+	indexImports(tpkg, byPath)
+	find := func(path string) *types.Package { return byPath[path] }
+	paths := make([]string, 0, len(cfg.PackageVetx))
+	for p := range cfg.PackageVetx {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		data, err := os.ReadFile(cfg.PackageVetx[p])
+		if err != nil {
+			return fmt.Errorf("reading facts of %s: %w", p, err)
+		}
+		if err := facts.Decode(data, find); err != nil {
+			return fmt.Errorf("decoding facts of %s: %w", p, err)
+		}
+	}
+	return nil
+}
+
+// indexImports maps the transitive imports of pkg (and pkg itself) by
+// import path.
+func indexImports(pkg *types.Package, byPath map[string]*types.Package) {
+	if _, seen := byPath[pkg.Path()]; seen {
+		return
+	}
+	byPath[pkg.Path()] = pkg
+	for _, imp := range pkg.Imports() {
+		indexImports(imp, byPath)
+	}
 }
 
 // unitImporter maps source-level import paths through cfg.ImportMap before

@@ -1,0 +1,194 @@
+package unitchecker
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"jxplain/internal/lint/analyzers"
+	"jxplain/internal/lint/jxanalysis"
+)
+
+// TestFactsRoundTripVetProtocol drives the unitchecker the way cmd/go
+// does, one vet.cfg per compilation unit, and asserts that an ObjectFact
+// exported by the dependency unit (facttest/a, VetxOnly) is imported by
+// the dependent unit (facttest/b): b's hot function calling the tagged
+// a.Fast stays clean while the call to the untagged a.Alloc is reported.
+func TestFactsRoundTripVetProtocol(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skipf("go tool unavailable: %v", err)
+	}
+	dir := t.TempDir()
+	write := func(name, src string) {
+		t.Helper()
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module facttest\n\ngo 1.22\n")
+	write("a/a.go", `package a
+
+// Fast is verified allocation-free.
+//
+//jx:hotpath
+func Fast(x int) int { return x + 1 }
+
+// Alloc is untagged.
+func Alloc(n int) []int { return make([]int, n) }
+`)
+	write("b/b.go", `package b
+
+import "facttest/a"
+
+// Use relies on a.Fast's AllocFree fact.
+//
+//jx:hotpath
+func Use(x int) int { return a.Fast(x) }
+
+// Bad calls an untagged dependency function.
+//
+//jx:hotpath
+func Bad(n int) []int { return a.Alloc(n) }
+`)
+
+	// go list -export compiles the units and reports the export data
+	// paths — the same files cmd/go would put in vet.cfg's PackageFile.
+	cmd := exec.Command("go", "list", "-export", "-deps", "-json=ImportPath,Export", "./...")
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		msg := ""
+		if ee, ok := err.(*exec.ExitError); ok {
+			msg = string(ee.Stderr)
+		}
+		t.Fatalf("go list -export: %v\n%s", err, msg)
+	}
+	packageFile := map[string]string{}
+	dec := json.NewDecoder(strings.NewReader(string(out)))
+	for dec.More() {
+		var p struct {
+			ImportPath string
+			Export     string
+		}
+		if err := dec.Decode(&p); err != nil {
+			t.Fatalf("parsing go list output: %v", err)
+		}
+		if p.Export != "" {
+			packageFile[p.ImportPath] = p.Export
+		}
+	}
+	if packageFile["facttest/a"] == "" {
+		t.Fatalf("go list produced no export data for facttest/a: %v", packageFile)
+	}
+
+	suite := analyzers.All()
+	if err := jxanalysis.RegisterFactTypes(suite); err != nil {
+		t.Fatal(err)
+	}
+
+	// Unit 1: facttest/a as a dependency unit (VetxOnly). Run must exit 0
+	// and leave a non-empty vetx carrying the AllocFree fact for Fast.
+	vetxA := filepath.Join(dir, "a.vetx")
+	cfgA := &Config{
+		ID:          "facttest/a",
+		Compiler:    "gc",
+		Dir:         filepath.Join(dir, "a"),
+		ImportPath:  "facttest/a",
+		GoFiles:     []string{filepath.Join(dir, "a", "a.go")},
+		ModulePath:  "facttest",
+		PackageFile: packageFile,
+		VetxOnly:    true,
+		VetxOutput:  vetxA,
+	}
+	writeCfg := func(name string, cfg *Config) string {
+		t.Helper()
+		data, err := json.Marshal(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, data, 0o666); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	if code := Run(writeCfg("a.cfg", cfgA), suite); code != 0 {
+		t.Fatalf("Run on VetxOnly unit facttest/a exited %d, want 0", code)
+	}
+	if data, err := os.ReadFile(vetxA); err != nil || len(data) == 0 {
+		t.Fatalf("dependency unit wrote no facts: err=%v, %d bytes", err, len(data))
+	}
+
+	// Unit 2: facttest/b, consuming a's vetx.
+	cfgB := &Config{
+		ID:          "facttest/b",
+		Compiler:    "gc",
+		Dir:         filepath.Join(dir, "b"),
+		ImportPath:  "facttest/b",
+		GoFiles:     []string{filepath.Join(dir, "b", "b.go")},
+		ModulePath:  "facttest",
+		PackageFile: packageFile,
+		PackageVetx: map[string]string{"facttest/a": vetxA},
+		VetxOutput:  filepath.Join(dir, "b.vetx"),
+	}
+	findings, factsData, err := analyze(cfgB, suite)
+	if err != nil {
+		t.Fatalf("analyzing facttest/b: %v", err)
+	}
+	var sawAlloc bool
+	for _, f := range findings {
+		if strings.Contains(f.Message, "facttest/a.Fast") {
+			t.Errorf("a.Fast flagged despite its imported AllocFree fact: %s", f.Message)
+		}
+		if f.Analyzer == "hotpathcall" && strings.Contains(f.Message, "facttest/a.Alloc") {
+			sawAlloc = true
+		}
+	}
+	if !sawAlloc {
+		t.Errorf("no hotpathcall finding for the untagged facttest/a.Alloc; findings: %+v", findings)
+	}
+	// b's own vetx must re-export the imported facts (transitivity) plus
+	// b's own: Use and Bad are tagged, so a unit importing b could call
+	// them from its hot paths.
+	if len(factsData) == 0 {
+		t.Fatal("facttest/b encoded no facts")
+	}
+}
+
+// TestVetxOnlySkipsForeignUnits pins the stdlib gate: a dependency unit
+// outside the module under analysis must be skipped without type-checking
+// (GoFiles deliberately unreadable) and still write an empty vetx.
+func TestVetxOnlySkipsForeignUnits(t *testing.T) {
+	dir := t.TempDir()
+	vetx := filepath.Join(dir, "fmt.vetx")
+	cfg := &Config{
+		ID:         "fmt",
+		Compiler:   "gc",
+		ImportPath: "fmt",
+		GoFiles:    []string{filepath.Join(dir, "does-not-exist.go")},
+		ModulePath: "facttest",
+		VetxOnly:   true,
+		VetxOutput: vetx,
+	}
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "fmt.cfg")
+	if err := os.WriteFile(path, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if code := Run(path, analyzers.All()); code != 0 {
+		t.Fatalf("Run exited %d on a foreign VetxOnly unit, want 0 (skip)", code)
+	}
+	if data, err := os.ReadFile(vetx); err != nil || len(data) != 0 {
+		t.Fatalf("foreign unit vetx: err=%v, %d bytes, want empty", err, len(data))
+	}
+}
