@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-short check lint cover fuzz bench bench-stream bench-hotpath bench-entity experiments clean
+.PHONY: all build vet test test-short check lint cover fuzz bench bench-stream bench-hotpath bench-entity bench-shard experiments clean
 
 all: build vet test
 
@@ -69,6 +69,13 @@ bench-hotpath:
 # datasets, written to results/BENCH_entity.json.
 bench-entity:
 	$(GO) run ./cmd/jxbench -table entity -trials 3 -json-out results/BENCH_entity.json
+
+# Sharded map/reduce discovery over the 1/2/4/8-worker grid: contiguous
+# split, parallel shard folds through the sketch wire format, in-order
+# reduce, with byte-equivalence against single-process discovery checked
+# on every cell. Written to results/BENCH_shard.json.
+bench-shard:
+	$(GO) run ./cmd/jxbench -table shard -json-out results/BENCH_shard.json
 
 # Regenerates every table and figure of the paper's evaluation into
 # results/jxbench_full.txt (about a minute at scale 0.5).

@@ -46,7 +46,7 @@ func main() {
 
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("jxbench", flag.ContinueOnError)
-	tableF := fs.String("table", "", "table to run: 1..5, edits, threshold, staged, iterative, sampled, fd, describe, stream, hotpath, entity")
+	tableF := fs.String("table", "", "table to run: 1..5, edits, threshold, staged, iterative, sampled, fd, describe, stream, hotpath, entity, shard")
 	figureF := fs.String("figure", "", "figure to run: 4 or 5")
 	all := fs.Bool("all", false, "run every table, figure and ablation")
 	datasets := fs.String("datasets", "", "comma-separated dataset subset")
@@ -167,6 +167,8 @@ func dispatch(name string, opts experiments.Options) (result, error) {
 		return experiments.RunHotpath(opts)
 	case "entity":
 		return experiments.RunEntityBench(opts)
+	case "shard":
+		return experiments.RunShardBench(opts)
 	}
 	return nil, fmt.Errorf("unknown experiment %q", name)
 }

@@ -16,6 +16,13 @@
 // folded into mergeable sketches, so arbitrarily large inputs never
 // materialize in memory. -stats reports throughput and peak heap
 // alongside the schema statistics.
+//
+// Accumulated state can cross process boundaries through the versioned
+// sketch wire format: -emit-sketch writes the accumulator instead of a
+// schema, and repeated -merge-sketch flags seed the accumulator from
+// sketch files (merged in flag order) before any input is ingested —
+// together they form a map/reduce pair (see also cmd/jxshard, the
+// dedicated scale-out driver).
 package main
 
 import (
@@ -64,6 +71,11 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		"records per ingestion chunk (0 = default 2048)")
 	seed := fs.Int64("seed", 1, "seed for sampling and k-means")
 	statsF := fs.Bool("stats", false, "print schema statistics to stderr")
+	emitSketch := fs.String("emit-sketch", "",
+		"write the accumulated sketch (wire format) to this file instead of a schema (- for stdout)")
+	var mergeSketches sketchList
+	fs.Var(&mergeSketches, "merge-sketch",
+		"seed the accumulator from this sketch file before ingesting input (repeatable; merged in flag order)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -81,10 +93,16 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		}
 		defer f.Close()
 		input = f
+	} else if len(mergeSketches) > 0 {
+		// Reducing sketch files needs no record stream; don't block on stdin.
+		input = nil
 	}
 
 	streaming := (*algorithm == "jxplain" || *algorithm == "bimax-naive") &&
 		!(*iterative > 0 && *iterative < 1)
+	if (*emitSketch != "" || len(mergeSketches) > 0) && !streaming {
+		return fmt.Errorf("-emit-sketch/-merge-sketch require a streaming extractor (jxplain or bimax-naive, without -iterative)")
+	}
 
 	var s schema.Schema
 	records := 0
@@ -100,18 +118,36 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		cfg := configFor(*algorithm, *threshold, !*noArrayTuples, !*noObjectColls)
 		cfg.Seed = *seed
 		acc := core.NewAccumulator(cfg)
-		opts := ingest.Options{ChunkSize: *chunk, Workers: *workers, JSONL: *jsonl}
-		n, err := ingest.Each(context.Background(), input, opts, func(c ingest.Chunk) error {
-			acc.AddBag(c.Bag)
-			return nil
-		})
-		if err != nil {
-			return fmt.Errorf("decoding records: %w", err)
+		for _, path := range mergeSketches {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			if err := acc.MergeSketch(data); err != nil {
+				return fmt.Errorf("merging sketch %s: %w", path, err)
+			}
 		}
-		if n == 0 {
+		if input != nil {
+			opts := ingest.Options{ChunkSize: *chunk, Workers: *workers, JSONL: *jsonl}
+			if _, err := ingest.Fold(context.Background(), input, opts, acc); err != nil {
+				return fmt.Errorf("decoding records: %w", err)
+			}
+		}
+		if acc.Records() == 0 {
 			return fmt.Errorf("no records in input")
 		}
 		records, distinct = acc.Records(), acc.Distinct()
+		if *emitSketch != "" {
+			data, err := acc.Marshal()
+			if err != nil {
+				return err
+			}
+			if *emitSketch == "-" {
+				_, err := stdout.Write(data)
+				return err
+			}
+			return os.WriteFile(*emitSketch, data, 0o644)
+		}
 		s = acc.Finish()
 	} else {
 		var types []*jsontype.Type
@@ -181,6 +217,16 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	default:
 		return fmt.Errorf("unknown format %q", *format)
 	}
+	return nil
+}
+
+// sketchList collects repeated -merge-sketch flags in order.
+type sketchList []string
+
+func (s *sketchList) String() string { return fmt.Sprint([]string(*s)) }
+
+func (s *sketchList) Set(v string) error {
+	*s = append(*s, v)
 	return nil
 }
 

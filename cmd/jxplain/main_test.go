@@ -205,3 +205,87 @@ func TestDetectionFlags(t *testing.T) {
 		t.Errorf("expected geo collection: %s", without.String())
 	}
 }
+
+// TestRunSketchMapReduce drives the CLI's map/reduce pair: two -emit-sketch
+// runs over halves of the input, then a -merge-sketch reduce, must print
+// the same schema as one run over everything.
+func TestRunSketchMapReduce(t *testing.T) {
+	lines := strings.Split(strings.TrimSpace(sample), "\n")
+	dir := t.TempDir()
+	var sketches []string
+	for i, line := range lines {
+		path := filepath.Join(dir, "shard"+string(rune('0'+i))+".jxsk")
+		var out strings.Builder
+		if err := runOut([]string{"-jsonl", "-emit-sketch", path}, line+"\n", &out); err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+		sketches = append(sketches, path)
+	}
+
+	var want strings.Builder
+	if err := runOut(nil, sample, &want); err != nil {
+		t.Fatal(err)
+	}
+	var got strings.Builder
+	args := []string{}
+	for _, s := range sketches {
+		args = append(args, "-merge-sketch", s)
+	}
+	if err := runOut(args, "", &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != want.String() {
+		t.Errorf("reduced schema diverges\ngot:  %s\nwant: %s", got.String(), want.String())
+	}
+}
+
+// TestRunSketchSeedsFurtherIngestion checks -merge-sketch composes with a
+// record stream: sketch of shard 1 plus shard 2 as an input file must
+// equal everything at once. (With -merge-sketch and no positional file,
+// stdin is deliberately not read — a pure reduce must not block on a
+// terminal — so the continuing stream arrives as a file argument.)
+func TestRunSketchSeedsFurtherIngestion(t *testing.T) {
+	lines := strings.Split(strings.TrimSpace(sample), "\n")
+	dir := t.TempDir()
+	sketchPath := filepath.Join(dir, "first.jxsk")
+	var out strings.Builder
+	if err := runOut([]string{"-jsonl", "-emit-sketch", sketchPath}, lines[0]+"\n", &out); err != nil {
+		t.Fatal(err)
+	}
+	restPath := filepath.Join(dir, "rest.jsonl")
+	if err := os.WriteFile(restPath, []byte(lines[1]+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var got strings.Builder
+	if err := runOut([]string{"-jsonl", "-merge-sketch", sketchPath, restPath}, "", &got); err != nil {
+		t.Fatal(err)
+	}
+	var want strings.Builder
+	if err := runOut(nil, sample, &want); err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != want.String() {
+		t.Errorf("seeded run diverges\ngot:  %s\nwant: %s", got.String(), want.String())
+	}
+}
+
+// TestRunSketchErrors pins the flag-validation and decode failure modes.
+func TestRunSketchErrors(t *testing.T) {
+	var out strings.Builder
+	if err := runOut([]string{"-algorithm", "k-reduce", "-emit-sketch", "x"}, sample, &out); err == nil {
+		t.Error("-emit-sketch accepted for a non-streaming extractor")
+	}
+	if err := runOut([]string{"-iterative", "0.5", "-merge-sketch", "x"}, sample, &out); err == nil {
+		t.Error("-merge-sketch accepted with -iterative")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.jxsk")
+	if err := os.WriteFile(bad, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runOut([]string{"-merge-sketch", bad}, "", &out); err == nil {
+		t.Error("garbage sketch accepted")
+	}
+	if err := runOut([]string{"-merge-sketch", filepath.Join(t.TempDir(), "missing.jxsk")}, "", &out); err == nil {
+		t.Error("missing sketch file accepted")
+	}
+}

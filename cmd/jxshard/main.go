@@ -1,0 +1,333 @@
+// Command jxshard runs schema discovery as a scale-out map/reduce over
+// the versioned sketch wire format.
+//
+//	jxshard map    [-jsonl] [-workers N] [-chunk N] -o out.jxsk [file]
+//	jxshard reduce [algorithm flags] [-format F] sketch...
+//	jxshard run    [-shards N] [-jsonl] [algorithm flags] [-format F] [file]
+//
+// The map phase folds one shard of the input into an accumulator and
+// writes its serialized sketch — no algorithm configuration needed, since
+// a sketch carries data statistics only. The reduce phase merges sketch
+// files *in argument order* and runs passes ②/③ once under the supplied
+// configuration. run is the single-machine driver: it splits the input
+// into contiguous shards, spawns one `jxshard map` worker process per
+// shard, and reduces their sketches.
+//
+// Shards are contiguous ranges, not round-robin deals: concatenating the
+// shards reproduces the input stream, so reducing in shard order rebuilds
+// the exact first-seen type order a single process would have observed and
+// the discovered schema is byte-identical to a non-sharded run.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+
+	"jxplain/internal/core"
+	"jxplain/internal/ingest"
+	"jxplain/internal/schema"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "jxshard:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: jxshard map|reduce|run [flags]")
+	}
+	switch args[0] {
+	case "map":
+		return runMap(args[1:], stdin)
+	case "reduce":
+		return runReduce(args[1:], stdout)
+	case "run":
+		return runRun(args[1:], stdin, stdout, stderr)
+	}
+	return fmt.Errorf("unknown subcommand %q (want map, reduce, or run)", args[0])
+}
+
+// algoFlags registers the algorithm-selection flags shared by reduce and
+// run, returning a closure that builds the Config.
+func algoFlags(fs *flag.FlagSet) func() (core.Config, error) {
+	algorithm := fs.String("algorithm", "jxplain", "extractor: jxplain or bimax-naive")
+	threshold := fs.Float64("threshold", 1.0,
+		"key-space entropy threshold for collection detection (natural log)")
+	noArrayTuples := fs.Bool("no-array-tuples", false,
+		"treat every array as a collection (disable §5.4 detection)")
+	noObjectColls := fs.Bool("no-object-collections", false,
+		"treat every object as a tuple (disable §5.1 detection)")
+	seed := fs.Int64("seed", 1, "seed for sampling and k-means")
+	return func() (core.Config, error) {
+		cfg := core.Default()
+		cfg.Detection.Threshold = *threshold
+		cfg.DetectArrayTuples = !*noArrayTuples
+		cfg.DetectObjectCollections = !*noObjectColls
+		cfg.Seed = *seed
+		switch *algorithm {
+		case "jxplain":
+		case "bimax-naive":
+			cfg.Partition = core.BimaxNaive
+		default:
+			return cfg, fmt.Errorf("unknown algorithm %q (the staged reducer supports jxplain and bimax-naive)", *algorithm)
+		}
+		return cfg, nil
+	}
+}
+
+func openInput(fs *flag.FlagSet, stdin io.Reader) (io.Reader, func() error, error) {
+	if fs.NArg() == 0 {
+		return stdin, func() error { return nil }, nil
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, f.Close, nil
+}
+
+// runMap folds one shard into an accumulator and writes its sketch. An
+// empty shard is legal (uneven splits may starve a worker) and yields an
+// empty sketch that merges as a no-op.
+func runMap(args []string, stdin io.Reader) error {
+	fs := flag.NewFlagSet("jxshard map", flag.ContinueOnError)
+	out := fs.String("o", "", "output sketch file (required; - for stdout)")
+	jsonl := fs.Bool("jsonl", false, "treat input as strict JSONL")
+	workers := fs.Int("workers", 0, "decode workers (0 = one per core)")
+	chunk := fs.Int("chunk", 0, "records per ingestion chunk (0 = default 2048)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("map: -o is required")
+	}
+	input, closeIn, err := openInput(fs, stdin)
+	if err != nil {
+		return err
+	}
+	defer closeIn()
+
+	acc := core.NewAccumulator(core.Default())
+	opts := ingest.Options{ChunkSize: *chunk, Workers: *workers, JSONL: *jsonl}
+	if _, err := ingest.Fold(context.Background(), input, opts, acc); err != nil {
+		return fmt.Errorf("map: decoding records: %w", err)
+	}
+	data, err := acc.Marshal()
+	if err != nil {
+		return fmt.Errorf("map: %w", err)
+	}
+	if *out == "-" {
+		_, err := os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(*out, data, 0o644)
+}
+
+// runReduce merges sketch files in argument order and synthesizes the
+// schema once.
+func runReduce(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("jxshard reduce", flag.ContinueOnError)
+	cfgOf := algoFlags(fs)
+	format := fs.String("format", "pretty",
+		"output: pretty (paper notation), jsonschema, or native")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg, err := cfgOf()
+	if err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("reduce: no sketch files given")
+	}
+	acc := core.NewAccumulator(cfg)
+	for _, path := range fs.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		if err := acc.MergeSketch(data); err != nil {
+			return fmt.Errorf("reduce: %s: %w", path, err)
+		}
+	}
+	if acc.Records() == 0 {
+		return fmt.Errorf("reduce: no records in any sketch")
+	}
+	return printSchema(stdout, schema.Simplify(acc.Finish()), *format)
+}
+
+// runRun is the single-machine scale-out driver: contiguous split, one
+// map worker process per shard, reduce in shard order.
+//
+//jx:pool one goroutine per map worker process, results in index-disjoint slices, joined before reduce
+func runRun(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("jxshard run", flag.ContinueOnError)
+	cfgOf := algoFlags(fs)
+	shards := fs.Int("shards", 4, "number of map worker processes")
+	jsonl := fs.Bool("jsonl", false, "treat input as strict JSONL")
+	format := fs.String("format", "pretty",
+		"output: pretty (paper notation), jsonschema, or native")
+	workers := fs.Int("workers", 0, "decode workers per map process (0 = one per core)")
+	chunk := fs.Int("chunk", 0, "records per ingestion chunk (0 = default 2048)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg, err := cfgOf()
+	if err != nil {
+		return err
+	}
+	if *shards < 1 {
+		return fmt.Errorf("run: -shards must be at least 1")
+	}
+	input, closeIn, err := openInput(fs, stdin)
+	if err != nil {
+		return err
+	}
+	raw, err := io.ReadAll(input)
+	closeIn()
+	if err != nil {
+		return err
+	}
+
+	parts, err := splitShards(raw, *shards, *jsonl)
+	if err != nil {
+		return err
+	}
+
+	tmp, err := os.MkdirTemp("", "jxshard")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	sketches := make([]string, len(parts))
+	errs := make([]error, len(parts))
+	var wg sync.WaitGroup
+	for i, part := range parts {
+		shardPath := filepath.Join(tmp, fmt.Sprintf("shard%d.jsonl", i))
+		sketches[i] = filepath.Join(tmp, fmt.Sprintf("shard%d.jxsk", i))
+		if err := os.WriteFile(shardPath, part, 0o644); err != nil {
+			return err
+		}
+		wg.Add(1)
+		go func(i int, shardPath string) {
+			defer wg.Done()
+			mapArgs := []string{"map", "-o", sketches[i]}
+			if *jsonl {
+				mapArgs = append(mapArgs, "-jsonl")
+			}
+			if *workers > 0 {
+				mapArgs = append(mapArgs, "-workers", fmt.Sprint(*workers))
+			}
+			if *chunk > 0 {
+				mapArgs = append(mapArgs, "-chunk", fmt.Sprint(*chunk))
+			}
+			mapArgs = append(mapArgs, shardPath)
+			cmd := exec.Command(exe, mapArgs...)
+			cmd.Stderr = stderr
+			// Lets a test binary recognize it must act as jxshard.
+			cmd.Env = append(os.Environ(), "JXSHARD_WORKER_PROCESS=1")
+			if err := cmd.Run(); err != nil {
+				errs[i] = fmt.Errorf("map worker %d: %w", i, err)
+			}
+		}(i, shardPath)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+
+	acc := core.NewAccumulator(cfg)
+	for i, path := range sketches {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		if err := acc.MergeSketch(data); err != nil {
+			return fmt.Errorf("reduce: shard %d: %w", i, err)
+		}
+	}
+	if acc.Records() == 0 {
+		return fmt.Errorf("no records in input")
+	}
+	return printSchema(stdout, schema.Simplify(acc.Finish()), *format)
+}
+
+// splitShards cuts the input into n contiguous shards on record
+// boundaries. JSONL splits on line boundaries; concatenated JSON is
+// re-framed value by value (each value lands whole in one shard, and the
+// emitted shards remain valid concatenated JSON). Concatenation of the
+// shards, in order, is record-for-record the original stream.
+func splitShards(raw []byte, n int, jsonl bool) ([][]byte, error) {
+	var records [][]byte
+	if jsonl {
+		for len(raw) > 0 {
+			i := len(raw)
+			if j := bytes.IndexByte(raw, '\n'); j >= 0 {
+				i = j + 1
+			}
+			records = append(records, raw[:i])
+			raw = raw[i:]
+		}
+	} else {
+		dec := json.NewDecoder(bytes.NewReader(raw))
+		for dec.More() {
+			var v json.RawMessage
+			if err := dec.Decode(&v); err != nil {
+				return nil, fmt.Errorf("framing records: %w", err)
+			}
+			records = append(records, append([]byte(v), '\n'))
+		}
+	}
+	parts := make([][]byte, n)
+	start := 0
+	for i := 0; i < n; i++ {
+		end := len(records) * (i + 1) / n
+		var buf []byte
+		for _, rec := range records[start:end] {
+			buf = append(buf, rec...)
+		}
+		parts[i] = buf
+		start = end
+	}
+	return parts, nil
+}
+
+func printSchema(stdout io.Writer, s schema.Schema, format string) error {
+	switch format {
+	case "pretty":
+		fmt.Fprintln(stdout, s.String())
+	case "jsonschema":
+		data, err := schema.MarshalJSONSchema(s)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, string(data))
+	case "native":
+		data, err := schema.Marshal(s)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, string(data))
+	default:
+		return fmt.Errorf("unknown format %q", format)
+	}
+	return nil
+}

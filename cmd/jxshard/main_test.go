@@ -1,0 +1,190 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+
+	"jxplain/internal/dataset"
+)
+
+// TestMain lets the test binary stand in for the jxshard executable: the
+// run driver spawns os.Executable() for its map phase, which under `go
+// test` is this binary. Worker invocations carry JXSHARD_WORKER_PROCESS
+// in the environment and are dispatched straight into run().
+func TestMain(m *testing.M) {
+	if os.Getenv("JXSHARD_WORKER_PROCESS") != "" {
+		if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
+			fmt.Fprintln(os.Stderr, "jxshard:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// datasetJSONL renders a generator's records as JSONL, matching the
+// record set behind testdata/golden (300 records, seed 1).
+func datasetJSONL(t *testing.T, g *dataset.Generator, n int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, rec := range g.Generate(n, 1) {
+		data, err := json.Marshal(rec.Value)
+		if err != nil {
+			t.Fatalf("%s: %v", g.Name, err)
+		}
+		buf.Write(data)
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes()
+}
+
+func goldenSchema(t *testing.T, name string) []byte {
+	t.Helper()
+	want, err := os.ReadFile(filepath.Join("..", "..", "testdata", "golden", name+".schema.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return want
+}
+
+// TestShardRunByteIdentical is the acceptance check for the scale-out
+// driver: `jxshard run` over four real map worker processes must produce
+// the golden single-process schema, byte for byte, on every dataset.
+func TestShardRunByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes per dataset")
+	}
+	for _, g := range dataset.Registry() {
+		input := filepath.Join(t.TempDir(), "input.jsonl")
+		if err := os.WriteFile(input, datasetJSONL(t, g, 300), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var out bytes.Buffer
+		err := run([]string{"run", "-shards", "4", "-jsonl", "-format", "native", input},
+			nil, &out, os.Stderr)
+		if err != nil {
+			t.Fatalf("%s: %v", g.Name, err)
+		}
+		if want := goldenSchema(t, g.Name); !bytes.Equal(out.Bytes(), want) {
+			t.Errorf("%s: 4-shard schema diverges from golden\ngot:  %s\nwant: %s",
+				g.Name, out.Bytes(), want)
+		}
+	}
+}
+
+// TestShardMapReduceGoldenUnevenShards drives the map and reduce phases
+// separately: each dataset is cut into three deliberately uneven
+// contiguous shards (≈1:2:3), each folded by its own map worker process,
+// and the reduced schema must still match the golden byte for byte —
+// shard boundaries carry no signal.
+func TestShardMapReduceGoldenUnevenShards(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes per dataset")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range dataset.Registry() {
+		dir := t.TempDir()
+		lines := bytes.SplitAfter(datasetJSONL(t, g, 300), []byte("\n"))
+		if len(lines) > 0 && len(lines[len(lines)-1]) == 0 {
+			lines = lines[:len(lines)-1]
+		}
+		// Cut points at 1/6 and 3/6: shard sizes 50, 100, 150 of 300.
+		cuts := []int{len(lines) / 6, len(lines) / 2, len(lines)}
+		start := 0
+		var sketches []string
+		for i, end := range cuts {
+			shardPath := filepath.Join(dir, fmt.Sprintf("shard%d.jsonl", i))
+			sketchPath := filepath.Join(dir, fmt.Sprintf("shard%d.jxsk", i))
+			if err := os.WriteFile(shardPath, bytes.Join(lines[start:end], nil), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			start = end
+			cmd := exec.Command(exe, "map", "-jsonl", "-o", sketchPath, shardPath)
+			cmd.Env = append(os.Environ(), "JXSHARD_WORKER_PROCESS=1")
+			if out, err := cmd.CombinedOutput(); err != nil {
+				t.Fatalf("%s: map worker %d: %v\n%s", g.Name, i, err, out)
+			}
+			sketches = append(sketches, sketchPath)
+		}
+		var out bytes.Buffer
+		args := append([]string{"reduce", "-format", "native"}, sketches...)
+		if err := run(args, nil, &out, os.Stderr); err != nil {
+			t.Fatalf("%s: reduce: %v", g.Name, err)
+		}
+		if want := goldenSchema(t, g.Name); !bytes.Equal(out.Bytes(), want) {
+			t.Errorf("%s: uneven-shard schema diverges from golden\ngot:  %s\nwant: %s",
+				g.Name, out.Bytes(), want)
+		}
+	}
+}
+
+// TestShardRunConcatenatedJSON exercises the non-JSONL framing path and
+// empty-shard tolerance: more shards than distinct record boundaries in
+// one shard's slice is fine.
+func TestShardRunConcatenatedJSON(t *testing.T) {
+	g, ok := dataset.ByName("github")
+	if !ok {
+		t.Fatal("github dataset missing")
+	}
+	var concat bytes.Buffer
+	for _, rec := range g.Generate(40, 1) {
+		data, err := json.Marshal(rec.Value)
+		if err != nil {
+			t.Fatal(err)
+		}
+		concat.Write(data)
+	}
+	input := filepath.Join(t.TempDir(), "input.json")
+	if err := os.WriteFile(input, concat.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var want bytes.Buffer
+	if err := run([]string{"run", "-shards", "1", "-format", "native", input}, nil, &want, os.Stderr); err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	if err := run([]string{"run", "-shards", "8", "-format", "native", input}, nil, &got, os.Stderr); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Errorf("8-shard concatenated-JSON schema diverges from 1-shard\ngot:  %s\nwant: %s",
+			got.Bytes(), want.Bytes())
+	}
+}
+
+// TestShardCLIErrors pins the user-facing failure modes.
+func TestShardCLIErrors(t *testing.T) {
+	cases := [][]string{
+		{},
+		{"frobnicate"},
+		{"map"},    // missing -o
+		{"reduce"}, // no sketch files
+		{"reduce", "-algorithm", "k-reduce", "x.jxsk"}, // unsupported extractor
+		{"run", "-shards", "0"},
+	}
+	for _, args := range cases {
+		if err := run(args, bytes.NewReader(nil), &bytes.Buffer{}, &bytes.Buffer{}); err == nil {
+			t.Errorf("args %v: expected error", args)
+		}
+	}
+
+	// A reduce over garbage sketch bytes must surface the typed decode
+	// error, not a panic.
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.jxsk")
+	if err := os.WriteFile(bad, []byte("not a sketch"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"reduce", bad}, nil, &bytes.Buffer{}, &bytes.Buffer{}); err == nil {
+		t.Error("reduce accepted garbage sketch file")
+	}
+}

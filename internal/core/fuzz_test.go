@@ -1,0 +1,85 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"jxplain/internal/dataset"
+	"jxplain/internal/jsontype"
+)
+
+// FuzzSketchDecode pins the wire decoder's totality contract: arbitrary
+// bytes — truncated, bit-flipped, or adversarially constructed — must
+// yield a *SketchFormatError or *SketchVersionError, never a panic, and
+// anything that does decode must survive the operations the reducer will
+// perform on it (Stats, Finish, re-marshal).
+func FuzzSketchDecode(f *testing.F) {
+	// Real sketch files as seeds: a full accumulator, a bag-only file
+	// (sampling map side), and a bare sketch, over structurally rich data.
+	cfg := Default()
+	g, ok := dataset.ByName("github")
+	if !ok {
+		f.Fatal("github dataset missing")
+	}
+	acc := NewAccumulator(cfg)
+	for _, r := range g.Generate(40, 1) {
+		acc.Add(r.Type)
+	}
+	if data, err := acc.Marshal(); err == nil {
+		f.Add(data)
+		// Single-bit corruptions of a valid file make productive seeds.
+		for _, i := range []int{4, 5, 6, len(data) / 2, len(data) - 1} {
+			bad := append([]byte(nil), data...)
+			bad[i] ^= 0x40
+			f.Add(bad)
+		}
+	}
+	sampling := cfg
+	sampling.DetectionSample = 0.5
+	bagOnly := NewAccumulator(sampling)
+	bagOnly.Add(jsontype.MustFromValue(map[string]any{"k": []any{1.0, "s", nil}}))
+	if data, err := bagOnly.Marshal(); err == nil {
+		f.Add(data)
+	}
+	s := NewPathSketch()
+	s.Add(jsontype.MustFromValue(map[string]any{"a": map[string]any{"b": []any{true}}}))
+	if data, err := s.Marshal(); err == nil {
+		f.Add(data)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("JXSK"))
+	f.Add([]byte{'J', 'X', 'S', 'K', SketchFormatVersion, 0xff})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		checkErr := func(err error) {
+			if err == nil {
+				return
+			}
+			var ferr *SketchFormatError
+			var verr *SketchVersionError
+			if !errors.As(err, &ferr) && !errors.As(err, &verr) {
+				t.Fatalf("untyped decode error %T: %v", err, err)
+			}
+		}
+
+		sketch, err := UnmarshalPathSketch(data)
+		checkErr(err)
+		if err == nil {
+			// A decoded sketch must be fully usable.
+			sketch.Stats(Default())
+			if _, err := sketch.Marshal(); err != nil {
+				t.Fatalf("re-marshal of decoded sketch: %v", err)
+			}
+		}
+
+		acc, err := UnmarshalAccumulator(data, Default())
+		checkErr(err)
+		if err == nil {
+			acc.Stats()
+			acc.Finish()
+			if _, err := acc.Marshal(); err != nil {
+				t.Fatalf("re-marshal of decoded accumulator: %v", err)
+			}
+		}
+	})
+}

@@ -4,9 +4,7 @@ import (
 	"sort"
 
 	"jxplain/internal/dist"
-	"jxplain/internal/entropy"
 	"jxplain/internal/jsontype"
-	"jxplain/internal/stats"
 )
 
 // Parallel pass ①. CollectPathStats walks the whole bag sequentially; on a
@@ -20,226 +18,11 @@ import (
 //     (each partition keeps its maximal type; partitions are jointly
 //     similar iff their maximal types are similar).
 //
-// statsTrie is the per-partition state: a trie over *concrete* paths
-// (object keys and array positions) carrying those statistics. After the
-// fold, decisions are derived top-down: where a node is ruled a
-// collection, its children's subtrees are merged into one wildcard child,
-// reproducing exactly the paths and bags the sequential walk would have
-// visited.
-
-type statsTrie struct {
-	// Object-kinded statistics at this path.
-	objCount  int
-	keyCounts map[string]int
-	objSim    jsontype.SimilarityAccumulator
-
-	// Array-kinded statistics at this path.
-	arrCount  int
-	lenCounts map[int]int
-	arrSim    jsontype.SimilarityAccumulator
-
-	children map[string]*statsTrie // object keys
-	elems    []*statsTrie          // array positions
-}
-
-// newStatsTrie allocates an empty trie node.
-//
-//jx:coldpath allocates once per newly observed path node, not per record
-func newStatsTrie() *statsTrie { return &statsTrie{} }
-
-//jx:hotpath
-func (t *statsTrie) child(key string) *statsTrie {
-	if t.children == nil {
-		t.children = map[string]*statsTrie{}
-	}
-	c := t.children[key]
-	if c == nil {
-		c = newStatsTrie()
-		t.children[key] = c
-	}
-	return c
-}
-
-//jx:hotpath
-func (t *statsTrie) elem(i int) *statsTrie {
-	for len(t.elems) <= i {
-		t.elems = append(t.elems, newStatsTrie())
-	}
-	return t.elems[i]
-}
-
-// add folds one value type (with multiplicity n) into the trie.
-//
-//jx:hotpath
-func (t *statsTrie) add(ty *jsontype.Type, n int) {
-	switch ty.Kind() {
-	case jsontype.KindObject:
-		t.objCount += n
-		if t.keyCounts == nil {
-			t.keyCounts = map[string]int{}
-		}
-		for _, f := range ty.Fields() {
-			t.keyCounts[f.Key] += n
-			t.objSim.Add(f.Type)
-			t.child(f.Key).add(f.Type, n)
-		}
-	case jsontype.KindArray:
-		t.arrCount += n
-		if t.lenCounts == nil {
-			t.lenCounts = map[int]int{}
-		}
-		t.lenCounts[ty.Len()] += n
-		for i, e := range ty.Elems() {
-			t.arrSim.Add(e)
-			t.elem(i).add(e, n)
-		}
-	}
-}
-
-// combine merges other into t (mutating t).
-//
-//jx:hotpath
-func (t *statsTrie) combine(other *statsTrie) *statsTrie {
-	t.objCount += other.objCount
-	if other.keyCounts != nil {
-		if t.keyCounts == nil {
-			t.keyCounts = other.keyCounts
-		} else {
-			for k, n := range other.keyCounts {
-				t.keyCounts[k] += n
-			}
-		}
-	}
-	t.objSim.Combine(&other.objSim)
-
-	t.arrCount += other.arrCount
-	if other.lenCounts != nil {
-		if t.lenCounts == nil {
-			t.lenCounts = other.lenCounts
-		} else {
-			for l, n := range other.lenCounts {
-				t.lenCounts[l] += n
-			}
-		}
-	}
-	t.arrSim.Combine(&other.arrSim)
-
-	for k, oc := range other.children {
-		if tc, ok := t.children[k]; ok {
-			tc.combine(oc)
-		} else {
-			t.child(k).combine(oc)
-		}
-	}
-	for i, oe := range other.elems {
-		t.elem(i).combine(oe)
-	}
-	return t
-}
-
-// objectEvidence renders the node's object statistics as entropy.Evidence,
-// matching entropy.DetectObjects bit for bit.
-func (t *statsTrie) objectEvidence() entropy.Evidence {
-	// Key order must be pinned before the float64 summation inside Entropy:
-	// FP addition is not associative, so map order would leak into the
-	// entropy bits (and differ from entropy.DetectObjects).
-	keys := make([]string, 0, len(t.keyCounts))
-	for k := range t.keyCounts {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	weights := make([]float64, 0, len(keys))
-	for _, k := range keys {
-		weights = append(weights, float64(t.keyCounts[k]))
-	}
-	return entropy.Evidence{
-		KeyEntropy:   stats.Entropy(weights, float64(t.objCount)),
-		Similar:      t.objSim.Similar(),
-		Records:      t.objCount,
-		DistinctKeys: len(t.keyCounts),
-	}
-}
-
-// arrayEvidence renders the node's array statistics, matching
-// entropy.DetectArrays.
-func (t *statsTrie) arrayEvidence() entropy.Evidence {
-	lengths := make([]int, 0, len(t.lenCounts))
-	for l := range t.lenCounts {
-		lengths = append(lengths, l)
-	}
-	sort.Ints(lengths)
-	weights := make([]float64, 0, len(lengths))
-	for _, l := range lengths {
-		weights = append(weights, float64(t.lenCounts[l]))
-	}
-	return entropy.Evidence{
-		KeyEntropy:   stats.Entropy(weights, float64(t.arrCount)),
-		Similar:      t.arrSim.Similar(),
-		Records:      t.arrCount,
-		DistinctKeys: len(t.lenCounts),
-	}
-}
-
-// derive walks the aggregated trie top-down, emitting the same PathStat
-// rows the sequential CollectPathStats produces.
-func (t *statsTrie) derive(path string, cfg Config, out *[]PathStat) {
-	if t.arrCount > 0 {
-		ev := t.arrayEvidence()
-		decision := entropy.Decide(ev, cfg.Detection)
-		if !cfg.DetectArrayTuples {
-			decision = entropy.Collection
-		}
-		*out = append(*out, PathStat{
-			Path: path, Kind: jsontype.KindArray, Decision: decision, Evidence: ev,
-		})
-		if decision == entropy.Collection {
-			merged := newStatsTrie()
-			for _, e := range t.elems {
-				merged.combine(e)
-			}
-			if merged.objCount > 0 || merged.arrCount > 0 {
-				merged.derive(arrayElemPath(path), cfg, out)
-			}
-		} else {
-			for i, e := range t.elems {
-				e.derive(arrayIndexPath(path, i), cfg, out)
-			}
-		}
-	}
-	if t.objCount > 0 {
-		ev := t.objectEvidence()
-		decision := entropy.Decide(ev, cfg.Detection)
-		if !cfg.DetectObjectCollections {
-			decision = entropy.Tuple
-		}
-		*out = append(*out, PathStat{
-			Path: path, Kind: jsontype.KindObject, Decision: decision, Evidence: ev,
-		})
-		if decision == entropy.Collection {
-			merged := newStatsTrie()
-			keys := sortedKeys(t.children)
-			for _, k := range keys {
-				merged.combine(t.children[k])
-			}
-			if merged.objCount > 0 || merged.arrCount > 0 {
-				merged.derive(objectValuePath(path), cfg, out)
-			}
-		} else {
-			for _, k := range sortedKeys(t.children) {
-				t.children[k].derive(childKeyPath(path, k), cfg, out)
-			}
-		}
-	}
-}
-
-func sortedKeys(m map[string]*statsTrie) []string {
-	keys := make([]string, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	return keys
-}
+// statsTrie (statstrie.go) is the per-partition state; this file holds the
+// fold drivers and the gate deciding when fanning out is worth it. The
+// same mergeability is what the wire format (wire.go) ships across
+// processes: a sketch serialized on one machine folds into another
+// machine's trie exactly as an in-process Merge would.
 
 // parallelCutover is the distinct-record-type count below which the
 // config-driven parallel paths — the pass-① partitioned fold and the

@@ -104,6 +104,29 @@ func (a *Accumulator) AddBag(chunk *jsontype.Bag) {
 	}
 }
 
+// Merge folds another accumulator's state into a — the reduce step of a
+// scale-out run, where map workers each fold a shard into an accumulator
+// and ship it (usually through the wire format). The result is
+// observationally identical to one accumulator having seen both inputs:
+// bags merge, and the sketch either merges trie-to-trie or, when other
+// carries no sketch (a sampling configuration on the map side), refolds
+// other's deduplicated bag. other must not be used afterwards: its trie
+// nodes may be adopted by a.
+func (a *Accumulator) Merge(other *Accumulator) {
+	if other == nil {
+		return
+	}
+	a.bag.Merge(other.bag)
+	if a.sketch == nil {
+		return
+	}
+	if other.sketch != nil {
+		a.sketch.Merge(other.sketch)
+	} else {
+		a.sketch.AddBag(other.bag)
+	}
+}
+
 // Records returns the number of record occurrences accumulated.
 func (a *Accumulator) Records() int { return a.bag.Len() }
 

@@ -1,0 +1,699 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"jxplain/internal/entity"
+	"jxplain/internal/jsontype"
+)
+
+// Versioned binary wire format for accumulated discovery state — the
+// serialization that turns the pass-① monoid into a *distributed* monoid:
+// map workers fold disjoint shards into sketches, ship the bytes, and a
+// reducer merges them and runs passes ②/③ once, producing exactly the
+// schema a single process would have (the JSONoid/Spark execution shape,
+// natively).
+//
+// Layout (integers are unsigned LEB128 varints unless noted):
+//
+//	offset 0   magic "JXSK" (4 bytes)
+//	offset 4   version byte (currently 1)
+//	offset 5   flags byte: bit0 = bag section present,
+//	                       bit1 = stats-trie section present
+//	then sections, in fixed order, each framed as
+//	           tag byte + varint body length + body:
+//
+//	'K'  key dictionary: count, then count × (length, bytes).
+//	     Object keys referenced by the trie, interned to dense ids in
+//	     first-appearance order of the (deterministic) encode walk.
+//	'T'  type table: the jsontype structural codec (children before
+//	     parents; refs 1..4 are the primitive singletons). Types are
+//	     re-interned on decode, so pointer-identity equality — Bag dedup,
+//	     memo keys, Similar's fast path — survives deserialization.
+//	'B'  dedup bag: distinct count, then distinct × (type ref, count).
+//	'S'  stats trie: total record count, then the root node, preorder:
+//
+//	     node := objCount
+//	             [objCount>0] key set as a bitset over dictionary ids
+//	                          (word count, words as 8-byte LE), then one
+//	                          presence count per set bit in ascending id
+//	                          order; similarity state (flag byte 0=empty,
+//	                          1=max type follows, 2=dissimilar latch)
+//	             arrCount
+//	             [arrCount>0] length histogram (count, then count ×
+//	                          (length, n) ascending); similarity state
+//	             child count, then count × (key id, node), key-sorted
+//	             elem count, then count × node
+//
+// Compatibility policy: any change to the layout above bumps the version
+// byte, and decoders reject versions they do not know with a typed
+// *SketchVersionError — there is no silent misparse path. Section framing
+// (tag + length) exists so that a future version can add sections without
+// re-deriving the offsets of the existing ones; within version 1 the
+// section sequence is fixed and checked.
+//
+// Decoding is total: corrupt, truncated, or adversarial input yields a
+// *SketchFormatError (or *SketchVersionError), never a panic — pinned by
+// FuzzSketchDecode.
+
+// sketchMagic brands every sketch file.
+const sketchMagic = "JXSK"
+
+// SketchFormatVersion is the wire-format version this build writes and
+// the only one it accepts.
+const SketchFormatVersion byte = 1
+
+const (
+	flagBag  byte = 1 << 0
+	flagTrie byte = 1 << 1
+)
+
+// Section tags, in file order.
+const (
+	secKeys byte = 'K'
+	secType byte = 'T'
+	secBag  byte = 'B'
+	secTrie byte = 'S'
+)
+
+// maxTrieDepth bounds decode recursion. Encoded depth equals the maximal
+// JSON nesting depth observed, far below this; the bound exists so that
+// adversarial input cannot drive unbounded stack growth.
+const maxTrieDepth = 100_000
+
+// SketchVersionError reports a sketch whose version byte this build does
+// not understand.
+type SketchVersionError struct {
+	Got, Want byte
+}
+
+func (e *SketchVersionError) Error() string {
+	return fmt.Sprintf("core: sketch format version %d not supported (this build reads version %d)", e.Got, e.Want)
+}
+
+// SketchFormatError reports structurally invalid sketch bytes.
+type SketchFormatError struct {
+	Offset int    // byte offset where decoding failed, best effort
+	Msg    string // what was wrong
+}
+
+func (e *SketchFormatError) Error() string {
+	return fmt.Sprintf("core: invalid sketch data at offset %d: %s", e.Offset, e.Msg)
+}
+
+func formatErrf(offset int, format string, args ...any) error {
+	return &SketchFormatError{Offset: offset, Msg: fmt.Sprintf(format, args...)}
+}
+
+// ---- encoding ----
+
+// keyDict interns object keys to dense wire ids.
+type keyDict struct {
+	ids   map[string]int
+	order []string
+}
+
+func newKeyDict() *keyDict { return &keyDict{ids: map[string]int{}} }
+
+func (d *keyDict) id(key string) int {
+	if id, ok := d.ids[key]; ok {
+		return id
+	}
+	id := len(d.order)
+	d.ids[key] = id
+	d.order = append(d.order, key)
+	return id
+}
+
+func (d *keyDict) appendSection(buf []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(d.order)))
+	for _, k := range d.order {
+		buf = binary.AppendUvarint(buf, uint64(len(k)))
+		buf = append(buf, k...)
+	}
+	return buf
+}
+
+// sketchEncoder accumulates the shared dictionaries while the bag and
+// trie bodies are built, then assembles the framed file.
+type sketchEncoder struct {
+	keys  *keyDict
+	types *jsontype.TypeEncoder
+}
+
+func newSketchEncoder() *sketchEncoder {
+	return &sketchEncoder{keys: newKeyDict(), types: jsontype.NewTypeEncoder()}
+}
+
+// appendSim appends a similarity-accumulator state.
+func (e *sketchEncoder) appendSim(buf []byte, sim *jsontype.SimilarityAccumulator) []byte {
+	switch {
+	case !sim.Similar():
+		return append(buf, 2)
+	case sim.Max() == nil:
+		return append(buf, 0)
+	default:
+		buf = append(buf, 1)
+		return binary.AppendUvarint(buf, e.types.Ref(sim.Max()))
+	}
+}
+
+// appendNode appends one trie node, preorder.
+func (e *sketchEncoder) appendNode(buf []byte, t *statsTrie) []byte {
+	buf = binary.AppendUvarint(buf, uint64(t.objCount))
+	if t.objCount > 0 {
+		ids := make([]int, 0, len(t.keyCounts))
+		counts := make(map[int]int, len(t.keyCounts))
+		t.eachKeyCount(func(key string, n int) {
+			id := e.keys.id(key)
+			ids = append(ids, id)
+			counts[id] = n
+		})
+		set := entity.NewKeySet(ids...)
+		buf = binary.AppendUvarint(buf, uint64(len(set)))
+		for _, w := range set {
+			buf = binary.LittleEndian.AppendUint64(buf, w)
+		}
+		set.Each(func(id int) {
+			buf = binary.AppendUvarint(buf, uint64(counts[id]))
+		})
+		buf = e.appendSim(buf, &t.objSim)
+	}
+	buf = binary.AppendUvarint(buf, uint64(t.arrCount))
+	if t.arrCount > 0 {
+		buf = binary.AppendUvarint(buf, uint64(len(t.lenCounts)))
+		t.eachLenCount(func(length, n int) {
+			buf = binary.AppendUvarint(buf, uint64(length))
+			buf = binary.AppendUvarint(buf, uint64(n))
+		})
+		buf = e.appendSim(buf, &t.arrSim)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(t.children)))
+	t.eachChild(func(key string, c *statsTrie) {
+		buf = binary.AppendUvarint(buf, uint64(e.keys.id(key)))
+		buf = e.appendNode(buf, c)
+	})
+	buf = binary.AppendUvarint(buf, uint64(len(t.elems)))
+	for _, c := range t.elems {
+		buf = e.appendNode(buf, c)
+	}
+	return buf
+}
+
+// appendBag appends the dedup-bag body.
+func (e *sketchEncoder) appendBag(buf []byte, bag *jsontype.Bag) []byte {
+	buf = binary.AppendUvarint(buf, uint64(bag.Distinct()))
+	bag.Each(func(t *jsontype.Type, n int) {
+		buf = binary.AppendUvarint(buf, e.types.Ref(t))
+		buf = binary.AppendUvarint(buf, uint64(n))
+	})
+	return buf
+}
+
+// assemble frames the encoded bodies into the final file bytes. bagBody
+// and trieBody may be nil (section absent).
+func (e *sketchEncoder) assemble(bagBody, trieBody []byte) []byte {
+	var flags byte
+	if bagBody != nil {
+		flags |= flagBag
+	}
+	if trieBody != nil {
+		flags |= flagTrie
+	}
+	out := make([]byte, 0, len(bagBody)+len(trieBody)+64)
+	out = append(out, sketchMagic...)
+	out = append(out, SketchFormatVersion, flags)
+
+	section := func(tag byte, body []byte) {
+		out = append(out, tag)
+		out = binary.AppendUvarint(out, uint64(len(body)))
+		out = append(out, body...)
+	}
+	section(secKeys, e.keys.appendSection(nil))
+	section(secType, e.types.Append(nil))
+	if bagBody != nil {
+		section(secBag, bagBody)
+	}
+	if trieBody != nil {
+		section(secTrie, trieBody)
+	}
+	return out
+}
+
+// Marshal serializes the sketch in the versioned wire format. The sketch
+// is not consumed: more records may be added and Marshal called again.
+func (s *PathSketch) Marshal() ([]byte, error) {
+	enc := newSketchEncoder()
+	trieBody := binary.AppendUvarint(nil, uint64(s.records))
+	trieBody = enc.appendNode(trieBody, s.root)
+	return enc.assemble(nil, trieBody), nil
+}
+
+// Marshal serializes the accumulator's state — the dedup bag and, unless
+// detection sampling deferred it, the pass-① sketch — in the versioned
+// wire format. The configuration itself is not serialized: a sketch file
+// carries data statistics only, and the reducer that resumes from it
+// supplies the configuration, so one set of map outputs can be reduced
+// under different thresholds.
+func (a *Accumulator) Marshal() ([]byte, error) {
+	enc := newSketchEncoder()
+	bagBody := enc.appendBag(nil, a.bag)
+	var trieBody []byte
+	if a.sketch != nil {
+		trieBody = binary.AppendUvarint(nil, uint64(a.sketch.records))
+		trieBody = enc.appendNode(trieBody, a.sketch.root)
+	}
+	return enc.assemble(bagBody, trieBody), nil
+}
+
+// ---- decoding ----
+
+// sketchDecoder carries decode state and the running offset for error
+// reporting.
+type sketchDecoder struct {
+	data  []byte
+	pos   int
+	keys  []string
+	types *jsontype.TypeDecoder
+}
+
+func (d *sketchDecoder) errf(format string, args ...any) error {
+	return formatErrf(d.pos, format, args...)
+}
+
+func (d *sketchDecoder) uvarint(what string) (uint64, error) {
+	v, n := binary.Uvarint(d.data[d.pos:])
+	if n <= 0 {
+		return 0, d.errf("truncated or overlong varint (%s)", what)
+	}
+	d.pos += n
+	return v, nil
+}
+
+// count reads a varint that counts items costing at least minBytes each,
+// rejecting counts the remaining input cannot possibly satisfy — the
+// guard that keeps corrupt headers from driving giant allocations.
+func (d *sketchDecoder) count(what string, minBytes int) (int, error) {
+	v, err := d.uvarint(what)
+	if err != nil {
+		return 0, err
+	}
+	if remaining := len(d.data) - d.pos; v > uint64(remaining/minBytes) {
+		return 0, d.errf("%s %d exceeds remaining input (%d bytes)", what, v, remaining)
+	}
+	return int(v), nil
+}
+
+func (d *sketchDecoder) header() (flags byte, err error) {
+	if len(d.data) < len(sketchMagic)+2 {
+		return 0, formatErrf(0, "input shorter than header (%d bytes)", len(d.data))
+	}
+	if string(d.data[:len(sketchMagic)]) != sketchMagic {
+		return 0, formatErrf(0, "bad magic %q", d.data[:len(sketchMagic)])
+	}
+	if v := d.data[len(sketchMagic)]; v != SketchFormatVersion {
+		return 0, &SketchVersionError{Got: v, Want: SketchFormatVersion}
+	}
+	flags = d.data[len(sketchMagic)+1]
+	d.pos = len(sketchMagic) + 2
+	return flags, nil
+}
+
+// section checks the tag and enters the section body, returning the
+// offset just past it.
+func (d *sketchDecoder) section(tag byte) (end int, err error) {
+	if d.pos >= len(d.data) {
+		return 0, d.errf("missing section %q", tag)
+	}
+	if got := d.data[d.pos]; got != tag {
+		return 0, d.errf("section tag %q where %q expected", got, tag)
+	}
+	d.pos++
+	n, err := d.count(fmt.Sprintf("section %q length", tag), 1)
+	if err != nil {
+		return 0, err
+	}
+	return d.pos + n, nil
+}
+
+// finishSection validates the decoder consumed exactly the framed length.
+func (d *sketchDecoder) finishSection(tag byte, end int) error {
+	if d.pos != end {
+		return d.errf("section %q body ends at %d, frame says %d", tag, d.pos, end)
+	}
+	return nil
+}
+
+func (d *sketchDecoder) decodeKeys() error {
+	end, err := d.section(secKeys)
+	if err != nil {
+		return err
+	}
+	n, err := d.count("key count", 1)
+	if err != nil {
+		return err
+	}
+	d.keys = make([]string, n)
+	for i := range d.keys {
+		kl, err := d.count("key length", 1)
+		if err != nil {
+			return err
+		}
+		d.keys[i] = string(d.data[d.pos : d.pos+kl])
+		d.pos += kl
+	}
+	return d.finishSection(secKeys, end)
+}
+
+func (d *sketchDecoder) decodeTypes() error {
+	end, err := d.section(secType)
+	if err != nil {
+		return err
+	}
+	dec, n, err := jsontype.DecodeTypeTable(d.data[d.pos:end])
+	if err != nil {
+		return formatErrf(d.pos, "%v", err)
+	}
+	d.pos += n
+	d.types = dec
+	return d.finishSection(secType, end)
+}
+
+func (d *sketchDecoder) typeRef(what string) (*jsontype.Type, error) {
+	r, err := d.uvarint(what)
+	if err != nil {
+		return nil, err
+	}
+	t, err := d.types.Type(r)
+	if err != nil {
+		return nil, d.errf("%v", err)
+	}
+	if t == nil {
+		return nil, d.errf("nil type ref where %s expected", what)
+	}
+	return t, nil
+}
+
+func (d *sketchDecoder) decodeBag() (*jsontype.Bag, error) {
+	end, err := d.section(secBag)
+	if err != nil {
+		return nil, err
+	}
+	n, err := d.count("bag distinct count", 2)
+	if err != nil {
+		return nil, err
+	}
+	bag := &jsontype.Bag{}
+	for i := 0; i < n; i++ {
+		t, err := d.typeRef("bag type")
+		if err != nil {
+			return nil, err
+		}
+		c, err := d.uvarint("bag count")
+		if err != nil {
+			return nil, err
+		}
+		if c == 0 || c > uint64(maxInt) {
+			return nil, d.errf("bag count %d out of range", c)
+		}
+		if prev := bag.CountOf(t); prev > 0 {
+			return nil, d.errf("duplicate bag entry for type %s", t.Canon())
+		}
+		if uint64(bag.Len())+c > uint64(maxInt) {
+			return nil, d.errf("bag total overflows")
+		}
+		bag.AddN(t, int(c))
+	}
+	return bag, d.finishSection(secBag, end)
+}
+
+func (d *sketchDecoder) decodeSim(sim *jsontype.SimilarityAccumulator) error {
+	if d.pos >= len(d.data) {
+		return d.errf("truncated similarity state")
+	}
+	flag := d.data[d.pos]
+	d.pos++
+	switch flag {
+	case 0:
+		*sim = jsontype.RestoreSimilarityAccumulator(nil, true)
+	case 1:
+		t, err := d.typeRef("similarity max type")
+		if err != nil {
+			return err
+		}
+		*sim = jsontype.RestoreSimilarityAccumulator(t, true)
+	case 2:
+		*sim = jsontype.RestoreSimilarityAccumulator(nil, false)
+	default:
+		return d.errf("invalid similarity flag %d", flag)
+	}
+	return nil
+}
+
+func (d *sketchDecoder) decodeNode(depth int) (*statsTrie, error) {
+	if depth > maxTrieDepth {
+		return nil, d.errf("trie deeper than %d", maxTrieDepth)
+	}
+	t := newStatsTrie()
+	objCount, err := d.uvarint("object count")
+	if err != nil {
+		return nil, err
+	}
+	if objCount > uint64(maxInt) {
+		return nil, d.errf("object count %d out of range", objCount)
+	}
+	t.objCount = int(objCount)
+	if t.objCount > 0 {
+		words, err := d.count("key-set word count", 8)
+		if err != nil {
+			return nil, err
+		}
+		set := make(entity.KeySet, words)
+		for i := range set {
+			set[i] = binary.LittleEndian.Uint64(d.data[d.pos:])
+			d.pos += 8
+		}
+		if words > 0 && set[words-1] == 0 {
+			return nil, d.errf("key-set bitset not normalized (trailing zero word)")
+		}
+		var countErr error
+		set.Each(func(id int) {
+			if countErr != nil {
+				return
+			}
+			n, err := d.uvarint("key presence count")
+			if err != nil {
+				countErr = err
+				return
+			}
+			if id >= len(d.keys) {
+				countErr = d.errf("key id %d outside dictionary (%d keys)", id, len(d.keys))
+				return
+			}
+			if n == 0 || n > objCount {
+				countErr = d.errf("key presence count %d outside 1..%d", n, objCount)
+				return
+			}
+			t.setKeyCount(d.keys[id], int(n))
+		})
+		if countErr != nil {
+			return nil, countErr
+		}
+		if err := d.decodeSim(&t.objSim); err != nil {
+			return nil, err
+		}
+	}
+	arrCount, err := d.uvarint("array count")
+	if err != nil {
+		return nil, err
+	}
+	if arrCount > uint64(maxInt) {
+		return nil, d.errf("array count %d out of range", arrCount)
+	}
+	t.arrCount = int(arrCount)
+	if t.arrCount > 0 {
+		n, err := d.count("length histogram size", 2)
+		if err != nil {
+			return nil, err
+		}
+		prev := -1
+		for i := 0; i < n; i++ {
+			length, err := d.uvarint("array length")
+			if err != nil {
+				return nil, err
+			}
+			c, err := d.uvarint("length count")
+			if err != nil {
+				return nil, err
+			}
+			if length > uint64(maxInt) || int(length) <= prev {
+				return nil, d.errf("length histogram not strictly ascending at %d", length)
+			}
+			if c == 0 || c > arrCount {
+				return nil, d.errf("length count %d outside 1..%d", c, arrCount)
+			}
+			prev = int(length)
+			t.setLenCount(int(length), int(c))
+		}
+		if err := d.decodeSim(&t.arrSim); err != nil {
+			return nil, err
+		}
+	}
+	nc, err := d.count("child count", 2)
+	if err != nil {
+		return nil, err
+	}
+	prevKey := -1
+	for i := 0; i < nc; i++ {
+		id, err := d.uvarint("child key id")
+		if err != nil {
+			return nil, err
+		}
+		if id > uint64(len(d.keys)) || int(id) >= len(d.keys) {
+			return nil, d.errf("child key id %d outside dictionary (%d keys)", id, len(d.keys))
+		}
+		if prevKey >= 0 && d.keys[id] <= d.keys[prevKey] {
+			return nil, d.errf("children not key-sorted at id %d", id)
+		}
+		prevKey = int(id)
+		c, err := d.decodeNode(depth + 1)
+		if err != nil {
+			return nil, err
+		}
+		t.attachChild(d.keys[id], c)
+	}
+	ne, err := d.count("elem count", 1)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < ne; i++ {
+		c, err := d.decodeNode(depth + 1)
+		if err != nil {
+			return nil, err
+		}
+		t.attachElem(c)
+	}
+	return t, nil
+}
+
+func (d *sketchDecoder) decodeTrie() (*PathSketch, error) {
+	end, err := d.section(secTrie)
+	if err != nil {
+		return nil, err
+	}
+	records, err := d.uvarint("record count")
+	if err != nil {
+		return nil, err
+	}
+	if records > uint64(maxInt) {
+		return nil, d.errf("record count %d out of range", records)
+	}
+	root, err := d.decodeNode(0)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.finishSection(secTrie, end); err != nil {
+		return nil, err
+	}
+	return &PathSketch{root: root, records: int(records)}, nil
+}
+
+func (d *sketchDecoder) finish() error {
+	if d.pos != len(d.data) {
+		return d.errf("%d trailing bytes after final section", len(d.data)-d.pos)
+	}
+	return nil
+}
+
+const maxInt = int(^uint(0) >> 1)
+
+// decodeSketchFile parses a whole sketch file into its (optional)
+// components.
+func decodeSketchFile(data []byte) (bag *jsontype.Bag, sketch *PathSketch, err error) {
+	d := &sketchDecoder{data: data}
+	flags, err := d.header()
+	if err != nil {
+		return nil, nil, err
+	}
+	if flags&^(flagBag|flagTrie) != 0 {
+		return nil, nil, formatErrf(len(sketchMagic)+1, "unknown flag bits %#x", flags)
+	}
+	if err := d.decodeKeys(); err != nil {
+		return nil, nil, err
+	}
+	if err := d.decodeTypes(); err != nil {
+		return nil, nil, err
+	}
+	if flags&flagBag != 0 {
+		if bag, err = d.decodeBag(); err != nil {
+			return nil, nil, err
+		}
+	}
+	if flags&flagTrie != 0 {
+		if sketch, err = d.decodeTrie(); err != nil {
+			return nil, nil, err
+		}
+	}
+	if err := d.finish(); err != nil {
+		return nil, nil, err
+	}
+	return bag, sketch, nil
+}
+
+// UnmarshalPathSketch decodes a sketch serialized with PathSketch.Marshal
+// (or the trie section of an accumulator file). The result is
+// observationally equal to the sketch that was marshaled: identical
+// Stats under every configuration, and safe to keep folding into.
+func UnmarshalPathSketch(data []byte) (*PathSketch, error) {
+	_, sketch, err := decodeSketchFile(data)
+	if err != nil {
+		return nil, err
+	}
+	if sketch == nil {
+		return nil, formatErrf(len(sketchMagic)+1, "no stats-trie section in input")
+	}
+	return sketch, nil
+}
+
+// UnmarshalAccumulator decodes accumulated discovery state serialized
+// with Accumulator.Marshal and resumes it under cfg. The bag section is
+// required. When cfg calls for an incremental sketch the serialized trie
+// is used if present and rebuilt from the bag otherwise (a fold over
+// deduplicated types — same statistics, more CPU); a sampling
+// configuration ignores the trie, matching NewAccumulator.
+func UnmarshalAccumulator(data []byte, cfg Config) (*Accumulator, error) {
+	bag, sketch, err := decodeSketchFile(data)
+	if err != nil {
+		return nil, err
+	}
+	if bag == nil {
+		return nil, formatErrf(len(sketchMagic)+1, "no bag section in input")
+	}
+	if sketch != nil && sketch.records != bag.Len() {
+		return nil, formatErrf(0, "trie records %d disagree with bag total %d", sketch.records, bag.Len())
+	}
+	a := NewAccumulator(cfg)
+	if a.sketch != nil && sketch != nil {
+		a.bag = bag
+		a.sketch = sketch
+		return a, nil
+	}
+	// Either the configuration wants no sketch, or the file carries none:
+	// fold the bag through the ordinary Add path.
+	a.AddBag(bag)
+	return a, nil
+}
+
+// MergeSketch decodes a serialized sketch and folds it into the
+// accumulator — the reduce-side step. It is equivalent to
+// a.Merge(UnmarshalAccumulator(data, cfg)) for the accumulator's own
+// configuration.
+func (a *Accumulator) MergeSketch(data []byte) error {
+	other, err := UnmarshalAccumulator(data, a.cfg)
+	if err != nil {
+		return err
+	}
+	a.Merge(other)
+	return nil
+}

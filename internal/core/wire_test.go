@@ -1,0 +1,474 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+
+	"jxplain/internal/dataset"
+	"jxplain/internal/jsontype"
+	"jxplain/internal/schema"
+)
+
+// wireSampleAccumulator folds a slice of the named dataset into a fresh
+// accumulator.
+func wireSampleAccumulator(t *testing.T, name string, n int, cfg Config) *Accumulator {
+	t.Helper()
+	g, ok := dataset.ByName(name)
+	if !ok {
+		t.Fatalf("no dataset %q", name)
+	}
+	acc := NewAccumulator(cfg)
+	for _, r := range g.Generate(n, 1) {
+		acc.Add(r.Type)
+	}
+	return acc
+}
+
+func schemaBytes(t *testing.T, s schema.Schema) []byte {
+	t.Helper()
+	data, err := schema.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestPathSketchWireRoundTrip pins the tentpole property on every dataset:
+// Unmarshal(Marshal(s)) is observationally equal to s — identical Stats —
+// and stays equal as more records fold into both.
+func TestPathSketchWireRoundTrip(t *testing.T) {
+	for _, g := range dataset.Registry() {
+		records := g.Generate(120, 1)
+		s := NewPathSketch()
+		for _, r := range records[:100] {
+			s.Add(r.Type)
+		}
+		data, err := s.Marshal()
+		if err != nil {
+			t.Fatalf("%s: %v", g.Name, err)
+		}
+		got, err := UnmarshalPathSketch(data)
+		if err != nil {
+			t.Fatalf("%s: %v", g.Name, err)
+		}
+		requireSameSketch(t, s, got)
+
+		// The decoded sketch must keep folding exactly like the original.
+		for _, r := range records[100:] {
+			s.Add(r.Type)
+			got.Add(r.Type)
+		}
+		requireSameSketch(t, s, got)
+
+		// And marshal canonically: same state, same bytes.
+		re, err := got.Marshal()
+		if err != nil {
+			t.Fatalf("%s: %v", g.Name, err)
+		}
+		if !bytes.Equal(re, mustMarshalSketch(t, s)) {
+			t.Errorf("%s: re-marshal of decoded sketch diverges", g.Name)
+		}
+	}
+}
+
+func mustMarshalSketch(t *testing.T, s *PathSketch) []byte {
+	t.Helper()
+	data, err := s.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestAccumulatorWireRoundTrip checks the full accumulator round trip on
+// every dataset: the resumed accumulator synthesizes a byte-identical
+// schema and reports identical stats.
+func TestAccumulatorWireRoundTrip(t *testing.T) {
+	cfg := Default()
+	for _, g := range dataset.Registry() {
+		acc := NewAccumulator(cfg)
+		for _, r := range g.Generate(150, 1) {
+			acc.Add(r.Type)
+		}
+		data, err := acc.Marshal()
+		if err != nil {
+			t.Fatalf("%s: %v", g.Name, err)
+		}
+		got, err := UnmarshalAccumulator(data, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", g.Name, err)
+		}
+		if got.Records() != acc.Records() || got.Distinct() != acc.Distinct() {
+			t.Fatalf("%s: counts diverge: %d/%d vs %d/%d",
+				g.Name, got.Records(), got.Distinct(), acc.Records(), acc.Distinct())
+		}
+		if !reflect.DeepEqual(got.Stats(), acc.Stats()) {
+			t.Fatalf("%s: stats diverge after round trip", g.Name)
+		}
+		want := schemaBytes(t, acc.Finish())
+		if have := schemaBytes(t, got.Finish()); !bytes.Equal(have, want) {
+			t.Errorf("%s: schema diverges after round trip\ngot:  %s\nwant: %s", g.Name, have, want)
+		}
+	}
+}
+
+// TestAccumulatorWireSamplingConfigs covers the sketch-absent corners: a
+// sampling map side writes no trie (reducer refolds the bag), and a
+// sampling reduce side ignores a present trie — both matching what an
+// in-process accumulator with that configuration would hold.
+func TestAccumulatorWireSamplingConfigs(t *testing.T) {
+	sampling := Default()
+	sampling.DetectionSample = 0.5
+
+	// Map side sampled: no trie section on the wire.
+	mapAcc := wireSampleAccumulator(t, "github", 100, sampling)
+	data, err := mapAcc.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := UnmarshalAccumulator(data, Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := NewAccumulator(Default())
+	ref.AddBag(mapAcc.bag)
+	if !reflect.DeepEqual(full.Stats(), ref.Stats()) {
+		t.Error("bag-only sketch file: rebuilt sketch diverges from refold")
+	}
+
+	// Reduce side sampled: trie present on the wire but unused.
+	fullAcc := wireSampleAccumulator(t, "github", 100, Default())
+	data, err = fullAcc.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampled, err := UnmarshalAccumulator(data, sampling)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refSampled := NewAccumulator(sampling)
+	refSampled.AddBag(fullAcc.bag)
+	if !reflect.DeepEqual(sampled.Stats(), refSampled.Stats()) {
+		t.Error("sampling config: decoded accumulator diverges from refold")
+	}
+}
+
+// TestAccumulatorMergeSketchEquivalence pins the reduce step: merging a
+// *serialized* accumulator is equivalent to merging the in-memory one.
+func TestAccumulatorMergeSketchEquivalence(t *testing.T) {
+	cfg := Default()
+	g, _ := dataset.ByName("yelp-business")
+	records := g.Generate(200, 1)
+
+	mkAcc := func(lo, hi int) *Accumulator {
+		a := NewAccumulator(cfg)
+		for _, r := range records[lo:hi] {
+			a.Add(r.Type)
+		}
+		return a
+	}
+
+	viaWire := mkAcc(0, 80)
+	shard := mkAcc(80, 200)
+	data, err := shard.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := viaWire.MergeSketch(data); err != nil {
+		t.Fatal(err)
+	}
+
+	inMemory := mkAcc(0, 80)
+	inMemory.Merge(mkAcc(80, 200))
+
+	single := mkAcc(0, 200)
+
+	for _, pair := range []struct {
+		name string
+		acc  *Accumulator
+	}{{"in-memory merge", inMemory}, {"single fold", single}} {
+		if !reflect.DeepEqual(viaWire.Stats(), pair.acc.Stats()) {
+			t.Errorf("stats diverge: serialized merge vs %s", pair.name)
+		}
+		if !bytes.Equal(schemaBytes(t, viaWire.Finish()), schemaBytes(t, pair.acc.Finish())) {
+			t.Errorf("schema diverges: serialized merge vs %s", pair.name)
+		}
+	}
+}
+
+// lawAccumulators builds three fresh shard accumulators for the merge-law
+// property tests.
+func lawAccumulators(cfg Config) [3]*Accumulator {
+	chunks := lawSketchChunks()
+	var out [3]*Accumulator
+	for i, chunk := range chunks {
+		out[i] = NewAccumulator(cfg)
+		for _, ty := range chunk {
+			out[i].Add(ty)
+		}
+	}
+	return out
+}
+
+// requireSameAccumulator checks observational equality up to bag
+// *presentation order*: record/distinct counts, the per-type multiset,
+// and the pass-① statistics. Schema bytes are deliberately not compared
+// here — union alternates follow bag insertion order, so two merge orders
+// produce the same schema as a set but may present alternates differently
+// (which is why the scale-out reducer merges shards in stream order; see
+// requireSameAccumulatorSchema for the order-preserving cases).
+func requireSameAccumulator(t *testing.T, x, y *Accumulator) {
+	t.Helper()
+	if x.Records() != y.Records() || x.Distinct() != y.Distinct() {
+		t.Fatalf("counts diverge: %d/%d vs %d/%d", x.Records(), x.Distinct(), y.Records(), y.Distinct())
+	}
+	x.bag.Each(func(ty *jsontype.Type, n int) {
+		if y.bag.CountOf(ty) != n {
+			t.Fatalf("multiset diverges at %s: %d vs %d", ty.Canon(), n, y.bag.CountOf(ty))
+		}
+	})
+	if !reflect.DeepEqual(x.Stats(), y.Stats()) {
+		t.Fatalf("stats diverge:\n%v\nvs\n%v", x.Stats(), y.Stats())
+	}
+}
+
+// requireSameAccumulatorSchema additionally pins schema bytes, for merge
+// orders that preserve the bag's first-seen order.
+func requireSameAccumulatorSchema(t *testing.T, x, y *Accumulator) {
+	t.Helper()
+	requireSameAccumulator(t, x, y)
+	if sx, sy := schemaBytes(t, x.Finish()), schemaBytes(t, y.Finish()); !bytes.Equal(sx, sy) {
+		t.Fatalf("schemas diverge:\n%s\nvs\n%s", sx, sy)
+	}
+}
+
+func TestAccumulatorMergeCommutativeProperty(t *testing.T) {
+	cfg := Default()
+	a := lawAccumulators(cfg)
+	b := lawAccumulators(cfg)
+
+	a[0].Merge(a[1]) // a ⊕ b
+	b[1].Merge(b[0]) // b ⊕ a
+
+	requireSameAccumulator(t, a[0], b[1])
+}
+
+func TestAccumulatorMergeAssociativeProperty(t *testing.T) {
+	cfg := Default()
+	l := lawAccumulators(cfg)
+	r := lawAccumulators(cfg)
+
+	l[0].Merge(l[1])
+	l[0].Merge(l[2]) // (a ⊕ b) ⊕ c
+
+	r[1].Merge(r[2])
+	r[0].Merge(r[1]) // a ⊕ (b ⊕ c)
+
+	// Both groupings preserve first-seen order, so even schema bytes agree.
+	requireSameAccumulatorSchema(t, l[0], r[0])
+}
+
+// TestAccumulatorMergeSerializedCommutativeProperty re-proves the merge
+// laws with every operand shipped through the wire format — the algebra
+// the scale-out reducer actually relies on: reduce order across sketch
+// files must not matter.
+func TestAccumulatorMergeSerializedCommutativeProperty(t *testing.T) {
+	cfg := Default()
+	shards := lawAccumulators(cfg)
+	var files [3][]byte
+	for i, acc := range shards {
+		data, err := acc.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		files[i] = data
+	}
+
+	reduce := func(order ...int) *Accumulator {
+		acc := NewAccumulator(cfg)
+		for _, i := range order {
+			if err := acc.MergeSketch(files[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return acc
+	}
+
+	want := reduce(0, 1, 2)
+	for _, order := range [][]int{{0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0}} {
+		requireSameAccumulator(t, want, reduce(order...))
+	}
+}
+
+func TestAccumulatorMergeSerializedAssociativeProperty(t *testing.T) {
+	cfg := Default()
+	shards := lawAccumulators(cfg)
+	var files [3][]byte
+	for i, acc := range shards {
+		data, err := acc.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		files[i] = data
+	}
+
+	// (a ⊕ b) ⊕ c, with the intermediate itself crossing the wire.
+	left := NewAccumulator(cfg)
+	if err := left.MergeSketch(files[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := left.MergeSketch(files[1]); err != nil {
+		t.Fatal(err)
+	}
+	leftData, err := left.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	outer := NewAccumulator(cfg)
+	if err := outer.MergeSketch(leftData); err != nil {
+		t.Fatal(err)
+	}
+	if err := outer.MergeSketch(files[2]); err != nil {
+		t.Fatal(err)
+	}
+
+	// a ⊕ (b ⊕ c), likewise.
+	bc := NewAccumulator(cfg)
+	if err := bc.MergeSketch(files[1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := bc.MergeSketch(files[2]); err != nil {
+		t.Fatal(err)
+	}
+	bcData, err := bc.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	right := NewAccumulator(cfg)
+	if err := right.MergeSketch(files[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := right.MergeSketch(bcData); err != nil {
+		t.Fatal(err)
+	}
+
+	requireSameAccumulatorSchema(t, outer, right)
+}
+
+// TestSketchWireVersionRejected pins the compatibility contract: any
+// unknown version byte yields a typed *SketchVersionError, for both entry
+// points.
+func TestSketchWireVersionRejected(t *testing.T) {
+	acc := wireSampleAccumulator(t, "github", 20, Default())
+	data, err := acc.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, version := range []byte{0, SketchFormatVersion + 1, 255} {
+		bad := append([]byte(nil), data...)
+		bad[4] = version
+		var verr *SketchVersionError
+		if _, err := UnmarshalAccumulator(bad, Default()); !errors.As(err, &verr) {
+			t.Fatalf("version %d: got %v, want *SketchVersionError", version, err)
+		} else if verr.Got != version || verr.Want != SketchFormatVersion {
+			t.Fatalf("version %d: error carries %d/%d", version, verr.Got, verr.Want)
+		}
+		if _, err := UnmarshalPathSketch(bad); !errors.As(err, &verr) {
+			t.Fatalf("version %d (sketch): got %v, want *SketchVersionError", version, err)
+		}
+	}
+}
+
+// TestSketchWireRejectsCorrupt feeds the decoder the corruption classes it
+// must reject with a *SketchFormatError and never a panic: truncation at
+// every prefix, trailing garbage, bad magic, unknown flags, and missing
+// required sections.
+func TestSketchWireRejectsCorrupt(t *testing.T) {
+	acc := wireSampleAccumulator(t, "twitter", 30, Default())
+	data, err := acc.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	decode := func(input []byte) error {
+		_, err := UnmarshalAccumulator(input, Default())
+		return err
+	}
+
+	for i := 0; i < len(data); i++ {
+		if err := decode(data[:i]); err == nil {
+			t.Fatalf("truncation at %d accepted", i)
+		}
+	}
+	if err := decode(append(append([]byte(nil), data...), 0)); err == nil {
+		t.Error("trailing byte accepted")
+	}
+
+	badMagic := append([]byte(nil), data...)
+	badMagic[0] = 'X'
+	cases := map[string][]byte{
+		"empty":     {},
+		"bad magic": badMagic,
+	}
+	unknownFlags := append([]byte(nil), data...)
+	unknownFlags[5] |= 0x80
+	cases["unknown flags"] = unknownFlags
+
+	for name, input := range cases {
+		err := decode(input)
+		var ferr *SketchFormatError
+		if !errors.As(err, &ferr) {
+			t.Errorf("%s: got %v, want *SketchFormatError", name, err)
+		}
+	}
+
+	// A bare sketch file has no bag: UnmarshalAccumulator must refuse it,
+	// and UnmarshalPathSketch must refuse a bag-only file.
+	s := NewPathSketch()
+	s.Add(jsontype.MustFromValue(map[string]any{"a": 1.0}))
+	sketchOnly, err := s.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ferr *SketchFormatError
+	if _, err := UnmarshalAccumulator(sketchOnly, Default()); !errors.As(err, &ferr) {
+		t.Errorf("bag-less file: got %v, want *SketchFormatError", err)
+	}
+	sampling := Default()
+	sampling.DetectionSample = 0.5
+	bagOnlyAcc := NewAccumulator(sampling)
+	bagOnlyAcc.Add(jsontype.MustFromValue(map[string]any{"a": 1.0}))
+	bagOnly, err := bagOnlyAcc.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnmarshalPathSketch(bagOnly); !errors.As(err, &ferr) {
+		t.Errorf("trie-less file: got %v, want *SketchFormatError", err)
+	}
+}
+
+// TestStatsDoesNotMutateSketch is the regression test for the wildcard-
+// merge aliasing bug: derive used to build its merged collection nodes
+// with the adopting combine, so the first Stats call could splice live
+// child maps into scratch nodes and later folds corrupted the sketch.
+// Stats must be repeatable and must leave the serialized form untouched.
+func TestStatsDoesNotMutateSketch(t *testing.T) {
+	for _, g := range dataset.Registry() {
+		s := NewPathSketch()
+		for _, r := range g.Generate(100, 1) {
+			s.Add(r.Type)
+		}
+		cfg := Default()
+		before := mustMarshalSketch(t, s)
+		first := s.Stats(cfg)
+		second := s.Stats(cfg)
+		if !reflect.DeepEqual(first, second) {
+			t.Fatalf("%s: Stats not repeatable", g.Name)
+		}
+		if !bytes.Equal(before, mustMarshalSketch(t, s)) {
+			t.Fatalf("%s: Stats mutated the sketch's serialized state", g.Name)
+		}
+	}
+}

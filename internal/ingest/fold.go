@@ -1,0 +1,28 @@
+package ingest
+
+import (
+	"context"
+	"io"
+
+	"jxplain/internal/jsontype"
+)
+
+// BagFolder consumes deduplicated chunks of a stream. core.Accumulator is
+// the canonical implementation; anything that can fold a bag — a sketch,
+// a counter, a tee — satisfies it.
+type BagFolder interface {
+	AddBag(*jsontype.Bag)
+}
+
+// Fold streams r through the chunked decode pipeline and folds every
+// chunk into the folder, in input order. It returns the total record
+// count. Fold is the ingestion step shared by the one-shot facade, the
+// streaming facade, and the jxshard map worker: each differs only in what
+// it folds into and what it does with the accumulated state afterwards
+// (synthesize a schema, or marshal a sketch).
+func Fold(ctx context.Context, r io.Reader, opts Options, into BagFolder) (int, error) {
+	return Each(ctx, r, opts, func(c Chunk) error {
+		into.AddBag(c.Bag)
+		return nil
+	})
+}

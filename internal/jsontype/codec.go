@@ -1,0 +1,257 @@
+package jsontype
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Structural type codec. Serialized discovery state (sketch files, the
+// jxshard map output) must reference types without leaking intern ids —
+// ids are dense per-process counters that depend on intern order, so two
+// workers observing the same structure assign different ids. The codec
+// therefore writes types *structurally*, as a table in which children
+// precede their parents, and writes references as table positions. On
+// decode every entry is rebuilt through NewArray/NewObject, i.e.
+// re-interned into the receiving process's table, so pointer-identity
+// equality (and everything built on it: Bag dedup keys, memo keys,
+// Similar's fast path) holds across the wire exactly as it does
+// in-process.
+//
+// Reference space:
+//
+//	0        nil (no type)
+//	1 .. 4   the primitive singletons Null, Bool, Number, String
+//	5 ..     complex table entries, in table order
+//
+// Table entry layout (all integers unsigned varints):
+//
+//	kind byte (KindArray | KindObject)
+//	array:  n, then n child refs
+//	object: n, then n × (key length, key bytes, child ref)
+//
+// Child refs always point at primitives or *earlier* table entries;
+// object keys are strictly increasing within an entry (Type.Fields is
+// key-sorted). The decoder rejects violations of either property, which
+// is what keeps it total on corrupt input: NewObject panics on duplicate
+// keys, so the decoder must never reach it with any.
+
+// firstComplexRef is the reference of table entry 0.
+const firstComplexRef = 5
+
+// primitiveRef returns the wire reference of a primitive kind (1..4).
+func primitiveRef(k Kind) uint64 { return uint64(k) + 1 }
+
+// TypeEncoder accumulates a structural type table. The zero value is not
+// ready; use NewTypeEncoder.
+type TypeEncoder struct {
+	refs  map[*Type]uint64
+	order []*Type // complex types, children before parents
+}
+
+// NewTypeEncoder returns an empty encoder.
+func NewTypeEncoder() *TypeEncoder {
+	return &TypeEncoder{refs: map[*Type]uint64{}}
+}
+
+// Ref interns t (and, transitively, its children) into the table and
+// returns its wire reference. Ref is idempotent: interning makes repeated
+// subtrees the same pointer, so each distinct subtree is encoded once.
+// A nil type encodes as reference 0.
+func (e *TypeEncoder) Ref(t *Type) uint64 {
+	if t == nil {
+		return 0
+	}
+	if t.Kind().Primitive() {
+		return primitiveRef(t.Kind())
+	}
+	if r, ok := e.refs[t]; ok {
+		return r
+	}
+	// Children first: their refs must be smaller than the parent's.
+	switch t.Kind() {
+	case KindArray:
+		for _, c := range t.Elems() {
+			e.Ref(c)
+		}
+	case KindObject:
+		for _, f := range t.Fields() {
+			e.Ref(f.Type)
+		}
+	}
+	r := uint64(len(e.order)) + firstComplexRef
+	e.refs[t] = r
+	e.order = append(e.order, t)
+	return r
+}
+
+// Len returns the number of complex table entries interned so far.
+func (e *TypeEncoder) Len() int { return len(e.order) }
+
+// refOf resolves an already-interned type (or primitive) to its wire
+// reference without mutating the table.
+func (e *TypeEncoder) refOf(t *Type) uint64 {
+	if t.Kind().Primitive() {
+		return primitiveRef(t.Kind())
+	}
+	return e.refs[t]
+}
+
+// Append serializes the table section onto buf and returns the extended
+// slice.
+func (e *TypeEncoder) Append(buf []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(e.order)))
+	for _, t := range e.order {
+		buf = append(buf, byte(t.Kind()))
+		switch t.Kind() {
+		case KindArray:
+			buf = binary.AppendUvarint(buf, uint64(len(t.Elems())))
+			for _, c := range t.Elems() {
+				buf = binary.AppendUvarint(buf, e.refOf(c))
+			}
+		case KindObject:
+			buf = binary.AppendUvarint(buf, uint64(len(t.Fields())))
+			for _, f := range t.Fields() {
+				buf = binary.AppendUvarint(buf, uint64(len(f.Key)))
+				buf = append(buf, f.Key...)
+				buf = binary.AppendUvarint(buf, e.refOf(f.Type))
+			}
+		}
+	}
+	return buf
+}
+
+// TypeDecoder resolves wire references against a decoded type table.
+type TypeDecoder struct {
+	table []*Type
+}
+
+// DecodeTypeTable decodes a table section from the front of data,
+// re-interning every entry, and returns the decoder plus the number of
+// bytes consumed. It never panics: malformed input (truncation, forward
+// or out-of-range references, unsorted or duplicate object keys,
+// primitive kinds in the table) yields an error.
+func DecodeTypeTable(data []byte) (*TypeDecoder, int, error) {
+	pos := 0
+	n, err := readUvarint(data, &pos, "type table length")
+	if err != nil {
+		return nil, 0, err
+	}
+	// Each entry costs at least one kind byte plus one varint byte.
+	if n > uint64(len(data)-pos) {
+		return nil, 0, fmt.Errorf("jsontype: type table claims %d entries with %d bytes left", n, len(data)-pos)
+	}
+	d := &TypeDecoder{table: make([]*Type, 0, n)}
+	for i := uint64(0); i < n; i++ {
+		if pos >= len(data) {
+			return nil, 0, fmt.Errorf("jsontype: type table truncated at entry %d", i)
+		}
+		kind := Kind(data[pos])
+		pos++
+		switch kind {
+		case KindArray:
+			m, err := readUvarint(data, &pos, "array length")
+			if err != nil {
+				return nil, 0, err
+			}
+			if m > uint64(len(data)-pos) {
+				return nil, 0, fmt.Errorf("jsontype: array entry claims %d elements with %d bytes left", m, len(data)-pos)
+			}
+			elems := make([]*Type, m)
+			for j := range elems {
+				c, err := d.readRef(data, &pos, uint64(i))
+				if err != nil {
+					return nil, 0, err
+				}
+				elems[j] = c
+			}
+			d.table = append(d.table, NewArray(elems))
+		case KindObject:
+			m, err := readUvarint(data, &pos, "field count")
+			if err != nil {
+				return nil, 0, err
+			}
+			if m > uint64(len(data)-pos) {
+				return nil, 0, fmt.Errorf("jsontype: object entry claims %d fields with %d bytes left", m, len(data)-pos)
+			}
+			fields := make([]Field, m)
+			prev := ""
+			for j := range fields {
+				kl, err := readUvarint(data, &pos, "key length")
+				if err != nil {
+					return nil, 0, err
+				}
+				if kl > uint64(len(data)-pos) {
+					return nil, 0, fmt.Errorf("jsontype: key length %d exceeds %d remaining bytes", kl, len(data)-pos)
+				}
+				key := string(data[pos : pos+int(kl)])
+				pos += int(kl)
+				if j > 0 && key <= prev {
+					return nil, 0, fmt.Errorf("jsontype: object keys not strictly sorted (%q after %q)", key, prev)
+				}
+				prev = key
+				c, err := d.readRef(data, &pos, uint64(i))
+				if err != nil {
+					return nil, 0, err
+				}
+				fields[j] = Field{Key: key, Type: c}
+			}
+			d.table = append(d.table, NewObject(fields))
+		default:
+			return nil, 0, fmt.Errorf("jsontype: invalid kind byte %d in type table", kind)
+		}
+	}
+	return d, pos, nil
+}
+
+// readRef reads one child reference for table entry `entry`, enforcing
+// the children-before-parents invariant.
+func (d *TypeDecoder) readRef(data []byte, pos *int, entry uint64) (*Type, error) {
+	r, err := readUvarint(data, pos, "type ref")
+	if err != nil {
+		return nil, err
+	}
+	if r == 0 {
+		return nil, fmt.Errorf("jsontype: nil ref as child of table entry %d", entry)
+	}
+	if r >= firstComplexRef && r-firstComplexRef >= entry {
+		return nil, fmt.Errorf("jsontype: forward ref %d in table entry %d", r, entry)
+	}
+	return d.Type(r)
+}
+
+// Type resolves a wire reference. Reference 0 resolves to nil.
+func (d *TypeDecoder) Type(ref uint64) (*Type, error) {
+	switch {
+	case ref == 0:
+		return nil, nil
+	case ref < firstComplexRef:
+		return NewPrimitive(Kind(ref - 1)), nil
+	case ref-firstComplexRef < uint64(len(d.table)):
+		return d.table[ref-firstComplexRef], nil
+	}
+	return nil, fmt.Errorf("jsontype: type ref %d out of range (table has %d entries)", ref, len(d.table))
+}
+
+// readUvarint reads one unsigned varint at *pos, advancing it.
+func readUvarint(data []byte, pos *int, what string) (uint64, error) {
+	v, n := binary.Uvarint(data[*pos:])
+	if n <= 0 {
+		return 0, fmt.Errorf("jsontype: truncated or overlong varint (%s) at offset %d", what, *pos)
+	}
+	*pos += n
+	return v, nil
+}
+
+// RestoreSimilarityAccumulator rebuilds a SimilarityAccumulator from its
+// observable state — the maximal type (nil when nothing was added) and the
+// pairwise-similarity verdict — as reported by Max and Similar. Once a
+// bag of additions has latched dissimilar, its maximal type no longer
+// influences any observable behavior (Max returns nil, Similar returns
+// false, and Combine only propagates the latch), so (max, similar)
+// round-trips the accumulator exactly.
+func RestoreSimilarityAccumulator(max *Type, similar bool) SimilarityAccumulator {
+	if !similar {
+		return SimilarityAccumulator{dissimilar: true}
+	}
+	return SimilarityAccumulator{max: max}
+}

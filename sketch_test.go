@@ -1,0 +1,153 @@
+package jxplain
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"jxplain/internal/core"
+	"jxplain/internal/dataset"
+)
+
+// splitJSONLContiguous splits JSONL bytes into n contiguous, deliberately
+// uneven shards (line counts roughly 1:2:…:n).
+func splitJSONLContiguous(input []byte, n int) [][]byte {
+	lines := strings.SplitAfter(string(input), "\n")
+	if len(lines) > 0 && lines[len(lines)-1] == "" {
+		lines = lines[:len(lines)-1]
+	}
+	weights := 0
+	for i := 1; i <= n; i++ {
+		weights += i
+	}
+	shards := make([][]byte, 0, n)
+	start := 0
+	for i := 1; i <= n; i++ {
+		end := start + len(lines)*i/weights
+		if i == n {
+			end = len(lines)
+		}
+		shards = append(shards, []byte(strings.Join(lines[start:end], "")))
+		start = end
+	}
+	return shards
+}
+
+// TestDiscovererSketchShardEquivalence is the facade-level map/reduce
+// check: shard a stream contiguously, fold each shard in its own
+// Discoverer (a map worker), ship each sketch through MarshalSketch, and
+// reduce by merging in shard order. The reduced schema must be
+// byte-identical to single-stream discovery — shard boundaries and the
+// wire crossing leave no trace.
+func TestDiscovererSketchShardEquivalence(t *testing.T) {
+	cfg := DefaultConfig()
+	ctx := context.Background()
+	for _, g := range dataset.Registry() {
+		input := datasetJSONL(t, g, 200)
+
+		single := NewDiscoverer(cfg)
+		if _, err := single.AddStream(ctx, bytes.NewReader(input), StreamOptions{JSONL: true}); err != nil {
+			t.Fatalf("%s: %v", g.Name, err)
+		}
+		want, err := MarshalSchema(single.Finish())
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		reducer := NewDiscoverer(cfg)
+		records := 0
+		for si, shard := range splitJSONLContiguous(input, 3) {
+			mapper := NewDiscoverer(cfg)
+			n, err := mapper.AddStream(ctx, bytes.NewReader(shard), StreamOptions{JSONL: true})
+			if err != nil {
+				t.Fatalf("%s shard %d: %v", g.Name, si, err)
+			}
+			records += n
+			sketch, err := mapper.MarshalSketch()
+			if err != nil {
+				t.Fatalf("%s shard %d: %v", g.Name, si, err)
+			}
+			if err := reducer.MergeSketch(sketch); err != nil {
+				t.Fatalf("%s shard %d: %v", g.Name, si, err)
+			}
+		}
+		if records != single.Records() || reducer.Records() != single.Records() {
+			t.Fatalf("%s: record counts diverge: shards %d, reduced %d, single %d",
+				g.Name, records, reducer.Records(), single.Records())
+		}
+		got, err := MarshalSchema(reducer.Finish())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s: sharded schema diverges from single-stream\ngot:  %s\nwant: %s", g.Name, got, want)
+		}
+	}
+}
+
+// TestDiscovererFromSketchResumes checks the save/resume workflow: marshal
+// mid-stream, resume in a fresh Discoverer, keep adding, and match an
+// uninterrupted run.
+func TestDiscovererFromSketchResumes(t *testing.T) {
+	cfg := DefaultConfig()
+	ctx := context.Background()
+	g, _ := dataset.ByName("nyt")
+	input := datasetJSONL(t, g, 150)
+	shards := splitJSONLContiguous(input, 2)
+
+	d := NewDiscoverer(cfg)
+	if _, err := d.AddStream(ctx, bytes.NewReader(shards[0]), StreamOptions{JSONL: true}); err != nil {
+		t.Fatal(err)
+	}
+	saved, err := d.MarshalSketch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := NewDiscovererFromSketch(saved, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := resumed.AddStream(ctx, bytes.NewReader(shards[1]), StreamOptions{JSONL: true}); err != nil {
+		t.Fatal(err)
+	}
+
+	full := NewDiscoverer(cfg)
+	if _, err := full.AddStream(ctx, bytes.NewReader(input), StreamOptions{JSONL: true}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := MarshalSchema(resumed.Finish())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := MarshalSchema(full.Finish())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("resumed schema diverges from uninterrupted run\ngot:  %s\nwant: %s", got, want)
+	}
+}
+
+// TestDiscovererSketchErrors pins the typed errors crossing the facade.
+func TestDiscovererSketchErrors(t *testing.T) {
+	if _, err := NewDiscovererFromSketch([]byte("not a sketch"), DefaultConfig()); err == nil {
+		t.Error("garbage accepted")
+	} else {
+		var ferr *core.SketchFormatError
+		if !errors.As(err, &ferr) {
+			t.Errorf("got %T, want *core.SketchFormatError", err)
+		}
+	}
+	d := NewDiscoverer(DefaultConfig())
+	data, err := d.MarshalSketch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[4] = 99
+	var verr *core.SketchVersionError
+	if err := d.MergeSketch(data); !errors.As(err, &verr) {
+		t.Errorf("got %v, want *core.SketchVersionError", err)
+	}
+}

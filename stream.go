@@ -59,6 +59,41 @@ func (d *Discoverer) AddValue(v any) error {
 // AddType folds one structural type into the discoverer.
 func (d *Discoverer) AddType(t *Type) { d.acc.Add(t) }
 
+// AddStream folds a whole stream of JSON documents (JSONL or concatenated)
+// into the discoverer through the chunked decode pipeline, returning the
+// number of records ingested. The context cancels ingestion mid-stream.
+func (d *Discoverer) AddStream(ctx context.Context, r io.Reader, opts StreamOptions) (int, error) {
+	n, err := ingest.Fold(ctx, r, opts, d.acc)
+	if err != nil {
+		return n, fmt.Errorf("jxplain: decoding records: %w", err)
+	}
+	return n, nil
+}
+
+// MarshalSketch serializes the discoverer's accumulated state — the
+// deduplicated type bag and the pass-① path statistics — in the versioned
+// sketch wire format. The discoverer is not consumed. Sketches produced
+// on different machines (or processes) over disjoint shards of a
+// collection can be merged with MergeSketch to continue discovery exactly
+// where the combined streams left off.
+func (d *Discoverer) MarshalSketch() ([]byte, error) { return d.acc.Marshal() }
+
+// MergeSketch folds a serialized sketch into the discoverer, as if every
+// record behind the sketch had been added directly. It returns a typed
+// error (core.SketchVersionError, core.SketchFormatError) on input this
+// build cannot read.
+func (d *Discoverer) MergeSketch(data []byte) error { return d.acc.MergeSketch(data) }
+
+// NewDiscovererFromSketch resumes discovery from a serialized sketch
+// under the given configuration.
+func NewDiscovererFromSketch(data []byte, cfg Config) (*Discoverer, error) {
+	acc, err := core.UnmarshalAccumulator(data, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Discoverer{acc: acc}, nil
+}
+
 // Records returns the number of records folded in so far.
 func (d *Discoverer) Records() int { return d.acc.Records() }
 
@@ -79,11 +114,7 @@ func DiscoverStream(ctx context.Context, r io.Reader, cfg Config) (Schema, error
 // framing options.
 func DiscoverStreamOpts(ctx context.Context, r io.Reader, cfg Config, opts StreamOptions) (Schema, error) {
 	acc := core.NewAccumulator(cfg)
-	_, err := ingest.Each(ctx, r, opts, func(c ingest.Chunk) error {
-		acc.AddBag(c.Bag)
-		return nil
-	})
-	if err != nil {
+	if _, err := ingest.Fold(ctx, r, opts, acc); err != nil {
 		return nil, fmt.Errorf("jxplain: decoding records: %w", err)
 	}
 	return schema.Simplify(acc.Finish()), nil
