@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-short check lint cover fuzz bench bench-stream bench-hotpath bench-entity bench-shard experiments clean
+.PHONY: all build vet test test-short check lint cover fuzz bench bench-stream bench-hotpath bench-entity bench-shard bench-reduce experiments clean
 
 all: build vet test
 
@@ -41,6 +41,8 @@ fuzz:
 	$(GO) test -fuzz FuzzScan -fuzztime 30s ./internal/jsontype/
 	$(GO) test -fuzz FuzzKeySet -fuzztime 30s ./internal/entity/
 	$(GO) test -fuzz FuzzUnmarshal -fuzztime 30s ./internal/schema/
+	$(GO) test -fuzz FuzzSketchDecode -fuzztime 30s ./internal/core/
+	$(GO) test -fuzz FuzzSketchMerge -fuzztime 30s ./internal/core/
 
 # Go benchmarks in benchstat-compatible format (-count=10 gives benchstat
 # enough samples for a significance test). To compare against a baseline:
@@ -76,6 +78,14 @@ bench-entity:
 # on every cell. Written to results/BENCH_shard.json.
 bench-shard:
 	$(GO) run ./cmd/jxbench -table shard -json-out results/BENCH_shard.json
+
+# Parallel tree reduce over the 1..32-shard × 1..8-reduce-worker grid:
+# wall time and allocs for the merge-into decoder, the materialize
+# baseline on the sequential rows, with byte-equivalence against
+# single-process discovery checked before any cell is timed. Written to
+# results/BENCH_reduce.json.
+bench-reduce:
+	$(GO) run ./cmd/jxbench -table reduce -json-out results/BENCH_reduce.json
 
 # Regenerates every table and figure of the paper's evaluation into
 # results/jxbench_full.txt (about a minute at scale 0.5).

@@ -46,7 +46,7 @@ func main() {
 
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("jxbench", flag.ContinueOnError)
-	tableF := fs.String("table", "", "table to run: 1..5, edits, threshold, staged, iterative, sampled, fd, describe, stream, hotpath, entity, shard")
+	tableF := fs.String("table", "", "table to run: 1..5, edits, threshold, staged, iterative, sampled, fd, describe, stream, hotpath, entity, shard, reduce")
 	figureF := fs.String("figure", "", "figure to run: 4 or 5")
 	all := fs.Bool("all", false, "run every table, figure and ablation")
 	datasets := fs.String("datasets", "", "comma-separated dataset subset")
@@ -169,6 +169,8 @@ func dispatch(name string, opts experiments.Options) (result, error) {
 		return experiments.RunEntityBench(opts)
 	case "shard":
 		return experiments.RunShardBench(opts)
+	case "reduce":
+		return experiments.RunReduceBench(opts)
 	}
 	return nil, fmt.Errorf("unknown experiment %q", name)
 }

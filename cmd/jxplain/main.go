@@ -20,13 +20,15 @@
 // Accumulated state can cross process boundaries through the versioned
 // sketch wire format: -emit-sketch writes the accumulator instead of a
 // schema, and repeated -merge-sketch flags seed the accumulator from
-// sketch files (merged in flag order) before any input is ingested —
-// together they form a map/reduce pair (see also cmd/jxshard, the
-// dedicated scale-out driver).
+// sketch files (merged in flag order, as a parallel tree when
+// -reduce-workers allows) before any input is ingested — together they
+// form a map/reduce pair (see also cmd/jxshard, the dedicated scale-out
+// driver).
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -76,6 +78,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	var mergeSketches sketchList
 	fs.Var(&mergeSketches, "merge-sketch",
 		"seed the accumulator from this sketch file before ingesting input (repeatable; merged in flag order)")
+	reduceWorkers := fs.Int("reduce-workers", 0,
+		"concurrent -merge-sketch workers (0 = one per core, 1 = sequential)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -118,14 +122,20 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		cfg := configFor(*algorithm, *threshold, !*noArrayTuples, !*noObjectColls)
 		cfg.Seed = *seed
 		acc := core.NewAccumulator(cfg)
-		for _, path := range mergeSketches {
+		datas := make([][]byte, len(mergeSketches))
+		for i, path := range mergeSketches {
 			data, err := os.ReadFile(path)
 			if err != nil {
 				return err
 			}
-			if err := acc.MergeSketch(data); err != nil {
-				return fmt.Errorf("merging sketch %s: %w", path, err)
+			datas[i] = data
+		}
+		if err := acc.MergeSketches(datas, *reduceWorkers); err != nil {
+			var merr *core.SketchMergeError
+			if errors.As(err, &merr) && merr.Index < len(mergeSketches) {
+				return fmt.Errorf("merging sketch %s: %w", mergeSketches[merr.Index], merr.Err)
 			}
+			return fmt.Errorf("merging sketches: %w", err)
 		}
 		if input != nil {
 			opts := ingest.Options{ChunkSize: *chunk, Workers: *workers, JSONL: *jsonl}

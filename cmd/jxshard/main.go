@@ -2,34 +2,37 @@
 // the versioned sketch wire format.
 //
 //	jxshard map    [-jsonl] [-workers N] [-chunk N] -o out.jxsk [file]
-//	jxshard reduce [algorithm flags] [-format F] sketch...
-//	jxshard run    [-shards N] [-jsonl] [algorithm flags] [-format F] [file]
+//	jxshard reduce [algorithm flags] [-reduce-workers N] [-format F] sketch...
+//	jxshard run    [-shards N] [-jsonl] [-reduce-workers N] [algorithm flags] [-format F] [file]
 //
 // The map phase folds one shard of the input into an accumulator and
 // writes its serialized sketch — no algorithm configuration needed, since
 // a sketch carries data statistics only. The reduce phase merges sketch
-// files *in argument order* and runs passes ②/③ once under the supplied
-// configuration. run is the single-machine driver: it splits the input
-// into contiguous shards, spawns one `jxshard map` worker process per
-// shard, and reduces their sketches.
+// files *in argument order* — as a parallel tree when -reduce-workers
+// allows — and runs passes ②/③ once under the supplied configuration. run
+// is the single-machine driver: it streams the input into contiguous
+// shards, one `jxshard map` worker process per shard, and tree-reduces
+// their sketches.
 //
 // Shards are contiguous ranges, not round-robin deals: concatenating the
 // shards reproduces the input stream, so reducing in shard order rebuilds
 // the exact first-seen type order a single process would have observed and
-// the discovered schema is byte-identical to a non-sharded run.
+// the discovered schema is byte-identical to a non-sharded run. The driver
+// never materializes the corpus: shard boundaries are found by scanning
+// record frames against byte quotas and each record is forwarded straight
+// to its worker's stdin, so the driver's memory is O(record), not
+// O(corpus).
 package main
 
 import (
-	"bytes"
 	"context"
-	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"os/exec"
 	"path/filepath"
-	"sync"
 
 	"jxplain/internal/core"
 	"jxplain/internal/ingest"
@@ -134,13 +137,15 @@ func runMap(args []string, stdin io.Reader) error {
 	return os.WriteFile(*out, data, 0o644)
 }
 
-// runReduce merges sketch files in argument order and synthesizes the
-// schema once.
+// runReduce merges sketch files in argument order — as a parallel tree
+// when -reduce-workers allows — and synthesizes the schema once.
 func runReduce(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("jxshard reduce", flag.ContinueOnError)
 	cfgOf := algoFlags(fs)
 	format := fs.String("format", "pretty",
 		"output: pretty (paper notation), jsonschema, or native")
+	reduceWorkers := fs.Int("reduce-workers", 0,
+		"concurrent sketch-merge workers (0 = one per core, 1 = sequential)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -151,15 +156,15 @@ func runReduce(args []string, stdout io.Writer) error {
 	if fs.NArg() == 0 {
 		return fmt.Errorf("reduce: no sketch files given")
 	}
-	acc := core.NewAccumulator(cfg)
-	for _, path := range fs.Args() {
-		data, err := os.ReadFile(path)
-		if err != nil {
+	datas := make([][]byte, fs.NArg())
+	for i, path := range fs.Args() {
+		if datas[i], err = os.ReadFile(path); err != nil {
 			return err
 		}
-		if err := acc.MergeSketch(data); err != nil {
-			return fmt.Errorf("reduce: %s: %w", path, err)
-		}
+	}
+	acc, err := reduceSketches(datas, cfg, *reduceWorkers, fs.Args())
+	if err != nil {
+		return err
 	}
 	if acc.Records() == 0 {
 		return fmt.Errorf("reduce: no records in any sketch")
@@ -167,10 +172,31 @@ func runReduce(args []string, stdout io.Writer) error {
 	return printSchema(stdout, schema.Simplify(acc.Finish()), *format)
 }
 
-// runRun is the single-machine scale-out driver: contiguous split, one
-// map worker process per shard, reduce in shard order.
+// reduceSketches tree-merges the sketches (byte-identical to a sequential
+// fold at every worker count) and translates a failing file's index back
+// into its name for the error message.
+func reduceSketches(datas [][]byte, cfg core.Config, workers int, names []string) (*core.Accumulator, error) {
+	acc, err := core.ReduceSketches(datas, cfg, workers)
+	if err != nil {
+		var merr *core.SketchMergeError
+		if errors.As(err, &merr) && merr.Index < len(names) {
+			return nil, fmt.Errorf("reduce: %s: %w", names[merr.Index], merr.Err)
+		}
+		return nil, fmt.Errorf("reduce: %w", err)
+	}
+	return acc, nil
+}
+
+// runRun is the single-machine scale-out driver: contiguous streamed
+// split, one map worker process per shard, tree reduce in shard order.
 //
-//jx:pool one goroutine per map worker process, results in index-disjoint slices, joined before reduce
+// The input is never read into memory. Shard boundaries are byte quotas
+// over the input size (a Stat for regular files; anything else is spooled
+// to a temp file first, through a bounded copy buffer): each record is
+// scanned off the stream and forwarded to the current worker's stdin, and
+// the driver moves to the next worker at the first record boundary past
+// the quota. Workers are started upfront, so shard i decodes while shards
+// i+1.. are still being fed.
 func runRun(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("jxshard run", flag.ContinueOnError)
 	cfgOf := algoFlags(fs)
@@ -180,6 +206,8 @@ func runRun(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		"output: pretty (paper notation), jsonschema, or native")
 	workers := fs.Int("workers", 0, "decode workers per map process (0 = one per core)")
 	chunk := fs.Int("chunk", 0, "records per ingestion chunk (0 = default 2048)")
+	reduceWorkers := fs.Int("reduce-workers", 0,
+		"concurrent sketch-merge workers (0 = one per core, 1 = sequential)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -194,16 +222,7 @@ func runRun(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
-	raw, err := io.ReadAll(input)
-	closeIn()
-	if err != nil {
-		return err
-	}
-
-	parts, err := splitShards(raw, *shards, *jsonl)
-	if err != nil {
-		return err
-	}
+	defer closeIn()
 
 	tmp, err := os.MkdirTemp("", "jxshard")
 	if err != nil {
@@ -211,58 +230,39 @@ func runRun(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	}
 	defer os.RemoveAll(tmp)
 
+	size, input, err := sizedInput(input, tmp)
+	if err != nil {
+		return err
+	}
+
 	exe, err := os.Executable()
 	if err != nil {
 		return err
 	}
-	sketches := make([]string, len(parts))
-	errs := make([]error, len(parts))
-	var wg sync.WaitGroup
-	for i, part := range parts {
-		shardPath := filepath.Join(tmp, fmt.Sprintf("shard%d.jsonl", i))
-		sketches[i] = filepath.Join(tmp, fmt.Sprintf("shard%d.jxsk", i))
-		if err := os.WriteFile(shardPath, part, 0o644); err != nil {
-			return err
-		}
-		wg.Add(1)
-		go func(i int, shardPath string) {
-			defer wg.Done()
-			mapArgs := []string{"map", "-o", sketches[i]}
-			if *jsonl {
-				mapArgs = append(mapArgs, "-jsonl")
-			}
-			if *workers > 0 {
-				mapArgs = append(mapArgs, "-workers", fmt.Sprint(*workers))
-			}
-			if *chunk > 0 {
-				mapArgs = append(mapArgs, "-chunk", fmt.Sprint(*chunk))
-			}
-			mapArgs = append(mapArgs, shardPath)
-			cmd := exec.Command(exe, mapArgs...)
-			cmd.Stderr = stderr
-			// Lets a test binary recognize it must act as jxshard.
-			cmd.Env = append(os.Environ(), "JXSHARD_WORKER_PROCESS=1")
-			if err := cmd.Run(); err != nil {
-				errs[i] = fmt.Errorf("map worker %d: %w", i, err)
-			}
-		}(i, shardPath)
+	var mapArgs []string
+	if *jsonl {
+		mapArgs = append(mapArgs, "-jsonl")
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
+	if *workers > 0 {
+		mapArgs = append(mapArgs, "-workers", fmt.Sprint(*workers))
+	}
+	if *chunk > 0 {
+		mapArgs = append(mapArgs, "-chunk", fmt.Sprint(*chunk))
+	}
+	sketches, err := feedShards(input, size, *shards, *jsonl, tmp, exe, mapArgs, stderr)
+	if err != nil {
+		return err
 	}
 
-	acc := core.NewAccumulator(cfg)
+	datas := make([][]byte, len(sketches))
 	for i, path := range sketches {
-		data, err := os.ReadFile(path)
-		if err != nil {
+		if datas[i], err = os.ReadFile(path); err != nil {
 			return err
 		}
-		if err := acc.MergeSketch(data); err != nil {
-			return fmt.Errorf("reduce: shard %d: %w", i, err)
-		}
+	}
+	acc, err := reduceSketches(datas, cfg, *reduceWorkers, nil)
+	if err != nil {
+		return err
 	}
 	if acc.Records() == 0 {
 		return fmt.Errorf("no records in input")
@@ -270,44 +270,97 @@ func runRun(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	return printSchema(stdout, schema.Simplify(acc.Finish()), *format)
 }
 
-// splitShards cuts the input into n contiguous shards on record
-// boundaries. JSONL splits on line boundaries; concatenated JSON is
-// re-framed value by value (each value lands whole in one shard, and the
-// emitted shards remain valid concatenated JSON). Concatenation of the
-// shards, in order, is record-for-record the original stream.
-func splitShards(raw []byte, n int, jsonl bool) ([][]byte, error) {
-	var records [][]byte
-	if jsonl {
-		for len(raw) > 0 {
-			i := len(raw)
-			if j := bytes.IndexByte(raw, '\n'); j >= 0 {
-				i = j + 1
-			}
-			records = append(records, raw[:i])
-			raw = raw[i:]
-		}
-	} else {
-		dec := json.NewDecoder(bytes.NewReader(raw))
-		for dec.More() {
-			var v json.RawMessage
-			if err := dec.Decode(&v); err != nil {
-				return nil, fmt.Errorf("framing records: %w", err)
-			}
-			records = append(records, append([]byte(v), '\n'))
+// sizedInput returns the input's byte size for quota computation. A
+// regular file answers with a Stat; any other reader (a pipe, a terminal)
+// is spooled into dir through io.Copy's bounded buffer — still O(buffer)
+// memory — and replaced by the spool file.
+func sizedInput(input io.Reader, dir string) (int64, io.Reader, error) {
+	if f, ok := input.(*os.File); ok {
+		if info, err := f.Stat(); err == nil && info.Mode().IsRegular() {
+			return info.Size(), f, nil
 		}
 	}
-	parts := make([][]byte, n)
-	start := 0
-	for i := 0; i < n; i++ {
-		end := len(records) * (i + 1) / n
-		var buf []byte
-		for _, rec := range records[start:end] {
-			buf = append(buf, rec...)
-		}
-		parts[i] = buf
-		start = end
+	spool, err := os.Create(filepath.Join(dir, "input.spool"))
+	if err != nil {
+		return 0, nil, err
 	}
-	return parts, nil
+	size, err := io.Copy(spool, input)
+	if err != nil {
+		return 0, nil, err
+	}
+	if _, err := spool.Seek(0, io.SeekStart); err != nil {
+		return 0, nil, err
+	}
+	return size, spool, nil
+}
+
+// mapWorker is one running `jxshard map` process being fed its shard over
+// stdin.
+type mapWorker struct {
+	cmd   *exec.Cmd
+	stdin io.WriteCloser
+}
+
+// feedShards starts n map workers reading stdin and writing per-shard
+// sketch files into tmp, then scans the input record by record, streaming
+// each record to the current worker and advancing at the first record
+// boundary past the shard's byte quota (size·(i+1)/n). It waits for every
+// worker and returns the sketch paths in shard order.
+func feedShards(input io.Reader, size int64, n int, jsonl bool, tmp, exe string, mapArgs []string, stderr io.Writer) ([]string, error) {
+	sketches := make([]string, n)
+	workerz := make([]*mapWorker, n)
+	for i := range workerz {
+		sketches[i] = filepath.Join(tmp, fmt.Sprintf("shard%d.jxsk", i))
+		args := append([]string{"map", "-o", sketches[i]}, mapArgs...)
+		cmd := exec.Command(exe, args...)
+		cmd.Stderr = stderr
+		// Lets a test binary recognize it must act as jxshard.
+		cmd.Env = append(os.Environ(), "JXSHARD_WORKER_PROCESS=1")
+		w, err := cmd.StdinPipe()
+		if err != nil {
+			return nil, err
+		}
+		if err := cmd.Start(); err != nil {
+			return nil, err
+		}
+		workerz[i] = &mapWorker{cmd: cmd, stdin: w}
+	}
+	// On every return path, close any unfed stdin (workers see EOF and
+	// emit an empty sketch) and reap the processes.
+	cur, written := 0, int64(0)
+	scanErr := ingest.Records(input, ingest.Options{JSONL: jsonl}, func(rec []byte) error {
+		for cur < n-1 && written >= size*int64(cur+1)/int64(n) {
+			if err := workerz[cur].stdin.Close(); err != nil {
+				return err
+			}
+			cur++
+		}
+		w := workerz[cur].stdin
+		if _, err := w.Write(rec); err != nil {
+			return fmt.Errorf("feeding shard %d: %w", cur, err)
+		}
+		if _, err := w.Write([]byte{'\n'}); err != nil {
+			return fmt.Errorf("feeding shard %d: %w", cur, err)
+		}
+		written += int64(len(rec)) + 1
+		return nil
+	})
+	var waitErr error
+	for i, w := range workerz {
+		w.stdin.Close() // idempotent; signals EOF to every remaining shard
+		if err := w.cmd.Wait(); err != nil && waitErr == nil {
+			waitErr = fmt.Errorf("map worker %d: %w", i, err)
+		}
+	}
+	// A worker failure usually explains the feed error (a broken pipe is
+	// the symptom, the worker's exit status the cause), so report it first.
+	if waitErr != nil {
+		return nil, waitErr
+	}
+	if scanErr != nil {
+		return nil, scanErr
+	}
+	return sketches, nil
 }
 
 func printSchema(stdout io.Writer, s schema.Schema, format string) error {

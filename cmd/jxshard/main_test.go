@@ -7,6 +7,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"runtime"
 	"testing"
 
 	"jxplain/internal/dataset"
@@ -158,6 +159,103 @@ func TestShardRunConcatenatedJSON(t *testing.T) {
 	if !bytes.Equal(got.Bytes(), want.Bytes()) {
 		t.Errorf("8-shard concatenated-JSON schema diverges from 1-shard\ngot:  %s\nwant: %s",
 			got.Bytes(), want.Bytes())
+	}
+}
+
+// TestShardRunStdinSpool drives run with a non-seekable stdin, covering
+// the spool path that sizes the byte quotas, and requires the same golden
+// schema as the file-backed run.
+func TestShardRunStdinSpool(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	g, ok := dataset.ByName("twitter")
+	if !ok {
+		t.Fatal("twitter dataset missing")
+	}
+	var out bytes.Buffer
+	err := run([]string{"run", "-shards", "3", "-jsonl", "-format", "native"},
+		bytes.NewReader(datasetJSONL(t, g, 300)), &out, os.Stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := goldenSchema(t, g.Name); !bytes.Equal(out.Bytes(), want) {
+		t.Errorf("stdin-fed schema diverges from golden\ngot:  %s\nwant: %s", out.Bytes(), want)
+	}
+}
+
+// TestShardRunReduceWorkers pins that the parallel tree reduce leaves the
+// output byte-identical to the sequential fold from the CLI surface too.
+func TestShardRunReduceWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	g, _ := dataset.ByName("github")
+	input := filepath.Join(t.TempDir(), "input.jsonl")
+	if err := os.WriteFile(input, datasetJSONL(t, g, 300), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var seq, par bytes.Buffer
+	if err := run([]string{"run", "-shards", "8", "-reduce-workers", "1", "-jsonl", "-format", "native", input},
+		nil, &seq, os.Stderr); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"run", "-shards", "8", "-reduce-workers", "4", "-jsonl", "-format", "native", input},
+		nil, &par, os.Stderr); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(par.Bytes(), seq.Bytes()) {
+		t.Errorf("-reduce-workers 4 schema diverges from sequential reduce\ngot:  %s\nwant: %s",
+			par.Bytes(), seq.Bytes())
+	}
+}
+
+// TestShardRunStreamsInput is the io.ReadAll regression guard: the driver
+// must hold O(record) memory, not O(corpus). It feeds a ~16 MiB file
+// through run and asserts the driver process allocates well under the
+// input size in total — the old slurping driver allocated at least 2×
+// (one io.ReadAll copy plus the per-record slices), so the bound fails
+// loudly if whole-corpus buffering ever returns.
+func TestShardRunStreamsInput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	input := filepath.Join(t.TempDir(), "big.jsonl")
+	f, err := os.Create(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	line := []byte(`{"id":1,"name":"` + string(bytes.Repeat([]byte{'x'}, 200)) + `","tags":["a","b"]}` + "\n")
+	const targetBytes = 16 << 20
+	var size int64
+	for size < targetBytes {
+		n, err := f.Write(line)
+		if err != nil {
+			t.Fatal(err)
+		}
+		size += int64(n)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	var out bytes.Buffer
+	if err := run([]string{"run", "-shards", "4", "-jsonl", "-format", "native", input},
+		nil, &out, os.Stderr); err != nil {
+		t.Fatal(err)
+	}
+	runtime.ReadMemStats(&after)
+	allocated := after.TotalAlloc - before.TotalAlloc
+	t.Logf("driver allocated %d bytes for a %d-byte input", allocated, size)
+	if limit := uint64(size) / 4; allocated > limit {
+		t.Errorf("driver allocated %d bytes for a %d-byte input (limit %d); run is buffering the corpus again",
+			allocated, size, limit)
+	}
+	if out.Len() == 0 {
+		t.Error("no schema produced")
 	}
 }
 

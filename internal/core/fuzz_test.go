@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"errors"
 	"testing"
 
@@ -80,6 +81,84 @@ func FuzzSketchDecode(f *testing.F) {
 			if _, err := acc.Marshal(); err != nil {
 				t.Fatalf("re-marshal of decoded accumulator: %v", err)
 			}
+		}
+	})
+}
+
+// FuzzSketchMerge pins the reduce-side contracts on arbitrary byte pairs:
+// MergeSketch never panics (its merge-into decoder yields only the typed
+// decode errors), and whenever a pair of files merges cleanly, the
+// parallel tree reduce produces byte-identical accumulator state to the
+// sequential fold.
+func FuzzSketchMerge(f *testing.F) {
+	cfg := Default()
+	mkSeed := func(name string, n int) []byte {
+		g, ok := dataset.ByName(name)
+		if !ok {
+			f.Fatalf("dataset %s missing", name)
+		}
+		acc := NewAccumulator(cfg)
+		for _, r := range g.Generate(n, 1) {
+			acc.Add(r.Type)
+		}
+		data, err := acc.Marshal()
+		if err != nil {
+			f.Fatal(err)
+		}
+		return data
+	}
+	a := mkSeed("github", 30)
+	b := mkSeed("yelp-business", 30)
+	f.Add(a, b)
+	f.Add(b, a)
+	// Truncations and single-bit corruptions of valid pairs.
+	f.Add(a[:len(a)/2], b)
+	f.Add(a, b[:5])
+	for _, i := range []int{4, 6, len(a) / 2, len(a) - 1} {
+		bad := append([]byte(nil), a...)
+		bad[i] ^= 0x40
+		f.Add(bad, b)
+	}
+	f.Add([]byte{}, []byte("JXSK"))
+
+	f.Fuzz(func(t *testing.T, a, b []byte) {
+		checkErr := func(err error) {
+			if err == nil {
+				return
+			}
+			var ferr *SketchFormatError
+			var verr *SketchVersionError
+			if !errors.As(err, &ferr) && !errors.As(err, &verr) {
+				t.Fatalf("untyped merge error %T: %v", err, err)
+			}
+		}
+
+		seq := NewAccumulator(cfg)
+		errA := seq.MergeSketch(a)
+		checkErr(errA)
+		if errA != nil {
+			return // the accumulator is poisoned by contract; stop here
+		}
+		errB := seq.MergeSketch(b)
+		checkErr(errB)
+		if errB != nil {
+			return
+		}
+
+		seqBytes, err := seq.Marshal()
+		if err != nil {
+			t.Fatalf("re-marshal of merged accumulator: %v", err)
+		}
+		tree, err := ReduceSketches([][]byte{a, b}, cfg, 2)
+		if err != nil {
+			t.Fatalf("tree reduce rejects files the sequential fold accepted: %v", err)
+		}
+		treeBytes, err := tree.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(treeBytes, seqBytes) {
+			t.Fatal("tree merge diverges from sequential merge bytes")
 		}
 	})
 }

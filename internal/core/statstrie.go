@@ -199,6 +199,8 @@ func (t *statsTrie) eachChild(fn func(key string, c *statsTrie)) {
 // ---- node builders (the decode side of the wire codec) ----
 
 // setKeyCount records a key-presence count on a node under construction.
+//
+//jx:hotpath
 func (t *statsTrie) setKeyCount(key string, n int) {
 	if t.keyCounts == nil {
 		t.keyCounts = map[string]int{}
@@ -207,6 +209,8 @@ func (t *statsTrie) setKeyCount(key string, n int) {
 }
 
 // setLenCount records an array-length count on a node under construction.
+//
+//jx:hotpath
 func (t *statsTrie) setLenCount(length, n int) {
 	if t.lenCounts == nil {
 		t.lenCounts = map[int]int{}

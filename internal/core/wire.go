@@ -3,6 +3,8 @@ package core
 import (
 	"encoding/binary"
 	"fmt"
+	"math/bits"
+	"sync"
 
 	"jxplain/internal/entity"
 	"jxplain/internal/jsontype"
@@ -136,14 +138,40 @@ func (d *keyDict) appendSection(buf []byte) []byte {
 }
 
 // sketchEncoder accumulates the shared dictionaries while the bag and
-// trie bodies are built, then assembles the framed file.
+// trie bodies are built, then assembles the framed file. Encoders are
+// pooled: a reduce round marshals once per merge step and the dictionary
+// maps plus body scratch dominate its allocations, so they are kept warm
+// across Marshal calls instead of rebuilt.
 type sketchEncoder struct {
 	keys  *keyDict
 	types *jsontype.TypeEncoder
+
+	// Body scratch buffers, owned by the encoder while pooled. assemble
+	// copies them into the exactly-sized output, so releasing the encoder
+	// never aliases bytes handed to the caller.
+	bagBuf  []byte
+	trieBuf []byte
+	keysBuf []byte
+	typeBuf []byte
 }
 
-func newSketchEncoder() *sketchEncoder {
-	return &sketchEncoder{keys: newKeyDict(), types: jsontype.NewTypeEncoder()}
+var sketchEncoderPool = sync.Pool{
+	New: func() any {
+		return &sketchEncoder{keys: newKeyDict(), types: jsontype.NewTypeEncoder()}
+	},
+}
+
+func getSketchEncoder() *sketchEncoder {
+	return sketchEncoderPool.Get().(*sketchEncoder)
+}
+
+// release empties the dictionaries (keeping their capacity) and returns
+// the encoder to the pool.
+func (e *sketchEncoder) release() {
+	clear(e.keys.ids)
+	e.keys.order = e.keys.order[:0]
+	e.types.Reset()
+	sketchEncoderPool.Put(e)
 }
 
 // appendSim appends a similarity-accumulator state.
@@ -211,27 +239,44 @@ func (e *sketchEncoder) appendBag(buf []byte, bag *jsontype.Bag) []byte {
 	return buf
 }
 
+// uvarintLen returns the encoded size of v as an unsigned LEB128 varint.
+func uvarintLen(v uint64) int { return (bits.Len64(v|1) + 6) / 7 }
+
+// framedLen is the on-wire cost of one section: tag byte, body-length
+// varint, body.
+func framedLen(body []byte) int { return 1 + uvarintLen(uint64(len(body))) + len(body) }
+
 // assemble frames the encoded bodies into the final file bytes. bagBody
-// and trieBody may be nil (section absent).
+// and trieBody may be nil (section absent). The output is allocated once,
+// at its exact final size, summed from the section lengths — the returned
+// slice is the caller's; none of the encoder's scratch leaks into it.
 func (e *sketchEncoder) assemble(bagBody, trieBody []byte) []byte {
+	keysBody := e.keys.appendSection(e.keysBuf[:0])
+	e.keysBuf = keysBody
+	typeBody := e.types.Append(e.typeBuf[:0])
+	e.typeBuf = typeBody
+
 	var flags byte
+	total := len(sketchMagic) + 2 + framedLen(keysBody) + framedLen(typeBody)
 	if bagBody != nil {
 		flags |= flagBag
+		total += framedLen(bagBody)
 	}
 	if trieBody != nil {
 		flags |= flagTrie
+		total += framedLen(trieBody)
 	}
-	out := make([]byte, 0, len(bagBody)+len(trieBody)+64)
+
+	out := make([]byte, 0, total)
 	out = append(out, sketchMagic...)
 	out = append(out, SketchFormatVersion, flags)
-
 	section := func(tag byte, body []byte) {
 		out = append(out, tag)
 		out = binary.AppendUvarint(out, uint64(len(body)))
 		out = append(out, body...)
 	}
-	section(secKeys, e.keys.appendSection(nil))
-	section(secType, e.types.Append(nil))
+	section(secKeys, keysBody)
+	section(secType, typeBody)
 	if bagBody != nil {
 		section(secBag, bagBody)
 	}
@@ -244,9 +289,11 @@ func (e *sketchEncoder) assemble(bagBody, trieBody []byte) []byte {
 // Marshal serializes the sketch in the versioned wire format. The sketch
 // is not consumed: more records may be added and Marshal called again.
 func (s *PathSketch) Marshal() ([]byte, error) {
-	enc := newSketchEncoder()
-	trieBody := binary.AppendUvarint(nil, uint64(s.records))
+	enc := getSketchEncoder()
+	defer enc.release()
+	trieBody := binary.AppendUvarint(enc.trieBuf[:0], uint64(s.records))
 	trieBody = enc.appendNode(trieBody, s.root)
+	enc.trieBuf = trieBody
 	return enc.assemble(nil, trieBody), nil
 }
 
@@ -257,12 +304,15 @@ func (s *PathSketch) Marshal() ([]byte, error) {
 // supplies the configuration, so one set of map outputs can be reduced
 // under different thresholds.
 func (a *Accumulator) Marshal() ([]byte, error) {
-	enc := newSketchEncoder()
-	bagBody := enc.appendBag(nil, a.bag)
+	enc := getSketchEncoder()
+	defer enc.release()
+	bagBody := enc.appendBag(enc.bagBuf[:0], a.bag)
+	enc.bagBuf = bagBody
 	var trieBody []byte
 	if a.sketch != nil {
-		trieBody = binary.AppendUvarint(nil, uint64(a.sketch.records))
+		trieBody = binary.AppendUvarint(enc.trieBuf[:0], uint64(a.sketch.records))
 		trieBody = enc.appendNode(trieBody, a.sketch.root)
+		enc.trieBuf = trieBody
 	}
 	return enc.assemble(bagBody, trieBody), nil
 }
@@ -270,22 +320,69 @@ func (a *Accumulator) Marshal() ([]byte, error) {
 // ---- decoding ----
 
 // sketchDecoder carries decode state and the running offset for error
-// reporting.
+// reporting. Decoders are pooled: the key dictionary, duplicate-entry
+// set, and key-set scratch survive across decodes, so the merge-into
+// path touches the allocator only for genuinely new trie structure.
 type sketchDecoder struct {
 	data  []byte
 	pos   int
 	keys  []string
 	types *jsontype.TypeDecoder
+
+	// seen deduplicates bag entries within one file on the merge-into
+	// path (the live bag legitimately already holds the file's types, so
+	// its own counts cannot serve as the duplicate check). Keyed by
+	// intern id — pointer-keyed maps are barred by interncheck.
+	seen map[uint64]struct{}
+	// setScratch is the merge-into key-set buffer; each node consumes its
+	// bitset before recursing, so one buffer serves the whole walk.
+	setScratch entity.KeySet
+}
+
+var sketchDecoderPool = sync.Pool{New: func() any { return new(sketchDecoder) }}
+
+func getSketchDecoder(data []byte) *sketchDecoder {
+	d := sketchDecoderPool.Get().(*sketchDecoder)
+	d.data = data
+	d.pos = 0
+	return d
+}
+
+// release drops references into the decoded file and returns the decoder
+// to the pool, keeping the reusable scratch capacity.
+func (d *sketchDecoder) release() {
+	d.data = nil
+	d.keys = d.keys[:0]
+	d.types = nil
+	clear(d.seen)
+	sketchDecoderPool.Put(d)
 }
 
 func (d *sketchDecoder) errf(format string, args ...any) error {
 	return formatErrf(d.pos, format, args...)
 }
 
+// The decode hot path reports failures through dedicated cold
+// constructors: a //jx:hotpath function passing an int or string to a
+// variadic ...any would box it per call site, so each malformed-input
+// shape gets a typed, non-variadic helper instead (the scan.go errf
+// convention).
+
+//jx:coldpath error construction runs once per malformed input, not per decoded item
+func (d *sketchDecoder) varintErr(what string) error {
+	return formatErrf(d.pos, "truncated or overlong varint (%s)", what)
+}
+
+//jx:coldpath error construction runs once per malformed input, not per decoded item
+func (d *sketchDecoder) overflowErr(what string, v uint64) error {
+	return formatErrf(d.pos, "%s %d exceeds remaining input (%d bytes)", what, v, len(d.data)-d.pos)
+}
+
+//jx:hotpath
 func (d *sketchDecoder) uvarint(what string) (uint64, error) {
 	v, n := binary.Uvarint(d.data[d.pos:])
 	if n <= 0 {
-		return 0, d.errf("truncated or overlong varint (%s)", what)
+		return 0, d.varintErr(what)
 	}
 	d.pos += n
 	return v, nil
@@ -294,13 +391,15 @@ func (d *sketchDecoder) uvarint(what string) (uint64, error) {
 // count reads a varint that counts items costing at least minBytes each,
 // rejecting counts the remaining input cannot possibly satisfy — the
 // guard that keeps corrupt headers from driving giant allocations.
+//
+//jx:hotpath
 func (d *sketchDecoder) count(what string, minBytes int) (int, error) {
 	v, err := d.uvarint(what)
 	if err != nil {
 		return 0, err
 	}
 	if remaining := len(d.data) - d.pos; v > uint64(remaining/minBytes) {
-		return 0, d.errf("%s %d exceeds remaining input (%d bytes)", what, v, remaining)
+		return 0, d.overflowErr(what, v)
 	}
 	return int(v), nil
 }
@@ -354,13 +453,13 @@ func (d *sketchDecoder) decodeKeys() error {
 	if err != nil {
 		return err
 	}
-	d.keys = make([]string, n)
-	for i := range d.keys {
+	d.keys = d.keys[:0]
+	for i := 0; i < n; i++ {
 		kl, err := d.count("key length", 1)
 		if err != nil {
 			return err
 		}
-		d.keys[i] = string(d.data[d.pos : d.pos+kl])
+		d.keys = append(d.keys, string(d.data[d.pos:d.pos+kl]))
 		d.pos += kl
 	}
 	return d.finishSection(secKeys, end)
@@ -380,17 +479,28 @@ func (d *sketchDecoder) decodeTypes() error {
 	return d.finishSection(secType, end)
 }
 
+//jx:coldpath error construction runs once per malformed input, not per decoded item
+func (d *sketchDecoder) refRangeErr(what string, r uint64) error {
+	return formatErrf(d.pos, "type ref %d out of range (%s)", r, what)
+}
+
+//jx:coldpath error construction runs once per malformed input, not per decoded item
+func (d *sketchDecoder) nilRefErr(what string) error {
+	return formatErrf(d.pos, "nil type ref where %s expected", what)
+}
+
+//jx:hotpath
 func (d *sketchDecoder) typeRef(what string) (*jsontype.Type, error) {
 	r, err := d.uvarint(what)
 	if err != nil {
 		return nil, err
 	}
-	t, err := d.types.Type(r)
-	if err != nil {
-		return nil, d.errf("%v", err)
+	t, ok := d.types.Lookup(r)
+	if !ok {
+		return nil, d.refRangeErr(what, r)
 	}
 	if t == nil {
-		return nil, d.errf("nil type ref where %s expected", what)
+		return nil, d.nilRefErr(what)
 	}
 	return t, nil
 }
@@ -428,9 +538,20 @@ func (d *sketchDecoder) decodeBag() (*jsontype.Bag, error) {
 	return bag, d.finishSection(secBag, end)
 }
 
+//jx:coldpath error construction runs once per malformed input, not per decoded item
+func (d *sketchDecoder) simTruncErr() error {
+	return formatErrf(d.pos, "truncated similarity state")
+}
+
+//jx:coldpath error construction runs once per malformed input, not per decoded item
+func (d *sketchDecoder) simFlagErr(flag byte) error {
+	return formatErrf(d.pos, "invalid similarity flag %d", flag)
+}
+
+//jx:hotpath
 func (d *sketchDecoder) decodeSim(sim *jsontype.SimilarityAccumulator) error {
 	if d.pos >= len(d.data) {
-		return d.errf("truncated similarity state")
+		return d.simTruncErr()
 	}
 	flag := d.data[d.pos]
 	d.pos++
@@ -446,7 +567,7 @@ func (d *sketchDecoder) decodeSim(sim *jsontype.SimilarityAccumulator) error {
 	case 2:
 		*sim = jsontype.RestoreSimilarityAccumulator(nil, false)
 	default:
-		return d.errf("invalid similarity flag %d", flag)
+		return d.simFlagErr(flag)
 	}
 	return nil
 }
@@ -611,7 +732,8 @@ const maxInt = int(^uint(0) >> 1)
 // decodeSketchFile parses a whole sketch file into its (optional)
 // components.
 func decodeSketchFile(data []byte) (bag *jsontype.Bag, sketch *PathSketch, err error) {
-	d := &sketchDecoder{data: data}
+	d := getSketchDecoder(data)
+	defer d.release()
 	flags, err := d.header()
 	if err != nil {
 		return nil, nil, err
@@ -686,14 +808,333 @@ func UnmarshalAccumulator(data []byte, cfg Config) (*Accumulator, error) {
 }
 
 // MergeSketch decodes a serialized sketch and folds it into the
-// accumulator — the reduce-side step. It is equivalent to
+// accumulator — the reduce-side step. The result is identical to
 // a.Merge(UnmarshalAccumulator(data, cfg)) for the accumulator's own
-// configuration.
+// configuration, but the decode folds *into* the live state: bag entries
+// add straight into the live bag and trie counters accumulate in place,
+// so a merge allocates only for structure the accumulator has not seen,
+// never for a full intermediate accumulator.
+//
+// Error contract: the file is validated exactly as UnmarshalAccumulator
+// validates it, but when MergeSketch returns an error the accumulator may
+// already have absorbed a prefix of the file and must be discarded.
+// Reduce drivers own a fresh accumulator per reduction and abort it
+// wholesale on a corrupt shard, so there is no partial state to preserve.
 func (a *Accumulator) MergeSketch(data []byte) error {
-	other, err := UnmarshalAccumulator(data, a.cfg)
+	if a.sketch == nil {
+		// A sampling configuration keeps no live trie to fold into, and
+		// the file's trie section must still be fully validated (and is
+		// then discarded, matching NewAccumulator). The materializing
+		// decoder already does exactly that.
+		other, err := UnmarshalAccumulator(data, a.cfg)
+		if err != nil {
+			return err
+		}
+		a.Merge(other)
+		return nil
+	}
+	d := getSketchDecoder(data)
+	defer d.release()
+	return a.mergeSketchFile(d)
+}
+
+// mergeSketchFile is the merge-into decode: sections fold directly into
+// the live accumulator. Validation mirrors decodeSketchFile +
+// UnmarshalAccumulator check for check; only the destination differs.
+func (a *Accumulator) mergeSketchFile(d *sketchDecoder) error {
+	flags, err := d.header()
 	if err != nil {
 		return err
 	}
-	a.Merge(other)
+	if flags&^(flagBag|flagTrie) != 0 {
+		return formatErrf(len(sketchMagic)+1, "unknown flag bits %#x", flags)
+	}
+	if flags&flagBag == 0 {
+		return formatErrf(len(sketchMagic)+1, "no bag section in input")
+	}
+	if err := d.decodeKeys(); err != nil {
+		return err
+	}
+	if err := d.decodeTypes(); err != nil {
+		return err
+	}
+	fileHasTrie := flags&flagTrie != 0
+	bagTotal, err := a.mergeBag(d, fileHasTrie)
+	if err != nil {
+		return err
+	}
+	if fileHasTrie {
+		if err := a.mergeTrie(d, bagTotal); err != nil {
+			return err
+		}
+	}
+	return d.finish()
+}
+
+// mergeBag folds the bag section into the live accumulator and returns
+// the file's total record count. When the file carries no trie of its
+// own, occurrences are folded into the live sketch as well, mirroring
+// what UnmarshalAccumulator's AddBag fallback would have produced.
+func (a *Accumulator) mergeBag(d *sketchDecoder, fileHasTrie bool) (int, error) {
+	end, err := d.section(secBag)
+	if err != nil {
+		return 0, err
+	}
+	n, err := d.count("bag distinct count", 2)
+	if err != nil {
+		return 0, err
+	}
+	total, err := a.mergeBagEntries(d, n, fileHasTrie)
+	if err != nil {
+		return 0, err
+	}
+	return total, d.finishSection(secBag, end)
+}
+
+//jx:coldpath error construction runs once per malformed input, not per decoded item
+func (d *sketchDecoder) bagCountErr(c uint64) error {
+	return formatErrf(d.pos, "bag count %d out of range", c)
+}
+
+//jx:coldpath error construction runs once per malformed input, not per decoded item
+func (d *sketchDecoder) dupEntryErr(t *jsontype.Type) error {
+	return formatErrf(d.pos, "duplicate bag entry for type %s", t.Canon())
+}
+
+//jx:coldpath error construction runs once per malformed input, not per decoded item
+func (d *sketchDecoder) bagOverflowErr() error {
+	return formatErrf(d.pos, "bag total overflows")
+}
+
+// mergeBagEntries decodes n (type ref, count) pairs straight into the
+// live bag. Duplicate detection runs against this file's entries only —
+// the live bag legitimately already contains types the file carries.
+//
+//jx:hotpath
+func (a *Accumulator) mergeBagEntries(d *sketchDecoder, n int, fileHasTrie bool) (int, error) {
+	if d.seen == nil {
+		d.seen = make(map[uint64]struct{}, n)
+	}
+	total := 0
+	for i := 0; i < n; i++ {
+		t, err := d.typeRef("bag type")
+		if err != nil {
+			return 0, err
+		}
+		c, err := d.uvarint("bag count")
+		if err != nil {
+			return 0, err
+		}
+		if c == 0 || c > uint64(maxInt) {
+			return 0, d.bagCountErr(c)
+		}
+		if _, dup := d.seen[t.ID()]; dup {
+			return 0, d.dupEntryErr(t)
+		}
+		d.seen[t.ID()] = struct{}{}
+		if uint64(total)+c > uint64(maxInt) || uint64(a.bag.Len())+c > uint64(maxInt) {
+			return 0, d.bagOverflowErr()
+		}
+		total += int(c)
+		a.bag.AddN(t, int(c))
+		if !fileHasTrie && a.sketch != nil {
+			a.sketch.AddN(t, int(c))
+		}
+	}
+	return total, nil
+}
+
+// mergeTrie folds the stats-trie section into the live sketch, after the
+// same records-vs-bag cross check UnmarshalAccumulator applies.
+func (a *Accumulator) mergeTrie(d *sketchDecoder, bagTotal int) error {
+	end, err := d.section(secTrie)
+	if err != nil {
+		return err
+	}
+	records, err := d.uvarint("record count")
+	if err != nil {
+		return err
+	}
+	if records > uint64(maxInt) {
+		return d.errf("record count %d out of range", records)
+	}
+	if int(records) != bagTotal {
+		return formatErrf(0, "trie records %d disagree with bag total %d", records, bagTotal)
+	}
+	if err := d.mergeNode(a.sketch.root, 0); err != nil {
+		return err
+	}
+	if err := d.finishSection(secTrie, end); err != nil {
+		return err
+	}
+	a.sketch.records += int(records)
+	return nil
+}
+
+//jx:coldpath error construction runs once per malformed input, not per decoded item
+func (d *sketchDecoder) depthErr() error {
+	return formatErrf(d.pos, "trie deeper than %d", maxTrieDepth)
+}
+
+//jx:coldpath error construction runs once per malformed input, not per decoded item
+func (d *sketchDecoder) rangeErr(what string, v uint64) error {
+	return formatErrf(d.pos, "%s %d out of range", what, v)
+}
+
+//jx:coldpath error construction runs once per malformed input, not per decoded item
+func (d *sketchDecoder) bitsetErr() error {
+	return formatErrf(d.pos, "key-set bitset not normalized (trailing zero word)")
+}
+
+//jx:coldpath error construction runs once per malformed input, not per decoded item
+func (d *sketchDecoder) keyIDErr(id int) error {
+	return formatErrf(d.pos, "key id %d outside dictionary (%d keys)", id, len(d.keys))
+}
+
+//jx:coldpath error construction runs once per malformed input, not per decoded item
+func (d *sketchDecoder) countRangeErr(what string, n, limit uint64) error {
+	return formatErrf(d.pos, "%s %d outside 1..%d", what, n, limit)
+}
+
+//jx:coldpath error construction runs once per malformed input, not per decoded item
+func (d *sketchDecoder) histogramOrderErr(length uint64) error {
+	return formatErrf(d.pos, "length histogram not strictly ascending at %d", length)
+}
+
+//jx:coldpath error construction runs once per malformed input, not per decoded item
+func (d *sketchDecoder) childOrderErr(id uint64) error {
+	return formatErrf(d.pos, "children not key-sorted at id %d", id)
+}
+
+// mergeNode folds one encoded trie node, preorder, into the live node t.
+// It mirrors decodeNode's validations byte for byte; only the destination
+// differs — counters accumulate in place (setKeyCount and setLenCount
+// add, combine-style) and child nodes materialize only where the live
+// trie has none.
+//
+//jx:hotpath
+func (d *sketchDecoder) mergeNode(t *statsTrie, depth int) error {
+	if depth > maxTrieDepth {
+		return d.depthErr()
+	}
+	objCount, err := d.uvarint("object count")
+	if err != nil {
+		return err
+	}
+	if objCount > uint64(maxInt) {
+		return d.rangeErr("object count", objCount)
+	}
+	t.objCount += int(objCount)
+	if objCount > 0 {
+		words, err := d.count("key-set word count", 8)
+		if err != nil {
+			return err
+		}
+		set := d.setScratch[:0]
+		for i := 0; i < words; i++ {
+			set = append(set, binary.LittleEndian.Uint64(d.data[d.pos:]))
+			d.pos += 8
+		}
+		d.setScratch = set
+		if words > 0 && set[words-1] == 0 {
+			return d.bitsetErr()
+		}
+		var countErr error
+		set.Each(func(id int) {
+			if countErr != nil {
+				return
+			}
+			n, err := d.uvarint("key presence count")
+			if err != nil {
+				countErr = err
+				return
+			}
+			if id >= len(d.keys) {
+				countErr = d.keyIDErr(id)
+				return
+			}
+			if n == 0 || n > objCount {
+				countErr = d.countRangeErr("key presence count", n, objCount)
+				return
+			}
+			t.setKeyCount(d.keys[id], int(n))
+		})
+		if countErr != nil {
+			return countErr
+		}
+		var sim jsontype.SimilarityAccumulator
+		if err := d.decodeSim(&sim); err != nil {
+			return err
+		}
+		t.objSim.Combine(&sim)
+	}
+	arrCount, err := d.uvarint("array count")
+	if err != nil {
+		return err
+	}
+	if arrCount > uint64(maxInt) {
+		return d.rangeErr("array count", arrCount)
+	}
+	t.arrCount += int(arrCount)
+	if arrCount > 0 {
+		n, err := d.count("length histogram size", 2)
+		if err != nil {
+			return err
+		}
+		prev := -1
+		for i := 0; i < n; i++ {
+			length, err := d.uvarint("array length")
+			if err != nil {
+				return err
+			}
+			c, err := d.uvarint("length count")
+			if err != nil {
+				return err
+			}
+			if length > uint64(maxInt) || int(length) <= prev {
+				return d.histogramOrderErr(length)
+			}
+			if c == 0 || c > arrCount {
+				return d.countRangeErr("length count", c, arrCount)
+			}
+			prev = int(length)
+			t.setLenCount(int(length), int(c))
+		}
+		var sim jsontype.SimilarityAccumulator
+		if err := d.decodeSim(&sim); err != nil {
+			return err
+		}
+		t.arrSim.Combine(&sim)
+	}
+	nc, err := d.count("child count", 2)
+	if err != nil {
+		return err
+	}
+	prevKey := -1
+	for i := 0; i < nc; i++ {
+		id, err := d.uvarint("child key id")
+		if err != nil {
+			return err
+		}
+		if id > uint64(len(d.keys)) || int(id) >= len(d.keys) {
+			return d.keyIDErr(int(id))
+		}
+		if prevKey >= 0 && d.keys[id] <= d.keys[prevKey] {
+			return d.childOrderErr(id)
+		}
+		prevKey = int(id)
+		if err := d.mergeNode(t.child(d.keys[id]), depth+1); err != nil {
+			return err
+		}
+	}
+	ne, err := d.count("elem count", 1)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < ne; i++ {
+		if err := d.mergeNode(t.elem(i), depth+1); err != nil {
+			return err
+		}
+	}
 	return nil
 }

@@ -40,6 +40,12 @@ type ShardRow struct {
 	ReduceNs float64 `json:"reduce_ns"`
 	TotalNs  float64 `json:"total_ns"`
 
+	// MapAllocs/ReduceAllocs are heap allocation counts per op for the
+	// same two phases — the reduce column is what the merge-into decoder
+	// is accountable for.
+	MapAllocs    float64 `json:"map_allocs"`
+	ReduceAllocs float64 `json:"reduce_allocs"`
+
 	// SketchBytes is the total serialized size of all map outputs — the
 	// bytes a cluster would move over the network per discovery.
 	SketchBytes int `json:"sketch_bytes"`
@@ -201,22 +207,32 @@ func shardCell(name string, lines [][]byte, workers int, cfg core.Config, want [
 	}
 
 	var mapTotal, reduceTotal time.Duration
+	var mapAllocs, reduceAllocs uint64
+	var m0, m1, m2 runtime.MemStats
 	for i := 0; i < shardIters; i++ {
+		runtime.ReadMemStats(&m0)
 		t0 := time.Now()
 		sketches, err := mapPhase()
 		if err != nil {
 			return row, err
 		}
 		t1 := time.Now()
+		runtime.ReadMemStats(&m1)
 		if _, err := reducePhase(sketches); err != nil {
 			return row, err
 		}
+		reduceEnd := time.Now()
+		runtime.ReadMemStats(&m2)
 		mapTotal += t1.Sub(t0)
-		reduceTotal += time.Since(t1)
+		reduceTotal += reduceEnd.Sub(t1)
+		mapAllocs += m1.Mallocs - m0.Mallocs
+		reduceAllocs += m2.Mallocs - m1.Mallocs
 	}
 	row.MapNs = float64(mapTotal.Nanoseconds()) / shardIters
 	row.ReduceNs = float64(reduceTotal.Nanoseconds()) / shardIters
 	row.TotalNs = row.MapNs + row.ReduceNs
+	row.MapAllocs = float64(mapAllocs) / shardIters
+	row.ReduceAllocs = float64(reduceAllocs) / shardIters
 	return row, nil
 }
 
@@ -224,7 +240,7 @@ func (r *ShardResult) table() *table {
 	t := &table{
 		title: "Sharded map/reduce discovery (sketch wire format)",
 		headers: []string{"dataset", "records", "workers", "map ms", "reduce ms",
-			"total ms", "sketch KiB", "speedup", "identical"},
+			"total ms", "map allocs", "reduce allocs", "sketch KiB", "speedup", "identical"},
 	}
 	for _, row := range r.Rows {
 		t.addRow(row.Dataset,
@@ -233,6 +249,8 @@ func (r *ShardResult) table() *table {
 			fmt.Sprintf("%.2f", row.MapNs/1e6),
 			fmt.Sprintf("%.2f", row.ReduceNs/1e6),
 			fmt.Sprintf("%.2f", row.TotalNs/1e6),
+			fmt.Sprintf("%.0f", row.MapAllocs),
+			fmt.Sprintf("%.0f", row.ReduceAllocs),
 			fmt.Sprintf("%.1f", float64(row.SketchBytes)/1024),
 			fmt.Sprintf("%.2fx", row.Speedup),
 			fmt.Sprintf("%v", row.ByteIdentical))

@@ -185,6 +185,47 @@ func Each(ctx context.Context, r io.Reader, opts Options, fn func(Chunk) error) 
 	return total, nil
 }
 
+// Records frames the stream record by record without decoding: each call
+// to fn receives the raw bytes of one JSON record, newline excluded, in
+// stream order. Only Options.JSONL and Options.MaxRecordBytes apply.
+// Memory is bounded by the largest single record, never by the stream
+// length, which is what lets a sharding driver cut a corpus into
+// contiguous ranges while holding O(record) bytes.
+//
+// The slice passed to fn aliases an internal buffer and is only valid for
+// the duration of the call; fn must copy it if it needs to keep it. A
+// non-nil error from fn stops the scan and is returned as-is.
+func Records(r io.Reader, opts Options, fn func(rec []byte) error) error {
+	opts = opts.withDefaults()
+	if opts.JSONL {
+		scanner := bufio.NewScanner(r)
+		scanner.Buffer(make([]byte, 0, 1<<16), opts.MaxRecordBytes)
+		for scanner.Scan() {
+			data := scanner.Bytes()
+			if len(bytes.TrimSpace(data)) == 0 {
+				continue
+			}
+			if err := fn(data); err != nil {
+				return err
+			}
+		}
+		return scanner.Err()
+	}
+	dec := json.NewDecoder(bufio.NewReaderSize(r, 1<<16))
+	record := 0
+	for dec.More() {
+		var raw json.RawMessage
+		if err := dec.Decode(&raw); err != nil {
+			return fmt.Errorf("record %d: %w", record+1, err)
+		}
+		record++
+		if err := fn(raw); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // split frames the stream into raw chunks. It returns nil at EOF and
 // ctx.Err() when cancelled mid-stream.
 func split(ctx context.Context, r io.Reader, opts Options, out chan<- rawChunk) error {

@@ -27,9 +27,13 @@ func NewBag(types ...*Type) *Bag {
 }
 
 // Add inserts one occurrence of t.
+//
+//jx:hotpath
 func (b *Bag) Add(t *Type) { b.AddN(t, 1) }
 
 // AddN inserts n occurrences of t. n must be positive.
+//
+//jx:hotpath
 func (b *Bag) AddN(t *Type, n int) {
 	if n <= 0 {
 		panic("jsontype: Bag.AddN with non-positive count")
@@ -66,6 +70,8 @@ func (b *Bag) Merge(other *Bag) {
 }
 
 // Len returns the total number of occurrences in the bag.
+//
+//jx:hotpath
 func (b *Bag) Len() int { return b.total }
 
 // Distinct returns the number of distinct types in the bag.

@@ -87,6 +87,14 @@ func (e *TypeEncoder) Ref(t *Type) uint64 {
 // Len returns the number of complex table entries interned so far.
 func (e *TypeEncoder) Len() int { return len(e.order) }
 
+// Reset empties the encoder for reuse, keeping the allocated table
+// capacity — the hook that lets callers pool encoders across Marshal
+// calls instead of rebuilding the ref map every time.
+func (e *TypeEncoder) Reset() {
+	clear(e.refs)
+	e.order = e.order[:0]
+}
+
 // refOf resolves an already-interned type (or primitive) to its wire
 // reference without mutating the table.
 func (e *TypeEncoder) refOf(t *Type) uint64 {
@@ -221,15 +229,33 @@ func (d *TypeDecoder) readRef(data []byte, pos *int, entry uint64) (*Type, error
 
 // Type resolves a wire reference. Reference 0 resolves to nil.
 func (d *TypeDecoder) Type(ref uint64) (*Type, error) {
+	t, ok := d.Lookup(ref)
+	if !ok {
+		return nil, fmt.Errorf("jsontype: type ref %d out of range (table has %d entries)", ref, len(d.table))
+	}
+	return t, nil
+}
+
+// primitiveForRef maps wire references 1..4 to the primitive singletons,
+// in Kind order (the same mapping primitiveRef writes).
+var primitiveForRef = [...]*Type{Null, Bool, Number, String}
+
+// Lookup resolves a wire reference without constructing an error value:
+// the resolution step on the sketch merge-into path, where the reference
+// is almost always valid and the caller supplies its own typed error.
+// Reference 0 resolves to (nil, true).
+//
+//jx:hotpath
+func (d *TypeDecoder) Lookup(ref uint64) (*Type, bool) {
 	switch {
 	case ref == 0:
-		return nil, nil
+		return nil, true
 	case ref < firstComplexRef:
-		return NewPrimitive(Kind(ref - 1)), nil
+		return primitiveForRef[ref-1], true
 	case ref-firstComplexRef < uint64(len(d.table)):
-		return d.table[ref-firstComplexRef], nil
+		return d.table[ref-firstComplexRef], true
 	}
-	return nil, fmt.Errorf("jsontype: type ref %d out of range (table has %d entries)", ref, len(d.table))
+	return nil, false
 }
 
 // readUvarint reads one unsigned varint at *pos, advancing it.
@@ -249,6 +275,8 @@ func readUvarint(data []byte, pos *int, what string) (uint64, error) {
 // influences any observable behavior (Max returns nil, Similar returns
 // false, and Combine only propagates the latch), so (max, similar)
 // round-trips the accumulator exactly.
+//
+//jx:hotpath
 func RestoreSimilarityAccumulator(max *Type, similar bool) SimilarityAccumulator {
 	if !similar {
 		return SimilarityAccumulator{dissimilar: true}

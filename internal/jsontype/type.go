@@ -200,6 +200,8 @@ func (t *Type) KeySet() map[string]bool {
 // deduplication keys — this is what Bag keys on. Ids are stable for the
 // life of the process but depend on intern order, so they must never leak
 // into serialized output.
+//
+//jx:hotpath
 func (t *Type) ID() uint64 { return t.id }
 
 // Hash returns the 64-bit structural hash the interner bucketed the type

@@ -72,7 +72,9 @@ const (
 
 // intrinsics are the stdlib functions a hot-path function may call: the
 // synchronization and bit-twiddling primitives of the scanner, interner,
-// and bitset layers, none of which allocate.
+// bitset, and wire-codec layers, none of which allocate (AppendUvarint
+// writes into the caller's buffer and amortizes exactly like the append
+// builtin it wraps).
 var intrinsics = map[string]bool{
 	"(*sync.Pool).Get":                         true,
 	"(*sync.Pool).Put":                         true,
@@ -91,6 +93,8 @@ var intrinsics = map[string]bool{
 	"math/bits.Len64":                          true,
 	"(encoding/binary.littleEndian).PutUint64": true,
 	"(encoding/binary.littleEndian).Uint64":    true,
+	"encoding/binary.Uvarint":                  true,
+	"encoding/binary.AppendUvarint":            true,
 }
 
 func hotTagged(fd *ast.FuncDecl) bool {

@@ -87,6 +87,68 @@ func TestDiscovererSketchShardEquivalence(t *testing.T) {
 	}
 }
 
+// TestDiscovererMergeSketchesTree checks the parallel facade reduce:
+// tree-merging the shard sketches with MergeSketches must match the
+// sequential MergeSketch fold byte for byte, at several worker counts.
+func TestDiscovererMergeSketchesTree(t *testing.T) {
+	cfg := DefaultConfig()
+	ctx := context.Background()
+	g, ok := dataset.ByName("github")
+	if !ok {
+		t.Fatal("github dataset missing")
+	}
+	input := datasetJSONL(t, g, 200)
+
+	var sketches [][]byte
+	for si, shard := range splitJSONLContiguous(input, 5) {
+		mapper := NewDiscoverer(cfg)
+		if _, err := mapper.AddStream(ctx, bytes.NewReader(shard), StreamOptions{JSONL: true}); err != nil {
+			t.Fatalf("shard %d: %v", si, err)
+		}
+		sketch, err := mapper.MarshalSketch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sketches = append(sketches, sketch)
+	}
+
+	seq := NewDiscoverer(cfg)
+	for _, sketch := range sketches {
+		if err := seq.MergeSketch(sketch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := MarshalSchema(seq.Finish())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 1, 3} {
+		tree := NewDiscoverer(cfg)
+		if err := tree.MergeSketches(sketches, workers); err != nil {
+			t.Fatalf("w%d: %v", workers, err)
+		}
+		if tree.Records() != seq.Records() {
+			t.Fatalf("w%d: record counts diverge: %d vs %d", workers, tree.Records(), seq.Records())
+		}
+		got, err := MarshalSchema(tree.Finish())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("w%d: tree-reduced schema diverges from sequential\ngot:  %s\nwant: %s", workers, got, want)
+		}
+	}
+
+	// A corrupt file surfaces the typed error and its index.
+	bad := append([][]byte(nil), sketches...)
+	bad[2] = bad[2][:7]
+	err = NewDiscoverer(cfg).MergeSketches(bad, 2)
+	var merr *core.SketchMergeError
+	if !errors.As(err, &merr) || merr.Index != 2 {
+		t.Errorf("corrupt shard: got %v, want *core.SketchMergeError with Index 2", err)
+	}
+}
+
 // TestDiscovererFromSketchResumes checks the save/resume workflow: marshal
 // mid-stream, resume in a fresh Discoverer, keep adding, and match an
 // uninterrupted run.

@@ -84,6 +84,17 @@ func (d *Discoverer) MarshalSketch() ([]byte, error) { return d.acc.Marshal() }
 // build cannot read.
 func (d *Discoverer) MergeSketch(data []byte) error { return d.acc.MergeSketch(data) }
 
+// MergeSketches folds the serialized sketches into the discoverer in
+// order, merging them as a balanced binary tree over at most workers
+// concurrent goroutines (0 = one per core). The result is byte-identical
+// to calling MergeSketch on each file in sequence — adjacent-pair merging
+// preserves first-seen type order — while the decode work scales with the
+// worker count. On error (a *core.SketchMergeError naming the failing
+// file's index) the discoverer must be discarded.
+func (d *Discoverer) MergeSketches(sketches [][]byte, workers int) error {
+	return d.acc.MergeSketches(sketches, workers)
+}
+
 // NewDiscovererFromSketch resumes discovery from a serialized sketch
 // under the given configuration.
 func NewDiscovererFromSketch(data []byte, cfg Config) (*Discoverer, error) {
