@@ -1,8 +1,10 @@
 // Command jxlint runs the jxplain analyzer suite (interncheck,
-// hotpathalloc, hotpathcall, detorder, mergelaw, conccheck, ignoreaudit —
-// see internal/lint). It speaks cmd/go's vet tool protocol, including the
-// .vetx fact files that carry hotpathcall's cross-package AllocFree/ColdPath
-// facts between units, so the canonical invocation is
+// hotpathalloc, hotpathcall, detorder, mergelaw, conccheck, lockcheck,
+// errtotal, exhausttag, ignoreaudit — see internal/lint). It speaks
+// cmd/go's vet tool protocol, including the .vetx fact files that carry
+// the cross-package facts (hotpathcall's AllocFree/ColdPath, lockcheck's
+// Acquires/LockOrder, errtotal's TotalError/MayPanic, exhausttag's
+// EnumMembers) between units, so the canonical invocation is
 //
 //	go vet -vettool=$(go env GOPATH)/bin/jxlint ./...
 //
@@ -13,6 +15,13 @@
 //
 // works standalone. Individual analyzers can be disabled with
 // -<analyzer>=false.
+//
+// In package-pattern mode, -json emits the merged findings of all units
+// as a JSON array and -sarif emits a SARIF 2.1.0 log for GitHub code
+// scanning (-o writes either to a file instead of stdout; the terminal
+// diagnostics and the exit code are unchanged). The per-unit checkers
+// hand their findings to the parent through the JXLINT_DIAG_DIR
+// directory protocol — see internal/lint/unitchecker.
 package main
 
 import (
@@ -41,13 +50,16 @@ func run(args []string) int {
 
 	fs := flag.NewFlagSet(progname, flag.ExitOnError)
 	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), "usage: %s [-<analyzer>=false ...] <packages | vet.cfg>\n\nanalyzers:\n", progname)
+		fmt.Fprintf(fs.Output(), "usage: %s [-<analyzer>=false ...] [-json|-sarif [-o file]] <packages | vet.cfg>\n\nanalyzers:\n", progname)
 		for _, a := range suite {
 			fmt.Fprintf(fs.Output(), "  %-14s %s\n", a.Name, a.Doc)
 		}
 	}
 	vFlag := fs.String("V", "", "print version and exit (cmd/go build ID protocol)")
 	flagsFlag := fs.Bool("flags", false, "print analyzer flags in JSON (cmd/go vet protocol)")
+	jsonFlag := fs.Bool("json", false, "emit the merged findings as JSON (package-pattern mode only)")
+	sarifFlag := fs.Bool("sarif", false, "emit the merged findings as SARIF 2.1.0 (package-pattern mode only)")
+	outFlag := fs.String("o", "", "write the -json/-sarif document to this file instead of stdout")
 	enabled := map[string]*bool{}
 	for _, a := range suite {
 		enabled[a.Name] = fs.Bool(a.Name, true, a.Doc)
@@ -83,12 +95,21 @@ func run(args []string) int {
 		fs.Usage()
 		return 1
 	}
+	if *jsonFlag || *sarifFlag {
+		if *jsonFlag && *sarifFlag {
+			fmt.Fprintln(os.Stderr, "jxlint: -json and -sarif are mutually exclusive")
+			return 1
+		}
+		return runStructured(disabled, rest, *sarifFlag, *outFlag, active)
+	}
 	return delegate(disabled, rest)
 }
 
 // delegate re-invokes the tool through go vet so cmd/go does the package
-// loading and export-data plumbing.
-func delegate(flags, patterns []string) int {
+// loading and export-data plumbing. extraEnv entries are appended to the
+// child's environment (the -json/-sarif modes pass the findings
+// directory through it).
+func delegate(flags, patterns []string, extraEnv ...string) int {
 	exe, err := os.Executable()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "jxlint: %v\n", err)
@@ -98,6 +119,9 @@ func delegate(flags, patterns []string) int {
 	args = append(args, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Stdin, cmd.Stdout, cmd.Stderr = os.Stdin, os.Stdout, os.Stderr
+	if len(extraEnv) > 0 {
+		cmd.Env = append(os.Environ(), extraEnv...)
+	}
 	if err := cmd.Run(); err != nil {
 		if ee, ok := err.(*exec.ExitError); ok {
 			return ee.ExitCode()

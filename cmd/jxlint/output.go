@@ -1,0 +1,117 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"jxplain/internal/lint/jxanalysis"
+	"jxplain/internal/lint/unitchecker"
+)
+
+// runStructured is delegate() for the -json/-sarif modes: it points the
+// per-unit checkers at a scratch directory via the JXLINT_DIAG_DIR
+// protocol, lets go vet fan the tool out over the units, then merges
+// the dropped findings into one document. Unit findings still stream to
+// stderr as usual; the structured document is an additional artifact,
+// and the exit code keeps go vet's pass/fail meaning so CI gates stay
+// intact.
+func runStructured(disabled, patterns []string, sarif bool, outPath string, suite []*jxanalysis.Analyzer) int {
+	dir, err := os.MkdirTemp("", "jxlint-diag-*")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "jxlint: %v\n", err)
+		return 1
+	}
+	defer os.RemoveAll(dir)
+
+	code := delegate(disabled, patterns, unitchecker.DiagDirEnv+"="+dir)
+	if code != 0 && code != 1 && code != 2 {
+		return code
+	}
+
+	findings, err := collectFindings(dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "jxlint: %v\n", err)
+		return 1
+	}
+
+	var doc any
+	if sarif {
+		doc = sarifDocument(suite, findings)
+	} else {
+		doc = findings
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "jxlint: %v\n", err)
+		return 1
+	}
+	data = append(data, '\n')
+	if outPath == "" {
+		os.Stdout.Write(data)
+	} else if err := os.WriteFile(outPath, data, 0o666); err != nil {
+		fmt.Fprintf(os.Stderr, "jxlint: %v\n", err)
+		return 1
+	}
+	return code
+}
+
+// collectFindings merges the per-unit findings files. Test variants of a
+// package re-analyze the same sources, so identical findings are
+// deduplicated; the result is sorted the way the terminal output is.
+func collectFindings(dir string) ([]unitchecker.Finding, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var all []unitchecker.Finding
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		var unit []unitchecker.Finding
+		if err := json.Unmarshal(data, &unit); err != nil {
+			return nil, fmt.Errorf("parsing findings %s: %w", e.Name(), err)
+		}
+		all = append(all, unit...)
+	}
+	return dedupeSort(all), nil
+}
+
+func dedupeSort(all []unitchecker.Finding) []unitchecker.Finding {
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	out := all[:0]
+	for i, f := range all {
+		if i > 0 {
+			p := all[i-1]
+			if f.Position.Filename == p.Position.Filename && f.Position.Line == p.Position.Line &&
+				f.Position.Column == p.Position.Column && f.Analyzer == p.Analyzer && f.Message == p.Message {
+				continue
+			}
+		}
+		out = append(out, f)
+	}
+	return out
+}

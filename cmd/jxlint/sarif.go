@@ -1,0 +1,142 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+
+	"jxplain/internal/lint/jxanalysis"
+	"jxplain/internal/lint/unitchecker"
+)
+
+// The SARIF 2.1.0 subset jxlint emits: one run, one rule per analyzer,
+// one result per finding. The shape follows the published schema
+// (https://json.schemastore.org/sarif-2.1.0.json) closely enough for
+// GitHub code scanning to ingest it via codeql-action/upload-sarif.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId,omitempty"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// sarifDocument builds the log for one merged run. Rules cover the whole
+// active suite — including the framework pseudo-analyzer "jxlint" that
+// reports malformed directives — so every result's ruleId resolves.
+func sarifDocument(suite []*jxanalysis.Analyzer, findings []unitchecker.Finding) sarifLog {
+	ruleIndex := map[string]int{}
+	var rules []sarifRule
+	addRule := func(id, doc string) {
+		if _, ok := ruleIndex[id]; ok {
+			return
+		}
+		ruleIndex[id] = len(rules)
+		rules = append(rules, sarifRule{ID: id, ShortDescription: sarifMessage{Text: doc}})
+	}
+	for _, a := range suite {
+		addRule(a.Name, a.Doc)
+	}
+	addRule("jxlint", "framework diagnostics (malformed //jx: directives)")
+	for _, f := range findings {
+		addRule(f.Analyzer, "analyzer "+f.Analyzer)
+	}
+
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		line := f.Position.Line
+		if line < 1 {
+			line = 1 // SARIF requires startLine >= 1; positionless findings pin to the top
+		}
+		results = append(results, sarifResult{
+			RuleID:    f.Analyzer,
+			RuleIndex: ruleIndex[f.Analyzer],
+			Level:     "warning",
+			Message:   sarifMessage{Text: f.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{
+						URI:       sarifURI(f.Position.Filename),
+						URIBaseID: "%SRCROOT%",
+					},
+					Region: sarifRegion{StartLine: line, StartColumn: max(f.Position.Column, 0)},
+				},
+			}},
+		})
+	}
+	return sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool: sarifTool{Driver: sarifDriver{
+				Name:           "jxlint",
+				InformationURI: "https://github.com/jxplain/jxplain",
+				Rules:          rules,
+			}},
+			Results: results,
+		}},
+	}
+}
+
+// sarifURI renders a finding path relative to the working directory when
+// possible (code scanning resolves it against %SRCROOT%), always with
+// forward slashes.
+func sarifURI(path string) string {
+	if filepath.IsAbs(path) {
+		if cwd, err := os.Getwd(); err == nil {
+			if rel, err := filepath.Rel(cwd, path); err == nil && !strings.HasPrefix(rel, "..") {
+				path = rel
+			}
+		}
+	}
+	return filepath.ToSlash(path)
+}

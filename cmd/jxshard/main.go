@@ -230,10 +230,11 @@ func runRun(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	}
 	defer os.RemoveAll(tmp)
 
-	size, input, err := sizedInput(input, tmp)
+	size, input, cleanInput, err := sizedInput(input, tmp)
 	if err != nil {
 		return err
 	}
+	defer cleanInput()
 
 	exe, err := os.Executable()
 	if err != nil {
@@ -270,28 +271,38 @@ func runRun(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	return printSchema(stdout, schema.Simplify(acc.Finish()), *format)
 }
 
-// sizedInput returns the input's byte size for quota computation. A
-// regular file answers with a Stat; any other reader (a pipe, a terminal)
-// is spooled into dir through io.Copy's bounded buffer — still O(buffer)
-// memory — and replaced by the spool file.
-func sizedInput(input io.Reader, dir string) (int64, io.Reader, error) {
+// sizedInput returns the input's byte size for quota computation, plus a
+// cleanup releasing whatever the sizing allocated. A regular file answers
+// with a Stat and needs no cleanup (the caller owns the handle); any
+// other reader (a pipe, a terminal) is spooled into dir through io.Copy's
+// bounded buffer — still O(buffer) memory — and replaced by the spool
+// file, which the cleanup closes and removes. Error paths inside release
+// the spool themselves, so a failed spool never outlives the call.
+func sizedInput(input io.Reader, dir string) (int64, io.Reader, func(), error) {
 	if f, ok := input.(*os.File); ok {
 		if info, err := f.Stat(); err == nil && info.Mode().IsRegular() {
-			return info.Size(), f, nil
+			return info.Size(), f, func() {}, nil
 		}
 	}
-	spool, err := os.Create(filepath.Join(dir, "input.spool"))
+	path := filepath.Join(dir, "input.spool")
+	spool, err := os.Create(path)
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, nil, err
+	}
+	cleanup := func() {
+		spool.Close()
+		os.Remove(path)
 	}
 	size, err := io.Copy(spool, input)
 	if err != nil {
-		return 0, nil, err
+		cleanup()
+		return 0, nil, nil, fmt.Errorf("spooling input: %w", err)
 	}
 	if _, err := spool.Seek(0, io.SeekStart); err != nil {
-		return 0, nil, err
+		cleanup()
+		return 0, nil, nil, err
 	}
-	return size, spool, nil
+	return size, spool, cleanup, nil
 }
 
 // mapWorker is one running `jxshard map` process being fed its shard over

@@ -4,10 +4,12 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"testing"
 
 	"jxplain/internal/dataset"
@@ -181,6 +183,33 @@ func TestShardRunStdinSpool(t *testing.T) {
 	}
 	if want := goldenSchema(t, g.Name); !bytes.Equal(out.Bytes(), want) {
 		t.Errorf("stdin-fed schema diverges from golden\ngot:  %s\nwant: %s", out.Bytes(), want)
+	}
+}
+
+// TestShardRunSpoolCleanup injects a failing map worker — malformed
+// JSONL arriving over non-seekable stdin, so the input takes the spool
+// path — and asserts the run leaves nothing behind in TMPDIR: the spool
+// file and the shard scratch directory must be released on the error
+// path, not only on success.
+func TestShardRunSpoolCleanup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	tmp := t.TempDir()
+	t.Setenv("TMPDIR", tmp)
+	bad := "{\"ok\":1}\nthis is not json\n{\"ok\":2}\n"
+	var out bytes.Buffer
+	err := run([]string{"run", "-shards", "2", "-jsonl", "-format", "native"},
+		strings.NewReader(bad), &out, io.Discard)
+	if err == nil {
+		t.Fatal("run succeeded on malformed JSONL; the test needs a failing worker")
+	}
+	entries, readErr := os.ReadDir(tmp)
+	if readErr != nil {
+		t.Fatal(readErr)
+	}
+	for _, e := range entries {
+		t.Errorf("leftover %s in TMPDIR after failed run", e.Name())
 	}
 }
 

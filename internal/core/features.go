@@ -45,6 +45,8 @@ func appendChildFeatures(t *jsontype.Type, rel string, decide subtreeDecision, p
 			*out = append(*out, p)
 			appendFeatures(e, p, decide, prune, out)
 		}
+	default:
+		// Primitive kinds have no children, hence no child features.
 	}
 }
 
@@ -64,6 +66,9 @@ func appendFeatures(t *jsontype.Type, rel string, decide subtreeDecision, prune 
 			}
 		}
 		appendChildFeatures(t, rel, decide, prune, out)
+	default:
+		// Primitives are leaves: their own path was appended by the
+		// parent, and there is nothing below to descend into.
 	}
 }
 

@@ -88,6 +88,9 @@ func (t *statsTrie) add(ty *jsontype.Type, n int) {
 			t.arrSim.Add(e)
 			t.elem(i).add(e, n)
 		}
+	default:
+		// Primitive occurrences carry no per-node stats of their own;
+		// they are counted by the parent's key/length distributions.
 	}
 }
 

@@ -71,7 +71,11 @@ const (
 	flagTrie byte = 1 << 1
 )
 
-// Section tags, in file order.
+// Section tags, in file order. The //jx:enum registration means any
+// switch dispatching over these must account for every tag (exhausttag),
+// so adding a section is lint-visible at every consumer.
+//
+//jx:enum wire section tags
 const (
 	secKeys byte = 'K'
 	secType byte = 'T'
@@ -86,6 +90,8 @@ const maxTrieDepth = 100_000
 
 // SketchVersionError reports a sketch whose version byte this build does
 // not understand.
+//
+//jx:totalerror
 type SketchVersionError struct {
 	Got, Want byte
 }
@@ -95,6 +101,8 @@ func (e *SketchVersionError) Error() string {
 }
 
 // SketchFormatError reports structurally invalid sketch bytes.
+//
+//jx:totalerror
 type SketchFormatError struct {
 	Offset int    // byte offset where decoding failed, best effort
 	Msg    string // what was wrong
@@ -533,6 +541,7 @@ func (d *sketchDecoder) decodeBag() (*jsontype.Bag, error) {
 		if uint64(bag.Len())+c > uint64(maxInt) {
 			return nil, d.errf("bag total overflows")
 		}
+		//jx:lint-ignore errtotal AddN asserts n > 0 and the c == 0 check above establishes it
 		bag.AddN(t, int(c))
 	}
 	return bag, d.finishSection(secBag, end)
@@ -936,6 +945,7 @@ func (a *Accumulator) mergeBagEntries(d *sketchDecoder, n int, fileHasTrie bool)
 			return 0, d.bagOverflowErr()
 		}
 		total += int(c)
+		//jx:lint-ignore errtotal AddN asserts n > 0 and the c == 0 check above establishes it
 		a.bag.AddN(t, int(c))
 		if !fileHasTrie && a.sketch != nil {
 			a.sketch.AddN(t, int(c))
@@ -1036,7 +1046,7 @@ func (d *sketchDecoder) mergeNode(t *statsTrie, depth int) error {
 			d.pos += 8
 		}
 		d.setScratch = set
-		if words > 0 && set[words-1] == 0 {
+		if len(set) > 0 && set[len(set)-1] == 0 {
 			return d.bitsetErr()
 		}
 		var countErr error

@@ -1,0 +1,547 @@
+// Package errtotal enforces totality on the typed-error decode surface:
+// a function that reports failure through the sketch error family
+// (*SketchFormatError, *SketchVersionError, *SketchMergeError — any type
+// carrying a //jx:totalerror directive) promises that malformed input
+// surfaces as an error value, never as a panic. A decoder that panics on
+// a truncated sketch takes the whole reducer down with it; ROADMAP item 5
+// (resumable decode of unbounded streams) leans on this contract.
+//
+// A function is in the total set when any of the following hold:
+//
+//   - a declared result type is (a pointer to) a //jx:totalerror type;
+//   - a return statement's operand has such a static type, so functions
+//     declared `error` that build family values are covered;
+//   - its doc comment carries a bare //jx:total directive (opt-in for
+//     functions whose failure type is erased earlier than their body);
+//   - its receiver type has another total method and it is unexported or
+//     declares an error result — the decode helpers share one receiver
+//     and one contract, so the closure rule holds all of them to it
+//     without viral propagation through plain calls. Exported methods
+//     with no error result stay outside the closure: they are builder
+//     API whose panics are documented preconditions, not decode paths.
+//
+// Inside a total function every path must be panic-free: no panic call,
+// no call to a Must-prefixed function or to a function carrying a
+// MayPanic fact (exported here for every function that panics directly,
+// so the reach is cross-package), no single-form type assertion, and no
+// slice/array indexing whose base lacks a dominating guard. Guardedness
+// is a must-path forward dataflow over the jxanalysis/cfg graph: a
+// len(base) mention, a range over the base, a locally-constructed base
+// (make or a composite literal), or a checked call taking the base (the
+// d.count(...) decode idiom) marks the base guarded on the paths the
+// evidence dominates; an unguarded index reports once per base.
+package errtotal
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"jxplain/internal/lint/jxanalysis"
+	"jxplain/internal/lint/jxanalysis/cfg"
+)
+
+// TotalError marks a type declared with //jx:totalerror: functions
+// producing it are held to the panic-free contract, across packages.
+type TotalError struct{}
+
+// AFact marks TotalError as a fact type.
+func (*TotalError) AFact() {}
+
+// MayPanic marks a function that contains a direct panic call, so total
+// functions in importing packages cannot call it.
+type MayPanic struct{}
+
+// AFact marks MayPanic as a fact type.
+func (*MayPanic) AFact() {}
+
+// Analyzer is the errtotal pass.
+var Analyzer = &jxanalysis.Analyzer{
+	Name:      "errtotal",
+	Doc:       "functions returning a //jx:totalerror type are panic-free on all paths: no panic/Must*/MayPanic calls, no bare type asserts, no unguarded indexing",
+	Run:       run,
+	FactTypes: []jxanalysis.Fact{new(TotalError), new(MayPanic)},
+}
+
+const (
+	typeDirective = "//jx:totalerror"
+	funcDirective = "//jx:total"
+)
+
+type checker struct {
+	pass *jxanalysis.Pass
+}
+
+func run(pass *jxanalysis.Pass) error {
+	c := &checker{pass: pass}
+	var decls []*ast.FuncDecl
+	for _, f := range pass.Files {
+		if file := pass.Fset.File(f.Pos()); file != nil && strings.HasSuffix(file.Name(), "_test.go") {
+			continue
+		}
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.GenDecl:
+				c.registerTotalTypes(d)
+			case *ast.FuncDecl:
+				if d.Body != nil {
+					decls = append(decls, d)
+				}
+			}
+		}
+	}
+
+	// MayPanic facts first, so in-package calls resolve during checking.
+	for _, fd := range decls {
+		if fn := c.funcObj(fd); fn != nil && directPanic(fd.Body) {
+			c.pass.ExportObjectFact(fn, &MayPanic{})
+		}
+	}
+
+	total := map[*ast.FuncDecl]bool{}
+	for _, fd := range decls {
+		if c.isSeedTotal(fd) {
+			total[fd] = true
+		}
+	}
+	// Receiver closure: one total method pulls its siblings into the set.
+	// The closure only reaches methods that are unexported or return an
+	// error — those are the decode helpers sharing the receiver's
+	// contract. An exported method without an error result is builder
+	// API; its panics are documented preconditions, not decode failures.
+	totalRecv := map[string]bool{}
+	for fd := range total {
+		if r := recvTypeName(c.pass, fd); r != "" {
+			totalRecv[r] = true
+		}
+	}
+	for _, fd := range decls {
+		if r := recvTypeName(c.pass, fd); r != "" && totalRecv[r] {
+			if fd.Name.IsExported() && !returnsErrorResult(c.pass, fd) {
+				continue
+			}
+			total[fd] = true
+		}
+	}
+
+	for _, fd := range decls {
+		if total[fd] {
+			c.checkTotal(fd)
+		}
+	}
+	return nil
+}
+
+// registerTotalTypes exports TotalError for every type in d whose doc
+// (on the decl or the spec) carries the //jx:totalerror directive.
+func (c *checker) registerTotalTypes(d *ast.GenDecl) {
+	for _, spec := range d.Specs {
+		ts, ok := spec.(*ast.TypeSpec)
+		if !ok {
+			continue
+		}
+		if !hasDirective(d.Doc, typeDirective) && !hasDirective(ts.Doc, typeDirective) {
+			continue
+		}
+		if tn, ok := c.pass.TypesInfo.Defs[ts.Name].(*types.TypeName); ok {
+			c.pass.ExportObjectFact(tn, &TotalError{})
+		}
+	}
+}
+
+func hasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, l := range doc.List {
+		fields := strings.Fields(l.Text)
+		if len(fields) > 0 && fields[0] == directive {
+			return true
+		}
+	}
+	return false
+}
+
+// isSeedTotal applies the three direct membership rules.
+// returnsErrorResult reports whether fd declares a result implementing
+// the error interface.
+func returnsErrorResult(pass *jxanalysis.Pass, fd *ast.FuncDecl) bool {
+	if fd.Type.Results == nil {
+		return false
+	}
+	errType := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	for _, field := range fd.Type.Results.List {
+		if t := pass.TypesInfo.TypeOf(field.Type); t != nil && types.Implements(t, errType) {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *checker) isSeedTotal(fd *ast.FuncDecl) bool {
+	if hasDirective(fd.Doc, funcDirective) {
+		return true
+	}
+	if fd.Type.Results != nil {
+		for _, field := range fd.Type.Results.List {
+			if c.isFamily(c.pass.TypesInfo.TypeOf(field.Type)) {
+				return true
+			}
+		}
+	}
+	seed := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if seed {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if ret, ok := n.(*ast.ReturnStmt); ok {
+			for _, res := range ret.Results {
+				if c.isFamily(c.pass.TypesInfo.TypeOf(res)) {
+					seed = true
+				}
+			}
+		}
+		return true
+	})
+	return seed
+}
+
+// isFamily reports whether t is (a pointer to) a type carrying the
+// TotalError fact — exported by this unit or imported from a dependency.
+func (c *checker) isFamily(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := types.Unalias(t).(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	var fact TotalError
+	return c.pass.ImportObjectFact(named.Obj(), &fact)
+}
+
+func (c *checker) funcObj(fd *ast.FuncDecl) *types.Func {
+	fn, _ := c.pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	return fn
+}
+
+// recvTypeName renders fd's receiver type name, "" for plain functions.
+func recvTypeName(pass *jxanalysis.Pass, fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := pass.TypesInfo.TypeOf(fd.Recv.List[0].Type)
+	if t == nil {
+		return ""
+	}
+	if p, ok := types.Unalias(t).(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := types.Unalias(t).(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// directPanic reports whether body contains a panic call outside nested
+// function literals.
+func directPanic(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// guards is the dataflow fact: the set of guarded base renders. The join
+// is intersection — evidence must dominate the index.
+type guards map[string]bool
+
+func cloneGuards(g guards) guards {
+	c := make(guards, len(g))
+	for k := range g {
+		c[k] = true
+	}
+	return c
+}
+
+func joinGuards(a, b guards) guards {
+	j := guards{}
+	for k := range a {
+		if b[k] {
+			j[k] = true
+		}
+	}
+	return j
+}
+
+func equalGuards(a, b guards) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func isGuarded(g guards, root string) bool {
+	if g[root] {
+		return true
+	}
+	for k := range g {
+		if strings.HasPrefix(root, k+".") {
+			return true
+		}
+	}
+	return false
+}
+
+// checkTotal runs the guard dataflow over one total function and reports
+// every way it can panic.
+func (c *checker) checkTotal(fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	g := cfg.New(fd.Body)
+	transfer := func(b *cfg.Block, in guards) guards {
+		out := cloneGuards(in)
+		for _, n := range b.Nodes {
+			c.applyNode(b, n, out, "")
+		}
+		return out
+	}
+	res := cfg.Forward(g, cfg.Problem[guards]{
+		Entry:    guards{},
+		Join:     joinGuards,
+		Equal:    equalGuards,
+		Transfer: transfer,
+	})
+	for _, b := range g.Blocks {
+		if !res.Reached[b.Index] {
+			continue
+		}
+		st := cloneGuards(res.In[b.Index])
+		for _, n := range b.Nodes {
+			c.applyNode(b, n, st, name)
+		}
+	}
+}
+
+// applyNode folds one leaf node into the guard state; when name is
+// non-empty it also reports the panic sources the node contains.
+func (c *checker) applyNode(b *cfg.Block, n ast.Node, st guards, name string) {
+	// The range head's only node is the range operand: iterating the base
+	// guards indexing it in the loop body.
+	if b.Kind == "range.head" {
+		if r := render(n.(ast.Expr)); r != "" {
+			st[r] = true
+		}
+		return
+	}
+	// Node-local len evidence first, so `len(data) > 0 && data[0] == x`
+	// in one condition node does not report.
+	lenRoots := map[string]bool{}
+	inspect(n, func(m ast.Node) {
+		if call, ok := m.(*ast.CallExpr); ok && len(call.Args) == 1 {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "len" {
+				if r := render(call.Args[0]); r != "" {
+					lenRoots[r] = true
+				}
+			}
+		}
+	})
+	for r := range lenRoots {
+		st[r] = true
+	}
+
+	inspect(n, func(m ast.Node) {
+		switch m := m.(type) {
+		case *ast.IndexExpr:
+			c.checkIndex(m, st, name)
+		case *ast.TypeAssertExpr:
+			if name != "" && m.Type != nil && !commaOKAssert(n, m) {
+				c.pass.Reportf(m.Pos(), "%s must be panic-free (typed error family) but type-asserts without the comma-ok form; a mismatch panics", name)
+			}
+		case *ast.CallExpr:
+			c.checkCall(m, st, name)
+		case *ast.AssignStmt:
+			// A base assigned from make(...) or a composite literal has
+			// known local provenance.
+			fresh := false
+			for _, rhs := range m.Rhs {
+				switch e := ast.Unparen(rhs).(type) {
+				case *ast.CompositeLit:
+					fresh = true
+				case *ast.CallExpr:
+					if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok && id.Name == "make" {
+						fresh = true
+					}
+				}
+			}
+			if fresh {
+				for _, lhs := range m.Lhs {
+					if r := render(lhs); r != "" {
+						st[r] = true
+					}
+				}
+			}
+		}
+	})
+}
+
+// checkIndex reports an unguarded slice/array index and then marks the
+// base guarded, so one unchecked base reports once, not per use.
+func (c *checker) checkIndex(idx *ast.IndexExpr, st guards, name string) {
+	t := c.pass.TypesInfo.TypeOf(idx.X)
+	if t == nil {
+		return
+	}
+	if p, ok := types.Unalias(t).(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	switch types.Unalias(t).Underlying().(type) {
+	case *types.Slice, *types.Array:
+	default:
+		return // map and string indexing are out of scope
+	}
+	root := render(idx.X)
+	if root == "" {
+		return
+	}
+	if !isGuarded(st, root) && name != "" {
+		c.pass.Reportf(idx.Pos(), "%s must be panic-free (typed error family) but indexes %s without a dominating length check", name, root)
+	}
+	st[root] = true
+}
+
+// checkCall reports panic sources at call sites and records checked-call
+// guard evidence.
+func (c *checker) checkCall(call *ast.CallExpr, st guards, name string) {
+	if tv, ok := c.pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		return // conversion, not a call
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		switch id.Name {
+		case "panic":
+			if name != "" {
+				c.pass.Reportf(call.Pos(), "%s must be panic-free (typed error family) but panics here; return the error instead", name)
+			}
+			return
+		case "len", "cap", "make", "append", "copy", "new", "min", "max", "delete":
+			return // builtins carry no guard or panic semantics we track
+		}
+	}
+	fn := calleeFunc(c.pass, call)
+	if name != "" && fn != nil {
+		if strings.HasPrefix(fn.Name(), "Must") {
+			c.pass.Reportf(call.Pos(), "%s must be panic-free (typed error family) but calls %s, whose Must prefix implies panic on failure", name, fn.Name())
+		} else {
+			var fact MayPanic
+			if c.pass.ImportObjectFact(fn, &fact) {
+				c.pass.Reportf(call.Pos(), "%s must be panic-free (typed error family) but calls %s, which may panic", name, fn.Name())
+			}
+		}
+	}
+	// A call taking the base (argument or receiver) is checked-call
+	// evidence: the d.count(...) decode idiom validates before indexing.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if r := render(sel.X); r != "" {
+			st[r] = true
+		}
+	}
+	for _, arg := range call.Args {
+		if r := render(arg); r != "" {
+			st[r] = true
+		}
+	}
+}
+
+// commaOKAssert reports whether assert appears in a two-value context
+// within node: `v, ok := x.(T)` or a two-value return/if-init form.
+func commaOKAssert(node ast.Node, assert *ast.TypeAssertExpr) bool {
+	ok := false
+	ast.Inspect(node, func(n ast.Node) bool {
+		if as, isAssign := n.(*ast.AssignStmt); isAssign && len(as.Lhs) == 2 && len(as.Rhs) == 1 {
+			if ast.Unparen(as.Rhs[0]) == ast.Expr(assert) {
+				ok = true
+			}
+		}
+		if vs, isSpec := n.(*ast.ValueSpec); isSpec && len(vs.Names) == 2 && len(vs.Values) == 1 {
+			if ast.Unparen(vs.Values[0]) == ast.Expr(assert) {
+				ok = true
+			}
+		}
+		return !ok
+	})
+	return ok
+}
+
+// calleeFunc statically resolves a call target.
+func calleeFunc(pass *jxanalysis.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := pass.TypesInfo.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if s, ok := pass.TypesInfo.Selections[fun]; ok {
+			if s.Kind() != types.MethodVal {
+				return nil
+			}
+			if _, isIface := types.Unalias(s.Recv()).Underlying().(*types.Interface); isIface {
+				return nil
+			}
+			fn, _ := s.Obj().(*types.Func)
+			return fn
+		}
+		fn, _ := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// inspect walks n in source order, skipping nested function literals
+// (independent flow units).
+func inspect(n ast.Node, visit func(ast.Node)) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m == nil {
+			return false
+		}
+		if _, ok := m.(*ast.FuncLit); ok && m != n {
+			return false
+		}
+		visit(m)
+		return true
+	})
+}
+
+func render(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		prefix := render(e.X)
+		if prefix == "" {
+			return ""
+		}
+		return prefix + "." + e.Sel.Name
+	}
+	return ""
+}

@@ -1,0 +1,12 @@
+package errtotal_test
+
+import (
+	"testing"
+
+	"jxplain/internal/lint/analyzers/errtotal"
+	"jxplain/internal/lint/checktest"
+)
+
+func TestErrtotal(t *testing.T) {
+	checktest.Run(t, "../../testdata/src", "example.com/erruse", errtotal.Analyzer)
+}

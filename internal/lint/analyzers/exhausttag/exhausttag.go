@@ -1,0 +1,378 @@
+// Package exhausttag keeps tag dispatch total: a switch over a wire
+// section tag, a jsontype.Kind, or any other registered constant set is
+// checked against the full declared member list, so adding a seventh
+// Kind or a new wire section is a lint-visible event at every switch
+// that fails to account for it.
+//
+// Two declaration forms register a set, both exported as EnumMembers
+// facts so switches in importing packages are checked against the full
+// set — and the two forms carry different strictness:
+//
+//   - a const declaration whose doc comment carries //jx:enum <name>
+//     registers its constants as a strict set even when they are untyped
+//     or share a plain byte type (the wire section tags); the fact rides
+//     on each member, so any case expression naming a member finds the
+//     set. Strict sets are dispatch-only by the author's declaration:
+//     every switch must cover every member or carry a default that fails
+//     loudly (returns an error or panics), so an unknown tag surfaces as
+//     a decode failure instead of silently falling through.
+//   - a named type whose underlying type is an integer kind registers
+//     automatically when the package declares two or more constants of
+//     it; the fact rides on the type name. Auto-registered sets are
+//     non-strict: subset switches with a shared fall-through tail are
+//     idiomatic Go ("handle the composite kinds here, primitives below"),
+//     so a default clause of any shape counts as handling the remainder,
+//     and so does any code following the switch. What still reports is
+//     the silent no-op: a default-less incomplete switch whose
+//     fall-through falls off the end of the function, where an unhandled
+//     member does nothing at all.
+//
+// A switch is checked when its tag expression has a registered type or
+// any of its case expressions resolves to a registered member. Coverage
+// is by constant value, so aliases and literal forms ('K' for secKeys)
+// count.
+package exhausttag
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"jxplain/internal/lint/jxanalysis"
+)
+
+// EnumMembers is the fact describing one registered constant set. Names
+// and Values are parallel; Values hold the exact constant representation
+// so coverage can be compared across literal forms. Strict marks the
+// //jx:enum directive sets, whose switches must fail loudly on unknown
+// members.
+type EnumMembers struct {
+	Enum   string
+	Names  []string
+	Values []string
+	Strict bool
+}
+
+// AFact marks EnumMembers as a fact type.
+func (*EnumMembers) AFact() {}
+
+// Analyzer is the exhausttag pass.
+var Analyzer = &jxanalysis.Analyzer{
+	Name:      "exhausttag",
+	Doc:       "switches over registered tag sets (named integer enums, //jx:enum const groups) account for every member",
+	Run:       run,
+	FactTypes: []jxanalysis.Fact{new(EnumMembers)},
+}
+
+const enumDirective = "//jx:enum"
+
+func run(pass *jxanalysis.Pass) error {
+	c := &checker{pass: pass}
+	c.registerNamedEnums()
+	for _, f := range pass.Files {
+		if file := pass.Fset.File(f.Pos()); file != nil && strings.HasSuffix(file.Name(), "_test.go") {
+			continue
+		}
+		for _, decl := range f.Decls {
+			if gd, ok := decl.(*ast.GenDecl); ok {
+				c.registerDirectiveEnums(gd)
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		if file := pass.Fset.File(f.Pos()); file != nil && strings.HasSuffix(file.Name(), "_test.go") {
+			continue
+		}
+		// Each function body is walked with function-tail tracking; the
+		// walker does not descend into nested FuncLits, which Inspect
+		// hands over as bodies of their own.
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					c.walkStmts(n.Body.List, true)
+				}
+			case *ast.FuncLit:
+				c.walkStmts(n.Body.List, true)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// walkStmts visits a statement list looking for tagged switches. tail
+// reports whether control falls off the end of the function when it
+// falls off the end of this list — the property that turns a default-less
+// incomplete switch over a non-strict set into a silent no-op.
+func (c *checker) walkStmts(list []ast.Stmt, tail bool) {
+	for i, s := range list {
+		c.walkStmt(s, tail && i == len(list)-1)
+	}
+}
+
+func (c *checker) walkStmt(s ast.Stmt, tail bool) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		c.walkStmts(s.List, tail)
+	case *ast.LabeledStmt:
+		c.walkStmt(s.Stmt, tail)
+	case *ast.IfStmt:
+		// The last statement of either branch falls to after the if,
+		// which is the end of the function exactly when the if is last.
+		c.walkStmt(s.Body, tail)
+		if s.Else != nil {
+			c.walkStmt(s.Else, tail)
+		}
+	case *ast.ForStmt:
+		// The loop head follows every statement in the body.
+		c.walkStmts(s.Body.List, false)
+	case *ast.RangeStmt:
+		c.walkStmts(s.Body.List, false)
+	case *ast.SwitchStmt:
+		if s.Tag != nil {
+			c.checkSwitch(s, tail)
+		}
+		for _, stmt := range s.Body.List {
+			if cc, ok := stmt.(*ast.CaseClause); ok {
+				// A case body falls to after the switch, not to the
+				// next case, so it inherits the switch's own tail.
+				c.walkStmts(cc.Body, tail)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, stmt := range s.Body.List {
+			if cc, ok := stmt.(*ast.CaseClause); ok {
+				c.walkStmts(cc.Body, tail)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, stmt := range s.Body.List {
+			if cc, ok := stmt.(*ast.CommClause); ok {
+				c.walkStmts(cc.Body, tail)
+			}
+		}
+	}
+}
+
+type checker struct {
+	pass *jxanalysis.Pass
+}
+
+// registerNamedEnums exports an EnumMembers fact for every named integer
+// type of this package with at least two package-level constants.
+func (c *checker) registerNamedEnums() {
+	scope := c.pass.Pkg.Scope()
+	byType := map[*types.TypeName][]*types.Const{}
+	for _, name := range scope.Names() {
+		cn, ok := scope.Lookup(name).(*types.Const)
+		if !ok {
+			continue
+		}
+		named, ok := types.Unalias(cn.Type()).(*types.Named)
+		if !ok || named.Obj().Pkg() != c.pass.Pkg {
+			continue
+		}
+		basic, ok := named.Underlying().(*types.Basic)
+		if !ok || basic.Info()&types.IsInteger == 0 {
+			continue
+		}
+		byType[named.Obj()] = append(byType[named.Obj()], cn)
+	}
+	tns := make([]*types.TypeName, 0, len(byType))
+	for tn := range byType {
+		tns = append(tns, tn)
+	}
+	sort.Slice(tns, func(i, j int) bool { return tns[i].Name() < tns[j].Name() })
+	for _, tn := range tns {
+		consts := byType[tn]
+		if len(consts) < 2 {
+			continue
+		}
+		fact := &EnumMembers{Enum: c.pass.Pkg.Name() + "." + tn.Name()}
+		for _, cn := range consts {
+			fact.Names = append(fact.Names, cn.Name())
+			fact.Values = append(fact.Values, cn.Val().ExactString())
+		}
+		c.pass.ExportObjectFact(tn, fact)
+	}
+}
+
+// registerDirectiveEnums exports an EnumMembers fact on each constant of
+// a //jx:enum-tagged const declaration.
+func (c *checker) registerDirectiveEnums(gd *ast.GenDecl) {
+	if gd.Tok != token.CONST {
+		return
+	}
+	name, tagged := enumName(gd.Doc)
+	if !tagged {
+		return
+	}
+	if name == "" {
+		c.pass.Reportf(gd.Pos(), "malformed %s directive: the set needs a name (//jx:enum <name>)", enumDirective)
+		return
+	}
+	fact := &EnumMembers{Enum: name, Strict: true}
+	var objs []*types.Const
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		for _, id := range vs.Names {
+			cn, ok := c.pass.TypesInfo.Defs[id].(*types.Const)
+			if !ok {
+				continue
+			}
+			fact.Names = append(fact.Names, cn.Name())
+			fact.Values = append(fact.Values, cn.Val().ExactString())
+			objs = append(objs, cn)
+		}
+	}
+	if len(objs) < 2 {
+		c.pass.Reportf(gd.Pos(), "%s %s declares fewer than two constants; a tag set needs members to dispatch over", enumDirective, name)
+		return
+	}
+	for _, cn := range objs {
+		c.pass.ExportObjectFact(cn, fact)
+	}
+}
+
+// enumName extracts the set name from a //jx:enum directive line.
+func enumName(doc *ast.CommentGroup) (string, bool) {
+	if doc == nil {
+		return "", false
+	}
+	for _, l := range doc.List {
+		fields := strings.Fields(l.Text)
+		if len(fields) > 0 && fields[0] == enumDirective {
+			return strings.Join(fields[1:], " "), true
+		}
+	}
+	return "", false
+}
+
+// checkSwitch applies the coverage rule to one tagged switch. tail
+// reports whether the switch's fall-through reaches the end of the
+// enclosing function with no further statement at any nesting level.
+func (c *checker) checkSwitch(sw *ast.SwitchStmt, tail bool) {
+	fact, ok := c.setFor(sw)
+	if !ok {
+		return
+	}
+	covered := map[string]bool{}
+	var defaultClause *ast.CaseClause
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			defaultClause = cc
+			continue
+		}
+		for _, e := range cc.List {
+			if tv, ok := c.pass.TypesInfo.Types[e]; ok && tv.Value != nil {
+				covered[tv.Value.ExactString()] = true
+			}
+		}
+	}
+	var missing []string
+	for i, v := range fact.Values {
+		if !covered[v] {
+			missing = append(missing, fact.Names[i])
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	list := strings.Join(missing, ", ")
+	if fact.Strict {
+		switch {
+		case defaultClause == nil:
+			c.pass.Reportf(sw.Pos(), "switch over %s does not cover %s and has no default; handle every tag or add a default returning an error", fact.Enum, list)
+		case !failsLoudly(c.pass.TypesInfo, defaultClause):
+			c.pass.Reportf(defaultClause.Pos(), "switch over %s does not cover %s; the default must return an error or panic so unknown tags fail loudly", fact.Enum, list)
+		}
+		return
+	}
+	// Non-strict set: a default of any shape handles the remainder, and
+	// so does code after the switch (the fall-through is the shared
+	// tail for unlisted members). Only the silent no-op at the end of a
+	// function is worth reporting.
+	if defaultClause == nil && tail {
+		c.pass.Reportf(sw.Pos(), "switch over %s does not cover %s and silently falls off the end of the function; cover every member or add a default", fact.Enum, list)
+	}
+}
+
+// setFor resolves the registered set a switch dispatches over: by the tag
+// expression's named type, or by any case expression naming a member.
+func (c *checker) setFor(sw *ast.SwitchStmt) (*EnumMembers, bool) {
+	if t := c.pass.TypesInfo.TypeOf(sw.Tag); t != nil {
+		if named, ok := types.Unalias(t).(*types.Named); ok {
+			var fact EnumMembers
+			if c.pass.ImportObjectFact(named.Obj(), &fact) {
+				return &fact, true
+			}
+		}
+	}
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			var obj types.Object
+			switch e := ast.Unparen(e).(type) {
+			case *ast.Ident:
+				obj = c.pass.TypesInfo.Uses[e]
+			case *ast.SelectorExpr:
+				obj = c.pass.TypesInfo.Uses[e.Sel]
+			}
+			cn, ok := obj.(*types.Const)
+			if !ok {
+				continue
+			}
+			var fact EnumMembers
+			if c.pass.ImportObjectFact(cn, &fact) {
+				return &fact, true
+			}
+		}
+	}
+	return nil, false
+}
+
+// failsLoudly reports whether the default clause makes an unknown member
+// observable: it returns an error-typed value or panics somewhere in its
+// body.
+func failsLoudly(info *types.Info, cc *ast.CaseClause) bool {
+	errType := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	found := false
+	for _, stmt := range cc.Body {
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.CallExpr:
+				if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "panic" {
+					if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+						found = true
+					}
+				}
+			case *ast.ReturnStmt:
+				for _, r := range n.Results {
+					if t := info.TypeOf(r); t != nil && types.Implements(t, errType) {
+						found = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return found
+}

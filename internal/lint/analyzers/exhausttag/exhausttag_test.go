@@ -1,0 +1,12 @@
+package exhausttag_test
+
+import (
+	"testing"
+
+	"jxplain/internal/lint/analyzers/exhausttag"
+	"jxplain/internal/lint/checktest"
+)
+
+func TestExhausttag(t *testing.T) {
+	checktest.Run(t, "../../testdata/src", "example.com/taguse", exhausttag.Analyzer)
+}

@@ -1,0 +1,733 @@
+// Package lockcheck enforces the lock discipline the resident service and
+// the parallel reducers depend on: a critical section that leaks its
+// mutex on one early return, double-locks its own receiver, or acquires
+// two locks in inconsistent order works under light tests and deadlocks
+// (or corrupts a sketch) under the heavy-traffic scenario ROADMAP item 2
+// targets. The checks are dataflow over the jxanalysis/cfg graph, not
+// syntax: facts flow through branches, loops, and defers.
+//
+// Per function (and per function literal), a forward may-analysis tracks
+// the set of held locks, keyed by the lexical rendering of the receiver
+// ("mu", "s.mu"):
+//
+//   - a Lock whose receiver may already be held is a double-lock report;
+//   - a lock still held on some path into the function exit — and not
+//     released by a defer registered on that path — is a leak report at
+//     the Lock site (defer-unlock immediately after Lock is the preferred
+//     shape, since it discharges every current and future exit path);
+//   - an Unlock of a receiver the function never locks is reported, since
+//     the pairing cannot be checked (lock helpers that release a caller's
+//     lock need an ignore directive with their justification).
+//
+// Interprocedural reach rides the facts layer: every function exports the
+// type-level lock identities it may acquire — directly or through its
+// callees' Acquires facts — and two cross-function checks consume them:
+// calling a function that acquires a lock type currently held is a
+// possible self-deadlock, and the before→after pairs observed while two
+// locks are held feed a package-level LockOrder fact whose transitive
+// union must stay acyclic, so a consistent acquisition order is enforced
+// before jxserve's sharded locks arrive.
+package lockcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"jxplain/internal/lint/jxanalysis"
+	"jxplain/internal/lint/jxanalysis/cfg"
+)
+
+// Acquires is the object fact carried by any function that may acquire a
+// mutex: the sorted type-level identities ("pkg/path.T.mu" for a field,
+// "pkg/path.mu" for a package-level var) of every lock it locks directly
+// or through a callee with an Acquires fact.
+type Acquires struct{ Locks []string }
+
+// AFact marks Acquires as a fact type.
+func (*Acquires) AFact() {}
+
+// LockOrder is the package fact accumulating observed acquisition order:
+// an edge A→B records that some function acquired B while holding A. The
+// union over a unit and its dependencies must stay acyclic.
+type LockOrder struct{ Edges [][2]string }
+
+// AFact marks LockOrder as a fact type.
+func (*LockOrder) AFact() {}
+
+// Analyzer is the lockcheck pass.
+var Analyzer = &jxanalysis.Analyzer{
+	Name:      "lockcheck",
+	Doc:       "every Lock released on all exit paths (defer preferred), no double-lock, consistent cross-package acquisition order via Acquires/LockOrder facts",
+	Run:       run,
+	FactTypes: []jxanalysis.Fact{new(Acquires), new(LockOrder)},
+}
+
+// lockOp is one mutex method call found in a leaf node.
+type lockOp struct {
+	call   *ast.CallExpr
+	key    string // lexical receiver rendering, "#r" suffix for read locks
+	typeID string // type-level identity, "" when the receiver is a local
+	method string // Lock, Unlock, RLock, RUnlock
+}
+
+// heldInfo describes one may-held lock.
+type heldInfo struct {
+	pos      token.Pos // the Lock site, for leak reports
+	typeID   string
+	deferred bool // an unlock for this key was deferred after the Lock
+}
+
+// state is the dataflow fact: may-held locks plus the must-set of keys
+// with a deferred unlock registered.
+type state struct {
+	held     map[string]heldInfo
+	deferReg map[string]bool
+}
+
+func (s state) clone() state {
+	c := state{held: make(map[string]heldInfo, len(s.held)), deferReg: make(map[string]bool, len(s.deferReg))}
+	for k, v := range s.held {
+		c.held[k] = v
+	}
+	for k := range s.deferReg {
+		c.deferReg[k] = true
+	}
+	return c
+}
+
+func join(a, b state) state {
+	j := state{held: map[string]heldInfo{}, deferReg: map[string]bool{}}
+	for k, av := range a.held {
+		if bv, ok := b.held[k]; ok {
+			// Held on both paths: released only if deferred on both; keep
+			// the earlier Lock site for a deterministic report position.
+			pos := av.pos
+			if bv.pos < pos {
+				pos = bv.pos
+			}
+			j.held[k] = heldInfo{pos: pos, typeID: av.typeID, deferred: av.deferred && bv.deferred}
+		} else {
+			j.held[k] = av
+		}
+	}
+	for k, bv := range b.held {
+		if _, ok := a.held[k]; !ok {
+			j.held[k] = bv
+		}
+	}
+	for k := range a.deferReg {
+		if b.deferReg[k] {
+			j.deferReg[k] = true
+		}
+	}
+	return j
+}
+
+func equal(a, b state) bool {
+	if len(a.held) != len(b.held) || len(a.deferReg) != len(b.deferReg) {
+		return false
+	}
+	for k, av := range a.held {
+		bv, ok := b.held[k]
+		if !ok || av != bv {
+			return false
+		}
+	}
+	for k := range a.deferReg {
+		if !b.deferReg[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// funcUnit is one flow unit under analysis: a declaration or a literal.
+type funcUnit struct {
+	name string
+	body *ast.BlockStmt
+	decl *ast.FuncDecl // nil for literals
+}
+
+func run(pass *jxanalysis.Pass) error {
+	c := &checker{pass: pass, direct: map[*types.Func][]string{}, calls: map[*types.Func][]*types.Func{}}
+	for _, f := range pass.Files {
+		if file := pass.Fset.File(f.Pos()); file != nil && strings.HasSuffix(file.Name(), "_test.go") {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			c.checkUnit(funcUnit{name: fd.Name.Name, body: fd.Body, decl: fd})
+			// Literals get their own flow graphs: a goroutine body or a
+			// stored closure is not part of the enclosing sequential flow.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok && !isDeferredCleanup(fd.Body, lit) {
+					c.checkUnit(funcUnit{name: fd.Name.Name + " (func literal)", body: lit.Body})
+				}
+				return true
+			})
+		}
+	}
+	c.exportFacts()
+	c.checkOrder()
+	return nil
+}
+
+// isDeferredCleanup reports whether lit is the immediate operand of a
+// defer statement somewhere in body — `defer func() { mu.Unlock() }()`
+// releases the enclosing function's lock, so analyzing it as an
+// independent unit would misreport an unpaired Unlock.
+func isDeferredCleanup(body *ast.BlockStmt, lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok && ast.Unparen(d.Call.Fun) == ast.Expr(lit) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+type checker struct {
+	pass   *jxanalysis.Pass
+	direct map[*types.Func][]string      // function → lock type ids acquired in its body
+	calls  map[*types.Func][]*types.Func // function → statically resolved callees
+	// edges observed in this package, with the position that created each
+	// (first occurrence wins, for deterministic reports).
+	edges    [][2]string
+	edgePos  map[[2]string]token.Pos
+	edgeSeen map[[2]string]bool
+}
+
+// checkUnit runs the dataflow over one function body and reports its
+// violations.
+func (c *checker) checkUnit(u funcUnit) {
+	g := cfg.New(u.body)
+	transfer := func(b *cfg.Block, in state) state {
+		out := in.clone()
+		for _, n := range b.Nodes {
+			c.applyNode(n, &out, nil)
+		}
+		return out
+	}
+	res := cfg.Forward(g, cfg.Problem[state]{
+		Entry:    state{held: map[string]heldInfo{}, deferReg: map[string]bool{}},
+		Join:     join,
+		Equal:    equal,
+		Transfer: transfer,
+	})
+
+	// Report pass: re-fold each reached block from its in-fact, with the
+	// running state visible at every node.
+	var obj *types.Func
+	if u.decl != nil {
+		obj, _ = c.pass.TypesInfo.Defs[u.decl.Name].(*types.Func)
+	}
+	everLocked := c.lockedKeys(u.body)
+	reported := map[string]bool{} // dedupe per key per unit
+	for _, b := range g.Blocks {
+		if !res.Reached[b.Index] {
+			continue
+		}
+		st := res.In[b.Index].clone()
+		for _, n := range b.Nodes {
+			c.applyNode(n, &st, func(op lockOp, before state) {
+				c.reportOp(u, op, before, everLocked, reported)
+			})
+			c.checkCalls(u, n, &st, obj)
+		}
+	}
+
+	// Leak check at the normal exit. The panic exit is exempt: deferred
+	// cleanup still runs there, and a panicking path is already outside
+	// the lock contract.
+	if res.Reached[g.Exit.Index] {
+		in := res.In[g.Exit.Index]
+		keys := sortedKeys(in.held)
+		for _, k := range keys {
+			h := in.held[k]
+			if h.deferred || in.deferReg[k] {
+				continue
+			}
+			c.pass.Reportf(h.pos, "%s locked in %s may still be held at return; unlock on every path or defer the unlock", displayKey(k), u.name)
+		}
+	}
+
+	if obj != nil {
+		// Only synchronous flow feeds the Acquires fact: a lock taken
+		// inside a goroutine or stored closure does not deadlock a caller
+		// holding the same lock type.
+		ids := map[string]bool{}
+		var callees []*types.Func
+		ast.Inspect(u.body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.CallExpr:
+				if op, ok := c.lockMethod(n); ok {
+					if op.typeID != "" && (op.method == "Lock" || op.method == "RLock") {
+						ids[op.typeID] = true
+					}
+					return true
+				}
+				if fn := c.calleeFunc(n); fn != nil {
+					callees = append(callees, fn)
+				}
+			}
+			return true
+		})
+		c.direct[obj] = setToSorted(ids)
+		c.calls[obj] = callees
+	}
+}
+
+// applyNode folds one leaf node into the state. report, when non-nil, is
+// invoked for every lock op with the state *before* the op.
+func (c *checker) applyNode(n ast.Node, st *state, report func(lockOp, state)) {
+	// Defer statements register exit-time releases.
+	if d, ok := n.(*ast.DeferStmt); ok {
+		for _, op := range c.deferredUnlocks(d) {
+			st.deferReg[op.key] = true
+			if h, held := st.held[op.key]; held {
+				h.deferred = true
+				st.held[op.key] = h
+			}
+		}
+		return
+	}
+	for _, op := range c.lockOps(n) {
+		if report != nil {
+			report(op, st.clone())
+		}
+		switch op.method {
+		case "Lock", "RLock":
+			st.held[op.key] = heldInfo{pos: op.call.Pos(), typeID: op.typeID, deferred: st.deferReg[op.key]}
+		case "Unlock", "RUnlock":
+			delete(st.held, op.key)
+		}
+	}
+}
+
+// reportOp emits the per-site diagnostics for one lock operation.
+func (c *checker) reportOp(u funcUnit, op lockOp, before state, everLocked map[string]bool, reported map[string]bool) {
+	switch op.method {
+	case "Lock":
+		if _, held := before.held[op.key]; held && !reported["dbl:"+op.key] {
+			reported["dbl:"+op.key] = true
+			c.pass.Reportf(op.call.Pos(), "%s may already be held here (double Lock in %s); a second Lock on the same mutex deadlocks", displayKey(op.key), u.name)
+		}
+	case "Unlock", "RUnlock":
+		if !everLocked[op.key] && !reported["unl:"+op.key] {
+			reported["unl:"+op.key] = true
+			lock := strings.TrimSuffix(op.method, "Unlock") + "Lock"
+			c.pass.Reportf(op.call.Pos(), "%s of %s in %s has no matching %s in this function; releasing a caller's lock hides the pairing from analysis", op.method, displayKey(op.key), u.name, lock)
+		}
+	}
+}
+
+// checkCalls applies the interprocedural checks at call sites inside one
+// leaf node: self-deadlock through a callee's Acquires fact, and
+// acquisition-order edges for the LockOrder fact.
+func (c *checker) checkCalls(u funcUnit, n ast.Node, st *state, self *types.Func) {
+	heldIDs := func() []string {
+		ids := map[string]bool{}
+		for _, h := range st.held {
+			if h.typeID != "" {
+				ids[h.typeID] = true
+			}
+		}
+		return setToSorted(ids)
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if op, ok := c.lockMethod(call); ok {
+			if (op.method == "Lock" || op.method == "RLock") && op.typeID != "" {
+				for _, a := range heldIDs() {
+					if a != op.typeID {
+						c.addEdge(a, op.typeID, call.Pos())
+					}
+				}
+			}
+			return true
+		}
+		fn := c.calleeFunc(call)
+		if fn == nil || fn == self {
+			return true
+		}
+		var acq Acquires
+		if !c.pass.ImportObjectFact(fn, &acq) {
+			return true
+		}
+		held := heldIDs()
+		for _, id := range acq.Locks {
+			heldToo := false
+			for _, a := range held {
+				if a == id {
+					heldToo = true
+				}
+			}
+			if heldToo {
+				c.pass.Reportf(call.Pos(), "call to %s while a %s lock is held; the callee acquires %s too (possible self-deadlock)", fn.Name(), id, id)
+				continue
+			}
+			for _, a := range held {
+				c.addEdge(a, id, call.Pos())
+			}
+		}
+		return true
+	})
+}
+
+func (c *checker) addEdge(a, b string, pos token.Pos) {
+	if a == b {
+		return // two instances of one lock type carry no order information
+	}
+	e := [2]string{a, b}
+	if c.edgeSeen == nil {
+		c.edgeSeen = map[[2]string]bool{}
+		c.edgePos = map[[2]string]token.Pos{}
+	}
+	if c.edgeSeen[e] {
+		if pos < c.edgePos[e] {
+			c.edgePos[e] = pos
+		}
+		return
+	}
+	c.edgeSeen[e] = true
+	c.edgePos[e] = pos
+	c.edges = append(c.edges, e)
+}
+
+// exportFacts closes the in-package call graph over direct acquisitions
+// and exports an Acquires fact per acquiring function.
+func (c *checker) exportFacts() {
+	acq := map[*types.Func]map[string]bool{}
+	for fn, ids := range c.direct {
+		m := map[string]bool{}
+		for _, id := range ids {
+			m[id] = true
+		}
+		// Imported callee facts are already transitive.
+		for _, callee := range c.calls[fn] {
+			var fact Acquires
+			if c.pass.ImportObjectFact(callee, &fact) {
+				for _, id := range fact.Locks {
+					m[id] = true
+				}
+			}
+		}
+		acq[fn] = m
+	}
+	// In-package closure to fixpoint: callees declared later in the file
+	// set, or mutually recursive helpers, settle after a few rounds.
+	for changed := true; changed; {
+		changed = false
+		for fn := range acq {
+			for _, callee := range c.calls[fn] {
+				cm, ok := acq[callee]
+				if !ok {
+					continue
+				}
+				for id := range cm {
+					if !acq[fn][id] {
+						acq[fn][id] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	fns := make([]*types.Func, 0, len(acq))
+	for fn := range acq {
+		fns = append(fns, fn)
+	}
+	sort.Slice(fns, func(i, j int) bool { return fns[i].FullName() < fns[j].FullName() })
+	for _, fn := range fns {
+		if len(acq[fn]) == 0 {
+			continue
+		}
+		c.pass.ExportObjectFact(fn, &Acquires{Locks: setToSorted(acq[fn])})
+	}
+}
+
+// checkOrder merges this unit's acquisition-order edges with the
+// LockOrder facts of every transitive import, reports any own edge whose
+// reverse is already reachable, and exports the union.
+func (c *checker) checkOrder() {
+	adj := map[string]map[string]bool{}
+	add := func(a, b string) {
+		if adj[a] == nil {
+			adj[a] = map[string]bool{}
+		}
+		adj[a][b] = true
+	}
+	var imported [][2]string
+	for _, pkg := range transitiveImports(c.pass.Pkg) {
+		var fact LockOrder
+		if c.pass.ImportPackageFact(pkg, &fact) {
+			imported = append(imported, fact.Edges...)
+		}
+	}
+	for _, e := range imported {
+		add(e[0], e[1])
+	}
+	for _, e := range c.edges {
+		add(e[0], e[1])
+	}
+	for _, e := range c.edges {
+		if reaches(adj, e[1], e[0]) {
+			c.pass.Reportf(c.edgePos[e], "acquiring %s while holding %s inverts the established acquisition order (%s is taken before %s elsewhere); keep one global lock order", e[1], e[0], e[1], e[0])
+		}
+	}
+	all := append(append([][2]string{}, imported...), c.edges...)
+	if len(all) == 0 {
+		return
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i][0] != all[j][0] {
+			return all[i][0] < all[j][0]
+		}
+		return all[i][1] < all[j][1]
+	})
+	dedup := all[:0]
+	for i, e := range all {
+		if i == 0 || e != all[i-1] {
+			dedup = append(dedup, e)
+		}
+	}
+	c.pass.ExportPackageFact(&LockOrder{Edges: dedup})
+}
+
+// transitiveImports walks the import graph below pkg in a deterministic
+// order.
+func transitiveImports(pkg *types.Package) []*types.Package {
+	seen := map[*types.Package]bool{}
+	var out []*types.Package
+	var walk func(p *types.Package)
+	walk = func(p *types.Package) {
+		for _, imp := range p.Imports() {
+			if !seen[imp] {
+				seen[imp] = true
+				out = append(out, imp)
+				walk(imp)
+			}
+		}
+	}
+	walk(pkg)
+	sort.Slice(out, func(i, j int) bool { return out[i].Path() < out[j].Path() })
+	return out
+}
+
+// reaches reports whether to is reachable from from in adj.
+func reaches(adj map[string]map[string]bool, from, to string) bool {
+	seen := map[string]bool{from: true}
+	stack := []string{from}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if n == to {
+			return true
+		}
+		for _, next := range sortedKeys(adj[n]) {
+			if !seen[next] {
+				seen[next] = true
+				stack = append(stack, next)
+			}
+		}
+	}
+	return false
+}
+
+// lockOps finds the mutex method calls directly in one leaf node,
+// skipping nested function literals (independent flow units).
+func (c *checker) lockOps(n ast.Node) []lockOp {
+	var ops []lockOp
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := m.(*ast.CallExpr); ok {
+			if op, ok := c.lockMethod(call); ok {
+				ops = append(ops, op)
+			}
+		}
+		return true
+	})
+	return ops
+}
+
+// deferredUnlocks extracts the unlock operations a defer statement
+// registers: `defer mu.Unlock()` directly, or any unlocks inside a
+// deferred closure.
+func (c *checker) deferredUnlocks(d *ast.DeferStmt) []lockOp {
+	if op, ok := c.lockMethod(d.Call); ok {
+		if op.method == "Unlock" || op.method == "RUnlock" {
+			return []lockOp{op}
+		}
+		return nil
+	}
+	lit, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit)
+	if !ok {
+		return nil
+	}
+	var ops []lockOp
+	for _, op := range c.lockOps(lit.Body) {
+		if op.method == "Unlock" || op.method == "RUnlock" {
+			ops = append(ops, op)
+		}
+	}
+	return ops
+}
+
+// lockMethod recognizes a sync.Mutex / sync.RWMutex method call and
+// resolves its receiver to a lexical key and a type-level identity.
+func (c *checker) lockMethod(call *ast.CallExpr) (lockOp, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return lockOp{}, false
+	}
+	s, ok := c.pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return lockOp{}, false
+	}
+	fn, ok := s.Obj().(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return lockOp{}, false
+	}
+	recvType := s.Obj().(*types.Func).Type().(*types.Signature).Recv().Type()
+	if p, ok := types.Unalias(recvType).(*types.Pointer); ok {
+		recvType = p.Elem()
+	}
+	named, ok := types.Unalias(recvType).(*types.Named)
+	if !ok || (named.Obj().Name() != "Mutex" && named.Obj().Name() != "RWMutex") {
+		return lockOp{}, false
+	}
+	method := fn.Name()
+	switch method {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return lockOp{}, false // TryLock / RLocker need manual reasoning
+	}
+	key := renderExpr(sel.X)
+	if key == "" {
+		return lockOp{}, false
+	}
+	if method == "RLock" || method == "RUnlock" {
+		key += "#r"
+	}
+	return lockOp{call: call, key: key, typeID: c.typeID(sel.X), method: method}, true
+}
+
+// typeID derives the cross-function identity of a lock receiver: the
+// owning named type plus field name for struct fields, the package path
+// plus name for package-level variables, "" for locals.
+func (c *checker) typeID(recv ast.Expr) string {
+	switch e := ast.Unparen(recv).(type) {
+	case *ast.Ident:
+		if v, ok := c.pass.TypesInfo.Uses[e].(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v.Pkg().Path() + "." + v.Name()
+		}
+	case *ast.SelectorExpr:
+		t := c.pass.TypesInfo.TypeOf(e.X)
+		if t == nil {
+			return ""
+		}
+		if p, ok := types.Unalias(t).(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := types.Unalias(t).(*types.Named); ok && named.Obj().Pkg() != nil {
+			return named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + e.Sel.Name
+		}
+	}
+	return ""
+}
+
+// calleeFunc statically resolves a call to a declared function or method;
+// indirect calls resolve to nil.
+func (c *checker) calleeFunc(call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := c.pass.TypesInfo.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if s, ok := c.pass.TypesInfo.Selections[fun]; ok {
+			if s.Kind() != types.MethodVal {
+				return nil
+			}
+			if _, isIface := types.Unalias(s.Recv()).Underlying().(*types.Interface); isIface {
+				return nil
+			}
+			fn, _ := s.Obj().(*types.Func)
+			return fn
+		}
+		fn, _ := c.pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// lockedKeys collects every receiver key Locked/RLocked anywhere in the
+// body (function literals included — a closure may take the lock the
+// enclosing function releases).
+func (c *checker) lockedKeys(body *ast.BlockStmt) map[string]bool {
+	keys := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if op, ok := c.lockMethod(call); ok && (op.method == "Lock" || op.method == "RLock") {
+				keys[op.key] = true
+			}
+		}
+		return true
+	})
+	return keys
+}
+
+func renderExpr(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		prefix := renderExpr(e.X)
+		if prefix == "" {
+			return ""
+		}
+		return prefix + "." + e.Sel.Name
+	}
+	return ""
+}
+
+func displayKey(k string) string {
+	if r, ok := strings.CutSuffix(k, "#r"); ok {
+		return r + " (read lock)"
+	}
+	return k
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func setToSorted(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

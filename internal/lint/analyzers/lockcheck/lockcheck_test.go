@@ -1,0 +1,12 @@
+package lockcheck_test
+
+import (
+	"testing"
+
+	"jxplain/internal/lint/analyzers/lockcheck"
+	"jxplain/internal/lint/checktest"
+)
+
+func TestLockcheck(t *testing.T) {
+	checktest.Run(t, "../../testdata/src", "example.com/lockuse", lockcheck.Analyzer)
+}

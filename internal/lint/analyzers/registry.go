@@ -4,10 +4,13 @@ package analyzers
 import (
 	"jxplain/internal/lint/analyzers/conccheck"
 	"jxplain/internal/lint/analyzers/detorder"
+	"jxplain/internal/lint/analyzers/errtotal"
+	"jxplain/internal/lint/analyzers/exhausttag"
 	"jxplain/internal/lint/analyzers/hotpathalloc"
 	"jxplain/internal/lint/analyzers/hotpathcall"
 	"jxplain/internal/lint/analyzers/ignoreaudit"
 	"jxplain/internal/lint/analyzers/interncheck"
+	"jxplain/internal/lint/analyzers/lockcheck"
 	"jxplain/internal/lint/analyzers/mergelaw"
 	"jxplain/internal/lint/jxanalysis"
 )
@@ -21,6 +24,9 @@ func All() []*jxanalysis.Analyzer {
 		detorder.Analyzer,
 		mergelaw.Analyzer,
 		conccheck.Analyzer,
+		lockcheck.Analyzer,
+		errtotal.Analyzer,
+		exhausttag.Analyzer,
 		ignoreaudit.Analyzer,
 	}
 }

@@ -159,7 +159,7 @@ func RunFacts(pkg *Package, analyzers []*Analyzer, facts *Facts) ([]Diagnostic, 
 			diags = append(diags, Diagnostic{
 				Pos:      dir.pos,
 				Analyzer: IgnoreAuditName,
-				Message:  fmt.Sprintf("ignore directive for %s suppresses no diagnostic; delete it or fix the reason", dir.analyzer),
+				Message:  fmt.Sprintf("ignore directive for %s suppresses no diagnostic; delete %q or fix the reason", dir.analyzer, dir.normalized()),
 			})
 		}
 	}

@@ -1,0 +1,64 @@
+package cfg
+
+import (
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"strings"
+)
+
+// String renders the graph for golden tests and debugging: one line per
+// block, in block order, with its kind, its leaf nodes in compressed
+// source form, and its successor indices. fset may be nil; it only
+// improves node rendering (a nil fset still prints valid syntax).
+//
+//	b0 entry: [n := len(xs)] → b3
+//	b3 for.head: [i < n] → b4 b5
+//	...
+//	b1 exit
+//	b2 panic
+func (g *Graph) String() string { return g.text(nil) }
+
+// Text is String with position-aware rendering against fset.
+func (g *Graph) Text(fset *token.FileSet) string { return g.text(fset) }
+
+func (g *Graph) text(fset *token.FileSet) string {
+	if fset == nil {
+		fset = token.NewFileSet()
+	}
+	var sb strings.Builder
+	for _, b := range g.Blocks {
+		fmt.Fprintf(&sb, "b%d %s", b.Index, b.Kind)
+		if len(b.Nodes) > 0 {
+			sb.WriteString(": [")
+			for i, n := range b.Nodes {
+				if i > 0 {
+					sb.WriteString("; ")
+				}
+				sb.WriteString(renderNode(fset, n))
+			}
+			sb.WriteString("]")
+		}
+		if len(b.Succs) > 0 {
+			sb.WriteString(" →")
+			for _, s := range b.Succs {
+				fmt.Fprintf(&sb, " b%d", s.Index)
+			}
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// renderNode prints one leaf node as a single line, collapsing any
+// internal whitespace runs (a leaf may still contain a multi-line
+// function literal).
+func renderNode(fset *token.FileSet, n ast.Node) string {
+	var sb strings.Builder
+	cfg := printer.Config{Mode: printer.RawFormat}
+	if err := cfg.Fprint(&sb, fset, n); err != nil {
+		return fmt.Sprintf("<%T>", n)
+	}
+	return strings.Join(strings.Fields(sb.String()), " ")
+}

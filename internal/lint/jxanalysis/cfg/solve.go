@@ -1,0 +1,61 @@
+package cfg
+
+// A Problem is one forward dataflow analysis: a lattice of facts F with a
+// join, an entry fact, and a per-block transfer function. The lattice
+// must have finite height (Join must converge) — every jxlint analyzer
+// uses finite sets over identifiers, which do.
+//
+// Transfer folds a block's Nodes front to back and must not mutate its
+// input; it returns the block's out-fact. Join combines the out-facts of
+// a block's predecessors; it is only called with facts of reached blocks,
+// so there is no explicit bottom element.
+type Problem[F any] struct {
+	Entry    F
+	Join     func(a, b F) F
+	Equal    func(a, b F) bool
+	Transfer func(b *Block, in F) F
+}
+
+// A Result holds the fixpoint: In[i] and Out[i] are the facts at entry to
+// and exit from Blocks[i]; Reached[i] is false for blocks no path from
+// Entry reaches (their facts are the zero F and must be ignored).
+type Result[F any] struct {
+	In, Out []F
+	Reached []bool
+}
+
+// Forward solves p over g with a worklist iteration to fixpoint.
+func Forward[F any](g *Graph, p Problem[F]) *Result[F] {
+	n := len(g.Blocks)
+	r := &Result[F]{In: make([]F, n), Out: make([]F, n), Reached: make([]bool, n)}
+	r.In[g.Entry.Index] = p.Entry
+	r.Reached[g.Entry.Index] = true
+
+	work := []*Block{g.Entry}
+	queued := make([]bool, n)
+	queued[g.Entry.Index] = true
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		queued[b.Index] = false
+
+		out := p.Transfer(b, r.In[b.Index])
+		r.Out[b.Index] = out
+		for _, s := range b.Succs {
+			next := out
+			if r.Reached[s.Index] {
+				next = p.Join(r.In[s.Index], out)
+				if p.Equal(next, r.In[s.Index]) {
+					continue
+				}
+			}
+			r.In[s.Index] = next
+			r.Reached[s.Index] = true
+			if !queued[s.Index] {
+				queued[s.Index] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return r
+}

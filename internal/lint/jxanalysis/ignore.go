@@ -25,13 +25,22 @@ type ignoreKey struct {
 }
 
 // directive is one parsed //jx:lint-ignore comment and whether it
-// suppressed at least one diagnostic.
+// suppressed at least one diagnostic. analyzer and reason are the
+// normalized fields: whitespace runs (spaces or tabs) between the
+// directive parts collapse, so the audit can echo the directive in a
+// canonical form regardless of how it was typed.
 type directive struct {
 	pos      token.Pos
 	file     string
 	line     int
 	analyzer string
+	reason   string
 	used     bool
+}
+
+// normalized renders the directive in its canonical single-space form.
+func (d *directive) normalized() string {
+	return ignorePrefix + " " + d.analyzer + " " + d.reason
 }
 
 // Filter applies the //jx:lint-ignore directives found in files to diags:
@@ -51,10 +60,18 @@ func filterTrack(fset *token.FileSet, files []*ast.File, diags []Diagnostic) ([]
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				if !strings.HasPrefix(c.Text, ignorePrefix) {
+				rest, ok := strings.CutPrefix(c.Text, ignorePrefix)
+				if !ok {
 					continue
 				}
-				fields := strings.Fields(strings.TrimPrefix(c.Text, ignorePrefix))
+				// The prefix must end at a word boundary: a comment like
+				// //jx:lint-ignored is some other text, not a directive.
+				// Any run of spaces or tabs before and between the fields
+				// is tolerated and normalized away.
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue
+				}
+				fields := strings.Fields(rest)
 				if len(fields) < 2 {
 					kept = append(kept, Diagnostic{
 						Pos:      c.Pos(),
@@ -64,7 +81,13 @@ func filterTrack(fset *token.FileSet, files []*ast.File, diags []Diagnostic) ([]
 					continue
 				}
 				pos := fset.Position(c.Pos())
-				d := &directive{pos: c.Pos(), file: pos.Filename, line: pos.Line, analyzer: fields[0]}
+				d := &directive{
+					pos:      c.Pos(),
+					file:     pos.Filename,
+					line:     pos.Line,
+					analyzer: fields[0],
+					reason:   strings.Join(fields[1:], " "),
+				}
 				directives = append(directives, d)
 				key := ignoreKey{pos.Filename, pos.Line}
 				if index[key] == nil {

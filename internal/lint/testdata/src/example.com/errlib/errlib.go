@@ -1,0 +1,31 @@
+// Package errlib is the dependency side of the errtotal fixtures: it
+// declares the //jx:totalerror type whose TotalError fact importing
+// units consume, and a panicking helper whose MayPanic fact must stop
+// total functions from calling it.
+package errlib
+
+// BadError is the typed failure of this fixture family.
+//
+//jx:totalerror
+type BadError struct{ Msg string } // want-fact TotalError
+
+func (e *BadError) Error() string { return e.Msg }
+
+// New builds a family value; its result type makes it total, and its
+// body is panic-free.
+func New(msg string) *BadError { return &BadError{Msg: msg} }
+
+// Boom panics unconditionally; the exported MayPanic fact keeps total
+// functions in importing packages from calling it.
+func Boom() int { // want-fact MayPanic
+	panic("boom")
+}
+
+// MustSize panics on failure by convention; total callers are stopped by
+// the Must prefix alone, no fact needed.
+func MustSize(n int) int {
+	if n < 0 {
+		panic("negative size")
+	}
+	return n
+}

@@ -1,0 +1,136 @@
+// Package erruse exercises errtotal: membership via result types,
+// returned operands, the //jx:total directive, and the receiver closure;
+// panic sources via panic calls, Must callees, MayPanic facts, bare type
+// asserts, and unguarded indexing with its guard evidence forms.
+package erruse
+
+import "example.com/errlib"
+
+// decode is total by result type; the len check dominates the index.
+func decode(data []byte) (int, *errlib.BadError) {
+	if len(data) == 0 {
+		return 0, errlib.New("empty")
+	}
+	return int(data[0]), nil
+}
+
+// badDecode indexes with no guard on any path.
+func badDecode(data []byte) (int, *errlib.BadError) {
+	return int(data[0]), nil // want `badDecode must be panic-free \(typed error family\) but indexes data without a dominating length check`
+}
+
+// sum iterates the base before indexing it: range is guard evidence.
+func sum(data []byte) (int, *errlib.BadError) {
+	s := 0
+	for i := range data {
+		s += int(data[i])
+	}
+	return s, nil
+}
+
+// table indexes a base it just built; local provenance is guard evidence.
+func table() ([]int, *errlib.BadError) {
+	t := make([]int, 4)
+	t[0] = 1
+	return t, nil
+}
+
+// oneNode keeps the guard and the index in a single condition node.
+func oneNode(data []byte) (int, *errlib.BadError) {
+	if len(data) > 0 && data[0] == 'K' {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// panicky is total by result type but panics on the negative path.
+func panicky(x int) *errlib.BadError {
+	if x < 0 {
+		panic("negative") // want `panicky must be panic-free \(typed error family\) but panics here; return the error instead`
+	}
+	return nil
+}
+
+// viaReturn is declared error but returns a family value, so the operand
+// rule pulls it into the total set.
+func viaReturn(x int) error {
+	if x < 0 {
+		return errlib.New("neg")
+	}
+	_ = errlib.MustSize(x) // want `viaReturn must be panic-free \(typed error family\) but calls MustSize, whose Must prefix implies panic on failure`
+	return nil
+}
+
+// callBoom trips over the imported MayPanic fact.
+func callBoom(x int) *errlib.BadError {
+	if x == errlib.Boom() { // want `callBoom must be panic-free \(typed error family\) but calls Boom, which may panic`
+		return errlib.New("boom value")
+	}
+	return nil
+}
+
+// widen uses the comma-ok form; no diagnostic.
+func widen(v any) (int, *errlib.BadError) {
+	n, ok := v.(int)
+	if !ok {
+		return 0, errlib.New("not int")
+	}
+	return n, nil
+}
+
+// widenBad asserts in the single-value form.
+func widenBad(v any) (int, *errlib.BadError) {
+	return v.(int), nil // want `widenBad must be panic-free \(typed error family\) but type-asserts without the comma-ok form; a mismatch panics`
+}
+
+// reset opts in via the directive even though its signature is erased to
+// a plain error.
+//
+//jx:total
+func reset(xs []int) error {
+	xs[0] = 0 // want `reset must be panic-free \(typed error family\) but indexes xs without a dominating length check`
+	return nil
+}
+
+// decoder's errf seeds the receiver closure: every method shares the
+// panic-free contract.
+type decoder struct {
+	data []byte
+	pos  int
+}
+
+func (d *decoder) errf(msg string) *errlib.BadError { return errlib.New(msg) }
+
+// next guards with the eof check before indexing; no diagnostic.
+func (d *decoder) next() (byte, error) {
+	if d.pos >= len(d.data) {
+		return 0, d.errf("eof")
+	}
+	b := d.data[d.pos]
+	d.pos++
+	return b, nil
+}
+
+// step indexes without the eof check; the closure rule holds it to the
+// contract even though its own signature is a plain error.
+func (d *decoder) step() error {
+	b := d.data[d.pos] // want `step must be panic-free \(typed error family\) but indexes d\.data without a dominating length check`
+	d.pos += int(b)
+	return nil
+}
+
+// Grow is exported builder API with no error result; the receiver
+// closure leaves it outside the total set, so its precondition assert
+// and unguarded indexing are its documented contract, not findings.
+func (d *decoder) Grow(n int) {
+	if n < 0 {
+		panic("negative size")
+	}
+	d.data = append(d.data, make([]byte, n)...)
+	d.data[0] = 1
+}
+
+// helper is outside the total set: its panic sources are not reported.
+func helper(data []byte) int {
+	return int(data[0])
+}

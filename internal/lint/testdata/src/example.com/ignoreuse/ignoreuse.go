@@ -26,3 +26,27 @@ func otherAnalyzer(v int) string {
 	//jx:lint-ignore detorder fixture: analyzer not in this suite
 	return fmt.Sprint(v)
 }
+
+// tabbedDirective separates the fields with tabs and runs of spaces; the
+// directive must still parse and suppress, exactly as its single-space
+// form would.
+//
+//jx:hotpath
+func tabbedDirective(v int) string {
+	//jx:lint-ignore	hotpathalloc 	 fixture: tab-separated directive still parses
+	return fmt.Sprint(v)
+}
+
+// tabbedStale proves the audit echoes the canonical single-space form,
+// not the raw tab-ridden text.
+func tabbedStale(v int) string {
+	//jx:lint-ignore	hotpathalloc		fixture: tabs collapse // want `delete "//jx:lint-ignore hotpathalloc fixture: tabs collapse`
+	return fmt.Sprint(v)
+}
+
+// lookalike is prose that happens to share the directive prefix as a
+// substring; it is not a directive and must not report as malformed.
+func lookalike(v int) string {
+	//jx:lint-ignores are audited, so this comment is plain prose
+	return fmt.Sprint(v)
+}

@@ -1,0 +1,52 @@
+// Package locklib is the dependency side of the lockcheck fixtures: its
+// functions export Acquires facts, and its two-lock function seeds the
+// package LockOrder fact (Index.Mu before Store.Mu) that the importing
+// fixture inverts.
+package locklib
+
+import "sync"
+
+// Store guards a map with an exported mutex so the importing fixture can
+// lock it directly.
+type Store struct {
+	Mu   sync.Mutex
+	data map[string]int
+}
+
+// Put acquires the store lock; the fact makes the acquisition visible to
+// importing units.
+func (s *Store) Put(k string, v int) { // want-fact Acquires
+	s.Mu.Lock()
+	defer s.Mu.Unlock()
+	if s.data == nil {
+		s.data = map[string]int{}
+	}
+	s.data[k] = v
+}
+
+// Index is a second lock type so an acquisition order exists.
+type Index struct {
+	Mu   sync.Mutex
+	keys []string
+}
+
+// Rebuild establishes the package's order: Index.Mu before Store.Mu.
+func (ix *Index) Rebuild(s *Store) { // want-fact Acquires
+	ix.Mu.Lock()
+	defer ix.Mu.Unlock()
+	s.Mu.Lock()
+	defer s.Mu.Unlock()
+	ix.keys = ix.keys[:0]
+	for k := range s.data {
+		ix.keys = append(ix.keys, k)
+	}
+}
+
+// Size acquires through a callee only; the Acquires closure must carry
+// Put's lock up to it.
+func (s *Store) Size() int { // want-fact Acquires
+	s.Put("", 0)
+	s.Mu.Lock()
+	defer s.Mu.Unlock()
+	return len(s.data)
+}

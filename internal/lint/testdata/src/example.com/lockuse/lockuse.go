@@ -1,0 +1,158 @@
+// Package lockuse exercises lockcheck: leak-on-path, double-lock,
+// unpaired release, read-lock tracking, and the two interprocedural
+// checks (self-deadlock through an imported Acquires fact, acquisition
+// order inversion against the imported LockOrder fact).
+package lockuse
+
+import (
+	"errors"
+	"sync"
+
+	"example.com/locklib"
+)
+
+var errShort = errors.New("short")
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// inc is the preferred shape: defer discharges every exit path.
+func (c *counter) inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// branchy releases explicitly on each path; no diagnostic.
+func (c *counter) branchy(flip bool) {
+	c.mu.Lock()
+	if flip {
+		c.n++
+		c.mu.Unlock()
+		return
+	}
+	c.mu.Unlock()
+}
+
+// maybe locks conditionally but defers the unlock inside the same branch.
+func (c *counter) maybe(cond bool) int {
+	if cond {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+	}
+	return c.n
+}
+
+// closureCleanup releases through a deferred closure.
+func (c *counter) closureCleanup() {
+	c.mu.Lock()
+	defer func() {
+		c.n = 0
+		c.mu.Unlock()
+	}()
+	c.n++
+}
+
+// leakOnError forgets the unlock on the early return.
+func (c *counter) leakOnError(fail bool) error {
+	c.mu.Lock() // want `c\.mu locked in leakOnError may still be held at return`
+	if fail {
+		return errShort
+	}
+	c.mu.Unlock()
+	return nil
+}
+
+// double re-locks the mutex it already holds.
+func (c *counter) double() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+	c.mu.Lock() // want `c\.mu may already be held here \(double Lock in double\)`
+}
+
+// loopLock re-locks on the second iteration and never releases.
+func (c *counter) loopLock(n int) {
+	for i := 0; i < n; i++ {
+		c.mu.Lock() // want `double Lock in loopLock` `may still be held at return`
+	}
+}
+
+// release frees a lock this function never takes.
+func (c *counter) release() {
+	c.mu.Unlock() // want `Unlock of c\.mu in release has no matching Lock in this function`
+}
+
+type gauge struct {
+	mu sync.RWMutex
+	v  int
+}
+
+// read pairs RLock with a deferred RUnlock; the read side is tracked
+// separately from the write side.
+func (g *gauge) read() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.v
+}
+
+// set takes the write lock while readers are modeled independently.
+func (g *gauge) set(v int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.v = v
+}
+
+// leakRead forgets the read-side release.
+func (g *gauge) leakRead() int {
+	g.mu.RLock() // want `g\.mu \(read lock\) locked in leakRead may still be held at return`
+	return g.v
+}
+
+// goroutineLock is an independent flow unit: the literal balances its own
+// lock, and the enclosing function holds nothing.
+func (c *counter) goroutineLock() {
+	go func() {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		c.n++
+	}()
+}
+
+// syncToStore calls Put while already holding the same store's lock; the
+// callee's Acquires fact crosses the package boundary.
+func syncToStore(s *locklib.Store) {
+	s.Mu.Lock()
+	defer s.Mu.Unlock()
+	s.Put("k", 1) // want `call to Put while a example\.com/locklib\.Store\.Mu lock is held`
+}
+
+// reorder inverts locklib's established Index-before-Store order.
+func reorder(s *locklib.Store, ix *locklib.Index) {
+	s.Mu.Lock()
+	defer s.Mu.Unlock()
+	ix.Mu.Lock() // want `acquiring example\.com/locklib\.Index\.Mu while holding example\.com/locklib\.Store\.Mu inverts the established acquisition order`
+	defer ix.Mu.Unlock()
+}
+
+// a and b form an in-package order cycle: ab takes a then b, ba takes b
+// then a. Each edge's reverse is reachable, so both sites report.
+type regA struct{ mu sync.Mutex }
+
+type regB struct{ mu sync.Mutex }
+
+func ab(a *regA, b *regB) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock() // want `acquiring example\.com/lockuse\.regB\.mu while holding example\.com/lockuse\.regA\.mu inverts the established acquisition order`
+	defer b.mu.Unlock()
+}
+
+func ba(a *regA, b *regB) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	a.mu.Lock() // want `acquiring example\.com/lockuse\.regA\.mu while holding example\.com/lockuse\.regB\.mu inverts the established acquisition order`
+	defer a.mu.Unlock()
+}

@@ -1,0 +1,25 @@
+// Package taglib is the dependency side of the exhausttag fixtures: a
+// named integer enum that registers automatically, and a //jx:enum byte
+// group modeled on the wire section tags. Importing switches are checked
+// against both via the exported EnumMembers facts.
+package taglib
+
+// Color is a named integer enum; its constants register it.
+type Color uint8 // want-fact EnumMembers
+
+// The color constants.
+const (
+	Red Color = iota
+	Green
+	Blue
+)
+
+// The section tags share plain byte values, so only the directive ties
+// them into a set.
+//
+//jx:enum taglib section tags
+const (
+	SecKeys  byte = 'K' // want-fact EnumMembers
+	SecTypes byte = 'T' // want-fact EnumMembers
+	SecBlob  byte = 'S' // want-fact EnumMembers
+)

@@ -1,0 +1,170 @@
+// Package taguse exercises exhausttag: full coverage, the non-strict
+// rules for auto-registered enums (any default or any fall-through code
+// handles the remainder; a silent end-of-function no-op reports), the
+// strict rules for //jx:enum sets (cover all or fail loudly), literal-
+// form coverage, in-package registration, and the malformed-directive
+// report.
+package taguse
+
+import (
+	"errors"
+
+	"example.com/taglib"
+)
+
+// full covers every member; no default needed.
+func full(c taglib.Color) int {
+	switch c {
+	case taglib.Red:
+		return 1
+	case taglib.Green:
+		return 2
+	case taglib.Blue:
+		return 3
+	}
+	return 0
+}
+
+// partial misses a member at the end of a void function: an unhandled
+// Blue silently does nothing at all.
+func partial(c taglib.Color, out *int) {
+	switch c { // want `switch over taglib\.Color does not cover Blue and silently falls off the end of the function; cover every member or add a default`
+	case taglib.Red:
+		*out = 1
+	case taglib.Green:
+		*out = 2
+	}
+}
+
+// partialNestedTail ends an if body that ends the function; the
+// fall-through is still a silent no-op.
+func partialNestedTail(c taglib.Color, out *int) {
+	if out != nil {
+		switch c { // want `switch over taglib\.Color does not cover Blue, Green and silently falls off the end of the function; cover every member or add a default`
+		case taglib.Red:
+			*out = 1
+		}
+	}
+}
+
+// partialHandled misses members but the code after the switch is the
+// shared handler for the rest — idiomatic, not a finding.
+func partialHandled(c taglib.Color) int {
+	switch c {
+	case taglib.Red:
+		return 1
+	}
+	return 0
+}
+
+// partialInLoop misses members inside a loop body; the loop head follows
+// the switch, so nothing falls off the function.
+func partialInLoop(cs []taglib.Color) int {
+	n := 0
+	for _, c := range cs {
+		switch c {
+		case taglib.Red:
+			n++
+		}
+	}
+	return n
+}
+
+// partialWithError is incomplete but fails loudly in the default.
+func partialWithError(c taglib.Color) (int, error) {
+	switch c {
+	case taglib.Red:
+		return 1, nil
+	default:
+		return 0, errors.New("unhandled color")
+	}
+}
+
+// partialAnyDefault: on an auto-registered enum any default counts as
+// handling the remainder, loud or not.
+func partialAnyDefault(c taglib.Color) int {
+	switch c {
+	case taglib.Red:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// dispatch switches on a plain byte; the member references find the
+// strict set through the imported fact, and coverage is complete.
+func dispatch(tag byte) (string, error) {
+	switch tag {
+	case taglib.SecKeys:
+		return "keys", nil
+	case taglib.SecTypes:
+		return "types", nil
+	case taglib.SecBlob:
+		return "blob", nil
+	}
+	return "", errors.New("unknown section")
+}
+
+// dispatchShort misses SecBlob; the literal 'T' still covers SecTypes
+// because coverage compares constant values. Strict sets report even
+// though the fall-through returns an error — the contract is per-switch.
+func dispatchShort(tag byte) (string, error) {
+	switch tag { // want `switch over taglib section tags does not cover SecBlob and has no default; handle every tag or add a default returning an error`
+	case taglib.SecKeys:
+		return "keys", nil
+	case 'T':
+		return "types", nil
+	}
+	return "", errors.New("unknown section")
+}
+
+// dispatchBadDefault has a default that swallows unknown tags; on a
+// strict set that hides wire corruption.
+func dispatchBadDefault(tag byte) string {
+	switch tag {
+	case taglib.SecKeys:
+		return "keys"
+	default: // want `switch over taglib section tags does not cover SecTypes, SecBlob; the default must return an error or panic so unknown tags fail loudly`
+		return ""
+	}
+}
+
+// dispatchPanicDefault fails loudly by panicking; that satisfies the
+// strict contract.
+func dispatchPanicDefault(tag byte) string {
+	switch tag {
+	case taglib.SecKeys:
+		return "keys"
+	case taglib.SecTypes:
+		return "types"
+	default:
+		panic("unknown section")
+	}
+}
+
+// refKind registers in-package through its own constants.
+type refKind int // want-fact EnumMembers
+
+// The codec reference kinds.
+const (
+	refInline refKind = iota
+	refShared
+)
+
+// local misses refShared but the default returns an error.
+func local(k refKind) error {
+	switch k {
+	case refInline:
+		return nil
+	default:
+		return errors.New("unhandled ref kind")
+	}
+}
+
+// The name is missing, so the directive cannot register a set.
+//
+//jx:enum
+const ( // want `malformed //jx:enum directive: the set needs a name \(//jx:enum <name>\)`
+	opA = 1
+	opB = 2
+)

@@ -20,6 +20,7 @@
 package unitchecker
 
 import (
+	"crypto/sha256"
 	"encoding/json"
 	"fmt"
 	"go/ast"
@@ -29,6 +30,7 @@ import (
 	"go/types"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 
@@ -129,10 +131,37 @@ func Run(cfgPath string, analyzers []*jxanalysis.Analyzer) int {
 	for _, d := range diags {
 		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", d.Position, d.Analyzer, d.Message)
 	}
+	if dir := os.Getenv(DiagDirEnv); dir != "" && len(diags) > 0 {
+		if err := writeFindings(dir, cfg.ID, diags); err != nil {
+			fmt.Fprintf(os.Stderr, "jxlint: %v\n", err)
+			return 1
+		}
+	}
 	if len(diags) > 0 {
 		return 2
 	}
 	return 0
+}
+
+// DiagDirEnv names the directory the parent jxlint sets for structured
+// output: every unit with findings drops a JSON file there, and the
+// parent merges them into one -json or -sarif document after go vet
+// returns. The protocol exists because the vet driver runs the tool once
+// per compilation unit — no single invocation sees all findings. cmd/go
+// does not cache failing vet units, so findings re-emit on every run and
+// the merge never reads stale results.
+const DiagDirEnv = "JXLINT_DIAG_DIR"
+
+// writeFindings persists one unit's findings under dir. The file name is
+// a digest of the unit ID: unique per unit, stable across runs, and free
+// of the path separators unit IDs contain.
+func writeFindings(dir, unitID string, findings []Finding) error {
+	data, err := json.MarshalIndent(findings, "", "\t")
+	if err != nil {
+		return err
+	}
+	name := fmt.Sprintf("%x.json", sha256.Sum256([]byte(unitID)))
+	return os.WriteFile(filepath.Join(dir, name), data, 0o666)
 }
 
 // withFacts filters analyzers down to those that declare fact types —

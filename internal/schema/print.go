@@ -77,6 +77,10 @@ func (p *Primitive) writeString(b *strings.Builder) {
 		b.WriteString("ℝ")
 	case jsontype.KindString:
 		b.WriteString("𝕊")
+	default:
+		// A Primitive only ever holds a primitive kind; writing nothing
+		// here would silently corrupt the rendered form.
+		mustSchema(false, "non-primitive kind %v in Primitive", p.K)
 	}
 }
 
@@ -90,6 +94,10 @@ func (p *Primitive) writeCanon(b *strings.Builder) {
 		b.WriteByte('r')
 	case jsontype.KindString:
 		b.WriteByte('s')
+	default:
+		// The canonical form is the determinism contract's witness; a
+		// silent no-op here would make two distinct schemas collide.
+		mustSchema(false, "non-primitive kind %v in Primitive", p.K)
 	}
 }
 
