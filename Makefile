@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-short check lint lint-sarif cover fuzz bench bench-stream bench-hotpath bench-entity bench-shard bench-reduce experiments clean
+.PHONY: all build vet test test-short check lint lint-sarif cover fuzz bench bench-stream bench-window bench-hotpath bench-entity bench-shard bench-reduce experiments clean
 
 all: build vet test
 
@@ -51,6 +51,7 @@ fuzz:
 	$(GO) test -fuzz FuzzUnmarshal -fuzztime 30s ./internal/schema/
 	$(GO) test -fuzz FuzzSketchDecode -fuzztime 30s ./internal/core/
 	$(GO) test -fuzz FuzzSketchMerge -fuzztime 30s ./internal/core/
+	$(GO) test -fuzz FuzzReservoirVsExact -fuzztime 30s ./internal/core/
 
 # Go benchmarks in benchstat-compatible format (-count=10 gives benchstat
 # enough samples for a significance test). To compare against a baseline:
@@ -64,9 +65,16 @@ bench:
 	$(GO) run ./cmd/jxbench -table entity -trials 3
 
 # Streaming vs materialized ingestion comparison (throughput and peak
-# heap), written to BENCH_stream.json.
+# heap), written to results/BENCH_stream.json.
 bench-stream:
-	$(GO) run ./cmd/jxbench -table stream -json-out BENCH_stream.json
+	$(GO) run ./cmd/jxbench -table stream -json-out results/BENCH_stream.json
+
+# Bounded-stream grid: churn streams at 1/2/5/10× the memory budget,
+# exact vs reservoir+ring+decay, with hard flat-state checks, plus the
+# per-dataset bounded-vs-exact decision tolerance. Written to
+# results/BENCH_window.json.
+bench-window:
+	$(GO) run ./cmd/jxbench -table window -json-out results/BENCH_window.json
 
 # Allocation/hot-path benchmark (interning + bitsets + parallel synthesis)
 # with ratios against the committed PR-1 baseline, written to

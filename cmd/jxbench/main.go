@@ -11,8 +11,10 @@
 //	jxbench -table threshold        # threshold-sensitivity ablation
 //	jxbench -table staged           # recursive vs pipeline ablation
 //	jxbench -table iterative        # §4.2 sampling loop
-//	jxbench -table stream -json-out BENCH_stream.json
+//	jxbench -table stream -json-out results/BENCH_stream.json
 //	                                # streaming vs materialized ingestion
+//	jxbench -table window -json-out results/BENCH_window.json
+//	                                # bounded streams: reservoir+ring+decay
 //	jxbench -all                    # everything
 //
 // -datasets restricts to a comma-separated list; -csv switches output to
@@ -46,7 +48,7 @@ func main() {
 
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("jxbench", flag.ContinueOnError)
-	tableF := fs.String("table", "", "table to run: 1..5, edits, threshold, staged, iterative, sampled, fd, describe, stream, hotpath, entity, shard, reduce")
+	tableF := fs.String("table", "", "table to run: 1..5, edits, threshold, staged, iterative, sampled, fd, describe, stream, hotpath, entity, shard, reduce, window")
 	figureF := fs.String("figure", "", "figure to run: 4 or 5")
 	all := fs.Bool("all", false, "run every table, figure and ablation")
 	datasets := fs.String("datasets", "", "comma-separated dataset subset")
@@ -171,6 +173,8 @@ func dispatch(name string, opts experiments.Options) (result, error) {
 		return experiments.RunShardBench(opts)
 	case "reduce":
 		return experiments.RunReduceBench(opts)
+	case "window":
+		return experiments.RunWindowBench(opts)
 	}
 	return nil, fmt.Errorf("unknown experiment %q", name)
 }

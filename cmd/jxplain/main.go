@@ -17,6 +17,12 @@
 // materialize in memory. -stats reports throughput and peak heap
 // alongside the schema statistics.
 //
+// For streams whose *distinct structure* itself grows without bound,
+// -capacity caps the retained types in a weighted reservoir, -window and
+// -ring keep decisions over a rolling horizon of statistics windows,
+// -decay exponentially ages the retained counters, and -window-drift
+// logs structural movement between consecutive windows to stderr.
+//
 // Accumulated state can cross process boundaries through the versioned
 // sketch wire format: -emit-sketch writes the accumulator instead of a
 // schema, and repeated -merge-sketch flags seed the accumulator from
@@ -36,6 +42,7 @@ import (
 	"time"
 
 	"jxplain/internal/core"
+	"jxplain/internal/drift"
 	"jxplain/internal/ingest"
 	"jxplain/internal/jsontype"
 	"jxplain/internal/merge"
@@ -80,6 +87,16 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		"seed the accumulator from this sketch file before ingesting input (repeatable; merged in flag order)")
 	reduceWorkers := fs.Int("reduce-workers", 0,
 		"concurrent -merge-sketch workers (0 = one per core, 1 = sequential)")
+	capacity := fs.Int("capacity", 0,
+		"bound distinct-type state to a weighted reservoir of this many types (0 = exact)")
+	window := fs.Int("window", 0,
+		"close a statistics window every N records (0 = one cumulative window)")
+	ring := fs.Int("ring", 0,
+		"retain this many closed windows for decisions (requires -window; 0 = no ring)")
+	decay := fs.Float64("decay", 0,
+		"exponential decay factor in (0,1) applied at every window rotation (requires -window)")
+	windowDrift := fs.Bool("window-drift", false,
+		"log windowed structural drift events to stderr (requires -ring)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -107,10 +124,31 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	if (*emitSketch != "" || len(mergeSketches) > 0) && !streaming {
 		return fmt.Errorf("-emit-sketch/-merge-sketch require a streaming extractor (jxplain or bimax-naive, without -iterative)")
 	}
+	bounds := core.Bounds{
+		ReservoirCapacity: *capacity,
+		WindowRecords:     *window,
+		WindowCount:       *ring,
+		DecayFactor:       *decay,
+	}
+	if bounds != (core.Bounds{}) {
+		if !streaming {
+			return fmt.Errorf("-capacity/-window/-ring/-decay require a streaming extractor (jxplain or bimax-naive, without -iterative)")
+		}
+		if (*ring > 0 || *decay != 0) && *window <= 0 {
+			return fmt.Errorf("-ring and -decay need a -window cadence")
+		}
+		if *decay != 0 && !(*decay > 0 && *decay < 1) {
+			return fmt.Errorf("-decay must be in (0, 1)")
+		}
+	}
+	if *windowDrift && *ring <= 0 {
+		return fmt.Errorf("-window-drift requires a -ring of closed windows")
+	}
 
 	var s schema.Schema
 	records := 0
 	distinct := 0
+	boundedStats := ""
 	start := time.Now()
 	var sampler *stats.MemSampler
 	if *statsF {
@@ -121,7 +159,13 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	if streaming {
 		cfg := configFor(*algorithm, *threshold, !*noArrayTuples, !*noObjectColls)
 		cfg.Seed = *seed
+		cfg.Bounds = bounds
 		acc := core.NewAccumulator(cfg)
+		if *windowDrift {
+			drift.NewWindowMonitor(cfg).Bind(acc, func(ev *drift.WindowEvent) {
+				fmt.Fprintln(stderr, ev.String())
+			})
+		}
 		datas := make([][]byte, len(mergeSketches))
 		for i, path := range mergeSketches {
 			data, err := os.ReadFile(path)
@@ -138,6 +182,13 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 			return fmt.Errorf("merging sketches: %w", err)
 		}
 		if input != nil {
+			// An add is atomic with respect to windows, so with a window
+			// cadence the default chunk size must not exceed it — otherwise
+			// rotations happen at chunk granularity, not the configured one.
+			// An explicit -chunk is respected as given.
+			if *chunk == 0 && *window > 0 && *window < 2048 {
+				*chunk = *window
+			}
 			opts := ingest.Options{ChunkSize: *chunk, Workers: *workers, JSONL: *jsonl}
 			if _, err := ingest.Fold(context.Background(), input, opts, acc); err != nil {
 				return fmt.Errorf("decoding records: %w", err)
@@ -147,6 +198,13 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 			return fmt.Errorf("no records in input")
 		}
 		records, distinct = acc.Records(), acc.Distinct()
+		if r := acc.Reservoir(); r != nil {
+			boundedStats += fmt.Sprintf("reservoir: seen=%d retained=%d dropped=%d evictions=%d\n",
+				r.Seen(), r.Distinct(), r.Dropped(), r.Evictions())
+		}
+		if w := acc.WindowsClosed(); w > 0 {
+			boundedStats += fmt.Sprintf("windows closed: %d\n", w)
+		}
 		if *emitSketch != "" {
 			data, err := acc.Marshal()
 			if err != nil {
@@ -203,6 +261,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 			records, schema.Size(s), schema.Entities(s), metrics.SchemaEntropy(s))
 		if streaming {
 			fmt.Fprintf(stderr, "distinct types: %d\n", distinct)
+			fmt.Fprint(stderr, boundedStats)
 		}
 		fmt.Fprintf(stderr, "elapsed: %s\nthroughput: %.0f records/s\npeak heap: %.1f MiB\n",
 			elapsed.Round(time.Millisecond), float64(records)/elapsed.Seconds(),

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -287,5 +288,49 @@ func TestRunSketchErrors(t *testing.T) {
 	}
 	if err := runOut([]string{"-merge-sketch", filepath.Join(t.TempDir(), "missing.jxsk")}, "", &out); err == nil {
 		t.Error("missing sketch file accepted")
+	}
+}
+
+// TestRunBoundedStream exercises the sublinear-memory flags end to end:
+// a churn stream under -capacity/-window/-ring/-decay still yields a
+// schema, and -stats reports the reservoir and window counters.
+func TestRunBoundedStream(t *testing.T) {
+	var churn strings.Builder
+	for i := 0; i < 400; i++ {
+		fmt.Fprintf(&churn, "{\"k%03d\":%d}\n", i, i)
+	}
+	var out, errOut strings.Builder
+	err := run([]string{"-jsonl", "-stats",
+		"-capacity", "16", "-window", "50", "-ring", "2", "-decay", "0.5",
+		"-window-drift"},
+		strings.NewReader(churn.String()), &out, &errOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() == 0 {
+		t.Fatal("no schema output")
+	}
+	if !strings.Contains(errOut.String(), "reservoir: seen=400") {
+		t.Errorf("stats missing reservoir line:\n%s", errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "windows closed:") {
+		t.Errorf("stats missing window line:\n%s", errOut.String())
+	}
+}
+
+// TestRunBoundedErrors pins the bound-flag validation.
+func TestRunBoundedErrors(t *testing.T) {
+	var out strings.Builder
+	if err := runOut([]string{"-algorithm", "k-reduce", "-capacity", "8"}, sample, &out); err == nil {
+		t.Error("-capacity accepted for a non-streaming extractor")
+	}
+	if err := runOut([]string{"-ring", "2"}, sample, &out); err == nil {
+		t.Error("-ring accepted without -window")
+	}
+	if err := runOut([]string{"-window", "10", "-decay", "1.5"}, sample, &out); err == nil {
+		t.Error("-decay outside (0,1) accepted")
+	}
+	if err := runOut([]string{"-window-drift", "-window", "10"}, sample, &out); err == nil {
+		t.Error("-window-drift accepted without -ring")
 	}
 }

@@ -88,7 +88,45 @@ type Config struct {
 	// parallel, assembling results in deterministic (index) order. The
 	// schema is identical to the sequential run.
 	SynthWorkers int
+	// Bounds caps the accumulator's state for unbounded streams. The zero
+	// value keeps the exact (memory ∝ distinct structure) behavior.
+	Bounds Bounds
 }
+
+// Bounds configures the sublinear-memory stream mode: a weighted
+// reservoir over distinct record types, a ring of closed sketch windows,
+// and exponential decay of the retained counters. Any non-zero bound
+// trades exactness for a hard cap — see DESIGN.md "Unbounded streams"
+// for the tolerance contract. The zero value is fully exact.
+type Bounds struct {
+	// ReservoirCapacity, when > 0, replaces the exact union bag with a
+	// weighted reservoir (Efraimidis–Spirakis priorities, seeded by
+	// Config.Seed) retaining at most this many distinct record types;
+	// heavier types survive eviction longer. 0 keeps the exact bag.
+	ReservoirCapacity int
+	// WindowRecords, when > 0, is the stream's rotation cadence: every
+	// WindowRecords record occurrences the accumulator closes the current
+	// epoch (pushing it into the window ring, or applying decay when no
+	// ring is configured). 0 disables rotation, and with it WindowCount
+	// and DecayFactor.
+	WindowRecords int
+	// WindowCount, when > 0, retains that many closed pass-① sketch
+	// windows in a ring; statistics are derived from the retained windows
+	// plus the live epoch, so decisions track the recent horizon and trie
+	// memory is bounded by the horizon's distinct structure. 0 keeps one
+	// cumulative sketch.
+	WindowCount int
+	// DecayFactor, when in (0, 1), multiplies the reservoir counts — and,
+	// when no ring is configured, the live sketch's counters — by this
+	// factor at every rotation, compacting subtrees that decay to zero.
+	DecayFactor float64
+}
+
+// bounded reports whether any stream bound is active.
+func (b Bounds) bounded() bool { return b.ReservoirCapacity > 0 || b.WindowRecords > 0 }
+
+// hasDecay reports whether rotation applies exponential decay.
+func (b Bounds) hasDecay() bool { return b.DecayFactor > 0 && b.DecayFactor < 1 }
 
 // Default returns the full JXPLAIN configuration used in the paper's
 // experiments: entropy threshold 1, both detections enabled, Bimax-Merge

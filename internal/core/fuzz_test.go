@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
 	"testing"
 
@@ -159,6 +160,58 @@ func FuzzSketchMerge(f *testing.F) {
 		}
 		if !bytes.Equal(treeBytes, seqBytes) {
 			t.Fatal("tree merge diverges from sequential merge bytes")
+		}
+	})
+}
+
+// FuzzReservoirVsExact pins the bounded accumulator's exact-regime
+// contract against the exact Bag oracle: for any record stream, a
+// reservoir whose capacity covers every distinct type (and no window or
+// decay bound) must be indistinguishable from the exact accumulator —
+// identical totals and byte-identical schema. The input is a JSONL
+// stream; unparseable lines are skipped, so the fuzzer explores record
+// multisets, duplicates, and orderings rather than JSON syntax (the
+// decoders have their own fuzz targets).
+func FuzzReservoirVsExact(f *testing.F) {
+	f.Add([]byte("{\"a\":1}\n{\"b\":\"x\"}\n{\"a\":1}"))
+	f.Add([]byte("[1,2,3]\n[\"s\"]\n{\"nested\":{\"k\":[true,null]}}"))
+	f.Add([]byte("1\n\"s\"\nnull\ntrue\n{\"a\":{\"b\":{\"c\":1}}}"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var types []*jsontype.Type
+		for _, line := range bytes.Split(data, []byte("\n")) {
+			var v any
+			if json.Unmarshal(line, &v) != nil {
+				continue
+			}
+			ty, err := jsontype.FromValue(v)
+			if err != nil {
+				continue
+			}
+			types = append(types, ty)
+		}
+		if len(types) == 0 {
+			return
+		}
+		cfg := Default()
+		cfg.Bounds.ReservoirCapacity = len(types) // ≥ distinct by construction
+		exact := NewAccumulator(Default())
+		bounded := NewAccumulator(cfg)
+		for _, ty := range types {
+			exact.Add(ty)
+			bounded.Add(ty)
+		}
+		if bounded.Records() != exact.Records() || bounded.Distinct() != exact.Distinct() {
+			t.Fatalf("totals diverge: bounded (%d, %d) vs exact (%d, %d)",
+				bounded.Records(), bounded.Distinct(), exact.Records(), exact.Distinct())
+		}
+		if r := bounded.Reservoir(); r.Evictions() != 0 || r.Dropped() != 0 {
+			t.Fatalf("eviction in the covered regime: evictions=%d dropped=%d",
+				r.Evictions(), r.Dropped())
+		}
+		eb, bb := schemaBytes(t, exact.Finish()), schemaBytes(t, bounded.Finish())
+		if !bytes.Equal(eb, bb) {
+			t.Fatal("covered reservoir diverges from exact Bag schema bytes")
 		}
 	})
 }

@@ -65,16 +65,30 @@ func PipelineTypes(types []*jsontype.Type, cfg Config) schema.Schema {
 // use.
 type Accumulator struct {
 	cfg    Config
-	bag    *jsontype.Bag
-	sketch *PathSketch // nil when detection sampling defers pass ① to Finish
-	memo   *mergeMemo  // pass-③ subtree cache, kept across Finish calls
+	bag    *jsontype.Bag // exact union; nil when a reservoir bounds it
+	sketch *PathSketch   // nil when detection sampling defers pass ① to Finish
+	memo   *mergeMemo    // pass-③ subtree cache, kept across Finish calls
+
+	// Bounded-stream state (Config.Bounds; see bounded.go).
+	res           *jsontype.ReservoirBag // capped union when ReservoirCapacity > 0
+	ring          *sketchRing            // closed sketch windows when WindowCount > 0
+	sinceRotate   int                    // records since the last rotation
+	onWindowClose func(index, records int, sketch *PathSketch)
 }
 
 // NewAccumulator returns an empty accumulator for the configuration.
 func NewAccumulator(cfg Config) *Accumulator {
-	a := &Accumulator{cfg: cfg, bag: &jsontype.Bag{}, memo: newMergeMemo()}
+	a := &Accumulator{cfg: cfg, memo: newMergeMemo()}
+	if cfg.Bounds.ReservoirCapacity > 0 {
+		a.res = jsontype.NewReservoirBag(cfg.Bounds.ReservoirCapacity, cfg.Seed)
+	} else {
+		a.bag = &jsontype.Bag{}
+	}
 	if !(cfg.DetectionSample > 0 && cfg.DetectionSample < 1) {
 		a.sketch = NewPathSketch()
+	}
+	if cfg.Bounds.WindowRecords > 0 && cfg.Bounds.WindowCount > 0 && a.sketch != nil {
+		a.ring = newSketchRing(cfg.Bounds.WindowCount)
 	}
 	return a
 }
@@ -84,24 +98,34 @@ func (a *Accumulator) Add(t *jsontype.Type) { a.AddN(t, 1) }
 
 // AddN folds n occurrences of one record type into the accumulator.
 func (a *Accumulator) AddN(t *jsontype.Type, n int) {
-	a.bag.AddN(t, n)
+	if a.res != nil {
+		a.res.AddN(t, n)
+	} else {
+		a.bag.AddN(t, n)
+	}
 	if a.sketch != nil {
 		a.sketch.AddN(t, n)
 	}
+	a.advance(n)
 }
 
 // AddBag folds one chunk into the accumulator. The chunk bag is not
 // retained and may be reused by the caller.
 func (a *Accumulator) AddBag(chunk *jsontype.Bag) {
-	a.bag.Merge(chunk)
-	if a.sketch == nil {
-		return
-	}
-	if w := effectiveWorkers(a.cfg.StatsWorkers, chunk.Distinct()); w > 1 {
-		a.sketch.Merge(sketchFromBag(chunk, w))
+	n := chunk.Len()
+	if a.res != nil {
+		chunk.Each(func(t *jsontype.Type, c int) { a.res.AddN(t, c) })
 	} else {
-		a.sketch.AddBag(chunk)
+		a.bag.Merge(chunk)
 	}
+	if a.sketch != nil {
+		if w := effectiveWorkers(a.cfg.StatsWorkers, chunk.Distinct()); w > 1 {
+			a.sketch.Merge(sketchFromBag(chunk, w))
+		} else {
+			a.sketch.AddBag(chunk)
+		}
+	}
+	a.advance(n)
 }
 
 // Merge folds another accumulator's state into a — the reduce step of a
@@ -112,33 +136,66 @@ func (a *Accumulator) AddBag(chunk *jsontype.Bag) {
 // carries no sketch (a sampling configuration on the map side), refolds
 // other's deduplicated bag. other must not be used afterwards: its trie
 // nodes may be adopted by a.
+//
+// Bounded accumulators merge too — reservoirs combine through their own
+// seed-deterministic batch merge (same capacity and seed required), live
+// epochs fold trie-to-trie, and other's closed windows are adopted as
+// a's most recent (shards carry no global window order, so any adoption
+// order is an alignment approximation). A bounded a folds an unbounded
+// other through the reservoir; the converse snapshots other's reservoir.
 func (a *Accumulator) Merge(other *Accumulator) {
 	if other == nil {
 		return
 	}
-	a.bag.Merge(other.bag)
-	if a.sketch == nil {
-		return
+	switch {
+	case a.res == nil && other.res == nil:
+		a.bag.Merge(other.bag)
+	case a.res != nil && other.res != nil:
+		a.res.Merge(other.res)
+	case a.res != nil:
+		other.bag.Each(func(t *jsontype.Type, n int) { a.res.AddN(t, n) })
+	default:
+		a.bag.Merge(other.res.Snapshot())
 	}
-	if other.sketch != nil {
-		a.sketch.Merge(other.sketch)
-	} else {
-		a.sketch.AddBag(other.bag)
+	if a.sketch != nil {
+		if other.sketch != nil {
+			a.sketch.Merge(other.sketch)
+		} else {
+			a.sketch.AddBag(other.unionBag())
+		}
+	}
+	if a.ring != nil && other.ring != nil {
+		for _, w := range other.ring.windows {
+			a.ring.push(w)
+		}
 	}
 }
 
-// Records returns the number of record occurrences accumulated.
-func (a *Accumulator) Records() int { return a.bag.Len() }
+// Records returns the number of record occurrences accumulated — in
+// bounded mode, the lifetime count seen, which decay does not rewind.
+func (a *Accumulator) Records() int {
+	if a.res != nil {
+		return int(a.res.Seen())
+	}
+	return a.bag.Len()
+}
 
-// Distinct returns the number of distinct record types accumulated.
-func (a *Accumulator) Distinct() int { return a.bag.Distinct() }
+// Distinct returns the number of distinct record types accumulated (in
+// bounded mode, currently retained).
+func (a *Accumulator) Distinct() int {
+	if a.res != nil {
+		return a.res.Distinct()
+	}
+	return a.bag.Distinct()
+}
 
-// Stats returns the pass-① path statistics over everything accumulated.
+// Stats returns the pass-① path statistics over everything accumulated
+// (over the retained window horizon, in bounded mode).
 func (a *Accumulator) Stats() []PathStat {
 	if a.sketch != nil {
-		return a.sketch.Stats(a.cfg)
+		return a.statsSketch().Stats(a.cfg)
 	}
-	statsBag := SampleBag(a.bag, a.cfg.DetectionSample, a.cfg.Seed)
+	statsBag := SampleBag(a.unionBag(), a.cfg.DetectionSample, a.cfg.Seed)
 	if w := effectiveWorkers(a.cfg.StatsWorkers, statsBag.Distinct()); w > 1 {
 		return ParallelCollectPathStatsBag(statsBag, w, a.cfg)
 	}
@@ -150,7 +207,7 @@ func (a *Accumulator) Stats() []PathStat {
 // on the accumulator: a later Finish over a grown stream recomputes only
 // the subtrees whose bags (or global decisions) actually changed.
 func (a *Accumulator) Finish() schema.Schema {
-	return synthesize(a.bag, a.Stats(), a.cfg, a.memo)
+	return synthesize(a.unionBag(), a.Stats(), a.cfg, a.memo)
 }
 
 // synthesize runs passes ② and ③ over the full bag, consulting the

@@ -90,33 +90,45 @@ func (a *Accumulator) MergeSketches(files [][]byte, workers int) error {
 		}
 	}
 
-	// Combine levels: adjacent pairs merge in parallel rounds until one
-	// accumulator remains — ⌈log2(runs)⌉ rounds, each halving the count.
-	for len(accs) > 1 {
-		half := len(accs) / 2
-		dist.ForEach(half, workers, func(i int) {
-			accs[2*i].Merge(accs[2*i+1])
-		})
-		next := accs[:0]
-		for i := 0; i < half; i++ {
-			next = append(next, accs[2*i])
-		}
-		if len(accs)%2 == 1 {
-			next = append(next, accs[len(accs)-1])
-		}
-		accs = next
-	}
-
 	// An empty reducer adopts the tree result outright instead of walking
 	// it a final time; otherwise fold it in like any other operand.
-	res := accs[0]
-	if a.bag.Len() == 0 && a.bag.Distinct() == 0 {
+	// Bounded reducers always fold: their reservoir and ring state cannot
+	// be adopted wholesale.
+	res := treeCombine(accs, workers, func(dst, src *Accumulator) {
+		dst.Merge(src)
+	})
+	if !a.cfg.Bounds.bounded() && a.bag.Len() == 0 && a.bag.Distinct() == 0 {
 		a.bag = res.bag
 		a.sketch = res.sketch // same configuration, so nil-ness matches
 		return nil
 	}
 	a.Merge(res)
 	return nil
+}
+
+// treeCombine merges items down to one by folding adjacent pairs in
+// parallel rounds — ⌈log2(n)⌉ rounds, each halving the count — and
+// returns the survivor (items[0], mutated in place). merge(dst, src) must
+// fold src into dst and is only ever called with dst preceding src, so
+// order-preserving associativity is all it needs; items must be
+// non-empty. Shared by the accumulator reduce above and the sketch-level
+// ReducePathSketches (window.go).
+func treeCombine[E any](items []E, workers int, merge func(dst, src E)) E {
+	for len(items) > 1 {
+		half := len(items) / 2
+		dist.ForEach(half, workers, func(i int) {
+			merge(items[2*i], items[2*i+1])
+		})
+		next := items[:0]
+		for i := 0; i < half; i++ {
+			next = append(next, items[2*i])
+		}
+		if len(items)%2 == 1 {
+			next = append(next, items[len(items)-1])
+		}
+		items = next
+	}
+	return items[0]
 }
 
 // ReduceSketches builds an accumulator for cfg and tree-merges the

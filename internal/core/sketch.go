@@ -58,6 +58,23 @@ func (s *PathSketch) Merge(other *PathSketch) {
 // Records returns the number of record occurrences folded in.
 func (s *PathSketch) Records() int { return s.records }
 
+// Decay scales every additive counter in the sketch by factor (flooring)
+// and compacts subtrees whose counters have all reached zero — the aging
+// step of unbounded-stream operation: paths that stop appearing lose
+// weight exponentially and eventually release their trie nodes. factor
+// must be in (0, 1).
+func (s *PathSketch) Decay(factor float64) {
+	if !(factor > 0 && factor < 1) {
+		panic("core: PathSketch.Decay factor must be in (0, 1)")
+	}
+	s.root.decay(factor)
+	s.records = int(float64(s.records) * factor)
+}
+
+// Nodes returns the number of trie nodes held by the sketch — the memory
+// proxy the flat-RSS assertions and the window benchmark report.
+func (s *PathSketch) Nodes() int { return s.root.nodeCount() }
+
 // Stats derives the pass-① path statistics from the sketch, sorted by
 // path. The rows are identical to CollectPathStats over the same records:
 // where a node is ruled a collection its children's subtrees are merged

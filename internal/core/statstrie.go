@@ -164,6 +164,87 @@ func (t *statsTrie) combineShared(other *statsTrie) *statsTrie {
 	return t
 }
 
+// decay scales every additive counter by factor (flooring) and compacts
+// the subtree: children whose counters and descendants have all decayed
+// to zero are unlinked, and trailing zeroed array positions are trimmed,
+// so paths that stopped appearing in the stream eventually release their
+// nodes instead of pinning the trie forever. The similarity accumulators
+// are left untouched — they encode a monotone constraint (a dissimilarity
+// once observed cannot be un-observed), not a frequency, so aging them
+// would claim evidence the stream never retracted.
+func (t *statsTrie) decay(factor float64) {
+	t.objCount = int(float64(t.objCount) * factor)
+	for k, n := range t.keyCounts {
+		if scaled := int(float64(n) * factor); scaled > 0 {
+			t.keyCounts[k] = scaled
+		} else {
+			delete(t.keyCounts, k)
+		}
+	}
+	if len(t.keyCounts) == 0 {
+		t.keyCounts = nil
+	}
+	t.arrCount = int(float64(t.arrCount) * factor)
+	for l, n := range t.lenCounts {
+		if scaled := int(float64(n) * factor); scaled > 0 {
+			t.lenCounts[l] = scaled
+		} else {
+			delete(t.lenCounts, l)
+		}
+	}
+	if len(t.lenCounts) == 0 {
+		t.lenCounts = nil
+	}
+	for k, c := range t.children {
+		c.decay(factor)
+		if c.decayedOut() {
+			delete(t.children, k)
+		}
+	}
+	if len(t.children) == 0 {
+		t.children = nil
+	}
+	for _, e := range t.elems {
+		e.decay(factor)
+	}
+	for len(t.elems) > 0 && t.elems[len(t.elems)-1].decayedOut() {
+		t.elems = t.elems[:len(t.elems)-1]
+	}
+}
+
+// decayedOut reports whether every counter in the subtree has reached
+// zero, licensing compaction.
+func (t *statsTrie) decayedOut() bool {
+	if t.objCount != 0 || t.arrCount != 0 ||
+		len(t.keyCounts) != 0 || len(t.lenCounts) != 0 {
+		return false
+	}
+	for _, c := range t.children {
+		if !c.decayedOut() {
+			return false
+		}
+	}
+	for _, e := range t.elems {
+		if !e.decayedOut() {
+			return false
+		}
+	}
+	return true
+}
+
+// nodeCount returns the number of trie nodes in the subtree — the memory
+// proxy behind the flat-RSS assertions.
+func (t *statsTrie) nodeCount() int {
+	n := 1
+	for _, c := range t.children {
+		n += c.nodeCount()
+	}
+	for _, e := range t.elems {
+		n += e.nodeCount()
+	}
+	return n
+}
+
 // ---- enumerable node state (the encode side of the wire codec) ----
 
 // eachKeyCount calls fn for every (key, presence count) pair in sorted

@@ -311,13 +311,20 @@ func (s *PathSketch) Marshal() ([]byte, error) {
 // carries data statistics only, and the reducer that resumes from it
 // supplies the configuration, so one set of map outputs can be reduced
 // under different thresholds.
+//
+// A bounded accumulator (Config.Bounds) serializes its current snapshot:
+// the reservoir's retained types as the bag, and no trie section — a
+// rotated or decayed sketch no longer totals to the bag, which the
+// decoders rightly reject, so the receiver refolds statistics from the
+// snapshot bag instead. Drivers that want the windowed statistics
+// themselves should Marshal the rollup sketch (PathSketch.Marshal).
 func (a *Accumulator) Marshal() ([]byte, error) {
 	enc := getSketchEncoder()
 	defer enc.release()
-	bagBody := enc.appendBag(enc.bagBuf[:0], a.bag)
+	bagBody := enc.appendBag(enc.bagBuf[:0], a.unionBag())
 	enc.bagBuf = bagBody
 	var trieBody []byte
-	if a.sketch != nil {
+	if a.sketch != nil && !a.cfg.Bounds.bounded() {
 		trieBody = binary.AppendUvarint(enc.trieBuf[:0], uint64(a.sketch.records))
 		trieBody = enc.appendNode(trieBody, a.sketch.root)
 		enc.trieBuf = trieBody
@@ -805,13 +812,14 @@ func UnmarshalAccumulator(data []byte, cfg Config) (*Accumulator, error) {
 		return nil, formatErrf(0, "trie records %d disagree with bag total %d", sketch.records, bag.Len())
 	}
 	a := NewAccumulator(cfg)
-	if a.sketch != nil && sketch != nil {
+	if a.sketch != nil && sketch != nil && !cfg.Bounds.bounded() {
 		a.bag = bag
 		a.sketch = sketch
 		return a, nil
 	}
-	// Either the configuration wants no sketch, or the file carries none:
-	// fold the bag through the ordinary Add path.
+	// Either the configuration wants no sketch (or bounds it, in which
+	// case the bag must replay through the reservoir and window clock), or
+	// the file carries none: fold the bag through the ordinary Add path.
 	a.AddBag(bag)
 	return a, nil
 }
@@ -830,11 +838,13 @@ func UnmarshalAccumulator(data []byte, cfg Config) (*Accumulator, error) {
 // Reduce drivers own a fresh accumulator per reduction and abort it
 // wholesale on a corrupt shard, so there is no partial state to preserve.
 func (a *Accumulator) MergeSketch(data []byte) error {
-	if a.sketch == nil {
-		// A sampling configuration keeps no live trie to fold into, and
+	if a.sketch == nil || a.cfg.Bounds.bounded() {
+		// A sampling configuration keeps no live trie to fold into, and a
+		// bounded one routes occurrences through the reservoir and the
+		// window clock rather than straight into a live bag; either way
 		// the file's trie section must still be fully validated (and is
-		// then discarded, matching NewAccumulator). The materializing
-		// decoder already does exactly that.
+		// then discarded or refolded, matching NewAccumulator). The
+		// materializing decoder already does exactly that.
 		other, err := UnmarshalAccumulator(data, a.cfg)
 		if err != nil {
 			return err

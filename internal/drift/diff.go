@@ -20,11 +20,18 @@ const (
 	PathAdded ChangeKind = iota
 	// PathRemoved is a field path present only in the old schema.
 	PathRemoved
+	// DecisionChanged is a stats path whose tuple/collection ruling
+	// flipped between consecutive stream windows (windowed drift only;
+	// schema Diff never emits it).
+	DecisionChanged
 )
 
 func (k ChangeKind) String() string {
 	if k == PathAdded {
 		return "added"
+	}
+	if k == DecisionChanged {
+		return "decision"
 	}
 	return "removed"
 }

@@ -1,0 +1,118 @@
+package drift
+
+import (
+	"strings"
+	"testing"
+
+	"jxplain/internal/core"
+	"jxplain/internal/jsontype"
+)
+
+func sketchOfValues(t *testing.T, values []any, repeat int) *core.PathSketch {
+	t.Helper()
+	s := core.NewPathSketch()
+	for _, v := range values {
+		ty, err := jsontype.FromValue(v)
+		if err != nil {
+			t.Fatalf("sketchOfValues: %v", err)
+		}
+		s.AddN(ty, repeat)
+	}
+	return s
+}
+
+func TestWindowMonitorReportsPathMovement(t *testing.T) {
+	m := NewWindowMonitor(core.Default())
+
+	w0 := sketchOfValues(t, []any{map[string]any{"user": map[string]any{"id": 1.0}}}, 50)
+	if ev := m.ObserveSketch(0, w0.Records(), w0); ev != nil {
+		t.Fatalf("first window must prime silently, got %v", ev)
+	}
+	// Same shape again: nothing moved.
+	if ev := m.ObserveSketch(1, w0.Records(), w0); ev != nil {
+		t.Fatalf("identical window raised an event: %v", ev)
+	}
+
+	// "user" (a stats path: object-kinded) retires; "account" appears.
+	w2 := sketchOfValues(t, []any{map[string]any{"account": map[string]any{"geo": []any{1.0, 2.0}}}}, 50)
+	ev := m.ObserveSketch(2, w2.Records(), w2)
+	if ev == nil {
+		t.Fatal("shape change raised no event")
+	}
+	if ev.Window != 2 || ev.Records != 50 {
+		t.Fatalf("event header wrong: %+v", ev)
+	}
+	var added, removed bool
+	for _, c := range ev.Changes {
+		added = added || c.Kind == PathAdded
+		removed = removed || c.Kind == PathRemoved
+	}
+	if !added || !removed {
+		t.Fatalf("want both added and removed changes, got %v", ev.Changes)
+	}
+	if m.Events() != 1 {
+		t.Fatalf("events=%d, want 1", m.Events())
+	}
+}
+
+func TestWindowMonitorReportsDecisionFlips(t *testing.T) {
+	m := NewWindowMonitor(core.Default())
+
+	// Window A: the root object bags carry two stable keys — a tuple.
+	tuples := sketchOfValues(t, []any{
+		map[string]any{"a": 1.0, "b": 2.0},
+	}, 100)
+	// Window B: many disjoint single-key records — key-space entropy
+	// pushes the root object to a collection ruling.
+	var churn []any
+	for _, k := range []string{"k1", "k2", "k3", "k4", "k5", "k6", "k7", "k8"} {
+		churn = append(churn, map[string]any{k: 1.0})
+	}
+	collections := sketchOfValues(t, churn, 20)
+
+	m.ObserveSketch(0, tuples.Records(), tuples)
+	ev := m.ObserveSketch(1, collections.Records(), collections)
+	if ev == nil {
+		t.Fatal("decision flip raised no event")
+	}
+	var flip *WindowChange
+	for i, c := range ev.Changes {
+		if c.Kind == DecisionChanged {
+			flip = &ev.Changes[i]
+		}
+	}
+	if flip == nil {
+		t.Fatalf("no DecisionChanged in %v", ev.Changes)
+	}
+	if flip.From != "tuple" || flip.To != "collection" {
+		t.Fatalf("flip direction wrong: %s → %s", flip.From, flip.To)
+	}
+	if !strings.Contains(ev.String(), "→") {
+		t.Fatalf("rendered event lacks flip detail: %s", ev.String())
+	}
+}
+
+func TestWindowMonitorBindsToAccumulator(t *testing.T) {
+	cfg := core.Default()
+	cfg.Bounds = core.Bounds{WindowRecords: 50, WindowCount: 2}
+	acc := core.NewAccumulator(cfg)
+
+	m := NewWindowMonitor(cfg)
+	var events []*WindowEvent
+	m.Bind(acc, func(ev *WindowEvent) { events = append(events, ev) })
+
+	oldShape := jsontype.MustFromValue(map[string]any{"v1": map[string]any{"x": 1.0}})
+	newShape := jsontype.MustFromValue(map[string]any{"v2": map[string]any{"y": "s"}})
+	for i := 0; i < 100; i++ {
+		acc.Add(oldShape) // two identical windows: prime + quiet
+	}
+	for i := 0; i < 50; i++ {
+		acc.Add(newShape) // third window: shape moved
+	}
+	if len(events) != 1 {
+		t.Fatalf("got %d events, want 1", len(events))
+	}
+	if events[0].Window != 2 {
+		t.Fatalf("event at window %d, want 2", events[0].Window)
+	}
+}

@@ -1,0 +1,453 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"jxplain/internal/core"
+	"jxplain/internal/dataset"
+	"jxplain/internal/ingest"
+	"jxplain/internal/jsontype"
+	"jxplain/internal/schema"
+	"jxplain/internal/stats"
+)
+
+// The bounded-stream benchmark answers the sublinear-memory claim in two
+// parts. The scaling grid drives a churn stream — every record carries a
+// never-repeating key, so *distinct structure* grows with the record
+// count — at 1×, 2×, 5× and 10× the configured memory budget, exact vs
+// bounded (reservoir + window ring + decay), and asserts the bounded
+// state stays flat while the exact state grows. The tolerance grid reruns
+// every synthetic dataset both ways and measures how far the bounded
+// pass-① decisions and entity counts drift from the exact batch.
+//
+// Flatness is asserted on the deterministic state counters (trie nodes,
+// reservoir occupancy), which hold at any -scale; the sampled peak-heap
+// ratios are asserted only at -scale ≥ 1, where they dominate GC noise.
+// The global type interner is append-only by design and grows with every
+// distinct record type in either mode; the grid reports its growth per
+// run (interned_delta) rather than pretending it away — see DESIGN.md
+// "Unbounded streams".
+const (
+	// windowBudgetRecords is the 1× stream length at -scale 1; the ring
+	// horizon below is sized to exactly cover it.
+	windowBudgetRecords = 4000
+	// windowCapacity bounds the reservoir of distinct types.
+	windowCapacity = 64
+	// windowRingWidth is the number of retained closed windows; the
+	// cadence is budget/width so horizon = budget records.
+	windowRingWidth = 4
+	// windowDecay ages retained counters at every rotation.
+	windowDecay = 0.5
+	// windowFlatFactor caps bounded trie-node growth between the smallest
+	// and largest scale — the hard flat-state check.
+	windowFlatFactor = 1.5
+	// windowGrowFactor is the minimum exact-over-bounded trie-node ratio
+	// at the top scale — the check that the stream actually stresses the
+	// exact path.
+	windowGrowFactor = 4.0
+	// windowHeapSlopeShare caps the bounded mode's marginal peak-heap
+	// growth (1× → 10×) as a fraction of the exact mode's. The absolute
+	// watermark cannot be flat — the append-only global type interner
+	// grows with every distinct record type in either mode and HeapAlloc
+	// counts it — but the interner term is common to both modes, so the
+	// bounded slope staying well under the exact slope is the honest
+	// sampled-heap form of the flat-state claim. Sampled; asserted at
+	// -scale ≥ 1 only.
+	windowHeapSlopeShare = 0.6
+	// windowAgreementFloor is the minimum mean pass-① decision agreement
+	// between bounded and exact runs across the datasets.
+	windowAgreementFloor = 0.80
+)
+
+// windowScales are the stream lengths of the grid, in memory budgets.
+var windowScales = []int{1, 2, 5, 10}
+
+// WindowScaleRow is one churn-stream measurement: the same stream length,
+// exact vs bounded.
+type WindowScaleRow struct {
+	// ScaleX is the stream length in memory budgets (records / horizon).
+	ScaleX  int `json:"scale_x"`
+	Records int `json:"records"`
+
+	ExactMillis      float64 `json:"exact_ms"`
+	ExactPeakHeap    uint64  `json:"exact_peak_heap_bytes"`
+	ExactSketchNodes int     `json:"exact_sketch_nodes"`
+	ExactDistinct    int     `json:"exact_distinct_types"`
+
+	BoundedMillis      float64 `json:"bounded_ms"`
+	BoundedPeakHeap    uint64  `json:"bounded_peak_heap_bytes"`
+	BoundedSketchNodes int     `json:"bounded_sketch_nodes"`
+	BoundedRetained    int     `json:"bounded_retained_types"`
+	BoundedEvictions   int     `json:"bounded_evictions"`
+	BoundedWindows     int     `json:"bounded_windows_closed"`
+
+	// InternedDelta is the growth of the append-only global type interner
+	// over this row's two runs — the unbounded term both modes share.
+	InternedDelta uint64 `json:"interned_delta"`
+	// NodeRatio is exact trie nodes over bounded trie nodes.
+	NodeRatio float64 `json:"node_ratio"`
+	// PeakHeapRatio is exact peak heap over bounded peak heap.
+	PeakHeapRatio float64 `json:"peak_heap_ratio"`
+}
+
+// WindowToleranceRow compares bounded against exact discovery on one
+// synthetic dataset.
+type WindowToleranceRow struct {
+	Dataset string `json:"dataset"`
+	Records int    `json:"records"`
+	// SharedPaths counts pass-① stats paths present in both runs;
+	// AgreeingPaths of them carry the same tuple/collection decision.
+	SharedPaths   int     `json:"shared_paths"`
+	AgreeingPaths int     `json:"agreeing_paths"`
+	Agreement     float64 `json:"agreement"`
+	// Paths present in only one run (appeared under churned horizons or
+	// below a flipped decision).
+	OnlyExact   int `json:"paths_only_exact"`
+	OnlyBounded int `json:"paths_only_bounded"`
+
+	ExactEntities   int  `json:"exact_entities"`
+	BoundedEntities int  `json:"bounded_entities"`
+	SchemasEqual    bool `json:"schemas_equal"`
+}
+
+// WindowBenchResult is the full bounded-stream measurement.
+type WindowBenchResult struct {
+	Options       Options `json:"options"`
+	Capacity      int     `json:"capacity"`
+	WindowRecords int     `json:"window_records"`
+	WindowCount   int     `json:"window_count"`
+	Decay         float64 `json:"decay"`
+
+	Scales []WindowScaleRow `json:"scales"`
+	// FlatNodeRatio is bounded trie nodes at the top scale over the
+	// bottom scale (≈1 means flat state across a 10× longer stream).
+	FlatNodeRatio float64 `json:"flat_node_ratio"`
+	// FlatHeapRatio is the same ratio on sampled peak heap. Unlike the
+	// node ratio it includes the append-only interner, which grows in
+	// both modes.
+	FlatHeapRatio float64 `json:"flat_heap_ratio"`
+	// HeapSlopeShare is the bounded mode's marginal peak-heap growth
+	// (top scale minus bottom scale) as a fraction of the exact mode's.
+	HeapSlopeShare float64 `json:"heap_slope_share"`
+
+	Tolerance     []WindowToleranceRow `json:"tolerance"`
+	MeanAgreement float64              `json:"mean_agreement"`
+}
+
+// RunWindowBench measures bounded-stream discovery: the churn scaling
+// grid and the per-dataset decision tolerance. Violations of the flat-
+// state and agreement checks are errors, not table footnotes.
+func RunWindowBench(o Options) (*WindowBenchResult, error) {
+	o = o.Defaults()
+	gens, err := o.generators()
+	if err != nil {
+		return nil, err
+	}
+
+	budget := int(float64(windowBudgetRecords) * o.Scale)
+	if budget < windowRingWidth*8 {
+		budget = windowRingWidth * 8
+	}
+	bounds := core.Bounds{
+		ReservoirCapacity: windowCapacity,
+		WindowRecords:     budget / windowRingWidth,
+		WindowCount:       windowRingWidth,
+		DecayFactor:       windowDecay,
+	}
+	res := &WindowBenchResult{
+		Options:       o,
+		Capacity:      bounds.ReservoirCapacity,
+		WindowRecords: bounds.WindowRecords,
+		WindowCount:   bounds.WindowCount,
+		Decay:         bounds.DecayFactor,
+	}
+
+	for _, scale := range windowScales {
+		row, err := windowScaleRun(scale, scale*budget, bounds)
+		if err != nil {
+			return nil, err
+		}
+		res.Scales = append(res.Scales, row)
+	}
+	first, last := res.Scales[0], res.Scales[len(res.Scales)-1]
+	if first.BoundedSketchNodes > 0 {
+		res.FlatNodeRatio = float64(last.BoundedSketchNodes) / float64(first.BoundedSketchNodes)
+	}
+	if first.BoundedPeakHeap > 0 {
+		res.FlatHeapRatio = float64(last.BoundedPeakHeap) / float64(first.BoundedPeakHeap)
+	}
+
+	// Hard checks. The state counters are deterministic at every scale;
+	// the sampled heap ratio is asserted only at full scale.
+	if res.FlatNodeRatio > windowFlatFactor {
+		return nil, fmt.Errorf("window bench: bounded trie grew %.2f× from %d× to %d× budget (flat ceiling %.2f×)",
+			res.FlatNodeRatio, first.ScaleX, last.ScaleX, windowFlatFactor)
+	}
+	for _, row := range res.Scales {
+		if row.BoundedRetained > windowCapacity {
+			return nil, fmt.Errorf("window bench: reservoir retained %d types over capacity %d at %d× budget",
+				row.BoundedRetained, windowCapacity, row.ScaleX)
+		}
+	}
+	if last.NodeRatio < windowGrowFactor {
+		return nil, fmt.Errorf("window bench: exact trie only %.2f× the bounded trie at %d× budget (want ≥%.1f×: the churn stream is not stressing exact state)",
+			last.NodeRatio, last.ScaleX, windowGrowFactor)
+	}
+	exactSlope := float64(last.ExactPeakHeap) - float64(first.ExactPeakHeap)
+	boundedSlope := float64(last.BoundedPeakHeap) - float64(first.BoundedPeakHeap)
+	if exactSlope > 0 {
+		res.HeapSlopeShare = boundedSlope / exactSlope
+	}
+	if o.Scale >= 1 && exactSlope > 0 && res.HeapSlopeShare > windowHeapSlopeShare {
+		return nil, fmt.Errorf("window bench: bounded marginal peak heap is %.2f of exact from %d× to %d× budget (ceiling %.2f)",
+			res.HeapSlopeShare, first.ScaleX, last.ScaleX, windowHeapSlopeShare)
+	}
+
+	var agreementSum float64
+	for _, g := range gens {
+		row, err := windowToleranceRun(g, o, bounds)
+		if err != nil {
+			return nil, err
+		}
+		res.Tolerance = append(res.Tolerance, row)
+		agreementSum += row.Agreement
+	}
+	if len(res.Tolerance) > 0 {
+		res.MeanAgreement = agreementSum / float64(len(res.Tolerance))
+	}
+	if res.MeanAgreement < windowAgreementFloor {
+		return nil, fmt.Errorf("window bench: mean bounded-vs-exact decision agreement %.3f below floor %.2f",
+			res.MeanAgreement, windowAgreementFloor)
+	}
+	return res, nil
+}
+
+// churnReader synthesizes the churn stream lazily, so the measured heap
+// holds accumulator state rather than a materialized input buffer — the
+// shape of a truly unbounded stream. Every record pairs a stable "service"
+// tuple with a never-repeating session key whose value is structurally
+// constant: distinct root types (and stats-trie keys) grow linearly with
+// the record count while the interner absorbs the deep subtrees once.
+type churnReader struct {
+	i, n int
+	buf  []byte
+}
+
+func newChurnReader(n int) *churnReader { return &churnReader{n: n} }
+
+func (c *churnReader) Read(p []byte) (int, error) {
+	for len(c.buf) < len(p) && c.i < c.n {
+		c.buf = append(c.buf, churnRecord(c.i)...)
+		c.i++
+	}
+	if len(c.buf) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(p, c.buf)
+	c.buf = c.buf[:copy(c.buf, c.buf[n:])]
+	return n, nil
+}
+
+// churnRecord renders record i of the churn stream as one JSONL line.
+func churnRecord(i int) []byte {
+	return []byte(fmt.Sprintf(
+		`{"service":{"region":"eu-1","build":%d,"flags":[true,false],"limits":{"cpu":1.5,"mem":4.0}},`+
+			`"sess_%08d":{"hits":%d,"geo":[%d.0,2.0],"tags":{"env":"prod"}}}`+"\n",
+		i%7, i, i%100, i%90))
+}
+
+// windowRunStats is one measured ingestion pass over the churn stream.
+type windowRunStats struct {
+	millis   float64
+	peakHeap uint64
+	nodes    int
+	acc      *core.Accumulator
+}
+
+func windowChurnRun(n int, cfg core.Config) (windowRunStats, error) {
+	runtime.GC() // a common baseline so earlier runs' garbage is not charged here
+	sampler := stats.StartMemSampler(0)
+	start := time.Now()
+	acc := core.NewAccumulator(cfg)
+	_, err := ingest.Each(context.Background(), newChurnReader(n),
+		ingest.Options{JSONL: true, ChunkSize: 64}, func(c ingest.Chunk) error {
+			acc.AddBag(c.Bag)
+			return nil
+		})
+	if err != nil {
+		return windowRunStats{}, fmt.Errorf("window bench: ingest: %w", err)
+	}
+	millis := float64(time.Since(start).Microseconds()) / 1000.0
+	peak := sampler.Stop()
+	return windowRunStats{millis: millis, peakHeap: peak, nodes: acc.SketchNodes(), acc: acc}, nil
+}
+
+func windowScaleRun(scale, n int, bounds core.Bounds) (WindowScaleRow, error) {
+	row := WindowScaleRow{ScaleX: scale, Records: n}
+	internedBefore := jsontype.InternedTypes()
+
+	// Bounded first, per the streaming-bench convention: the exact run's
+	// larger garbage must not inflate the bounded watermark.
+	boundedCfg := core.Default()
+	boundedCfg.Bounds = bounds
+	bounded, err := windowChurnRun(n, boundedCfg)
+	if err != nil {
+		return WindowScaleRow{}, err
+	}
+	row.BoundedMillis = bounded.millis
+	row.BoundedPeakHeap = bounded.peakHeap
+	row.BoundedSketchNodes = bounded.nodes
+	row.BoundedWindows = bounded.acc.WindowsClosed()
+	r := bounded.acc.Reservoir()
+	row.BoundedRetained = r.Distinct()
+	row.BoundedEvictions = r.Evictions()
+
+	exact, err := windowChurnRun(n, core.Default())
+	if err != nil {
+		return WindowScaleRow{}, err
+	}
+	row.ExactMillis = exact.millis
+	row.ExactPeakHeap = exact.peakHeap
+	row.ExactSketchNodes = exact.nodes
+	row.ExactDistinct = exact.acc.Distinct()
+
+	row.InternedDelta = jsontype.InternedTypes() - internedBefore
+	if row.BoundedSketchNodes > 0 {
+		row.NodeRatio = float64(row.ExactSketchNodes) / float64(row.BoundedSketchNodes)
+	}
+	if row.BoundedPeakHeap > 0 {
+		row.PeakHeapRatio = float64(row.ExactPeakHeap) / float64(row.BoundedPeakHeap)
+	}
+	return row, nil
+}
+
+func windowToleranceRun(g *dataset.Generator, o Options, bounds core.Bounds) (WindowToleranceRow, error) {
+	records := g.Generate(o.scaledN(g), o.Seed)
+	types := dataset.Types(records)
+	row := WindowToleranceRow{Dataset: g.Name, Records: len(types)}
+
+	// The ring cadence tracks the dataset so the horizon spans roughly
+	// half the stream: decisions come from recent windows, entity
+	// discovery from the reservoir.
+	dsBounds := bounds
+	dsBounds.WindowRecords = len(types) / (2 * bounds.WindowCount)
+	if dsBounds.WindowRecords < 1 {
+		dsBounds.WindowRecords = 1
+	}
+
+	exactCfg := core.Default()
+	exactAcc := core.NewAccumulator(exactCfg)
+	boundedCfg := core.Default()
+	boundedCfg.Bounds = dsBounds
+	boundedAcc := core.NewAccumulator(boundedCfg)
+	for _, t := range types {
+		exactAcc.Add(t)
+		boundedAcc.Add(t)
+	}
+
+	exactDecisions := decisionMap(exactAcc.Stats())
+	boundedDecisions := decisionMap(boundedAcc.Stats())
+	for key, d := range exactDecisions {
+		bd, ok := boundedDecisions[key]
+		if !ok {
+			row.OnlyExact++
+			continue
+		}
+		row.SharedPaths++
+		if d == bd {
+			row.AgreeingPaths++
+		}
+	}
+	for key := range boundedDecisions {
+		if _, ok := exactDecisions[key]; !ok {
+			row.OnlyBounded++
+		}
+	}
+	if row.SharedPaths > 0 {
+		row.Agreement = float64(row.AgreeingPaths) / float64(row.SharedPaths)
+	} else {
+		row.Agreement = 1
+	}
+
+	exactSchema := schema.Simplify(exactAcc.Finish())
+	boundedSchema := schema.Simplify(boundedAcc.Finish())
+	row.ExactEntities = schema.Entities(exactSchema)
+	row.BoundedEntities = schema.Entities(boundedSchema)
+	row.SchemasEqual = schema.Equal(exactSchema, boundedSchema)
+	return row, nil
+}
+
+// decisionMap keys each pass-① decision by kind-qualified path.
+func decisionMap(sts []core.PathStat) map[string]string {
+	m := make(map[string]string, len(sts))
+	for _, st := range sts {
+		m[st.Kind.String()+":"+st.Path] = st.Decision.String()
+	}
+	return m
+}
+
+func (r *WindowBenchResult) scaleTable() *table {
+	t := &table{
+		title: fmt.Sprintf("Bounded streams: churn at N× budget (budget %d records, capacity %d, ring %d×%d, decay %.2f)",
+			r.WindowRecords*r.WindowCount, r.Capacity, r.WindowCount, r.WindowRecords, r.Decay),
+		headers: []string{"scale", "records", "exact nodes", "bounded nodes", "node ratio",
+			"exact MiB", "bounded MiB", "heap ratio", "retained", "evictions", "windows", "interned Δ"},
+	}
+	for _, row := range r.Scales {
+		t.addRow(fmt.Sprintf("%d×", row.ScaleX),
+			fmt.Sprintf("%d", row.Records),
+			fmt.Sprintf("%d", row.ExactSketchNodes),
+			fmt.Sprintf("%d", row.BoundedSketchNodes),
+			fmt.Sprintf("%.1fx", row.NodeRatio),
+			fmt.Sprintf("%.1f", float64(row.ExactPeakHeap)/(1<<20)),
+			fmt.Sprintf("%.1f", float64(row.BoundedPeakHeap)/(1<<20)),
+			fmt.Sprintf("%.2fx", row.PeakHeapRatio),
+			fmt.Sprintf("%d", row.BoundedRetained),
+			fmt.Sprintf("%d", row.BoundedEvictions),
+			fmt.Sprintf("%d", row.BoundedWindows),
+			fmt.Sprintf("%d", row.InternedDelta))
+	}
+	return t
+}
+
+func (r *WindowBenchResult) toleranceTable() *table {
+	t := &table{
+		title: fmt.Sprintf("Bounded vs exact decisions per dataset (mean agreement %.3f)",
+			r.MeanAgreement),
+		headers: []string{"dataset", "records", "shared", "agree", "agreement",
+			"only exact", "only bounded", "entities exact", "entities bounded", "equal"},
+	}
+	for _, row := range r.Tolerance {
+		t.addRow(row.Dataset,
+			fmt.Sprintf("%d", row.Records),
+			fmt.Sprintf("%d", row.SharedPaths),
+			fmt.Sprintf("%d", row.AgreeingPaths),
+			fmt.Sprintf("%.3f", row.Agreement),
+			fmt.Sprintf("%d", row.OnlyExact),
+			fmt.Sprintf("%d", row.OnlyBounded),
+			fmt.Sprintf("%d", row.ExactEntities),
+			fmt.Sprintf("%d", row.BoundedEntities),
+			fmt.Sprintf("%v", row.SchemasEqual))
+	}
+	return t
+}
+
+// Render draws both grids as ASCII tables.
+func (r *WindowBenchResult) Render() string {
+	return r.scaleTable().Render() + "\n" + r.toleranceTable().Render()
+}
+
+// CSV renders both grids as CSV blocks.
+func (r *WindowBenchResult) CSV() string {
+	return r.scaleTable().CSV() + "\n" + r.toleranceTable().CSV()
+}
+
+// JSON renders the full measurement for results/BENCH_window.json.
+func (r *WindowBenchResult) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}

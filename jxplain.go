@@ -139,6 +139,27 @@ func EditsToFullRecall(s Schema, types []*Type) (int, []metrics.Edit) {
 	return metrics.EditsToFullRecall(s, types)
 }
 
+// Bounds caps a stream discoverer's memory over unbounded streams: a
+// weighted reservoir over distinct record types, a ring of windowed
+// pass-① statistics, and exponential decay of retained counters. Set it
+// on Config.Bounds (or via StreamOptions). The zero value is fully exact.
+type Bounds = core.Bounds
+
+// WindowDriftMonitor diffs the pass-① statistics of consecutive stream
+// windows and reports structural movement (paths added or retired,
+// tuple/collection rulings flipped) — the shape-level complement of
+// DriftMonitor for bounded streams. See also Discoverer.OnWindowDrift.
+type WindowDriftMonitor = drift.WindowMonitor
+
+// WindowDriftEvent describes structural movement at one closed window.
+type WindowDriftEvent = drift.WindowEvent
+
+// NewWindowDriftMonitor returns a monitor deriving window statistics
+// under cfg.
+func NewWindowDriftMonitor(cfg Config) *WindowDriftMonitor {
+	return drift.NewWindowMonitor(cfg)
+}
+
 // DriftMonitor validates a record stream against a baseline schema in
 // windows and raises alerts when the structure of arriving data changes —
 // the paper's §1 monitoring scenario.

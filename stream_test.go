@@ -205,3 +205,60 @@ func TestDiscoverJSONStreamsLargeInput(t *testing.T) {
 		t.Errorf("schema should admit the record shape: %s", s)
 	}
 }
+
+// TestBoundedStreamDiscovery exercises the sublinear-memory stream
+// options through the facade: a churn stream under reservoir + ring +
+// decay bounds stays capped, raises windowed drift events, and still
+// synthesizes a schema; bounds set after records are rejected.
+func TestBoundedStreamDiscovery(t *testing.T) {
+	// Two phases: the stream's shape moves halfway through, and each
+	// record also carries a churn key so the reservoir sees eviction.
+	var churn bytes.Buffer
+	for i := 0; i < 600; i++ {
+		shape := "user"
+		if i >= 300 {
+			shape = "account"
+		}
+		fmt.Fprintf(&churn, "{\"%s\":{\"id\":%d},\"k%03d\":%d}\n", shape, i, i, i)
+	}
+
+	d := NewDiscoverer(DefaultConfig())
+	var events []*WindowDriftEvent
+	d.OnWindowDrift(func(ev *WindowDriftEvent) { events = append(events, ev) })
+	n, err := d.AddStream(context.Background(), bytes.NewReader(churn.Bytes()), StreamOptions{
+		JSONL: true, ChunkSize: 25,
+		Capacity: 16, WindowRecords: 100, WindowCount: 2, Decay: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 600 || d.Records() != 600 {
+		t.Fatalf("records: ingested %d, accounted %d", n, d.Records())
+	}
+	if len(events) == 0 {
+		t.Fatal("pure churn raised no windowed drift events")
+	}
+	if data, err := MarshalSchema(d.Finish()); err != nil || len(data) == 0 {
+		t.Fatalf("bounded Finish: %v", err)
+	}
+
+	// Bounds arriving after records must be refused.
+	late := NewDiscoverer(DefaultConfig())
+	if _, err := late.AddStream(context.Background(), strings.NewReader("{\"a\":1}\n"), StreamOptions{JSONL: true}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := late.AddStream(context.Background(), strings.NewReader("{\"b\":2}\n"), StreamOptions{JSONL: true, Capacity: 8}); err == nil {
+		t.Fatal("late bounds accepted")
+	}
+
+	// Bounds via Config work identically (alias check).
+	cfg := DefaultConfig()
+	cfg.Bounds = Bounds{ReservoirCapacity: 8}
+	s, err := DiscoverStreamOpts(context.Background(), bytes.NewReader(churn.Bytes()), cfg, StreamOptions{JSONL: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data, err := MarshalSchema(s); err != nil || len(data) == 0 {
+		t.Fatalf("config-bounded schema: %v", err)
+	}
+}
