@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-short check lint lint-sarif cover fuzz bench bench-stream bench-window bench-hotpath bench-entity bench-shard bench-reduce experiments clean
+.PHONY: all build vet test test-short check lint lint-sarif lint-fix-dryrun cover fuzz bench bench-stream bench-window bench-hotpath bench-entity bench-shard bench-reduce experiments clean
 
 all: build vet test
 
@@ -26,6 +26,25 @@ lint-sarif:
 	$(GO) install ./cmd/jxlint
 	mkdir -p results
 	$$($(GO) env GOPATH)/bin/jxlint -sarif -o results/jxlint.sarif ./...
+
+# Dry run of the mechanical-fix engine: renders every suggested fix as a
+# diff (results/jxlint-fix.diff) without applying anything, and fails if
+# the diff is non-empty — a committed file carrying an unapplied fix
+# (stale //jx:lint-ignore, untagged monoid merge, unclamped wire-derived
+# bound) means `jxlint -fix` and the tree have drifted apart. jxlint's
+# own exit status is ignored here: `make lint` is the findings gate,
+# this target gates only the pending-fix diff.
+lint-fix-dryrun:
+	$(GO) install ./cmd/jxlint
+	mkdir -p results
+	-$$($(GO) env GOPATH)/bin/jxlint -fixdiff -o results/jxlint-fix.diff ./...
+	@if [ -s results/jxlint-fix.diff ]; then \
+		echo "jxlint -fix would modify the tree:"; \
+		cat results/jxlint-fix.diff; \
+		exit 1; \
+	else \
+		echo "no pending mechanical fixes"; \
+	fi
 
 build:
 	$(GO) build ./...
@@ -111,4 +130,4 @@ experiments:
 	@echo "wrote results/jxbench_full.txt"
 
 clean:
-	rm -f cover.out results/jxlint.sarif
+	rm -f cover.out results/jxlint.sarif results/jxlint-fix.diff

@@ -1,0 +1,221 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"jxplain/internal/lint/unitchecker"
+)
+
+// runFix is delegate() for the -fix and -fixdiff modes: run the suite
+// through go vet, collect the findings, and either apply every
+// non-conflicting suggested fix to the source files (-fix) or render the
+// changes as a diff without touching anything (-fixdiff). The exit code
+// keeps go vet's pass/fail meaning — applying fixes does not launder the
+// run that needed them.
+func runFix(disabled, patterns []string, apply bool, outPath string) int {
+	dir, err := os.MkdirTemp("", "jxlint-diag-*")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "jxlint: %v\n", err)
+		return 1
+	}
+	defer os.RemoveAll(dir)
+
+	code := delegate(disabled, patterns, unitchecker.DiagDirEnv+"="+dir)
+	if code != 0 && code != 1 && code != 2 {
+		return code
+	}
+	findings, err := collectFindings(dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "jxlint: %v\n", err)
+		return 1
+	}
+	edits, skipped := planEdits(findings)
+	for _, msg := range skipped {
+		fmt.Fprintln(os.Stderr, "jxlint: "+msg)
+	}
+	if apply {
+		files, err := applyEdits(edits)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "jxlint: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "jxlint: applied fixes to %d file(s)\n", files)
+		return code
+	}
+	diff, err := renderDiff(edits)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "jxlint: %v\n", err)
+		return 1
+	}
+	if outPath == "" {
+		os.Stdout.WriteString(diff)
+	} else if err := os.WriteFile(outPath, []byte(diff), 0o666); err != nil {
+		fmt.Fprintf(os.Stderr, "jxlint: %v\n", err)
+		return 1
+	}
+	return code
+}
+
+// planEdits selects the edits to apply: fixes are taken whole (all edits
+// or none) in the findings' deterministic order, and a fix whose edits
+// would overlap an already-accepted edit is skipped with a note —
+// applying both halves of a conflict would garble the file.
+func planEdits(findings []unitchecker.Finding) (map[string][]unitchecker.FindingEdit, []string) {
+	accepted := map[string][]unitchecker.FindingEdit{}
+	var skipped []string
+	for _, f := range findings {
+		if f.Fix == nil || len(f.Fix.Edits) == 0 {
+			continue
+		}
+		conflict := false
+		for _, e := range f.Fix.Edits {
+			for _, a := range accepted[e.Filename] {
+				if editsConflict(e, a) {
+					conflict = true
+					break
+				}
+			}
+			if conflict {
+				break
+			}
+		}
+		if conflict {
+			skipped = append(skipped, fmt.Sprintf("%s: skipping fix %q: overlaps an already-applied fix", f.Position, f.Fix.Message))
+			continue
+		}
+		for _, e := range f.Fix.Edits {
+			accepted[e.Filename] = append(accepted[e.Filename], e)
+		}
+	}
+	return accepted, skipped
+}
+
+// editsConflict reports whether two edits cannot both apply: overlapping
+// half-open spans, or two insertions at the same offset (their order
+// would be ambiguous).
+func editsConflict(a, b unitchecker.FindingEdit) bool {
+	aEnd, bEnd := a.Offset+a.Length, b.Offset+b.Length
+	if a.Offset < bEnd && b.Offset < aEnd {
+		return true
+	}
+	return a.Offset == b.Offset && a.Length == 0 && b.Length == 0
+}
+
+// applyEdits rewrites each file with its accepted edits (descending
+// offset, so earlier offsets stay valid) and reports how many files
+// changed. Edits that fall outside the file — stale offsets from a file
+// modified since the analysis ran — abort with an error before anything
+// is written.
+func applyEdits(edits map[string][]unitchecker.FindingEdit) (int, error) {
+	files := make([]string, 0, len(edits))
+	for f := range edits {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	changed := 0
+	for _, name := range files {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			return changed, err
+		}
+		fixed, err := applyToBytes(data, edits[name])
+		if err != nil {
+			return changed, fmt.Errorf("%s: %w", name, err)
+		}
+		if string(fixed) == string(data) {
+			continue
+		}
+		info, err := os.Stat(name)
+		if err != nil {
+			return changed, err
+		}
+		if err := os.WriteFile(name, fixed, info.Mode().Perm()); err != nil {
+			return changed, err
+		}
+		changed++
+	}
+	return changed, nil
+}
+
+// applyToBytes applies non-overlapping edits to one file image.
+func applyToBytes(data []byte, edits []unitchecker.FindingEdit) ([]byte, error) {
+	sorted := make([]unitchecker.FindingEdit, len(edits))
+	copy(sorted, edits)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Offset > sorted[j].Offset })
+	out := append([]byte(nil), data...)
+	for _, e := range sorted {
+		if e.Offset < 0 || e.Offset+e.Length > len(out) {
+			return nil, fmt.Errorf("fix edit at offset %d (+%d) is outside the file (%d bytes); re-run the analysis", e.Offset, e.Length, len(out))
+		}
+		out = append(out[:e.Offset], append([]byte(e.NewText), out[e.Offset+e.Length:]...)...)
+	}
+	return out, nil
+}
+
+// renderDiff renders the planned edits per file as a unified-style diff
+// with one hunk per file (common prefix and suffix lines trimmed, the
+// middle shown as all-minus/all-plus). The diff is a review artifact and
+// a CI tripwire — an empty string means -fix would change nothing.
+func renderDiff(edits map[string][]unitchecker.FindingEdit) (string, error) {
+	files := make([]string, 0, len(edits))
+	for f := range edits {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	var sb strings.Builder
+	for _, name := range files {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			return "", err
+		}
+		fixed, err := applyToBytes(data, edits[name])
+		if err != nil {
+			return "", fmt.Errorf("%s: %w", name, err)
+		}
+		if string(fixed) == string(data) {
+			continue
+		}
+		rel := sarifURI(name)
+		oldLines := splitLines(string(data))
+		newLines := splitLines(string(fixed))
+		p := 0
+		for p < len(oldLines) && p < len(newLines) && oldLines[p] == newLines[p] {
+			p++
+		}
+		s := 0
+		for s < len(oldLines)-p && s < len(newLines)-p && oldLines[len(oldLines)-1-s] == newLines[len(newLines)-1-s] {
+			s++
+		}
+		oldMid := oldLines[p : len(oldLines)-s]
+		newMid := newLines[p : len(newLines)-s]
+		fmt.Fprintf(&sb, "--- a/%s\n+++ b/%s\n", rel, rel)
+		fmt.Fprintf(&sb, "@@ -%d,%d +%d,%d @@\n", hunkStart(p, len(oldMid)), len(oldMid), hunkStart(p, len(newMid)), len(newMid))
+		for _, l := range oldMid {
+			sb.WriteString("-" + l + "\n")
+		}
+		for _, l := range newMid {
+			sb.WriteString("+" + l + "\n")
+		}
+	}
+	return sb.String(), nil
+}
+
+// hunkStart renders a unified-diff range start: 1-based for non-empty
+// ranges, the preceding line for empty ones.
+func hunkStart(prefix, count int) int {
+	if count == 0 {
+		return prefix
+	}
+	return prefix + 1
+}
+
+func splitLines(s string) []string {
+	s = strings.TrimSuffix(s, "\n")
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, "\n")
+}

@@ -1,0 +1,335 @@
+package main
+
+import (
+	"encoding/json"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"jxplain/internal/lint/analyzers"
+	"jxplain/internal/lint/unitchecker"
+)
+
+func edit(file string, off, length int, text string) unitchecker.FindingEdit {
+	return unitchecker.FindingEdit{Filename: file, Offset: off, Length: length, NewText: text}
+}
+
+func fixFinding(analyzer, msg string, edits ...unitchecker.FindingEdit) unitchecker.Finding {
+	return unitchecker.Finding{
+		Position: token.Position{Filename: edits[0].Filename, Line: 1},
+		Analyzer: analyzer,
+		Message:  msg,
+		Fix:      &unitchecker.FindingFix{Message: "fix: " + msg, Edits: edits},
+	}
+}
+
+func TestEditsConflict(t *testing.T) {
+	cases := []struct {
+		a, b unitchecker.FindingEdit
+		want bool
+	}{
+		{edit("f", 0, 5, ""), edit("f", 5, 5, ""), false},     // adjacent half-open spans
+		{edit("f", 0, 5, ""), edit("f", 4, 5, ""), true},      // overlap by one byte
+		{edit("f", 10, 0, "x"), edit("f", 10, 0, "y"), true},  // two insertions at one offset
+		{edit("f", 10, 0, "x"), edit("f", 11, 0, "y"), false}, // insertions at distinct offsets
+		{edit("f", 10, 0, "x"), edit("f", 8, 4, ""), true},    // insertion inside a deletion
+	}
+	for i, c := range cases {
+		if got := editsConflict(c.a, c.b); got != c.want {
+			t.Errorf("case %d: editsConflict = %v, want %v", i, got, c.want)
+		}
+		if got := editsConflict(c.b, c.a); got != c.want {
+			t.Errorf("case %d (swapped): editsConflict = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+// TestPlanEditsAtomicSkip pins the all-or-nothing rule: a fix whose
+// second edit collides drops entirely, including its non-colliding first
+// edit, and the skip is reported.
+func TestPlanEditsAtomicSkip(t *testing.T) {
+	findings := []unitchecker.Finding{
+		fixFinding("a1", "first", edit("f.go", 10, 4, "xx")),
+		fixFinding("a2", "collides", edit("f.go", 100, 0, "ok"), edit("f.go", 12, 2, "no")),
+		fixFinding("a3", "clean", edit("f.go", 50, 0, "yes")),
+		{Analyzer: "a4", Message: "fixless"},
+	}
+	edits, skipped := planEdits(findings)
+	if len(skipped) != 1 || !strings.Contains(skipped[0], `"fix: collides"`) {
+		t.Fatalf("skipped = %q, want one note about the colliding fix", skipped)
+	}
+	got := edits["f.go"]
+	if len(got) != 2 {
+		t.Fatalf("accepted %d edits, want 2 (the colliding fix must drop both its edits): %+v", len(got), got)
+	}
+	for _, e := range got {
+		if e.NewText == "ok" || e.NewText == "no" {
+			t.Errorf("edit %+v from the skipped fix leaked into the plan", e)
+		}
+	}
+}
+
+func TestApplyToBytes(t *testing.T) {
+	data := []byte("line one\nline two\nline three\n")
+	edits := []unitchecker.FindingEdit{
+		edit("f", 0, 0, "// header\n"),
+		edit("f", 14, 3, "2"), // "two" -> "2"
+		edit("f", 18, 11, ""), // delete "line three\n"
+	}
+	got, err := applyToBytes(data, edits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "// header\nline one\nline 2\n"
+	if string(got) != want {
+		t.Errorf("applyToBytes = %q, want %q", got, want)
+	}
+
+	if _, err := applyToBytes(data, []unitchecker.FindingEdit{edit("f", 25, 10, "")}); err == nil {
+		t.Error("out-of-bounds edit did not error")
+	}
+}
+
+func TestRenderDiffShape(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f.go")
+	if err := os.WriteFile(path, []byte("a\nb\nc\nd\n"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	// Replace "b\nc\n" (offset 2, length 4) with "B\n": prefix "a", suffix "d".
+	diff, err := renderDiff(map[string][]unitchecker.FindingEdit{
+		path: {edit(path, 2, 4, "B\n")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := sarifURI(path)
+	want := "--- a/" + rel + "\n+++ b/" + rel + "\n@@ -2,2 +2,1 @@\n-b\n-c\n+B\n"
+	if diff != want {
+		t.Errorf("renderDiff = %q, want %q", diff, want)
+	}
+
+	// A plan whose application is a byte-level no-op renders nothing.
+	diff, err = renderDiff(map[string][]unitchecker.FindingEdit{
+		path: {edit(path, 2, 1, "b")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff != "" {
+		t.Errorf("no-op plan rendered a diff: %q", diff)
+	}
+}
+
+// TestSarifFixesRoundTrip proves the edits survive the SARIF encoding:
+// replacements parsed back out of the serialized document apply to the
+// same bytes as the original findings-protocol edits.
+func TestSarifFixesRoundTrip(t *testing.T) {
+	src := []byte("count := readCount(data)\nout := make([]item, count)\n")
+	edits := []unitchecker.FindingEdit{
+		edit("pkg/decode.go", 25, 0, "count = min(count, uint64(len(data)))\n"),
+		edit("pkg/decode.go", 0, 5, "n"),
+	}
+	finding := fixFinding("decodebound", "unguarded count", edits...)
+
+	doc := sarifDocument(analyzers.All(), []unitchecker.Finding{finding})
+	data, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw struct {
+		Runs []struct {
+			Results []struct {
+				Fixes []struct {
+					Description     struct{ Text string } `json:"description"`
+					ArtifactChanges []struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Replacements []struct {
+							DeletedRegion struct {
+								CharOffset int `json:"charOffset"`
+								CharLength int `json:"charLength"`
+							} `json:"deletedRegion"`
+							InsertedContent *struct {
+								Text string `json:"text"`
+							} `json:"insertedContent"`
+						} `json:"replacements"`
+					} `json:"artifactChanges"`
+				} `json:"fixes"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		t.Fatal(err)
+	}
+	fixes := raw.Runs[0].Results[0].Fixes
+	if len(fixes) != 1 {
+		t.Fatalf("fixes = %d, want 1", len(fixes))
+	}
+	if fixes[0].Description.Text != finding.Fix.Message {
+		t.Errorf("fix description = %q, want %q", fixes[0].Description.Text, finding.Fix.Message)
+	}
+	var decoded []unitchecker.FindingEdit
+	for _, ch := range fixes[0].ArtifactChanges {
+		if ch.ArtifactLocation.URI != "pkg/decode.go" {
+			t.Errorf("artifact uri = %q, want pkg/decode.go", ch.ArtifactLocation.URI)
+		}
+		for _, r := range ch.Replacements {
+			text := ""
+			if r.InsertedContent != nil {
+				text = r.InsertedContent.Text
+			}
+			decoded = append(decoded, edit(ch.ArtifactLocation.URI, r.DeletedRegion.CharOffset, r.DeletedRegion.CharLength, text))
+		}
+	}
+	want, err := applyToBytes(src, edits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := applyToBytes(src, decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("edits decoded from SARIF apply to %q, direct edits apply to %q", got, want)
+	}
+}
+
+// TestSarifRuleIndexUnderFiltering pins ruleIndex correctness when the
+// suite is filtered by -<analyzer>=false: the rules array shrinks, and
+// every result's index must still point at its own rule.
+func TestSarifRuleIndexUnderFiltering(t *testing.T) {
+	full := analyzers.All()
+	sub := full[:0:0]
+	for _, a := range full {
+		if a.Name == "decodebound" || a.Name == "mergepure" || a.Name == "ignoreaudit" {
+			sub = append(sub, a)
+		}
+	}
+	if len(sub) != 3 {
+		t.Fatalf("filtered suite has %d analyzers, want 3", len(sub))
+	}
+	findings := []unitchecker.Finding{
+		{Position: token.Position{Filename: "a.go", Line: 1}, Analyzer: "mergepure", Message: "m"},
+		{Position: token.Position{Filename: "a.go", Line: 2}, Analyzer: "decodebound", Message: "d"},
+	}
+	doc := sarifDocument(sub, findings)
+	rules := doc.Runs[0].Tool.Driver.Rules
+	if len(rules) != len(sub)+1 { // +1 for the framework pseudo-rule
+		t.Errorf("rules = %d, want %d", len(rules), len(sub)+1)
+	}
+	for i, r := range doc.Runs[0].Results {
+		if r.RuleIndex < 0 || r.RuleIndex >= len(rules) || rules[r.RuleIndex].ID != r.RuleID {
+			t.Errorf("result %d: ruleIndex %d does not resolve to %q", i, r.RuleIndex, r.RuleID)
+		}
+	}
+}
+
+// TestFixApplyIdempotent drives the whole engine end to end through the
+// vet protocol: a decodebound clamp and a mergepure tag suggestion in
+// one module, -fixdiff first (non-empty, no writes), then -fix (files
+// change, findings clear), then -fix again (byte-identical — the
+// acceptance criterion that applying twice is a no-op).
+func TestFixApplyIdempotent(t *testing.T) {
+	tool := buildTool(t)
+	dir := writeModule(t, map[string]string{
+		"go.mod": modfile,
+		"decode.go": `package scratch
+
+import "encoding/binary"
+
+// Decode sizes its output from an unclamped wire varint.
+func Decode(data []byte) []uint64 {
+	n, _ := binary.Uvarint(data)
+	out := make([]uint64, n)
+	return out
+}
+`,
+		"pool.go": `package scratch
+
+// Pool accumulates counts.
+type Pool struct{ n int }
+
+func (p *Pool) combineShared(other *Pool) {
+	p.n += other.n
+}
+
+var _ = (&Pool{}).combineShared
+`,
+	})
+	jx := func(args ...string) (string, int) {
+		cmd := exec.Command(tool, args...)
+		cmd.Dir = dir
+		out, err := cmd.CombinedOutput()
+		code := 0
+		if ee, ok := err.(*exec.ExitError); ok {
+			code = ee.ExitCode()
+		} else if err != nil {
+			t.Fatalf("running jxlint %v: %v\n%s", args, err, out)
+		}
+		return string(out), code
+	}
+	snapshot := func() map[string]string {
+		files := map[string]string{}
+		for _, name := range []string{"decode.go", "pool.go"} {
+			data, err := os.ReadFile(filepath.Join(dir, name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			files[name] = string(data)
+		}
+		return files
+	}
+
+	before := snapshot()
+	diffOut := filepath.Join(t.TempDir(), "fix.diff")
+	out, code := jx("-fixdiff", "-o", diffOut, "./...")
+	if code == 0 {
+		t.Fatalf("-fixdiff exited 0 on a module with findings:\n%s", out)
+	}
+	diff, err := os.ReadFile(diffOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(diff), "min(n, uint64(len(data)))") || !strings.Contains(string(diff), "//jx:monoid") {
+		t.Fatalf("-fixdiff diff missing the expected rewrites:\n%s", diff)
+	}
+	if got := snapshot(); got["decode.go"] != before["decode.go"] || got["pool.go"] != before["pool.go"] {
+		t.Fatal("-fixdiff modified source files")
+	}
+
+	if out, code := jx("-fix", "./..."); code == 0 {
+		t.Fatalf("first -fix run exited 0 on a module with findings:\n%s", out)
+	}
+	fixed := snapshot()
+	if !strings.Contains(fixed["decode.go"], "n = min(n, uint64(len(data)))") {
+		t.Fatalf("-fix did not insert the clamp:\n%s", fixed["decode.go"])
+	}
+	if !strings.Contains(fixed["pool.go"], "//jx:monoid\nfunc (p *Pool) combineShared") {
+		t.Fatalf("-fix did not insert the monoid tag:\n%s", fixed["pool.go"])
+	}
+
+	if out, code := jx("-fix", "./..."); code != 0 {
+		t.Fatalf("second -fix run still finds violations (fixes are not self-clearing):\n%s", out)
+	}
+	again := snapshot()
+	for name := range fixed {
+		if again[name] != fixed[name] {
+			t.Errorf("%s changed on the second -fix run; applying fixes is not idempotent:\n%s", name, again[name])
+		}
+	}
+
+	// The fixed tree is clean: a dry run renders an empty diff, which is
+	// the CI gate's definition of "no pending fixes".
+	out, code = jx("-fixdiff", "-o", diffOut, "./...")
+	if code != 0 {
+		t.Fatalf("-fixdiff on the fixed tree exited %d:\n%s", code, out)
+	}
+	if diff, err := os.ReadFile(diffOut); err != nil || len(diff) != 0 {
+		t.Fatalf("fixed tree still has a pending diff (err=%v):\n%s", err, diff)
+	}
+}

@@ -1,10 +1,13 @@
 // Command jxlint runs the jxplain analyzer suite (interncheck,
-// hotpathalloc, hotpathcall, detorder, mergelaw, conccheck, lockcheck,
-// errtotal, exhausttag, ignoreaudit — see internal/lint). It speaks
-// cmd/go's vet tool protocol, including the .vetx fact files that carry
-// the cross-package facts (hotpathcall's AllocFree/ColdPath, lockcheck's
-// Acquires/LockOrder, errtotal's TotalError/MayPanic, exhausttag's
-// EnumMembers) between units, so the canonical invocation is
+// hotpathalloc, hotpathcall, detorder, mergelaw, mergepure, conccheck,
+// lockcheck, errtotal, exhausttag, decodebound, ignoreaudit — see
+// internal/lint). It speaks cmd/go's vet tool protocol, including the
+// .vetx fact files that carry the cross-package facts (hotpathcall's
+// AllocFree/ColdPath, lockcheck's Acquires/LockOrder, errtotal's
+// TotalError/MayPanic, exhausttag's EnumMembers, decodebound's
+// TaintedResult/TaintedParam/BoundedResult, mergepure's
+// MutatesParam/AdoptsParam/Nondet/Immutable) between units, so the
+// canonical invocation is
 //
 //	go vet -vettool=$(go env GOPATH)/bin/jxlint ./...
 //
@@ -22,6 +25,14 @@
 // diagnostics and the exit code are unchanged). The per-unit checkers
 // hand their findings to the parent through the JXLINT_DIAG_DIR
 // directory protocol — see internal/lint/unitchecker.
+//
+// Also in package-pattern mode, the mechanical-fix engine applies the
+// analyzers' suggested fixes: -fix rewrites the source files in place
+// (non-overlapping fixes only; conflicts are skipped with a note), and
+// -fixdiff renders the same changes as a unified-style diff without
+// touching anything — an empty diff proves -fix would be a no-op, which
+// is what CI's lint-fix-dryrun step asserts on a clean tree. Both keep
+// go vet's exit code: applying fixes does not launder the findings.
 package main
 
 import (
@@ -50,7 +61,7 @@ func run(args []string) int {
 
 	fs := flag.NewFlagSet(progname, flag.ExitOnError)
 	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), "usage: %s [-<analyzer>=false ...] [-json|-sarif [-o file]] <packages | vet.cfg>\n\nanalyzers:\n", progname)
+		fmt.Fprintf(fs.Output(), "usage: %s [-<analyzer>=false ...] [-json|-sarif|-fix|-fixdiff [-o file]] <packages | vet.cfg>\n\nanalyzers:\n", progname)
 		for _, a := range suite {
 			fmt.Fprintf(fs.Output(), "  %-14s %s\n", a.Name, a.Doc)
 		}
@@ -59,7 +70,9 @@ func run(args []string) int {
 	flagsFlag := fs.Bool("flags", false, "print analyzer flags in JSON (cmd/go vet protocol)")
 	jsonFlag := fs.Bool("json", false, "emit the merged findings as JSON (package-pattern mode only)")
 	sarifFlag := fs.Bool("sarif", false, "emit the merged findings as SARIF 2.1.0 (package-pattern mode only)")
-	outFlag := fs.String("o", "", "write the -json/-sarif document to this file instead of stdout")
+	outFlag := fs.String("o", "", "write the -json/-sarif/-fixdiff output to this file instead of stdout")
+	fixFlag := fs.Bool("fix", false, "apply the analyzers' suggested fixes to the source files (package-pattern mode only)")
+	fixdiffFlag := fs.Bool("fixdiff", false, "render the suggested fixes as a diff without applying them (package-pattern mode only)")
 	enabled := map[string]*bool{}
 	for _, a := range suite {
 		enabled[a.Name] = fs.Bool(a.Name, true, a.Doc)
@@ -95,11 +108,20 @@ func run(args []string) int {
 		fs.Usage()
 		return 1
 	}
-	if *jsonFlag || *sarifFlag {
-		if *jsonFlag && *sarifFlag {
-			fmt.Fprintln(os.Stderr, "jxlint: -json and -sarif are mutually exclusive")
-			return 1
+	modes := 0
+	for _, on := range []bool{*jsonFlag, *sarifFlag, *fixFlag, *fixdiffFlag} {
+		if on {
+			modes++
 		}
+	}
+	if modes > 1 {
+		fmt.Fprintln(os.Stderr, "jxlint: -json, -sarif, -fix, and -fixdiff are mutually exclusive")
+		return 1
+	}
+	if *fixFlag || *fixdiffFlag {
+		return runFix(disabled, rest, *fixFlag, *outFlag)
+	}
+	if *jsonFlag || *sarifFlag {
 		return runStructured(disabled, rest, *sarifFlag, *outFlag, active)
 	}
 	return delegate(disabled, rest)

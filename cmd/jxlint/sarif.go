@@ -49,6 +49,61 @@ type sarifResult struct {
 	Level     string          `json:"level"`
 	Message   sarifMessage    `json:"message"`
 	Locations []sarifLocation `json:"locations"`
+	Fixes     []sarifFix      `json:"fixes,omitempty"`
+}
+
+// A sarifFix carries a finding's suggested fix as artifact changes.
+// Replacement regions use charOffset/charLength; jxlint sources are
+// ASCII-clean Go files, so byte offsets from the findings protocol map
+// onto them directly and edits round-trip through the SARIF document.
+type sarifFix struct {
+	Description     sarifMessage          `json:"description"`
+	ArtifactChanges []sarifArtifactChange `json:"artifactChanges"`
+}
+
+type sarifArtifactChange struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Replacements     []sarifReplacement    `json:"replacements"`
+}
+
+type sarifReplacement struct {
+	DeletedRegion   sarifCharRegion `json:"deletedRegion"`
+	InsertedContent *sarifContent   `json:"insertedContent,omitempty"`
+}
+
+type sarifCharRegion struct {
+	CharOffset int `json:"charOffset"`
+	CharLength int `json:"charLength,omitempty"`
+}
+
+type sarifContent struct {
+	Text string `json:"text"`
+}
+
+// sarifFixes renders a finding's fix, grouping edits by file in edit
+// order.
+func sarifFixes(fix *unitchecker.FindingFix) []sarifFix {
+	if fix == nil {
+		return nil
+	}
+	var changes []sarifArtifactChange
+	byFile := map[string]int{}
+	for _, e := range fix.Edits {
+		idx, ok := byFile[e.Filename]
+		if !ok {
+			idx = len(changes)
+			byFile[e.Filename] = idx
+			changes = append(changes, sarifArtifactChange{
+				ArtifactLocation: sarifArtifactLocation{URI: sarifURI(e.Filename), URIBaseID: "%SRCROOT%"},
+			})
+		}
+		r := sarifReplacement{DeletedRegion: sarifCharRegion{CharOffset: e.Offset, CharLength: e.Length}}
+		if e.NewText != "" {
+			r.InsertedContent = &sarifContent{Text: e.NewText}
+		}
+		changes[idx].Replacements = append(changes[idx].Replacements, r)
+	}
+	return []sarifFix{{Description: sarifMessage{Text: fix.Message}, ArtifactChanges: changes}}
 }
 
 type sarifLocation struct {
@@ -102,6 +157,7 @@ func sarifDocument(suite []*jxanalysis.Analyzer, findings []unitchecker.Finding)
 			RuleIndex: ruleIndex[f.Analyzer],
 			Level:     "warning",
 			Message:   sarifMessage{Text: f.Message},
+			Fixes:     sarifFixes(f.Fix),
 			Locations: []sarifLocation{{
 				PhysicalLocation: sarifPhysicalLocation{
 					ArtifactLocation: sarifArtifactLocation{

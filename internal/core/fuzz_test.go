@@ -43,6 +43,19 @@ func FuzzSketchDecode(f *testing.F) {
 	if data, err := bagOnly.Marshal(); err == nil {
 		f.Add(data)
 	}
+	// A bounded-mode accumulator: the weighted reservoir replaces the
+	// exact bag, so its snapshot marshals a bag-only file whose counts
+	// passed through eviction — a seed shape the exact accumulators above
+	// never produce.
+	bounded := cfg
+	bounded.Bounds = Bounds{ReservoirCapacity: 4}
+	res := NewAccumulator(bounded)
+	for _, r := range g.Generate(24, 7) {
+		res.Add(r.Type)
+	}
+	if data, err := res.Marshal(); err == nil {
+		f.Add(data)
+	}
 	s := NewPathSketch()
 	s.Add(jsontype.MustFromValue(map[string]any{"a": map[string]any{"b": []any{true}}}))
 	if data, err := s.Marshal(); err == nil {

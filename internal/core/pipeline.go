@@ -143,6 +143,8 @@ func (a *Accumulator) AddBag(chunk *jsontype.Bag) {
 // a's most recent (shards carry no global window order, so any adoption
 // order is an alignment approximation). A bounded a folds an unbounded
 // other through the reservoir; the converse snapshots other's reservoir.
+//
+//jx:monoid consuming
 func (a *Accumulator) Merge(other *Accumulator) {
 	if other == nil {
 		return

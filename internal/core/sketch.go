@@ -47,6 +47,7 @@ func (s *PathSketch) AddBag(bag *jsontype.Bag) {
 // afterwards: its trie nodes may be adopted by s.
 //
 //jx:hotpath
+//jx:monoid consuming
 func (s *PathSketch) Merge(other *PathSketch) {
 	if other == nil {
 		return

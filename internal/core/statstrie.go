@@ -94,9 +94,11 @@ func (t *statsTrie) add(ty *jsontype.Type, n int) {
 	}
 }
 
-// combine merges other into t (mutating t).
+// combine merges other into t (mutating t). other is consumed: its
+// maps and children may be adopted wholesale.
 //
 //jx:hotpath
+//jx:monoid consuming
 func (t *statsTrie) combine(other *statsTrie) *statsTrie {
 	t.objCount += other.objCount
 	if other.keyCounts != nil {
@@ -142,6 +144,8 @@ func (t *statsTrie) combine(other *statsTrie) *statsTrie {
 // wildcard merge nodes from live children, and adopting a child's map
 // there would let a later fold into the merge node silently corrupt the
 // sketch Stats was called on.
+//
+//jx:monoid
 func (t *statsTrie) combineShared(other *statsTrie) *statsTrie {
 	t.objCount += other.objCount
 	for k, n := range other.keyCounts {

@@ -74,6 +74,8 @@ type Field struct {
 //
 // Every Type is interned (see intern.go): structurally equal types are the
 // same pointer, so a Type must never be mutated after construction.
+//
+//jx:immutable
 type Type struct {
 	kind   Kind
 	elems  []*Type                // array positions

@@ -1,0 +1,12 @@
+package decodebound_test
+
+import (
+	"testing"
+
+	"jxplain/internal/lint/analyzers/decodebound"
+	"jxplain/internal/lint/checktest"
+)
+
+func TestDecodebound(t *testing.T) {
+	checktest.Run(t, "../../testdata/src", "example.com/decodeuse", decodebound.Analyzer)
+}

@@ -1,0 +1,12 @@
+package mergepure_test
+
+import (
+	"testing"
+
+	"jxplain/internal/lint/analyzers/mergepure"
+	"jxplain/internal/lint/checktest"
+)
+
+func TestMergepure(t *testing.T) {
+	checktest.Run(t, "../../testdata/src", "example.com/mergepureuse", mergepure.Analyzer)
+}

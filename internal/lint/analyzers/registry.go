@@ -3,6 +3,7 @@ package analyzers
 
 import (
 	"jxplain/internal/lint/analyzers/conccheck"
+	"jxplain/internal/lint/analyzers/decodebound"
 	"jxplain/internal/lint/analyzers/detorder"
 	"jxplain/internal/lint/analyzers/errtotal"
 	"jxplain/internal/lint/analyzers/exhausttag"
@@ -12,6 +13,7 @@ import (
 	"jxplain/internal/lint/analyzers/interncheck"
 	"jxplain/internal/lint/analyzers/lockcheck"
 	"jxplain/internal/lint/analyzers/mergelaw"
+	"jxplain/internal/lint/analyzers/mergepure"
 	"jxplain/internal/lint/jxanalysis"
 )
 
@@ -23,10 +25,12 @@ func All() []*jxanalysis.Analyzer {
 		hotpathcall.Analyzer,
 		detorder.Analyzer,
 		mergelaw.Analyzer,
+		mergepure.Analyzer,
 		conccheck.Analyzer,
 		lockcheck.Analyzer,
 		errtotal.Analyzer,
 		exhausttag.Analyzer,
+		decodebound.Analyzer,
 		ignoreaudit.Analyzer,
 	}
 }

@@ -24,10 +24,29 @@
 // on the declaration line: each named fact type must be attached to an
 // object declared on that line. The check is one-way — facts without a
 // want-fact comment are not errors.
+//
+// SuggestedFix edits can be pinned with
+//
+//	// want-fix "regexp"
+//
+// on the diagnostic's line: the pattern must match the canonical
+// rendering of exactly one fix-carrying diagnostic reported there. A fix
+// renders as its message followed by each edit as -"deleted"+"inserted"
+// (insertion-only edits render as +"...", deletions as -"...", both
+// strings Go-quoted), so an expectation can pin the exact bytes a -fix
+// run would write. Like want-fact, the check is one-way: fixes without a
+// want-fix comment are not errors, but every want-fix must match.
+//
+// One comment may stack several markers — e.g.
+//
+//	x := f() // want "msg" // want-fix `\+"//jx:monoid\\n"`
+//
+// each marker claims the text to its right, scanning right to left.
 package checktest
 
 import (
 	"go/token"
+	"os"
 	"regexp"
 	"strconv"
 	"strings"
@@ -49,6 +68,14 @@ type factExpectation struct {
 	file    string
 	line    int
 	name    string
+	matched bool
+}
+
+type fixExpectation struct {
+	file    string
+	line    int
+	rx      *regexp.Regexp
+	raw     string
 	matched bool
 }
 
@@ -89,17 +116,25 @@ func RunSuite(t *testing.T, root, path string, suite []*jxanalysis.Analyzer) {
 		t.Fatalf("running suite on %s: %v", path, err)
 	}
 
-	expects, factExpects := collectExpectations(t, main, deps)
+	expects, factExpects, fixExpects := collectExpectations(t, main, deps)
 
 	for _, d := range diags {
 		pos := main.Fset.Position(d.Pos)
 		if !claim(expects, pos, d.Message) {
 			t.Errorf("%s: unexpected diagnostic [%s] %s", pos, d.Analyzer, d.Message)
 		}
+		if d.SuggestedFix != nil {
+			claimFix(fixExpects, pos, renderFix(t, main.Fset, d.SuggestedFix))
+		}
 	}
 	for _, e := range expects {
 		if !e.matched {
 			t.Errorf("%s:%d: no diagnostic matched want %q", e.file, e.line, e.raw)
+		}
+	}
+	for _, e := range fixExpects {
+		if !e.matched {
+			t.Errorf("%s:%d: no suggested fix matched want-fix %q", e.file, e.line, e.raw)
 		}
 	}
 
@@ -119,41 +154,63 @@ func RunSuite(t *testing.T, root, path string, suite []*jxanalysis.Analyzer) {
 	}
 }
 
-// collectExpectations scans the main package for // want comments and the
-// whole fixture (main and dependencies — facts cross packages) for
-// // want-fact comments.
-func collectExpectations(t *testing.T, main *jxanalysis.Package, deps []*jxanalysis.Package) ([]*expectation, []*factExpectation) {
+// collectExpectations scans the main package for // want and // want-fix
+// comments and the whole fixture (main and dependencies — facts cross
+// packages) for // want-fact comments.
+func collectExpectations(t *testing.T, main *jxanalysis.Package, deps []*jxanalysis.Package) ([]*expectation, []*factExpectation, []*fixExpectation) {
 	t.Helper()
 	var expects []*expectation
 	var factExpects []*factExpectation
+	var fixExpects []*fixExpectation
 	scan := func(pkg *jxanalysis.Package, wantDiags bool) {
 		for _, f := range pkg.Files {
 			for _, cg := range f.Comments {
 				for _, c := range cg.List {
-					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
-					// A want marker may trail another comment in the same
-					// line comment — e.g. a //jx:lint-ignore directive whose
-					// own position an ignoreaudit fixture asserts on.
-					if i := strings.LastIndex(text, "// want"); i >= 0 {
-						text = strings.TrimSpace(strings.TrimPrefix(text[i:], "//"))
-					}
+					full := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
 					pos := pkg.Fset.Position(c.Pos())
-					switch {
-					case strings.HasPrefix(text, "want-fact "):
-						for _, name := range strings.Fields(strings.TrimPrefix(text, "want-fact ")) {
-							factExpects = append(factExpects, &factExpectation{
-								file: pos.Filename, line: pos.Line, name: name,
-							})
+					// Markers may trail other comments or each other in one
+					// line comment — e.g. a //jx:lint-ignore directive whose
+					// own position an ignoreaudit fixture asserts on, or a
+					// want beside a want-fix. Each "// want" claims the text
+					// to its right, scanning right to left so every stacked
+					// marker is seen exactly once.
+					for {
+						i := strings.LastIndex(full, "// want")
+						text := full
+						if i >= 0 {
+							text = strings.TrimSpace(strings.TrimPrefix(full[i:], "//"))
+							full = strings.TrimSpace(full[:i])
 						}
-					case wantDiags && strings.HasPrefix(text, "want "):
-						for _, raw := range splitQuoted(t, pos, strings.TrimPrefix(text, "want ")) {
-							rx, err := regexp.Compile(raw)
-							if err != nil {
-								t.Fatalf("%s: bad want pattern %q: %v", pos, raw, err)
+						switch {
+						case strings.HasPrefix(text, "want-fact "):
+							for _, name := range strings.Fields(strings.TrimPrefix(text, "want-fact ")) {
+								factExpects = append(factExpects, &factExpectation{
+									file: pos.Filename, line: pos.Line, name: name,
+								})
 							}
-							expects = append(expects, &expectation{
-								file: pos.Filename, line: pos.Line, rx: rx, raw: raw,
-							})
+						case wantDiags && strings.HasPrefix(text, "want-fix "):
+							for _, raw := range splitQuoted(t, pos, strings.TrimPrefix(text, "want-fix ")) {
+								rx, err := regexp.Compile(raw)
+								if err != nil {
+									t.Fatalf("%s: bad want-fix pattern %q: %v", pos, raw, err)
+								}
+								fixExpects = append(fixExpects, &fixExpectation{
+									file: pos.Filename, line: pos.Line, rx: rx, raw: raw,
+								})
+							}
+						case wantDiags && strings.HasPrefix(text, "want "):
+							for _, raw := range splitQuoted(t, pos, strings.TrimPrefix(text, "want ")) {
+								rx, err := regexp.Compile(raw)
+								if err != nil {
+									t.Fatalf("%s: bad want pattern %q: %v", pos, raw, err)
+								}
+								expects = append(expects, &expectation{
+									file: pos.Filename, line: pos.Line, rx: rx, raw: raw,
+								})
+							}
+						}
+						if i < 0 || full == "" {
+							break // leftmost segment consumed; the rest is prose
 						}
 					}
 				}
@@ -164,7 +221,41 @@ func collectExpectations(t *testing.T, main *jxanalysis.Package, deps []*jxanaly
 	for _, dep := range deps {
 		scan(dep, false) // dependency diagnostics are discarded; only facts matter
 	}
-	return expects, factExpects
+	return expects, factExpects, fixExpects
+}
+
+// renderFix renders a SuggestedFix in the canonical form want-fix
+// patterns match: the message, then each edit as -"deleted"+"inserted"
+// with the deleted bytes read back from the fixture source.
+func renderFix(t *testing.T, fset *token.FileSet, fix *jxanalysis.SuggestedFix) string {
+	t.Helper()
+	var sb strings.Builder
+	sb.WriteString(fix.Message)
+	for _, e := range fix.Edits {
+		sb.WriteByte(' ')
+		start, end := fset.Position(e.Pos), fset.Position(e.End)
+		if end.Offset > start.Offset {
+			data, err := os.ReadFile(start.Filename)
+			if err != nil || end.Offset > len(data) {
+				t.Fatalf("reading fix source %s: %v", start.Filename, err)
+			}
+			sb.WriteString("-" + strconv.Quote(string(data[start.Offset:end.Offset])))
+		}
+		if e.NewText != "" {
+			sb.WriteString("+" + strconv.Quote(e.NewText))
+		}
+	}
+	return sb.String()
+}
+
+func claimFix(expects []*fixExpectation, pos token.Position, rendered string) bool {
+	for _, e := range expects {
+		if !e.matched && e.file == pos.Filename && e.line == pos.Line && e.rx.MatchString(rendered) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
 }
 
 func claim(expects []*expectation, pos token.Position, msg string) bool {

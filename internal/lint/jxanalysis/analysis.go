@@ -82,11 +82,14 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// A Diagnostic is one reported violation.
+// A Diagnostic is one reported violation. SuggestedFix, when non-nil, is
+// a mechanical rewrite that resolves it (see fix.go); drivers surface it
+// through -fix, the findings protocol, and SARIF fixes objects.
 type Diagnostic struct {
-	Pos      token.Pos
-	Analyzer string
-	Message  string
+	Pos          token.Pos
+	Analyzer     string
+	Message      string
+	SuggestedFix *SuggestedFix
 }
 
 // Package bundles a parsed, type-checked compilation unit — the input the
@@ -148,6 +151,12 @@ func RunFacts(pkg *Package, analyzers []*Analyzer, facts *Facts) ([]Diagnostic, 
 	}
 	diags, directives := filterTrack(pkg.Fset, pkg.Files, diags)
 	if active[IgnoreAuditName] {
+		byFile := map[string]*ast.File{}
+		for _, f := range pkg.Files {
+			if tf := pkg.Fset.File(f.Pos()); tf != nil {
+				byFile[tf.Name()] = f
+			}
+		}
 		for _, dir := range directives {
 			// Directives in test files are exempt: several analyzers skip
 			// _test.go, so suppressions there cannot be validated. A
@@ -157,9 +166,10 @@ func RunFacts(pkg *Package, analyzers []*Analyzer, facts *Facts) ([]Diagnostic, 
 				continue
 			}
 			diags = append(diags, Diagnostic{
-				Pos:      dir.pos,
-				Analyzer: IgnoreAuditName,
-				Message:  fmt.Sprintf("ignore directive for %s suppresses no diagnostic; delete %q or fix the reason", dir.analyzer, dir.normalized()),
+				Pos:          dir.pos,
+				Analyzer:     IgnoreAuditName,
+				Message:      fmt.Sprintf("ignore directive for %s suppresses no diagnostic; delete %q or fix the reason", dir.analyzer, dir.normalized()),
+				SuggestedFix: deleteDirectiveFix(pkg.Fset, byFile[dir.file], dir),
 			})
 		}
 	}

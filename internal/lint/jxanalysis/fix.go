@@ -1,0 +1,107 @@
+package jxanalysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+)
+
+// A TextEdit is one span replacement inside a fixture or product file:
+// the bytes in [Pos, End) are replaced by NewText. Pos == End inserts.
+// Edits within one SuggestedFix must not overlap; drivers applying fixes
+// across analyzers additionally drop whole fixes whose edits overlap a
+// fix already applied, so -fix never produces garbled output.
+type TextEdit struct {
+	Pos     token.Pos
+	End     token.Pos
+	NewText string
+}
+
+// A SuggestedFix is a mechanical rewrite an analyzer believes resolves
+// its diagnostic: applying the edits must make the diagnostic disappear
+// on the next run (the -fix idempotence contract), and must leave the
+// program compiling. Analyzers only attach fixes they can guarantee
+// both properties for; anything judgement-shaped stays a plain
+// diagnostic.
+type SuggestedFix struct {
+	Message string
+	Edits   []TextEdit
+}
+
+// ReportFixf records a diagnostic at pos carrying a suggested fix.
+func (p *Pass) ReportFixf(pos token.Pos, fix *SuggestedFix, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:          pos,
+		Analyzer:     p.Analyzer.Name,
+		Message:      fmt.Sprintf(format, args...),
+		SuggestedFix: fix,
+	})
+}
+
+// InsertBeforeLine returns an insertion edit placing text (which should
+// end in a newline) on its own line directly above the line containing
+// pos, indented like that line. Indentation is reconstructed as one tab
+// per leading column, matching gofmt-formatted sources; fixture and
+// product files are both gofmt-clean, so the reconstruction is exact
+// wherever fixes are emitted.
+func InsertBeforeLine(fset *token.FileSet, pos token.Pos, text string) TextEdit {
+	position := fset.Position(pos)
+	tf := fset.File(pos)
+	start := tf.LineStart(position.Line)
+	indent := ""
+	for i := 1; i < position.Column; i++ {
+		indent += "\t"
+	}
+	return TextEdit{Pos: start, End: start, NewText: indent + text}
+}
+
+// deleteDirectiveFix builds the stale-ignore deletion fix: when the
+// directive comment starts its line (nothing but indentation before it),
+// the whole line goes, trailing newline included; a directive trailing
+// code on a shared line is deleted comment-only, leaving the code
+// intact. file is the AST the directive was parsed from — ownership of
+// the line is decided by whether any code token ends on it before the
+// comment.
+func deleteDirectiveFix(fset *token.FileSet, file *ast.File, d *directive) *SuggestedFix {
+	pos, end := d.pos, d.end
+	tf := fset.File(pos)
+	if tf != nil && file != nil && ownsLine(fset, file, pos) {
+		line := fset.Position(pos).Line
+		pos = tf.LineStart(line)
+		if line < tf.LineCount() {
+			end = tf.LineStart(line + 1)
+		}
+	}
+	return &SuggestedFix{
+		Message: fmt.Sprintf("delete the stale %s directive", ignorePrefix),
+		Edits:   []TextEdit{{Pos: pos, End: end}},
+	}
+}
+
+// ownsLine reports whether no code token of file ends on pos's line
+// before pos — i.e. the comment at pos is preceded only by whitespace.
+func ownsLine(fset *token.FileSet, file *ast.File, pos token.Pos) bool {
+	line := fset.Position(pos).Line
+	lineStart := fset.File(pos).LineStart(line)
+	owns := true
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil || !owns {
+			return false
+		}
+		switch n.(type) {
+		case *ast.Comment, *ast.CommentGroup:
+			return false
+		}
+		if n.End() <= lineStart || n.Pos() >= pos {
+			return false // entirely before the line or after the comment
+		}
+		if n.End() <= pos && fset.Position(n.End()).Line == line {
+			// A node ending on the line before the comment: code precedes
+			// it, so the comment shares the line.
+			owns = false
+			return false
+		}
+		return true
+	})
+	return owns
+}

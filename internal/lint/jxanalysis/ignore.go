@@ -31,6 +31,7 @@ type ignoreKey struct {
 // canonical form regardless of how it was typed.
 type directive struct {
 	pos      token.Pos
+	end      token.Pos // end of the comment, for the deletion fix
 	file     string
 	line     int
 	analyzer string
@@ -83,6 +84,7 @@ func filterTrack(fset *token.FileSet, files []*ast.File, diags []Diagnostic) ([]
 				pos := fset.Position(c.Pos())
 				d := &directive{
 					pos:      c.Pos(),
+					end:      c.End(),
 					file:     pos.Filename,
 					line:     pos.Line,
 					analyzer: fields[0],

@@ -16,7 +16,7 @@ func hotFmt(v int) string {
 
 // coolFmt is not hot, so its directive suppresses nothing.
 func coolFmt(v int) string {
-	//jx:lint-ignore hotpathalloc fixture: exercises a stale directive // want `ignore directive for hotpathalloc suppresses no diagnostic`
+	//jx:lint-ignore hotpathalloc fixture: exercises a stale directive // want `ignore directive for hotpathalloc suppresses no diagnostic` // want-fix `delete the stale //jx:lint-ignore directive -"\\t//jx:lint-ignore hotpathalloc fixture: exercises a stale directive`
 	return fmt.Sprint(v)
 }
 
@@ -40,8 +40,16 @@ func tabbedDirective(v int) string {
 // tabbedStale proves the audit echoes the canonical single-space form,
 // not the raw tab-ridden text.
 func tabbedStale(v int) string {
-	//jx:lint-ignore	hotpathalloc		fixture: tabs collapse // want `delete "//jx:lint-ignore hotpathalloc fixture: tabs collapse`
+	//jx:lint-ignore	hotpathalloc		fixture: tabs collapse // want `delete "//jx:lint-ignore hotpathalloc fixture: tabs collapse` // want-fix `delete the stale //jx:lint-ignore directive -"\\t//jx:lint-ignore\\thotpathalloc\\t\\tfixture: tabs collapse`
 	return fmt.Sprint(v)
+}
+
+// trailingStale hangs the directive off the end of the offending line:
+// the deletion fix must remove only the comment span (the -"..." below
+// starts at //jx:, not at the line's leading tab), leaving the code on
+// the line intact.
+func trailingStale(v int) string {
+	return fmt.Sprint(v) //jx:lint-ignore hotpathalloc fixture: trailing stale directive // want `ignore directive for hotpathalloc suppresses no diagnostic` // want-fix `delete the stale //jx:lint-ignore directive -"//jx:lint-ignore hotpathalloc fixture: trailing stale directive`
 }
 
 // lookalike is prose that happens to share the directive prefix as a

@@ -1,0 +1,31 @@
+// Package wirelib is the dependency half of the decodebound fixtures:
+// decode helpers whose facts — TaintedResult, TaintedParam,
+// BoundedResult — the example.com/decodeuse package imports across the
+// package boundary.
+package wirelib
+
+import "encoding/binary"
+
+// ReadCount hands the raw varint straight to the caller: its first
+// result carries wire taint out.
+func ReadCount(data []byte) (uint64, int) { // want-fact TaintedResult
+	v, n := binary.Uvarint(data)
+	return v, n
+}
+
+// Alloc sizes a slice from its parameter with no guard, so parameter 0
+// is a sink at every call site.
+func Alloc(n int) []byte { // want-fact TaintedParam
+	return make([]byte, n)
+}
+
+// BoundedCount validates the count against the remaining input before
+// returning it: wire input read, nothing tainted escapes — the positive
+// proof.
+func BoundedCount(data []byte) (uint64, bool) { // want-fact BoundedResult
+	v, n := binary.Uvarint(data)
+	if n <= 0 || v > uint64(len(data)-n) {
+		return 0, false
+	}
+	return v, true
+}

@@ -192,6 +192,47 @@ type Finding struct {
 	Position token.Position
 	Analyzer string
 	Message  string
+	Fix      *FindingFix `json:",omitempty"`
+}
+
+// A FindingFix is a SuggestedFix with its edits resolved to byte offsets
+// — the coordinate system that survives the JSON round trip through the
+// findings protocol and maps directly onto SARIF replacement regions.
+type FindingFix struct {
+	Message string
+	Edits   []FindingEdit
+}
+
+// A FindingEdit replaces Length bytes at Offset in Filename with NewText
+// (Length 0 inserts).
+type FindingEdit struct {
+	Filename string
+	Offset   int
+	Length   int
+	NewText  string
+}
+
+// resolveFix projects a SuggestedFix into file/offset coordinates. A fix
+// with an unresolvable position is dropped (nil) rather than applied at
+// a wrong offset.
+func resolveFix(fset *token.FileSet, fix *jxanalysis.SuggestedFix) *FindingFix {
+	if fix == nil {
+		return nil
+	}
+	out := &FindingFix{Message: fix.Message}
+	for _, e := range fix.Edits {
+		start, end := fset.Position(e.Pos), fset.Position(e.End)
+		if !start.IsValid() || !end.IsValid() || start.Filename != end.Filename || end.Offset < start.Offset {
+			return nil
+		}
+		out.Edits = append(out.Edits, FindingEdit{
+			Filename: start.Filename,
+			Offset:   start.Offset,
+			Length:   end.Offset - start.Offset,
+			NewText:  e.NewText,
+		})
+	}
+	return out
 }
 
 func readConfig(path string) (*Config, error) {
@@ -257,7 +298,12 @@ func analyze(cfg *Config, analyzers []*jxanalysis.Analyzer) ([]Finding, []byte, 
 	}
 	out := make([]Finding, len(diags))
 	for i, d := range diags {
-		out[i] = Finding{Position: fset.Position(d.Pos), Analyzer: d.Analyzer, Message: d.Message}
+		out[i] = Finding{
+			Position: fset.Position(d.Pos),
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+			Fix:      resolveFix(fset, d.SuggestedFix),
+		}
 	}
 	return out, factsData, nil
 }

@@ -76,7 +76,10 @@ func (a *Accumulator) Add(t *jsontype.Type, n int) {
 }
 
 // Combine merges other into a (mutating a) and returns a. Combine is
-// commutative and associative up to the produced schema.
+// commutative and associative up to the produced schema. other is
+// consumed: its subtree accumulators may be adopted wholesale.
+//
+//jx:monoid consuming
 func (a *Accumulator) Combine(other *Accumulator) *Accumulator {
 	for k, p := range other.prims {
 		if p {
